@@ -1,0 +1,30 @@
+//! Ablation benches: regenerate each DESIGN.md ablation study. The
+//! quality conclusions (who wins) are asserted by the experiments crate's
+//! tests; these benches track the cost of producing them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyrs_experiments::ablations;
+use std::hint::black_box;
+
+const SEED: u64 = 20190520;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("binding_policies", |b| {
+        b.iter(|| black_box(ablations::binding(SEED, 5)))
+    });
+    g.bench_function("in_progress_refresh", |b| {
+        b.iter(|| black_box(ablations::refresh(SEED, 5)))
+    });
+    g.bench_function("queue_depth_slack", |b| {
+        b.iter(|| black_box(ablations::queue_depth(SEED, 5)))
+    });
+    g.bench_function("eviction_modes", |b| {
+        b.iter(|| black_box(ablations::eviction(SEED, 5)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

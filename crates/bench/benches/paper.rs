@@ -1,0 +1,79 @@
+//! One Criterion bench per paper table/figure: measures how long each
+//! artifact takes to regenerate (at reduced scale so `cargo bench`
+//! finishes promptly). Regeneration time is the practical cost of the
+//! reproduction harness; the *contents* are asserted by the experiment
+//! modules' tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyrs_experiments::{
+    fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, table1, table2,
+};
+use std::hint::black_box;
+
+const SEED: u64 = 20190520;
+
+fn bench_motivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("motivation");
+    g.sample_size(20);
+    g.bench_function("fig01_utilization_traces", |b| {
+        b.iter(|| black_box(fig01::run(SEED)))
+    });
+    g.bench_function("fig02_lead_read_ratio", |b| {
+        b.iter(|| black_box(fig02::run(SEED, 20_000)))
+    });
+    g.bench_function("fig03_utilization_cdf", |b| {
+        b.iter(|| black_box(fig03::run(SEED, 40)))
+    });
+    g.finish();
+}
+
+fn bench_hive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hive");
+    g.sample_size(10);
+    g.bench_function("fig04_ten_queries_four_configs", |b| {
+        b.iter(|| black_box(fig04::run(SEED, 0.1)))
+    });
+    g.finish();
+}
+
+fn bench_swim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swim");
+    g.sample_size(10);
+    g.bench_function("table1_mean_durations", |b| {
+        b.iter(|| black_box(table1::run(SEED, 0.2)))
+    });
+    g.bench_function("fig05_size_bins", |b| {
+        b.iter(|| black_box(fig05::run(SEED, 0.2)))
+    });
+    g.bench_function("fig06_map_task_cdf", |b| {
+        b.iter(|| black_box(fig06::run(SEED, 0.2)))
+    });
+    g.bench_function("fig07_memory_footprint", |b| {
+        b.iter(|| black_box(fig07::run(SEED, 0.2)))
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort");
+    g.sample_size(10);
+    g.bench_function("fig08_read_distribution", |b| {
+        b.iter(|| black_box(fig08::run(SEED, 7)))
+    });
+    g.bench_function("fig09_estimate_tracking", |b| {
+        b.iter(|| black_box(fig09::run(SEED, 5)))
+    });
+    g.bench_function("table2_interference_patterns", |b| {
+        b.iter(|| black_box(table2::run(SEED, 5)))
+    });
+    g.bench_function("fig10_tail_timeline", |b| {
+        b.iter(|| black_box(fig10::run(SEED, 5)))
+    });
+    g.bench_function("fig11_size_and_lead_sweeps", |b| {
+        b.iter(|| black_box(fig11::run(SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_motivation, bench_hive, bench_swim, bench_sort);
+criterion_main!(benches);

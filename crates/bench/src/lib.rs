@@ -1,0 +1,2 @@
+//! Criterion benchmark harness for the DYRS reproduction (placeholder lib;
+//! the actual benches live in `benches/`).

@@ -1,0 +1,265 @@
+//! Nodes and clusters.
+
+use crate::memory::MemoryStore;
+use serde::{Deserialize, Serialize};
+use simkit::FluidResource;
+use std::fmt;
+
+/// Identifies a node (DataNode / DYRS slave host) within a cluster.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Static description of one node's hardware.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Sequential disk bandwidth with a single reader, bytes/sec.
+    pub disk_bw: f64,
+    /// Disk capacity degradation per extra concurrent stream
+    /// (`cap(n) = bw / (1 + d·(n−1))` — seek thrashing).
+    pub disk_degradation: f64,
+    /// RAM available for migrated blocks, bytes (the DYRS hard limit).
+    pub mem_capacity: u64,
+    /// Memory-bus bandwidth for local in-memory reads, bytes/sec.
+    pub membus_bw: f64,
+    /// NIC bandwidth for serving remote in-memory reads, bytes/sec.
+    pub nic_bw: f64,
+    /// Rack the node lives in (HDFS-style topology; the paper's testbed
+    /// is a single rack, so the default is rack 0 everywhere).
+    #[serde(default)]
+    pub rack: u32,
+}
+
+impl NodeSpec {
+    /// The paper's testbed node (§V-A): ~1 TB HDD at ≈140 MB/s sequential,
+    /// 128 GB RAM (we cap the migration buffer well below that), 10 GbE.
+    pub fn paper_default() -> Self {
+        NodeSpec {
+            disk_bw: 140.0 * 1024.0 * 1024.0,
+            disk_degradation: 0.02,
+            mem_capacity: 96 * crate::GIB,
+            membus_bw: 8.0 * 1024.0 * 1024.0 * 1024.0,
+            nic_bw: 1.25 * 1024.0 * 1024.0 * 1024.0, // 10 Gbps
+            rack: 0,
+        }
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Live state of one node: three fluid resources plus memory accounting.
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// The static spec it was built from.
+    pub spec: NodeSpec,
+    /// Spinning disk (reads and migrations contend here).
+    pub disk: FluidResource,
+    /// Memory bus (local in-memory reads).
+    pub membus: FluidResource,
+    /// NIC (serving remote in-memory reads).
+    pub nic: FluidResource,
+    /// Migration buffer accounting.
+    pub memory: MemoryStore,
+    /// Whether the node (server) is up. A failed server serves nothing.
+    pub up: bool,
+}
+
+impl Node {
+    fn new(id: NodeId, spec: NodeSpec) -> Self {
+        Node {
+            disk: FluidResource::new(spec.disk_bw, spec.disk_degradation),
+            membus: FluidResource::new(spec.membus_bw, 0.0),
+            nic: FluidResource::new(spec.nic_bw, 0.0),
+            memory: MemoryStore::new(spec.mem_capacity),
+            spec,
+            id,
+            up: true,
+        }
+    }
+}
+
+/// Static description of a whole cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// One spec per worker node (the NameNode/master host is not modeled
+    /// as a storage node, matching the paper's 1 + 7 layout).
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// `n` identical nodes of the paper's default hardware.
+    pub fn uniform(n: usize) -> Self {
+        ClusterSpec {
+            nodes: vec![NodeSpec::paper_default(); n],
+        }
+    }
+
+    /// The paper's 7 worker nodes.
+    pub fn paper_default() -> Self {
+        Self::uniform(7)
+    }
+
+    /// `n` identical nodes spread round-robin over `racks` racks.
+    pub fn uniform_racked(n: usize, racks: u32) -> Self {
+        assert!(racks > 0, "need at least one rack");
+        ClusterSpec {
+            nodes: (0..n)
+                .map(|i| NodeSpec {
+                    rack: i as u32 % racks,
+                    ..NodeSpec::paper_default()
+                })
+                .collect(),
+        }
+    }
+
+    /// The rack of each node, by index.
+    pub fn racks(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.rack).collect()
+    }
+
+    /// Number of worker nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the spec has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Instantiate live cluster state.
+    pub fn build(&self) -> Cluster {
+        Cluster {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Node::new(NodeId(i as u32), s.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Live cluster state: the per-node fluid resources and memory stores.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutably borrow a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterate over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterate mutably over all nodes.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Node> {
+        self.nodes.iter_mut()
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Ids of nodes currently up.
+    pub fn up_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().filter(|n| n.up).map(|n| n.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    #[test]
+    fn build_assigns_sequential_ids() {
+        let c = ClusterSpec::uniform(7).build();
+        assert_eq!(c.len(), 7);
+        for (i, n) in c.iter().enumerate() {
+            assert_eq!(n.id, NodeId(i as u32));
+            assert!(n.up);
+        }
+    }
+
+    #[test]
+    fn paper_default_matches_testbed() {
+        let spec = ClusterSpec::paper_default();
+        assert_eq!(spec.len(), 7);
+        let n = &spec.nodes[0];
+        assert!((n.nic_bw - 1.25 * 1024.0 * 1024.0 * 1024.0).abs() < 1.0);
+        assert!(n.membus_bw / n.disk_bw > 50.0, "RAM must dwarf disk");
+    }
+
+    #[test]
+    fn node_resources_are_independent() {
+        let mut c = ClusterSpec::uniform(2).build();
+        let t = SimTime::ZERO;
+        c.node_mut(NodeId(0)).disk.add_stream(t, 1e6, 1.0, 0);
+        assert_eq!(c.node(NodeId(0)).disk.active_streams(), 1);
+        assert_eq!(c.node(NodeId(1)).disk.active_streams(), 0);
+    }
+
+    #[test]
+    fn up_ids_filters_failed() {
+        let mut c = ClusterSpec::uniform(3).build();
+        c.node_mut(NodeId(1)).up = false;
+        let up: Vec<NodeId> = c.up_ids().collect();
+        assert_eq!(up, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn racked_layout_round_robins() {
+        let spec = ClusterSpec::uniform_racked(7, 3);
+        assert_eq!(spec.racks(), vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(ClusterSpec::uniform(3).racks(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

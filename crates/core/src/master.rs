@@ -1,0 +1,939 @@
+//! The DYRS master (paper §III, §III-D).
+//!
+//! Lives inside the NameNode in the real system. Responsibilities:
+//!
+//! 1. accept migration/eviction requests for files (already mapped to
+//!    blocks by the namespace),
+//! 2. run the **Algorithm 1** targeting pass over the pending list in a
+//!    background thread (here: a periodic [`Master::retarget`] call),
+//! 3. answer slave pulls with migrations **bound at the last moment**
+//!    (delayed binding, §III-A1),
+//! 4. track where blocks are buffered so reads can be redirected and
+//!    evictions routed.
+//!
+//! All state is soft (§III-C): [`Master::restart`] drops everything and
+//! the system degrades to plain HDFS until slaves repopulate it.
+
+use crate::policy::{MigrationOrder, MigrationPolicy};
+use crate::types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use serde::{Deserialize, Serialize};
+use simkit::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Scheduling hints about the requesting job, used by the non-FIFO
+/// migration orders (future-work policies, see
+/// [`MigrationOrder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobHint {
+    /// When the job is expected to start reading (submission + platform
+    /// overhead + any artificial lead-time).
+    pub expected_launch: simkit::SimTime,
+    /// The job's total input size in bytes.
+    pub total_bytes: u64,
+}
+
+impl Default for JobHint {
+    fn default() -> Self {
+        JobHint {
+            expected_launch: simkit::SimTime::ZERO,
+            total_bytes: 0,
+        }
+    }
+}
+
+/// A client's request to migrate one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// Block to migrate.
+    pub block: BlockId,
+    /// Block size in bytes.
+    pub bytes: u64,
+    /// Disk replica locations.
+    pub replicas: Vec<NodeId>,
+}
+
+/// What a migration request produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Migrations bound immediately (Ignem only).
+    pub immediate: Vec<BoundMigration>,
+    /// Blocks already buffered somewhere: the hosting slave must add a job
+    /// reference (no new migration needed).
+    pub add_refs: Vec<(NodeId, BlockId, JobRef)>,
+}
+
+/// Per-slave knowledge at the master, fed by heartbeats (§III-D: "During
+/// heartbeats, the master stores each slave's estimate of migration time
+/// and the number of blocks currently queued on the slave").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct NodeState {
+    /// Estimated migration cost, seconds per byte.
+    spb: f64,
+    /// Bytes queued (or actively migrating) on the slave.
+    queued_bytes: f64,
+    /// Liveness, mirrored from the file system's view.
+    up: bool,
+}
+
+/// Counters for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterStats {
+    /// Blocks ever requested for migration.
+    pub requested_blocks: u64,
+    /// Bytes ever requested.
+    pub requested_bytes: u64,
+    /// Migrations handed to slaves (bound).
+    pub bound: u64,
+    /// Migrations reported complete.
+    pub completed: u64,
+    /// Pending migrations cancelled because the block was read first.
+    pub missed_reads: u64,
+    /// Retargeting passes executed.
+    pub retarget_passes: u64,
+}
+
+struct PendingEntry {
+    migration: Migration,
+    target: Option<NodeId>,
+    /// Arrival sequence (FIFO key and stable tie-break).
+    seq: u64,
+    /// Requesting job's scheduling hint.
+    hint: JobHint,
+}
+
+/// The DYRS master state machine.
+///
+/// ```
+/// use dyrs::master::{BlockRequest, Master};
+/// use dyrs::types::EvictionMode;
+/// use dyrs::MigrationPolicy;
+/// use dyrs_cluster::NodeId;
+/// use dyrs_dfs::{BlockId, JobId};
+/// use simkit::Rng;
+///
+/// const MB: f64 = (1u64 << 20) as f64;
+/// let mut master = Master::new(MigrationPolicy::Dyrs, 3, 140.0 * MB, Rng::new(1));
+///
+/// // heartbeats teach the master each slave's migration cost
+/// master.on_heartbeat(NodeId(0), 1.0 / (140.0 * MB), 0); // fast
+/// master.on_heartbeat(NodeId(1), 1.0 / (10.0 * MB), 0);  // slow
+/// master.on_heartbeat(NodeId(2), 1.0 / (140.0 * MB), 0); // fast
+///
+/// // a client asks to migrate one block replicated on nodes 0 and 1
+/// master.request_migration(
+///     JobId(7),
+///     vec![BlockRequest {
+///         block: BlockId(0),
+///         bytes: 256 << 20,
+///         replicas: vec![NodeId(0), NodeId(1)],
+///     }],
+///     EvictionMode::Implicit,
+/// );
+///
+/// // Algorithm 1 targets the replica expected to finish earliest …
+/// master.retarget();
+/// assert_eq!(master.target_of(BlockId(0)), Some(NodeId(0)));
+///
+/// // … and binding happens lazily, when the *targeted* slave pulls:
+/// assert!(master.on_slave_pull(NodeId(1), 4).is_empty(), "slow node gets nothing");
+/// let bound = master.on_slave_pull(NodeId(0), 4);
+/// assert_eq!(bound.len(), 1);
+/// ```
+pub struct Master {
+    policy: MigrationPolicy,
+    nodes: Vec<NodeState>,
+    pending: VecDeque<PendingEntry>,
+    /// Blocks currently in `pending` (dedup / O(1) membership).
+    pending_blocks: HashSet<BlockId>,
+    /// block → node currently buffering it.
+    migrated: HashMap<BlockId, NodeId>,
+    /// Ignem only: block → the replica chosen at submission time. Ignem's
+    /// read path trusts this binding — reads are directed to the chosen
+    /// node whether or not the migration has completed, which is why
+    /// Fig. 8 shows Ignem's reads staying uniform even with a slow node.
+    ignem_bindings: HashMap<BlockId, NodeId>,
+    /// job → blocks it requested (eviction routing).
+    job_blocks: HashMap<JobId, Vec<BlockId>>,
+    rng: Rng,
+    next_id: u64,
+    stats: MasterStats,
+    /// Prior for a node we have not heard a heartbeat from yet.
+    default_spb: f64,
+    /// Pending-list discipline (FIFO in the paper; SJF/EDF implemented
+    /// as the paper's future-work exploration).
+    order: MigrationOrder,
+}
+
+impl Master {
+    /// A master for `num_nodes` slaves under the given policy.
+    ///
+    /// `default_disk_bw` seeds the per-node cost prior (used only until
+    /// the first heartbeat from each slave); `rng` drives Ignem's random
+    /// replica choice.
+    pub fn new(policy: MigrationPolicy, num_nodes: usize, default_disk_bw: f64, rng: Rng) -> Self {
+        assert!(default_disk_bw > 0.0, "invalid disk bandwidth");
+        Master {
+            policy,
+            nodes: vec![
+                NodeState {
+                    spb: 1.0 / default_disk_bw,
+                    queued_bytes: 0.0,
+                    up: true,
+                };
+                num_nodes
+            ],
+            pending: VecDeque::new(),
+            pending_blocks: HashSet::new(),
+            migrated: HashMap::new(),
+            ignem_bindings: HashMap::new(),
+            job_blocks: HashMap::new(),
+            rng,
+            next_id: 0,
+            stats: MasterStats::default(),
+            default_spb: 1.0 / default_disk_bw,
+            order: MigrationOrder::Fifo,
+        }
+    }
+
+    /// Select the pending-list discipline (default FIFO).
+    pub fn set_order(&mut self, order: MigrationOrder) {
+        self.order = order;
+    }
+
+    /// The active pending-list discipline.
+    pub fn order(&self) -> MigrationOrder {
+        self.order
+    }
+
+    /// Re-sort the pending list per the configured order. Stable, with
+    /// arrival sequence as the final tie-break, so FIFO is exactly the
+    /// identity and the other orders are deterministic.
+    fn sort_pending(&mut self) {
+        match self.order {
+            MigrationOrder::Fifo => {} // arrival order is maintained
+            MigrationOrder::SmallestJobFirst => {
+                let mut v: Vec<PendingEntry> = self.pending.drain(..).collect();
+                v.sort_by_key(|e| (e.hint.total_bytes, e.seq));
+                self.pending = v.into();
+            }
+            MigrationOrder::EarliestDeadlineFirst => {
+                let mut v: Vec<PendingEntry> = self.pending.drain(..).collect();
+                v.sort_by_key(|e| (e.hint.expected_launch, e.seq));
+                self.pending = v.into();
+            }
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MasterStats {
+        self.stats
+    }
+
+    /// Number of migrations waiting to be bound.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total bytes waiting to be bound.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending.iter().map(|e| e.migration.bytes).sum()
+    }
+
+    /// The node a pending block is currently targeted at, if any.
+    pub fn target_of(&self, block: BlockId) -> Option<NodeId> {
+        self.pending
+            .iter()
+            .find(|e| e.migration.block == block)
+            .and_then(|e| e.target)
+    }
+
+    /// Where a block is buffered, if anywhere.
+    pub fn memory_location(&self, block: BlockId) -> Option<NodeId> {
+        self.migrated.get(&block).copied()
+    }
+
+    /// Ignem's submission-time binding for `block`, if the bound node is
+    /// still up. Ignem's read path serves the block from this node (its
+    /// disk until migration completes, its memory afterwards).
+    pub fn ignem_read_target(&self, block: BlockId) -> Option<NodeId> {
+        self.ignem_bindings
+            .get(&block)
+            .copied()
+            .filter(|n| self.nodes[n.index()].up)
+    }
+
+    // ------------------------------------------------------------------
+    // client requests
+    // ------------------------------------------------------------------
+
+    /// Handle a client migration request: `job` wants `blocks` in memory.
+    ///
+    /// * policy `Disabled` / `InstantRam`: no-op here (the simulator wires
+    ///   InstantRam by pre-buffering outside the master);
+    /// * `Ignem`: every block is bound immediately to a uniformly random
+    ///   replica (§VI);
+    /// * `Naive` / `Dyrs`: blocks join the pending list for delayed binding.
+    ///
+    /// Blocks already pending gain an extra job reference; blocks already
+    /// buffered produce `add_refs` entries for the hosting slave.
+    pub fn request_migration(
+        &mut self,
+        job: JobId,
+        blocks: Vec<BlockRequest>,
+        eviction: EvictionMode,
+    ) -> RequestOutcome {
+        self.request_migration_hinted(job, blocks, eviction, JobHint::default())
+    }
+
+    /// Like [`Master::request_migration`], with scheduling hints for the
+    /// non-FIFO migration orders.
+    pub fn request_migration_hinted(
+        &mut self,
+        job: JobId,
+        blocks: Vec<BlockRequest>,
+        eviction: EvictionMode,
+        hint: JobHint,
+    ) -> RequestOutcome {
+        let mut out = RequestOutcome::default();
+        if !self.policy.migrates() || self.policy == MigrationPolicy::InstantRam {
+            return out;
+        }
+        let jref = JobRef { job, eviction };
+        for req in blocks {
+            if req.bytes == 0 || req.replicas.is_empty() {
+                continue; // nothing to move / nowhere to read from
+            }
+            self.job_blocks.entry(job).or_default().push(req.block);
+            if let Some(&node) = self.migrated.get(&req.block) {
+                out.add_refs.push((node, req.block, jref));
+                continue;
+            }
+            if self.pending_blocks.contains(&req.block) {
+                if let Some(entry) = self
+                    .pending
+                    .iter_mut()
+                    .find(|e| e.migration.block == req.block)
+                {
+                    if !entry.migration.jobs.iter().any(|r| r.job == job) {
+                        entry.migration.jobs.push(jref);
+                    }
+                }
+                continue;
+            }
+            self.stats.requested_blocks += 1;
+            self.stats.requested_bytes += req.bytes;
+            let migration = Migration {
+                id: MigrationId(self.next_id),
+                block: req.block,
+                bytes: req.bytes,
+                jobs: vec![jref],
+                replicas: req.replicas,
+            };
+            self.next_id += 1;
+            if self.policy == MigrationPolicy::Ignem {
+                // Immediate random-replica binding; the block never enters
+                // the pending list.
+                let up: Vec<NodeId> = migration
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|n| self.nodes[n.index()].up)
+                    .collect();
+                if let Some(&node) = up.get(self.rng.below(up.len().max(1) as u64) as usize) {
+                    self.nodes[node.index()].queued_bytes += migration.bytes as f64;
+                    self.stats.bound += 1;
+                    self.ignem_bindings.insert(migration.block, node);
+                    out.immediate.push(BoundMigration { migration, node });
+                }
+            } else {
+                self.pending_blocks.insert(migration.block);
+                let seq = self.next_id; // ids are monotone → arrival order
+                self.pending.push_back(PendingEntry {
+                    migration,
+                    target: None,
+                    seq,
+                    hint,
+                });
+            }
+        }
+        self.sort_pending();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // heartbeats & liveness
+    // ------------------------------------------------------------------
+
+    /// Record a slave heartbeat: its migration-cost estimate (seconds per
+    /// byte) and its queued backlog in bytes.
+    pub fn on_heartbeat(&mut self, node: NodeId, secs_per_byte: f64, queued_bytes: u64) {
+        let s = &mut self.nodes[node.index()];
+        s.spb = secs_per_byte;
+        s.queued_bytes = queued_bytes as f64;
+        s.up = true;
+    }
+
+    /// Mark a slave up or down (mirrors the file system's liveness view).
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.nodes[node.index()].up = up;
+        if !up {
+            // Blocks buffered there are gone; pending targets get fixed by
+            // the next retarget pass.
+            self.migrated.retain(|_, &mut n| n != node);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1 — finish-time targeting
+    // ------------------------------------------------------------------
+
+    /// One pass of Algorithm 1: greedily set each pending block's target
+    /// to the replica node where it is expected to finish earliest, given
+    /// each node's estimated cost and already-queued backlog.
+    ///
+    /// Generalized from blocks to bytes: the paper's
+    /// `finishTime[n] = migTime[n] × (numQueued[n]+1)` becomes
+    /// `finish[n] = spb[n] × queued_bytes[n]` plus the candidate block's
+    /// own `spb[n] × bytes` evaluated per candidate, which reduces to the
+    /// paper's formula when all blocks are the same size.
+    ///
+    /// Runs in O(pending × replication); the master's scalability claim
+    /// (§III-D: 50 GB of pending migrations retargeted in under a
+    /// millisecond) is validated by `bench/algo1_pass`.
+    pub fn retarget(&mut self) {
+        if !self.policy.uses_targeting() {
+            return;
+        }
+        self.stats.retarget_passes += 1;
+        let mut finish: Vec<f64> = self
+            .nodes
+            .iter()
+            .map(|s| s.spb * s.queued_bytes)
+            .collect();
+        for entry in &mut self.pending {
+            let bytes = entry.migration.bytes as f64;
+            let mut best: Option<(f64, NodeId)> = None;
+            for &loc in &entry.migration.replicas {
+                let s = &self.nodes[loc.index()];
+                if !s.up {
+                    continue;
+                }
+                let candidate = finish[loc.index()] + s.spb * bytes;
+                // strict < keeps the earliest replica on ties → deterministic
+                if best.is_none() || candidate < best.expect("some").0 {
+                    best = Some((candidate, loc));
+                }
+            }
+            match best {
+                Some((f, node)) => {
+                    entry.target = Some(node);
+                    finish[node.index()] = f;
+                }
+                None => entry.target = None, // all replicas down right now
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // slave pull — delayed binding
+    // ------------------------------------------------------------------
+
+    /// A slave with `space` free local-queue slots asks for work.
+    ///
+    /// * `Dyrs`: only blocks *targeted* at this slave may bind — a slow
+    ///   node gets nothing once faster nodes can cover the tail (§V-F3);
+    /// * `Naive`: any pending block with a replica on this slave binds
+    ///   (FIFO) — the straggler-prone baseline of Fig. 10;
+    /// * other policies: nothing (no delayed binding).
+    pub fn on_slave_pull(&mut self, node: NodeId, space: usize) -> Vec<Migration> {
+        if !self.policy.delayed_binding() || space == 0 || !self.nodes[node.index()].up {
+            return Vec::new();
+        }
+        let targeted = self.policy.uses_targeting();
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.pending.len());
+        while let Some(entry) = self.pending.pop_front() {
+            let eligible = if taken.len() >= space {
+                false
+            } else if targeted {
+                entry.target == Some(node)
+            } else {
+                entry.migration.replicas.contains(&node)
+            };
+            if eligible {
+                self.pending_blocks.remove(&entry.migration.block);
+                self.nodes[node.index()].queued_bytes += entry.migration.bytes as f64;
+                self.stats.bound += 1;
+                taken.push(entry.migration);
+            } else {
+                kept.push_back(entry);
+            }
+        }
+        self.pending = kept;
+        taken
+    }
+
+    // ------------------------------------------------------------------
+    // completion / reads / eviction
+    // ------------------------------------------------------------------
+
+    /// A slave finished migrating `block` into its memory.
+    pub fn on_migration_complete(&mut self, node: NodeId, block: BlockId) {
+        self.migrated.insert(block, node);
+        self.stats.completed += 1;
+    }
+
+    /// A slave evicted `block` from its memory.
+    pub fn on_evicted(&mut self, block: BlockId) {
+        self.migrated.remove(&block);
+    }
+
+    /// A block was read before its migration was bound: cancel the pending
+    /// migration (a *missed read* — migrating it now would be wasted work).
+    /// Returns `true` if a pending migration was cancelled.
+    pub fn on_block_read(&mut self, block: BlockId) -> bool {
+        if self.pending_blocks.remove(&block) {
+            self.pending.retain(|e| e.migration.block != block);
+            self.stats.missed_reads += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Explicit evict command for `job` (routed through the master,
+    /// §III-C3). Removes the job from pending migrations (dropping entries
+    /// nobody else wants) and returns the set of nodes that must drop the
+    /// job's references.
+    pub fn evict_job(&mut self, job: JobId) -> Vec<NodeId> {
+        // Drop the job from pending migrations.
+        let mut removed = Vec::new();
+        for entry in &mut self.pending {
+            entry.migration.jobs.retain(|r| r.job != job);
+            if entry.migration.jobs.is_empty() {
+                removed.push(entry.migration.block);
+            }
+        }
+        if !removed.is_empty() {
+            self.pending.retain(|e| !e.migration.jobs.is_empty());
+            for b in &removed {
+                self.pending_blocks.remove(b);
+            }
+        }
+        // Tell every slave buffering one of the job's blocks.
+        let mut nodes: Vec<NodeId> = self
+            .job_blocks
+            .remove(&job)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|b| self.migrated.get(b).copied())
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Master (process) failure + restart: all soft state is lost
+    /// (§III-C1). Slaves keep their buffers and clean them up themselves;
+    /// the only cost is that reads cannot be redirected to memory until
+    /// state is repopulated.
+    pub fn restart(&mut self) {
+        self.pending.clear();
+        self.pending_blocks.clear();
+        self.migrated.clear();
+        self.ignem_bindings.clear();
+        self.job_blocks.clear();
+        for s in &mut self.nodes {
+            s.spb = self.default_spb;
+            s.queued_bytes = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn j(i: u64) -> JobId {
+        JobId(i)
+    }
+    fn b(i: u64) -> BlockId {
+        BlockId(i)
+    }
+
+    fn req(i: u64, replicas: &[u32]) -> BlockRequest {
+        BlockRequest {
+            block: b(i),
+            bytes: 256 * MB,
+            replicas: replicas.iter().map(|&x| n(x)).collect(),
+        }
+    }
+
+    fn master(policy: MigrationPolicy) -> Master {
+        Master::new(policy, 4, 140.0 * MB as f64, Rng::new(7))
+    }
+
+    #[test]
+    fn dyrs_requests_enter_pending() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        let out = m.request_migration(
+            j(1),
+            vec![req(1, &[0, 1, 2]), req(2, &[1, 2, 3])],
+            EvictionMode::Implicit,
+        );
+        assert!(out.immediate.is_empty());
+        assert_eq!(m.pending_len(), 2);
+        assert_eq!(m.pending_bytes(), 512 * MB);
+        assert_eq!(m.stats().requested_blocks, 2);
+    }
+
+    #[test]
+    fn ignem_binds_immediately_to_a_replica() {
+        let mut m = master(MigrationPolicy::Ignem);
+        let out = m.request_migration(j(1), vec![req(1, &[0, 1, 2])], EvictionMode::Implicit);
+        assert_eq!(out.immediate.len(), 1);
+        let bound = &out.immediate[0];
+        assert!(bound.migration.replicas.contains(&bound.node));
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.stats().bound, 1);
+    }
+
+    #[test]
+    fn ignem_spreads_uniformly_regardless_of_estimates() {
+        let mut m = master(MigrationPolicy::Ignem);
+        // node 0 is catastrophically slow — Ignem must not care
+        m.on_heartbeat(n(0), 1.0, 0);
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            let out =
+                m.request_migration(j(i), vec![req(i, &[0, 1, 2, 3])], EvictionMode::Implicit);
+            counts[out.immediate[0].node.index()] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "Ignem skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_policy_ignores_requests() {
+        let mut m = master(MigrationPolicy::Disabled);
+        let out = m.request_migration(j(1), vec![req(1, &[0])], EvictionMode::Explicit);
+        assert!(out.immediate.is_empty() && out.add_refs.is_empty());
+        assert_eq!(m.pending_len(), 0);
+    }
+
+    #[test]
+    fn duplicate_block_requests_merge_job_refs() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.request_migration(j(2), vec![req(1, &[0, 1])], EvictionMode::Explicit);
+        assert_eq!(m.pending_len(), 1, "same block must not migrate twice");
+        assert_eq!(m.stats().requested_blocks, 1);
+    }
+
+    #[test]
+    fn request_for_buffered_block_yields_add_ref() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.retarget();
+        let tgt = m.target_of(b(1)).unwrap();
+        let taken = m.on_slave_pull(tgt, 4);
+        assert_eq!(taken.len(), 1);
+        m.on_migration_complete(tgt, b(1));
+        let node = m.memory_location(b(1)).unwrap();
+        let out = m.request_migration(j(2), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        assert_eq!(out.add_refs.len(), 1);
+        assert_eq!(out.add_refs[0].0, node);
+        assert_eq!(out.add_refs[0].2.job, j(2));
+    }
+
+    #[test]
+    fn retarget_prefers_fast_nodes() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        // node 0 is 100x slower per byte
+        m.on_heartbeat(n(0), 100.0 / (140.0 * MB as f64), 0);
+        m.on_heartbeat(n(1), 1.0 / (140.0 * MB as f64), 0);
+        m.request_migration(j(1), vec![req(1, &[0, 1]), req(2, &[0, 1])], EvictionMode::Implicit);
+        m.retarget();
+        assert_eq!(m.target_of(b(1)), Some(n(1)));
+        assert_eq!(m.target_of(b(2)), Some(n(1)), "greedy still avoids the slow node");
+    }
+
+    #[test]
+    fn retarget_balances_equal_nodes() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        let blocks: Vec<BlockRequest> = (0..10).map(|i| req(i, &[0, 1])).collect();
+        m.request_migration(j(1), blocks, EvictionMode::Implicit);
+        m.retarget();
+        let on0 = (0..10).filter(|&i| m.target_of(b(i)) == Some(n(0))).count();
+        assert_eq!(on0, 5, "equal nodes split the batch evenly");
+    }
+
+    #[test]
+    fn retarget_accounts_for_existing_queues() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        let spb = 1.0 / (140.0 * MB as f64);
+        m.on_heartbeat(n(0), spb, 10 * 256 * MB); // long backlog
+        m.on_heartbeat(n(1), spb, 0);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.retarget();
+        assert_eq!(m.target_of(b(1)), Some(n(1)));
+    }
+
+    #[test]
+    fn retarget_skips_down_replicas() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.set_node_up(n(1), false);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.retarget();
+        assert_eq!(m.target_of(b(1)), Some(n(0)));
+        m.set_node_up(n(0), false);
+        m.retarget();
+        assert_eq!(m.target_of(b(1)), None, "no live replica → no target");
+    }
+
+    #[test]
+    fn dyrs_pull_honours_targets_and_space() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.on_heartbeat(n(0), 1.0 / (140.0 * MB as f64), 0);
+        // node 1 never heartbeats but has the prior; make it slow instead:
+        m.on_heartbeat(n(1), 1.0, 0);
+        let blocks: Vec<BlockRequest> = (0..5).map(|i| req(i, &[0, 1])).collect();
+        m.request_migration(j(1), blocks, EvictionMode::Implicit);
+        m.retarget();
+        // everything targeted at fast node 0
+        let slow_pull = m.on_slave_pull(n(1), 10);
+        assert!(slow_pull.is_empty(), "slow node must not bind targeted work");
+        let fast_pull = m.on_slave_pull(n(0), 3);
+        assert_eq!(fast_pull.len(), 3, "space limits the take");
+        assert_eq!(m.pending_len(), 2);
+        // FIFO order preserved
+        assert_eq!(fast_pull[0].block, b(0));
+        assert_eq!(fast_pull[1].block, b(1));
+    }
+
+    #[test]
+    fn naive_pull_takes_any_replica_fifo() {
+        let mut m = master(MigrationPolicy::Naive);
+        m.request_migration(
+            j(1),
+            vec![req(1, &[0, 1]), req(2, &[2, 3]), req(3, &[0, 2])],
+            EvictionMode::Implicit,
+        );
+        // no retarget needed for naive
+        let pull = m.on_slave_pull(n(0), 10);
+        let got: Vec<BlockId> = pull.iter().map(|p| p.block).collect();
+        assert_eq!(got, vec![b(1), b(3)]);
+        assert_eq!(m.pending_len(), 1);
+    }
+
+    #[test]
+    fn pull_from_down_node_is_empty() {
+        let mut m = master(MigrationPolicy::Naive);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.set_node_up(n(0), false);
+        assert!(m.on_slave_pull(n(0), 10).is_empty());
+    }
+
+    #[test]
+    fn missed_read_cancels_pending() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        assert!(m.on_block_read(b(1)));
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.stats().missed_reads, 1);
+        assert!(!m.on_block_read(b(1)), "second read is not a cancel");
+    }
+
+    #[test]
+    fn evict_job_routes_to_hosting_nodes_and_cleans_pending() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1]), req(2, &[0, 1])], EvictionMode::Explicit);
+        m.retarget();
+        // bind and complete block 1 on its target
+        let tgt = m.target_of(b(1)).unwrap();
+        let taken = m.on_slave_pull(tgt, 1);
+        assert_eq!(taken[0].block, b(1));
+        m.on_migration_complete(tgt, b(1));
+        // block 2 still pending; eviction should drop it and point at tgt
+        let nodes = m.evict_job(j(1));
+        assert_eq!(nodes, vec![tgt]);
+        assert_eq!(m.pending_len(), 0, "sole-job pending entries dropped");
+    }
+
+    #[test]
+    fn evict_job_keeps_shared_pending_entries() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Explicit);
+        m.request_migration(j(2), vec![req(1, &[0, 1])], EvictionMode::Explicit);
+        m.evict_job(j(1));
+        assert_eq!(m.pending_len(), 1, "job 2 still wants the block");
+    }
+
+    #[test]
+    fn node_failure_drops_its_buffered_blocks() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.on_migration_complete(n(2), b(9));
+        assert_eq!(m.memory_location(b(9)), Some(n(2)));
+        m.set_node_up(n(2), false);
+        assert_eq!(m.memory_location(b(9)), None);
+    }
+
+    #[test]
+    fn restart_clears_soft_state() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.request_migration(j(1), vec![req(1, &[0, 1])], EvictionMode::Implicit);
+        m.on_migration_complete(n(0), b(5));
+        m.restart();
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.memory_location(b(5)), None);
+        // and it keeps working after restart
+        m.request_migration(j(2), vec![req(2, &[0, 1])], EvictionMode::Implicit);
+        assert_eq!(m.pending_len(), 1);
+    }
+
+    #[test]
+    fn zero_byte_and_replica_less_requests_skipped() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        let out = m.request_migration(
+            j(1),
+            vec![
+                BlockRequest { block: b(1), bytes: 0, replicas: vec![n(0)] },
+                BlockRequest { block: b(2), bytes: 10, replicas: vec![] },
+            ],
+            EvictionMode::Implicit,
+        );
+        assert!(out.immediate.is_empty() && out.add_refs.is_empty());
+        assert_eq!(m.pending_len(), 0);
+    }
+
+    #[test]
+    fn sjf_order_puts_small_jobs_first() {
+        let mut m = master(MigrationPolicy::Naive);
+        m.set_order(crate::MigrationOrder::SmallestJobFirst);
+        let hint = |bytes| JobHint {
+            expected_launch: simkit::SimTime::ZERO,
+            total_bytes: bytes,
+        };
+        m.request_migration_hinted(j(1), vec![req(1, &[0]), req(2, &[0])], EvictionMode::Implicit, hint(2 * 256 * MB));
+        m.request_migration_hinted(j(2), vec![req(3, &[0])], EvictionMode::Implicit, hint(256 * MB));
+        // job 2 is smaller → its block jumps the queue
+        let pulled = m.on_slave_pull(n(0), 10);
+        let order: Vec<BlockId> = pulled.iter().map(|p| p.block).collect();
+        assert_eq!(order, vec![b(3), b(1), b(2)]);
+    }
+
+    #[test]
+    fn edf_order_puts_imminent_jobs_first() {
+        let mut m = master(MigrationPolicy::Naive);
+        m.set_order(crate::MigrationOrder::EarliestDeadlineFirst);
+        let hint = |secs| JobHint {
+            expected_launch: simkit::SimTime::from_secs(secs),
+            total_bytes: 0,
+        };
+        m.request_migration_hinted(j(1), vec![req(1, &[0])], EvictionMode::Implicit, hint(30));
+        m.request_migration_hinted(j(2), vec![req(2, &[0])], EvictionMode::Implicit, hint(10));
+        m.request_migration_hinted(j(3), vec![req(3, &[0])], EvictionMode::Implicit, hint(20));
+        let pulled = m.on_slave_pull(n(0), 10);
+        let order: Vec<BlockId> = pulled.iter().map(|p| p.block).collect();
+        assert_eq!(order, vec![b(2), b(3), b(1)]);
+    }
+
+    #[test]
+    fn fifo_order_is_arrival_order() {
+        let mut m = master(MigrationPolicy::Naive);
+        assert_eq!(m.order(), crate::MigrationOrder::Fifo);
+        let hint = |bytes| JobHint {
+            expected_launch: simkit::SimTime::ZERO,
+            total_bytes: bytes,
+        };
+        // larger job arrives first and stays first under FIFO
+        m.request_migration_hinted(j(1), vec![req(1, &[0])], EvictionMode::Implicit, hint(999));
+        m.request_migration_hinted(j(2), vec![req(2, &[0])], EvictionMode::Implicit, hint(1));
+        let pulled = m.on_slave_pull(n(0), 10);
+        assert_eq!(pulled[0].block, b(1));
+    }
+
+    #[test]
+    fn restart_then_reheartbeat_resumes_targeting() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.on_heartbeat(n(0), 1.0, 0); // slow before restart
+        m.restart();
+        // post-restart the stale slow estimate is gone (back to priors):
+        // targeting works immediately and no node is unfairly avoided
+        m.request_migration(j(5), vec![req(9, &[0, 1])], EvictionMode::Implicit);
+        m.retarget();
+        assert!(m.target_of(b(9)).is_some());
+        // fresh heartbeats take effect as usual
+        m.on_heartbeat(n(0), 1.0, 0); // slow again
+        m.retarget();
+        assert_eq!(m.target_of(b(9)), Some(n(1)));
+    }
+
+    #[test]
+    fn evict_unknown_job_is_noop() {
+        let mut m = master(MigrationPolicy::Dyrs);
+        assert!(m.evict_job(j(42)).is_empty());
+        assert_eq!(m.pending_len(), 0);
+    }
+
+    #[test]
+    fn ignem_read_target_tracks_liveness() {
+        let mut m = master(MigrationPolicy::Ignem);
+        let out = m.request_migration(j(1), vec![req(1, &[2])], EvictionMode::Implicit);
+        let node = out.immediate[0].node;
+        assert_eq!(m.ignem_read_target(b(1)), Some(node));
+        m.set_node_up(node, false);
+        assert_eq!(m.ignem_read_target(b(1)), None, "down node is no target");
+        m.set_node_up(node, true);
+        assert_eq!(m.ignem_read_target(b(1)), Some(node));
+    }
+
+    #[test]
+    fn naive_pull_ignores_targets_entirely() {
+        let mut m = master(MigrationPolicy::Naive);
+        m.on_heartbeat(n(0), 1.0, 0); // catastrophically slow
+        m.request_migration(j(1), vec![req(1, &[0])], EvictionMode::Implicit);
+        // naive binds to any replica holder with space — even the slow one
+        assert_eq!(m.on_slave_pull(n(0), 1).len(), 1);
+    }
+
+    #[test]
+    fn straggler_avoidance_shape() {
+        // End-of-batch behaviour (§V-F3): with a slow and a fast node and a
+        // short tail of work, everything targets the fast node.
+        let mut m = master(MigrationPolicy::Dyrs);
+        let fast = 1.0 / (140.0 * MB as f64);
+        m.on_heartbeat(n(0), fast * 20.0, 0); // slow node
+        m.on_heartbeat(n(1), fast, 0);
+        let blocks: Vec<BlockRequest> = (0..3).map(|i| req(i, &[0, 1])).collect();
+        m.request_migration(j(1), blocks, EvictionMode::Implicit);
+        m.retarget();
+        for i in 0..3 {
+            assert_eq!(
+                m.target_of(b(i)),
+                Some(n(1)),
+                "tail block {i} must avoid the slow node"
+            );
+        }
+        // but with a long batch the slow node eventually gets some work
+        let blocks: Vec<BlockRequest> = (10..80).map(|i| req(i, &[0, 1])).collect();
+        m.request_migration(j(2), blocks, EvictionMode::Implicit);
+        m.retarget();
+        let slow_count = (10..80).filter(|&i| m.target_of(b(i)) == Some(n(0))).count();
+        assert!(slow_count > 0, "a long batch should use residual slow-node bandwidth");
+        assert!(slow_count < 35, "but far less than half");
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests of the DYRS master/slave invariants.
+
+use dyrs::master::{BlockRequest, Master};
+use dyrs::types::{EvictionMode, JobRef, Migration, MigrationId};
+use dyrs::{DyrsConfig, MigrationPolicy, ReferenceLists, Slave};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use proptest::prelude::*;
+use simkit::{Rng, SimDuration, SimTime};
+
+const MB: u64 = 1 << 20;
+const BLOCK: u64 = 256 * MB;
+const BW: f64 = 140.0 * MB as f64;
+
+fn arb_replicas() -> impl Strategy<Value = Vec<u32>> {
+    proptest::sample::subsequence((0u32..7).collect::<Vec<_>>(), 1..=3)
+}
+
+proptest! {
+    /// Algorithm 1 never targets a node that does not hold a replica, and
+    /// every pending block with a live replica gets a target.
+    #[test]
+    fn retarget_respects_replica_sets(
+        blocks in proptest::collection::vec(arb_replicas(), 1..60),
+        spbs in proptest::collection::vec(0.5f64..50.0, 7),
+    ) {
+        let mut m = Master::new(MigrationPolicy::Dyrs, 7, BW, Rng::new(1));
+        for (n, s) in spbs.iter().enumerate() {
+            m.on_heartbeat(NodeId(n as u32), s / BW, 0);
+        }
+        let reqs: Vec<BlockRequest> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, reps)| BlockRequest {
+                block: BlockId(i as u64),
+                bytes: BLOCK,
+                replicas: reps.iter().map(|&r| NodeId(r)).collect(),
+            })
+            .collect();
+        m.request_migration(JobId(1), reqs, EvictionMode::Implicit);
+        m.retarget();
+        for (i, reps) in blocks.iter().enumerate() {
+            let t = m.target_of(BlockId(i as u64)).expect("live replica ⇒ target");
+            prop_assert!(
+                reps.contains(&t.0),
+                "block {i} targeted at non-replica {t:?} (replicas {reps:?})"
+            );
+        }
+    }
+
+    /// Pulls conserve work: blocks bound to slaves + blocks still pending
+    /// equals blocks requested, and nothing is bound twice.
+    #[test]
+    fn pulls_conserve_pending_work(
+        blocks in proptest::collection::vec(arb_replicas(), 1..60),
+        pulls in proptest::collection::vec((0u32..7, 1usize..5), 1..40),
+    ) {
+        let mut m = Master::new(MigrationPolicy::Dyrs, 7, BW, Rng::new(1));
+        for n in 0..7 {
+            m.on_heartbeat(NodeId(n), 1.0 / BW, 0);
+        }
+        let total = blocks.len();
+        let reqs: Vec<BlockRequest> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, reps)| BlockRequest {
+                block: BlockId(i as u64),
+                bytes: BLOCK,
+                replicas: reps.iter().map(|&r| NodeId(r)).collect(),
+            })
+            .collect();
+        m.request_migration(JobId(1), reqs, EvictionMode::Implicit);
+        let mut seen = std::collections::HashSet::new();
+        let mut bound = 0usize;
+        for (node, space) in pulls {
+            m.retarget();
+            for mig in m.on_slave_pull(NodeId(node), space) {
+                prop_assert!(seen.insert(mig.block), "block bound twice");
+                bound += 1;
+            }
+        }
+        prop_assert_eq!(bound + m.pending_len(), total);
+    }
+
+    /// The slave's memory accounting never exceeds its hard limit and
+    /// always returns to zero once every job is evicted.
+    #[test]
+    fn slave_memory_conserved(
+        sizes in proptest::collection::vec(1u64..(4 * BLOCK), 1..30),
+        cap_blocks in 1u64..8,
+    ) {
+        let cap = cap_blocks * 4 * BLOCK;
+        let mut s = Slave::new(NodeId(0), DyrsConfig::default(), BW, cap, BLOCK);
+        s.calibrate(32 * MB, SimDuration::from_secs_f64(32.0 * MB as f64 / BW));
+        let migs: Vec<Migration> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| Migration {
+                id: MigrationId(i as u64),
+                block: BlockId(i as u64),
+                bytes,
+                jobs: vec![JobRef { job: JobId(i as u64 % 3), eviction: EvictionMode::Explicit }],
+                replicas: vec![NodeId(0)],
+            })
+            .collect();
+        s.on_bind(migs);
+        let mut now = SimTime::ZERO;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain loop diverged");
+            prop_assert!(s.buffered_bytes() <= cap, "hard limit violated");
+            if s.try_start(now).is_some() {
+                now += SimDuration::from_secs(1);
+                s.on_migration_complete(now);
+                continue;
+            }
+            if s.is_migrating() {
+                now += SimDuration::from_secs(1);
+                s.on_migration_complete(now);
+                continue;
+            }
+            // stalled on memory or done: evict a job to free space
+            let before = s.buffered_bytes();
+            let mut freed = false;
+            for j in 0..3 {
+                if !s.evict_job(JobId(j)).is_empty() {
+                    freed = true;
+                    break;
+                }
+            }
+            if !freed && s.queue_len() == 0 {
+                break;
+            }
+            prop_assert!(
+                freed || s.queue_len() == 0 || before == 0,
+                "stalled without anything evictable"
+            );
+            if !freed && before == 0 && s.queue_len() > 0 {
+                // a single block larger than the cap can never start
+                break;
+            }
+        }
+        for j in 0..3 {
+            s.evict_job(JobId(j));
+        }
+        prop_assert_eq!(s.buffered_bytes(), 0, "memory must drain after evictions");
+    }
+
+    /// Reference lists: a block is evictable exactly when its last
+    /// referencing job removed it, regardless of interleaving.
+    #[test]
+    fn reference_lists_exact(
+        ops in proptest::collection::vec((0u64..5, 0u64..10, prop::bool::ANY), 1..200),
+    ) {
+        let mut r = ReferenceLists::new();
+        let mut model: std::collections::HashMap<u64, std::collections::BTreeSet<u64>> =
+            Default::default();
+        for (job, block, add) in ops {
+            if add {
+                r.add(JobId(job), BlockId(block));
+                model.entry(block).or_default().insert(job);
+            } else {
+                let became_free = r.remove(JobId(job), BlockId(block));
+                if let Some(s) = model.get_mut(&block) {
+                    s.remove(&job);
+                    if s.is_empty() {
+                        model.remove(&block);
+                    }
+                }
+                prop_assert_eq!(became_free, !model.contains_key(&block));
+            }
+            prop_assert_eq!(r.referenced_blocks(), model.len());
+        }
+    }
+
+    /// Ignem binding is uniform over live replicas (chi-square-ish check).
+    #[test]
+    fn ignem_binding_uniformity(seed in 1u64..500) {
+        let mut m = Master::new(MigrationPolicy::Ignem, 7, BW, Rng::new(seed));
+        let mut counts = [0usize; 7];
+        for i in 0..700u64 {
+            let out = m.request_migration(
+                JobId(i),
+                vec![BlockRequest {
+                    block: BlockId(i),
+                    bytes: BLOCK,
+                    replicas: (0..7).map(NodeId).collect(),
+                }],
+                EvictionMode::Implicit,
+            );
+            counts[out.immediate[0].node.index()] += 1;
+        }
+        for &c in &counts {
+            prop_assert!((40..=180).contains(&c), "Ignem skew: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! NameNode: namespace + block map + DataNode liveness + the in-memory
+//! replica registry that the read path consults.
+//!
+//! Mirrors the HDFS master's role in the paper (§III-C, §IV): it tracks
+//! which DataNodes are alive via heartbeats, where every block's disk
+//! replicas are, and — once DYRS migrates a block — which nodes hold an
+//! in-memory copy so that reads can be redirected to it.
+
+use crate::block::BlockMap;
+use crate::ids::{BlockId, FileId};
+use crate::namespace::Namespace;
+use crate::placement::PlacementPolicy;
+use crate::read::{select_replica, ReadPlan};
+use dyrs_cluster::NodeId;
+use simkit::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// The file system master.
+#[derive(Debug)]
+pub struct NameNode {
+    /// File namespace.
+    pub namespace: Namespace,
+    /// Block metadata.
+    pub blocks: BlockMap,
+    placement: PlacementPolicy,
+    /// Last heartbeat time per node.
+    last_heartbeat: Vec<SimTime>,
+    /// Nodes explicitly marked dead (server failure confirmed).
+    dead: HashSet<NodeId>,
+    /// block → nodes holding an in-memory replica.
+    memory_registry: HashMap<BlockId, Vec<NodeId>>,
+    /// After this many missed heartbeat intervals a node is unavailable
+    /// ("the file system misses several consecutive heartbeats", §III-C2).
+    heartbeat_timeout: SimDuration,
+}
+
+impl NameNode {
+    /// A NameNode for a cluster of `nodes` DataNodes with the given
+    /// replication factor and heartbeat timeout.
+    pub fn new(
+        nodes: u32,
+        replication: usize,
+        heartbeat_timeout: SimDuration,
+        rng: simkit::Rng,
+    ) -> Self {
+        Self::with_placement(
+            PlacementPolicy::new(nodes, replication, rng),
+            nodes,
+            heartbeat_timeout,
+        )
+    }
+
+    /// A NameNode with an explicit placement policy (e.g. rack-aware).
+    pub fn with_placement(
+        placement: PlacementPolicy,
+        nodes: u32,
+        heartbeat_timeout: SimDuration,
+    ) -> Self {
+        NameNode {
+            namespace: Namespace::new(),
+            blocks: BlockMap::new(),
+            placement,
+            last_heartbeat: vec![SimTime::ZERO; nodes as usize],
+            dead: HashSet::new(),
+            memory_registry: HashMap::new(),
+            heartbeat_timeout,
+        }
+    }
+
+    /// Create a file and place its replicas (client write path, simulated
+    /// instantaneously at setup time — all evaluation inputs pre-exist).
+    pub fn create_file(&mut self, name: impl Into<String>, size: u64, block_size: u64) -> FileId {
+        self.namespace
+            .create_file(name, size, block_size, &mut self.blocks, &mut self.placement)
+    }
+
+    /// Record a heartbeat from `node` at `now`.
+    pub fn heartbeat(&mut self, node: NodeId, now: SimTime) {
+        self.last_heartbeat[node.index()] = now;
+        self.dead.remove(&node);
+    }
+
+    /// Mark a node dead immediately (used by failure-injection tests to
+    /// model the post-timeout state without waiting).
+    pub fn mark_dead(&mut self, node: NodeId) {
+        self.dead.insert(node);
+    }
+
+    /// Bring a node back (restarted server re-registers).
+    pub fn mark_alive(&mut self, node: NodeId, now: SimTime) {
+        self.heartbeat(node, now);
+    }
+
+    /// Liveness check: heartbeats within the timeout and not marked dead.
+    pub fn is_up(&self, node: NodeId, now: SimTime) -> bool {
+        !self.dead.contains(&node)
+            && now.saturating_since(self.last_heartbeat[node.index()]) <= self.heartbeat_timeout
+    }
+
+    /// Register that `node` now holds an in-memory replica of `block`.
+    pub fn register_memory_replica(&mut self, block: BlockId, node: NodeId) {
+        let entry = self.memory_registry.entry(block).or_default();
+        if !entry.contains(&node) {
+            entry.push(node);
+        }
+    }
+
+    /// Remove the in-memory replica record of `block` on `node`.
+    pub fn unregister_memory_replica(&mut self, block: BlockId, node: NodeId) {
+        if let Some(entry) = self.memory_registry.get_mut(&block) {
+            entry.retain(|&n| n != node);
+            if entry.is_empty() {
+                self.memory_registry.remove(&block);
+            }
+        }
+    }
+
+    /// Drop all in-memory replica records for `node` (slave restart told
+    /// the master to forget, §III-C2).
+    pub fn drop_node_memory_state(&mut self, node: NodeId) {
+        self.memory_registry.retain(|_, nodes| {
+            nodes.retain(|&n| n != node);
+            !nodes.is_empty()
+        });
+    }
+
+    /// Drop the whole memory registry (DYRS master restart starts with no
+    /// state about which blocks are in memory, §III-C1).
+    pub fn clear_memory_registry(&mut self) {
+        self.memory_registry.clear();
+    }
+
+    /// Nodes currently holding an in-memory replica of `block` (live only).
+    pub fn live_memory_replicas(&self, block: BlockId, now: SimTime) -> Vec<NodeId> {
+        self.memory_registry
+            .get(&block)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.is_up(n, now))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// True if any live node has `block` in memory.
+    pub fn has_memory_replica(&self, block: BlockId, now: SimTime) -> bool {
+        !self.live_memory_replicas(block, now).is_empty()
+    }
+
+    /// Total number of (block, node) in-memory replica records.
+    pub fn memory_replica_count(&self) -> usize {
+        self.memory_registry.values().map(|v| v.len()).sum()
+    }
+
+    /// Plan a read of `block` issued on `reader`: memory before disk,
+    /// local before remote, least-loaded remote disk replica.
+    pub fn plan_read(
+        &self,
+        block: BlockId,
+        reader: NodeId,
+        now: SimTime,
+        load: impl Fn(NodeId) -> u64,
+    ) -> Option<ReadPlan> {
+        let mem = self.live_memory_replicas(block, now);
+        let disk = self.blocks.live_replicas(block, |n| self.is_up(n, now));
+        select_replica(block, reader, &mem, &disk, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Medium;
+    use simkit::Rng;
+
+    fn nn() -> NameNode {
+        let mut nn = NameNode::new(7, 3, SimDuration::from_secs(3), Rng::new(1));
+        for i in 0..7 {
+            nn.heartbeat(NodeId(i), SimTime::ZERO);
+        }
+        nn
+    }
+
+    #[test]
+    fn liveness_follows_heartbeats() {
+        let mut nn = nn();
+        let now = SimTime::from_secs(2);
+        assert!(nn.is_up(NodeId(0), now));
+        let later = SimTime::from_secs(10);
+        assert!(!nn.is_up(NodeId(0), later));
+        nn.heartbeat(NodeId(0), later);
+        assert!(nn.is_up(NodeId(0), later));
+    }
+
+    #[test]
+    fn mark_dead_overrides_fresh_heartbeat() {
+        let mut nn = nn();
+        nn.mark_dead(NodeId(1));
+        assert!(!nn.is_up(NodeId(1), SimTime::ZERO));
+        nn.mark_alive(NodeId(1), SimTime::from_secs(1));
+        assert!(nn.is_up(NodeId(1), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn memory_registry_lifecycle() {
+        let mut nn = nn();
+        let f = nn.create_file("a", 100, 100);
+        let b = nn.namespace.get(f).unwrap().blocks[0];
+        assert!(!nn.has_memory_replica(b, SimTime::ZERO));
+        nn.register_memory_replica(b, NodeId(2));
+        nn.register_memory_replica(b, NodeId(2)); // idempotent
+        assert_eq!(nn.live_memory_replicas(b, SimTime::ZERO), vec![NodeId(2)]);
+        assert_eq!(nn.memory_replica_count(), 1);
+        nn.unregister_memory_replica(b, NodeId(2));
+        assert!(!nn.has_memory_replica(b, SimTime::ZERO));
+    }
+
+    #[test]
+    fn dead_node_memory_replicas_invisible() {
+        let mut nn = nn();
+        let f = nn.create_file("a", 100, 100);
+        let b = nn.namespace.get(f).unwrap().blocks[0];
+        nn.register_memory_replica(b, NodeId(2));
+        nn.mark_dead(NodeId(2));
+        assert!(nn.live_memory_replicas(b, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn drop_node_memory_state_clears_only_that_node() {
+        let mut nn = nn();
+        let f = nn.create_file("a", 200, 100);
+        let blocks = nn.namespace.get(f).unwrap().blocks.clone();
+        nn.register_memory_replica(blocks[0], NodeId(1));
+        nn.register_memory_replica(blocks[0], NodeId(2));
+        nn.register_memory_replica(blocks[1], NodeId(1));
+        nn.drop_node_memory_state(NodeId(1));
+        assert_eq!(
+            nn.live_memory_replicas(blocks[0], SimTime::ZERO),
+            vec![NodeId(2)]
+        );
+        assert!(nn.live_memory_replicas(blocks[1], SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn plan_read_prefers_memory_and_fails_over() {
+        let mut nn = nn();
+        let f = nn.create_file("a", 100, 100);
+        let b = nn.namespace.get(f).unwrap().blocks[0];
+        let replicas = nn.blocks.expect(b).replicas.clone();
+        let reader = replicas[0];
+
+        // no memory: local disk
+        let p = nn.plan_read(b, reader, SimTime::ZERO, |_| 0).unwrap();
+        assert_eq!(p.medium, Medium::LocalDisk);
+
+        // memory on another node: remote memory
+        let other = replicas[1];
+        nn.register_memory_replica(b, other);
+        let p = nn.plan_read(b, reader, SimTime::ZERO, |_| 0).unwrap();
+        assert_eq!(p.medium, Medium::RemoteMemory);
+        assert_eq!(p.source, other);
+
+        // all replica hosts dead: read fails
+        for n in &replicas {
+            nn.mark_dead(*n);
+        }
+        assert!(nn.plan_read(b, reader, SimTime::ZERO, |_| 0).is_none());
+    }
+
+    #[test]
+    fn master_restart_clears_registry() {
+        let mut nn = nn();
+        let f = nn.create_file("a", 100, 100);
+        let b = nn.namespace.get(f).unwrap().blocks[0];
+        nn.register_memory_replica(b, NodeId(3));
+        nn.clear_memory_registry();
+        assert_eq!(nn.memory_replica_count(), 0);
+        // reads still work from disk — DYRS failures degrade, never break
+        let p = nn
+            .plan_read(b, NodeId(6), SimTime::ZERO, |_| 0)
+            .unwrap();
+        assert!(!p.medium.is_memory());
+    }
+}

@@ -1,0 +1,34 @@
+//! # dyrs-engine — MapReduce/Tez-like execution engine model
+//!
+//! The compute substrate the paper's workloads run on (Tez 0.9 on YARN
+//! 2.7.3, §V-A). A job is a map stage (one task per input block) followed
+//! by an optional reduce stage; Hive queries chain several such jobs via
+//! dependencies. The engine models exactly what DYRS's evaluation is
+//! sensitive to:
+//!
+//! * **lead-time** (§II-C1): the gap between job submission and first task
+//!   launch, made of platform overhead plus queueing for slots — the
+//!   window DYRS uses to migrate inputs;
+//! * **slot scheduling with locality** ([`scheduler`]): map tasks prefer
+//!   nodes holding a replica (memory first) of their input block;
+//! * **task phases**: input read (on the storage substrate), compute,
+//!   output write; shuffle and reduce are modeled but never accelerated
+//!   by migration, exactly as in the paper.
+//!
+//! Like the other substrate crates this is purely reactive: `dyrs-sim`
+//! drives state transitions from its event loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod job;
+pub mod metrics;
+pub mod scheduler;
+pub mod task;
+
+pub use config::EngineConfig;
+pub use job::{JobSpec, JobSpecBuilder, JobState, JobStatus};
+pub use metrics::{JobMetrics, TaskMetrics};
+pub use scheduler::SlotPool;
+pub use task::{TaskId, TaskPhase, TaskState};

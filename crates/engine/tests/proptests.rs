@@ -1,0 +1,111 @@
+//! Property-based tests for the execution-engine substrate.
+
+use dyrs_cluster::NodeId;
+use dyrs_dfs::JobId;
+use dyrs_engine::scheduler::SlotKind;
+use dyrs_engine::{EngineConfig, JobSpec, JobState, SlotPool};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+proptest! {
+    /// Slot conservation: acquires minus releases never exceeds capacity,
+    /// and the pool refuses work exactly when full.
+    #[test]
+    fn slot_pool_conserves(
+        nodes in 1usize..10,
+        cap in 1usize..8,
+        ops in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut pool = SlotPool::new(nodes, cap, 1);
+        let mut held: Vec<NodeId> = Vec::new();
+        for acquire in ops {
+            if acquire {
+                match pool.acquire(SlotKind::Map, &[], |_| true) {
+                    Some(n) => {
+                        held.push(n);
+                        prop_assert!(held.len() <= nodes * cap);
+                    }
+                    None => prop_assert_eq!(held.len(), nodes * cap, "refused while free"),
+                }
+            } else if let Some(n) = held.pop() {
+                pool.release(n, SlotKind::Map);
+            }
+            let free = pool.total_free(SlotKind::Map, |_| true);
+            prop_assert_eq!(free + held.len(), nodes * cap);
+        }
+    }
+
+    /// Preferred placement: when a preferred node has a free slot, it is
+    /// always chosen over any fallback.
+    #[test]
+    fn preferred_always_wins_when_free(
+        nodes in 2usize..10,
+        pref in 0usize..10,
+        occupied in proptest::collection::vec(any::<bool>(), 0..10),
+    ) {
+        let pref = NodeId((pref % nodes) as u32);
+        let mut pool = SlotPool::new(nodes, 2, 1);
+        for (i, &occ) in occupied.iter().take(nodes).enumerate() {
+            if occ && NodeId(i as u32) != pref {
+                pool.acquire(SlotKind::Map, &[NodeId(i as u32)], |_| true);
+            }
+        }
+        let got = pool.acquire(SlotKind::Map, &[pref], |_| true);
+        prop_assert_eq!(got, Some(pref));
+    }
+
+    /// Job lifecycle counters: completing exactly `maps` map tasks and
+    /// `reduces` reduce tasks finishes the job, in any interleaving.
+    #[test]
+    fn job_state_machine(
+        maps in 1usize..50,
+        reduces in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = JobSpec::map_only(JobId(1), "j", SimTime::ZERO, vec![]);
+        spec.reduce_tasks = reduces;
+        let mut js = JobState::new(spec, SimTime::ZERO);
+        js.set_map_count(maps);
+        let mut rng = simkit::Rng::new(seed);
+        let mut maps_left = maps;
+        let mut reduces_left = reduces;
+        let mut maps_done_fired = false;
+        let mut t = 0u64;
+        while maps_left > 0 || reduces_left > 0 {
+            t += 1;
+            let now = SimTime::from_secs(t);
+            // reduces only start after maps finish (as the engine enforces)
+            if maps_left > 0 {
+                let last = js.on_map_done(now);
+                maps_left -= 1;
+                prop_assert_eq!(last, maps_left == 0, "last-map signal must be exact");
+                if last {
+                    maps_done_fired = true;
+                }
+            } else if reduces_left > 0 && rng.chance(0.7) {
+                let done = js.on_reduce_done();
+                reduces_left -= 1;
+                prop_assert_eq!(done, reduces_left == 0);
+            }
+        }
+        prop_assert!(maps_done_fired);
+        prop_assert!(js.is_finished());
+        prop_assert!(js.maps_done_at.is_some());
+    }
+
+    /// Compute-cost model: durations are monotone in bytes and cpu factor.
+    #[test]
+    fn compute_costs_monotone(
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000,
+        f1 in 0.5f64..16.0,
+        f2 in 0.5f64..16.0,
+    ) {
+        let c = EngineConfig::default();
+        let (lo_b, hi_b) = (a.min(b), a.max(b));
+        prop_assert!(c.map_compute(lo_b, f1) <= c.map_compute(hi_b, f1));
+        let (lo_f, hi_f) = (f1.min(f2), f1.max(f2));
+        prop_assert!(c.map_compute(a, lo_f) <= c.map_compute(a, hi_f));
+        prop_assert!(c.reduce_duration(lo_b) <= c.reduce_duration(hi_b));
+    }
+}

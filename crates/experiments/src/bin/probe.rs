@@ -1,0 +1,65 @@
+//! Calibration probe: dump detailed stats for single scenario runs.
+//! Not part of the reproduction surface — a developer tool.
+
+use dyrs::MigrationPolicy;
+use dyrs_experiments::scenarios::{hetero_config, with_workload};
+use dyrs_sim::Simulation;
+use dyrs_workloads::hive;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let queries = hive::queries();
+    // detail: DYRS on q15
+    {
+        let q = &queries[5];
+        let w = hive::query_workload(q, scale, 0);
+        let (cfg, jobs) = with_workload(hetero_config(MigrationPolicy::Dyrs, 11), w);
+        let r = Simulation::new(cfg, jobs).run();
+        println!("--- DYRS q15 disk reads ---");
+        for rd in r.reads.iter().filter(|rd| !rd.medium.is_memory()) {
+            println!(
+                "  t={:7.2}s block={:?} src={} medium={:?} bytes={}MB job={:?}",
+                rd.at.as_secs_f64(),
+                rd.block,
+                rd.source,
+                rd.medium,
+                rd.bytes >> 20,
+                rd.job
+            );
+        }
+        for n in &r.nodes {
+            println!(
+                "  {}: migs={} missed={} est_end={:.2}s",
+                n.node,
+                n.migrations,
+                n.slave.missed_reads,
+                n.estimate_series.points().last().map(|&(_, v)| v).unwrap_or(0.0)
+            );
+        }
+        println!("  speculations={}", r.speculations);
+    }
+    for q in [&queries[5], &queries[9]] {
+        println!("=== {} scan={}GB (scale {scale}) ===", q.name, q.scan_bytes >> 30);
+        for policy in MigrationPolicy::paper_configs() {
+            let w = hive::query_workload(q, scale, 0);
+            let (cfg, jobs) = with_workload(hetero_config(policy, 11), w);
+            let r = Simulation::new(cfg, jobs).run();
+            let total: f64 = r.jobs.iter().map(|j| j.duration.as_secs_f64()).sum();
+            let s1 = &r.jobs.iter().find(|j| j.name.ends_with("s1")).unwrap();
+            println!(
+                "{:<20} query={:7.1}s s1={:6.1}s s1_map={:6.1}s memfrac={:.2} migs={} missed={} pend_end={}",
+                policy.name(),
+                total,
+                s1.duration.as_secs_f64(),
+                s1.map_phase.as_secs_f64(),
+                r.memory_read_fraction(),
+                r.master.completed,
+                r.master.missed_reads,
+                r.master.requested_blocks as i64 - r.master.completed as i64 - r.master.missed_reads as i64,
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `scenario` — run a user-authored simulation scenario from a JSON file.
+//!
+//! ```text
+//! scenario path/to/scenario.json [--summary|--jobs|--nodes|--json]
+//! ```
+//!
+//! A scenario file contains a full `SimConfig` plus the workload:
+//!
+//! ```json
+//! {
+//!   "config": { ... dyrs_sim::SimConfig ... },
+//!   "jobs":   [ ... dyrs_engine::JobSpec ... ]
+//! }
+//! ```
+//!
+//! Every knob in the reproduction is reachable this way — policies,
+//! interference schedules, failure injections, hardware specs — without
+//! writing Rust. See `examples/scenarios/` for ready-made files.
+
+use dyrs_engine::JobSpec;
+use dyrs_sim::{SimConfig, SimResult, Simulation};
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Scenario {
+    config: SimConfig,
+    jobs: Vec<JobSpec>,
+}
+
+fn print_summary(r: &SimResult) {
+    println!("jobs completed : {}", r.jobs.len());
+    println!("jobs failed    : {}", r.failed_jobs.len());
+    println!("sim end        : {:.1}s", r.end_time.as_secs_f64());
+    println!("mean job       : {:.1}s", r.mean_job_duration_secs());
+    println!("mean map task  : {:.2}s", r.mean_map_task_secs());
+    println!("memory reads   : {:.0}%", r.memory_read_fraction() * 100.0);
+    println!(
+        "migrations     : {} completed, {} bound, {} missed reads",
+        r.master.completed, r.master.bound, r.master.missed_reads
+    );
+    println!("speculations   : {}", r.speculations);
+}
+
+fn print_jobs(r: &SimResult) {
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>5}",
+        "job", "input", "lead(s)", "map(s)", "total(s)", "mem%"
+    );
+    for j in &r.jobs {
+        println!(
+            "{:<20} {:>7}MB {:>9.1} {:>9.1} {:>9.1} {:>4.0}%",
+            j.name,
+            j.input_bytes >> 20,
+            j.lead_time.as_secs_f64(),
+            j.map_phase.as_secs_f64(),
+            j.duration.as_secs_f64(),
+            j.memory_read_fraction * 100.0
+        );
+    }
+}
+
+fn print_nodes(r: &SimResult) {
+    println!(
+        "{:<7} {:>7} {:>7} {:>11} {:>11} {:>10} {:>9}",
+        "node", "dreads", "mreads", "migrations", "peak-buf", "disk-busy", "util"
+    );
+    for n in &r.nodes {
+        let util = n.utilization_series.time_weighted_mean(
+            simkit::SimTime::ZERO,
+            r.end_time,
+            0.0,
+        );
+        println!(
+            "{:<7} {:>7} {:>7} {:>11} {:>9}MB {:>9.1}s {:>8.0}%",
+            n.node.to_string(),
+            n.disk_reads,
+            n.memory_reads,
+            n.migrations,
+            n.peak_buffer_bytes >> 20,
+            n.disk_busy.as_secs_f64(),
+            util * 100.0
+        );
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .map(|i| args.remove(i));
+    let Some(path) = args.first() else {
+        eprintln!("usage: scenario <file.json> [--summary|--jobs|--nodes|--json]");
+        std::process::exit(2);
+    };
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let scenario: Scenario =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad scenario {path}: {e}"));
+    let result = Simulation::new(scenario.config, scenario.jobs).run();
+    match mode.as_deref() {
+        None | Some("--summary") => print_summary(&result),
+        Some("--jobs") => print_jobs(&result),
+        Some("--nodes") => print_nodes(&result),
+        Some("--json") => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("result serializes")
+            )
+        }
+        Some(other) => {
+            eprintln!("unknown mode {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulation configuration.
+
+use dyrs::{DyrsConfig, MigrationPolicy};
+use dyrs_cluster::{ClusterSpec, InterferenceSchedule, NodeId};
+use dyrs_dfs::JobId;
+use dyrs_engine::EngineConfig;
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// A file that exists in the DFS before the workload starts (all
+/// evaluation inputs are cold, pre-existing data).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Name (referenced by `JobSpec::input_files`).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl FileSpec {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, bytes: u64) -> Self {
+        FileSpec {
+            name: name.into(),
+            bytes,
+        }
+    }
+}
+
+/// Failure injections, applied at fixed instants (§III-C).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureEvent {
+    /// DYRS master process restart: all soft migration state is lost.
+    /// The process comes straight back on the same server ("we can
+    /// restart it on the same server and it can immediately start
+    /// receiving migration requests", §III-C1).
+    MasterRestart {
+        /// When it happens.
+        at: SimTime,
+    },
+    /// The master's *server* fails (§III-C1): a new master must be
+    /// launched elsewhere and clients rerouted, which takes `reroute`
+    /// time — unless the deployment pre-lists a live backup, in which
+    /// case `reroute` is (near) zero. While unreachable, migration
+    /// requests are lost and slaves cannot bind new work; jobs keep
+    /// running, just without migration speedup.
+    MasterServerFailure {
+        /// When it happens.
+        at: SimTime,
+        /// Time until the replacement master answers (0 = live backup).
+        reroute: simkit::SimDuration,
+    },
+    /// DYRS slave process restart on one node: its buffers are reclaimed
+    /// and the master told to drop state about them.
+    SlaveRestart {
+        /// When it happens.
+        at: SimTime,
+        /// Which node's slave restarts.
+        node: NodeId,
+    },
+    /// A job dies without issuing its evict command (§III-C3).
+    KillJob {
+        /// When it happens.
+        at: SimTime,
+        /// Which job dies.
+        job: JobId,
+    },
+    /// Whole-server failure: nothing on the node is reachable.
+    NodeDown {
+        /// When it happens.
+        at: SimTime,
+        /// Which node fails.
+        node: NodeId,
+    },
+    /// Failed server comes back (with empty memory buffers).
+    NodeUp {
+        /// When it happens.
+        at: SimTime,
+        /// Which node recovers.
+        node: NodeId,
+    },
+}
+
+/// Everything needed to build a [`crate::Simulation`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Hardware.
+    pub cluster: ClusterSpec,
+    /// Migration scheme under test.
+    pub policy: MigrationPolicy,
+    /// DYRS tunables.
+    pub dyrs: DyrsConfig,
+    /// Execution-engine tunables.
+    pub engine: EngineConfig,
+    /// DFS block size.
+    pub block_size: u64,
+    /// Replication factor.
+    pub replication: usize,
+    /// RNG seed (placement, Ignem choices, workload jitter).
+    pub seed: u64,
+    /// Files pre-loaded into the DFS.
+    pub files: Vec<FileSpec>,
+    /// Disk interference sources.
+    pub interference: Vec<InterferenceSchedule>,
+    /// Failure injections.
+    pub failures: Vec<FailureEvent>,
+    /// Hard wall on simulated time (safety net against runaway runs).
+    pub horizon: SimTime,
+    /// Per-node migration-buffer hard limit override (bytes); `None` uses
+    /// the node spec's memory capacity.
+    pub mem_limit: Option<u64>,
+    /// Re-replicate blocks lost with a failed server (HDFS behaviour).
+    /// The repair traffic contends with reads and migrations for disk
+    /// bandwidth, exactly like production.
+    #[serde(default = "default_re_replication")]
+    pub re_replication: bool,
+    /// Grace period before repairs start after a node is confirmed down
+    /// (HDFS waits ~10 min by default; shortened to simulation timescales).
+    #[serde(default = "default_re_replication_delay")]
+    pub re_replication_delay: simkit::SimDuration,
+}
+
+fn default_re_replication() -> bool {
+    true
+}
+
+fn default_re_replication_delay() -> simkit::SimDuration {
+    simkit::SimDuration::from_secs(30)
+}
+
+impl SimConfig {
+    /// The paper's testbed (§V-A): 7 worker nodes, 256 MB blocks, 3×
+    /// replication, defaults everywhere else.
+    pub fn paper_default(policy: MigrationPolicy, seed: u64) -> Self {
+        SimConfig {
+            cluster: ClusterSpec::paper_default(),
+            policy,
+            dyrs: DyrsConfig::default(),
+            engine: EngineConfig::default(),
+            block_size: dyrs_dfs::DEFAULT_BLOCK_SIZE,
+            replication: dyrs_dfs::DEFAULT_REPLICATION,
+            seed,
+            files: Vec::new(),
+            interference: Vec::new(),
+            failures: Vec::new(),
+            horizon: SimTime::from_secs(24 * 3600),
+            mem_limit: None,
+            re_replication: true,
+            re_replication_delay: simkit::SimDuration::from_secs(30),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let c = SimConfig::paper_default(MigrationPolicy::Dyrs, 1);
+        assert_eq!(c.cluster.len(), 7);
+        assert_eq!(c.replication, 3);
+        assert_eq!(c.block_size, 256 << 20);
+        assert!(c.files.is_empty());
+    }
+
+    #[test]
+    fn file_spec_shorthand() {
+        let f = FileSpec::new("x", 10);
+        assert_eq!(f.name, "x");
+        assert_eq!(f.bytes, 10);
+    }
+}

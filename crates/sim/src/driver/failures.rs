@@ -1,0 +1,187 @@
+//! Failure injection (paper §III-C): master restarts, slave restarts, job
+//! kills and whole-server failures. In every case DYRS degrades to plain
+//! HDFS behaviour; the only loss is migration speedup.
+
+use super::Simulation;
+use crate::config::FailureEvent;
+use crate::events::{ResourceKind, StreamMeta};
+use dyrs_cluster::NodeId;
+use dyrs_engine::scheduler::SlotKind;
+use dyrs_engine::{TaskId, TaskPhase};
+
+impl Simulation {
+    pub(crate) fn on_failure(&mut self, f: FailureEvent) {
+        match f {
+            FailureEvent::MasterRestart { .. } => self.master_restart(),
+            FailureEvent::MasterServerFailure { reroute, .. } => {
+                self.master_restart();
+                // New master elsewhere: clients need rerouting before any
+                // migration traffic flows again (zero for a live backup).
+                self.master_down_until = Some(self.now + reroute);
+            }
+            FailureEvent::SlaveRestart { node, .. } => self.slave_restart(node),
+            FailureEvent::KillJob { job, .. } => self.fail_job(job),
+            FailureEvent::NodeDown { node, .. } => self.node_down(node),
+            FailureEvent::NodeUp { node, .. } => self.node_up(node),
+        }
+    }
+
+    /// DYRS master process restart (§III-C1): all soft state lost. The new
+    /// master "starts up with no state about which blocks are in memory at
+    /// the slaves" — reads fall back to disk until slaves clean up.
+    fn master_restart(&mut self) {
+        self.master.restart();
+        self.namenode.clear_memory_registry();
+    }
+
+    /// Slave process restart (§III-C2): the OS reclaims buffer space; the
+    /// new slave "directs the master to drop state about blocks that were
+    /// previously buffered on that server".
+    fn slave_restart(&mut self, node: NodeId) {
+        // Abort any in-flight migrations' disk streams.
+        for (_, sid) in std::mem::take(&mut self.active_migration_stream[node.index()]) {
+            self.cancel_stream(node, ResourceKind::Disk, sid);
+        }
+        let dropped = self.slaves[node.index()].restart();
+        for block in dropped {
+            self.datanodes[node.index()].drop_memory_replica(block);
+            self.namenode.unregister_memory_replica(block, node);
+            self.master.on_evicted(block);
+        }
+        // The fresh slave process re-probes its disk before pulling work.
+        if self.cluster.node(node).up {
+            self.start_calibration(node);
+        }
+    }
+
+    /// Whole-server failure: everything it serves becomes unreachable.
+    /// Reads fail over to surviving replicas; its running tasks re-execute
+    /// elsewhere (the compute framework's standard retry).
+    fn node_down(&mut self, node: NodeId) {
+        if !self.cluster.node(node).up {
+            return;
+        }
+        self.cluster.node_mut(node).up = false;
+        self.namenode.mark_dead(node);
+        self.master.set_node_up(node, false);
+
+        // Its migration state is gone (same as a slave restart).
+        self.slave_restart(node);
+        // Interference and background streams die with the node.
+        for sid in std::mem::take(&mut self.interference_streams[node.index()]) {
+            self.cancel_stream(node, ResourceKind::Disk, sid);
+        }
+        if let Some(sid) = self.background_stream[node.index()].take() {
+            self.cancel_stream(node, ResourceKind::Disk, sid);
+        }
+
+        // Reads *served by* this node fail over: cancel and re-plan.
+        let served_here: Vec<TaskId> = self
+            .task_streams
+            .iter()
+            .filter(|(_, &(n, _, _))| n == node)
+            .map(|(&t, _)| t)
+            .collect();
+        for tid in served_here {
+            let (n, k, sid) = self.task_streams.remove(&tid).expect("listed");
+            self.cancel_stream(n, k, sid);
+            self.replan_read(tid);
+        }
+
+        // HDFS will restore the lost replicas after a grace period.
+        self.schedule_re_replication(node);
+
+        // Tasks *running on* this node re-execute from scratch elsewhere.
+        let running_here: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|t| {
+                t.node == Some(node)
+                    && matches!(t.phase, TaskPhase::Reading | TaskPhase::Computing)
+            })
+            .map(|t| t.id)
+            .collect();
+        for tid in running_here {
+            if let Some((n, k, sid)) = self.task_streams.remove(&tid) {
+                self.cancel_stream(n, k, sid);
+            }
+            let is_map = self.tasks[tid.0 as usize].is_map();
+            self.slots.release(
+                node,
+                if is_map { SlotKind::Map } else { SlotKind::Reduce },
+            );
+            self.requeue_task(tid);
+        }
+        self.kick_schedule();
+    }
+
+    /// Failed server comes back with empty buffers.
+    fn node_up(&mut self, node: NodeId) {
+        if self.cluster.node(node).up {
+            return;
+        }
+        self.cluster.node_mut(node).up = true;
+        self.namenode.mark_alive(node, self.now);
+        self.master.set_node_up(node, true);
+        self.start_calibration(node);
+        self.kick_schedule();
+    }
+
+    /// Re-plan an interrupted read on its (still-running) task's node.
+    fn replan_read(&mut self, tid: TaskId) {
+        let t = &self.tasks[tid.0 as usize];
+        if t.phase != TaskPhase::Reading || !self.job_alive(t.job) {
+            return;
+        }
+        let node = t.node.expect("reading task is placed");
+        let block = t.block.expect("map task");
+        let bytes = t.bytes;
+        let job = t.job;
+        let plan = self.namenode.plan_read(block, node, self.now, |n| {
+            self.cluster.node(n).disk.active_streams() as u64
+        });
+        let Some(plan) = plan else {
+            // Every replica host is down: the read — and the job — fails.
+            self.fail_job(job);
+            return;
+        };
+        self.tasks[tid.0 as usize].read_medium = Some(plan.medium);
+        let (res_node, res_kind, cap) = match plan.medium {
+            dyrs_dfs::Medium::LocalMemory => {
+                (node, ResourceKind::Membus, self.cfg.engine.mem_read_cap)
+            }
+            dyrs_dfs::Medium::RemoteMemory => {
+                (plan.source, ResourceKind::Nic, self.cfg.engine.mem_read_cap)
+            }
+            dyrs_dfs::Medium::LocalDisk | dyrs_dfs::Medium::RemoteDisk => {
+                (plan.source, ResourceKind::Disk, self.cfg.engine.disk_read_cap)
+            }
+        };
+        let attempt = self.attempts[tid.0 as usize];
+        let sid = self.start_stream_capped(
+            res_node,
+            res_kind,
+            bytes, // restart from the beginning (HDFS re-reads the block)
+            cap,
+            StreamMeta::TaskRead { task: tid, attempt },
+        );
+        self.task_streams.insert(tid, (res_node, res_kind, sid));
+    }
+
+    /// Put a task back in the ready queue for a fresh attempt.
+    pub(crate) fn requeue_task(&mut self, tid: TaskId) {
+        self.attempts[tid.0 as usize] += 1;
+        let t = &mut self.tasks[tid.0 as usize];
+        t.phase = TaskPhase::Ready;
+        t.node = None;
+        t.read_medium = None;
+        t.started_at = None;
+        t.read_done_at = None;
+        t.ready_at = self.now;
+        if t.is_map() {
+            self.ready_maps.push_back(tid);
+        } else {
+            self.ready_reduces.push_back(tid);
+        }
+    }
+}

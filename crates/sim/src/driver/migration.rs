@@ -1,0 +1,215 @@
+//! The DYRS protocol wiring: heartbeats, pulls, retargeting, migration
+//! execution, read notifications and evictions.
+
+use super::Simulation;
+use crate::events::{Ev, ResourceKind, StreamMeta};
+use dyrs::slave::Eviction;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+
+/// Size of the slave startup probe read (small enough to be cheap, large
+/// enough to average over interference).
+pub(crate) const CALIBRATION_BYTES: u64 = 8 << 20;
+
+/// An idle slave re-probes its disk this often so its advertised estimate
+/// tracks current conditions even when no migrations are being assigned
+/// to it (without this, a node whose estimate spiked during interference
+/// would be avoided forever — the estimate could never recover, unlike
+/// the continuous tracking of the paper's Fig. 9).
+pub(crate) const REPROBE_INTERVAL: simkit::SimDuration = simkit::SimDuration::from_secs(3);
+
+impl Simulation {
+    /// Heartbeat from `node`'s slave: refresh estimates, report to the
+    /// master, pull new migrations, record figure series, and scavenge
+    /// under memory pressure.
+    pub(crate) fn on_heartbeat(&mut self, node: NodeId) {
+        // Always re-arm first so heartbeats survive node failures.
+        self.queue
+            .schedule(self.now + self.hb_interval(), Ev::Heartbeat(node));
+        if !self.cluster.node(node).up {
+            return;
+        }
+        if node.index() == 0 {
+            self.check_speculation();
+        }
+        let now = self.now;
+        let report = self.slaves[node.index()].on_heartbeat(now);
+        self.namenode.heartbeat(node, now);
+        if self.master_reachable() {
+            self.master
+                .on_heartbeat(node, report.secs_per_byte, report.queued_bytes);
+
+            // Delayed binding: the slave pulls just enough work to stay
+            // busy until the next heartbeat (§III-A1).
+            let pulled = self.master.on_slave_pull(node, report.queue_space);
+            if !pulled.is_empty() {
+                self.slaves[node.index()].on_bind(pulled);
+                self.try_start_migrations(node);
+            }
+        }
+
+        // Figure series: per-block migration-time estimate (Fig. 9) and
+        // buffer footprint (Fig. 7). The estimate is only meaningful once
+        // the startup probe has measured the disk.
+        if self.slaves[node.index()].is_calibrated() {
+            let est = self.slaves[node.index()]
+                .estimator()
+                .estimate(self.cfg.block_size)
+                .as_secs_f64();
+            self.estimate_series[node.index()].record(now, est);
+        }
+        self.buffer_series[node.index()]
+            .record(now, self.slaves[node.index()].buffered_bytes() as f64);
+        // Measured utilization: disk busy fraction over the last interval.
+        // Advance the fluid state first — busy time accrues lazily.
+        self.touch(node, crate::events::ResourceKind::Disk);
+        let busy = self.cluster.node(node).disk.busy_time();
+        let delta = busy.saturating_sub(self.last_disk_busy[node.index()]);
+        self.last_disk_busy[node.index()] = busy;
+        let util = delta.as_secs_f64() / self.hb_interval().as_secs_f64().max(1e-9);
+        self.utilization_series[node.index()].record(now, util.min(1.0));
+
+        // Idle estimate freshness: if nothing has exercised this disk's
+        // estimator recently and no migration is running, send a re-probe.
+        if !self.slaves[node.index()].is_migrating()
+            && !self.calib_inflight[node.index()]
+            && now.saturating_since(self.last_estimate_signal[node.index()]) >= REPROBE_INTERVAL
+        {
+            self.start_calibration(node);
+        }
+
+        // Memory-pressure scavenge (§III-C3): query the scheduler for live
+        // jobs and drop references of dead ones.
+        if self.slaves[node.index()].needs_scavenge() {
+            let alive: std::collections::HashSet<JobId> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| {
+                    matches!(
+                        j.status,
+                        dyrs_engine::JobStatus::Submitted | dyrs_engine::JobStatus::Running
+                    )
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            let evictions = self.slaves[node.index()].scavenge(|j| alive.contains(&j));
+            self.apply_evictions(node, evictions);
+        }
+    }
+
+    /// Start a slave's calibration probe: a small raw sequential read that
+    /// measures what migration currently costs on this disk. Until it
+    /// completes the slave reports zero queue space, so no migration is
+    /// ever bound on a stale idle-disk prior.
+    pub(crate) fn start_calibration(&mut self, node: NodeId) {
+        if !self.cluster.node(node).up || self.calib_inflight[node.index()] {
+            return;
+        }
+        self.calib_inflight[node.index()] = true;
+        self.calib_start[node.index()] = self.now;
+        self.start_stream(
+            node,
+            crate::events::ResourceKind::Disk,
+            CALIBRATION_BYTES,
+            StreamMeta::Calibration { node },
+        );
+    }
+
+    /// The probe finished: seed the estimator with the measured rate.
+    pub(crate) fn on_calibration_done(&mut self, node: NodeId) {
+        self.calib_inflight[node.index()] = false;
+        self.last_estimate_signal[node.index()] = self.now;
+        let dur = self.now.saturating_since(self.calib_start[node.index()]);
+        self.slaves[node.index()].calibrate(CALIBRATION_BYTES, dur);
+    }
+
+    /// Periodic Algorithm 1 pass.
+    pub(crate) fn on_retarget(&mut self) {
+        self.master.retarget();
+        self.queue
+            .schedule(self.now + self.cfg.dyrs.retarget_interval, Ev::Retarget);
+    }
+
+    /// Start queued migrations on `node` up to the configured concurrency
+    /// (exactly one under the paper's serialized default, §III-B). Called
+    /// after binds, completions and evictions.
+    pub(crate) fn try_start_migrations(&mut self, node: NodeId) {
+        if !self.cluster.node(node).up {
+            return;
+        }
+        let now = self.now;
+        while let Some(start) = self.slaves[node.index()].try_start(now) {
+            let sid = self.start_stream(
+                node,
+                ResourceKind::Disk,
+                start.bytes,
+                StreamMeta::Migration {
+                    node,
+                    block: start.block,
+                },
+            );
+            self.active_migration_stream[node.index()].insert(start.block, sid);
+        }
+    }
+
+    /// A migration's disk stream finished: the block is in memory.
+    pub(crate) fn on_migration_stream_done(&mut self, node: NodeId, block: BlockId) {
+        self.active_migration_stream[node.index()].remove(&block);
+        let now = self.now;
+        let done = self.slaves[node.index()].on_migration_complete_block(now, block);
+        self.last_estimate_signal[node.index()] = now;
+        debug_assert_eq!(done.block, block);
+        if !done.evicted_immediately {
+            self.datanodes[node.index()].add_memory_replica(block);
+            self.namenode.register_memory_replica(block, node);
+            self.master.on_migration_complete(node, block);
+        }
+        self.buffer_series[node.index()]
+            .record(now, self.slaves[node.index()].buffered_bytes() as f64);
+        self.try_start_migrations(node);
+    }
+
+    /// Propagate a completed read of `block` by `job` to the migration
+    /// layer: the serving slave sees the read directly (implicit-eviction
+    /// path, §IV-A1) and the master forwards the missed-read signal to any
+    /// slave it bound the block's migration to.
+    pub(crate) fn notify_read(&mut self, block: BlockId, job: JobId, served_by: NodeId) {
+        let mut notified = [false; 64];
+        let mut notify = |sim: &mut Simulation, n: NodeId| {
+            if !notified[n.index()] {
+                notified[n.index()] = true;
+                let evictions = sim.slaves[n.index()].on_read(block, job);
+                sim.apply_evictions(n, evictions);
+            }
+        };
+        notify(self, served_by);
+        // Slaves holding the block queued or active (bound migrations).
+        let holders: Vec<NodeId> = (0..self.cluster.len() as u32)
+            .map(NodeId)
+            .filter(|&n| self.slaves[n.index()].has_pending(block))
+            .collect();
+        for n in holders {
+            notify(self, n);
+        }
+        // The slave buffering the block (implicit eviction on remote reads).
+        if let Some(host) = self.master.memory_location(block) {
+            notify(self, host);
+        }
+    }
+
+    /// Apply slave-reported evictions: unregister everywhere and let the
+    /// disk pick up any migration that was stalled on memory.
+    pub(crate) fn apply_evictions(&mut self, node: NodeId, evictions: Vec<Eviction>) {
+        if evictions.is_empty() {
+            return;
+        }
+        for ev in evictions {
+            self.datanodes[node.index()].drop_memory_replica(ev.block);
+            self.namenode.unregister_memory_replica(ev.block, node);
+            self.master.on_evicted(ev.block);
+        }
+        self.buffer_series[node.index()]
+            .record(self.now, self.slaves[node.index()].buffered_bytes() as f64);
+        self.try_start_migrations(node);
+    }
+}

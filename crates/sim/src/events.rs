@@ -1,0 +1,120 @@
+//! Event and stream-payload types for the simulation loop.
+
+use crate::config::FailureEvent;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::BlockId;
+use dyrs_engine::TaskId;
+
+/// Which fluid resource of a node a stream lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Spinning disk.
+    Disk,
+    /// Memory bus (local in-memory reads).
+    Membus,
+    /// NIC (remote in-memory reads).
+    Nic,
+}
+
+/// What a fluid stream means. Streams carry a `u64` tag that indexes the
+/// simulation's stream-metadata slab holding one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMeta {
+    /// A task's input read; `attempt` guards against stale events after a
+    /// task is re-executed (node failure).
+    TaskRead {
+        /// The reading task.
+        task: TaskId,
+        /// Its execution attempt.
+        attempt: u32,
+    },
+    /// A DYRS migration running on `node`'s disk.
+    Migration {
+        /// The migrating slave's node.
+        node: NodeId,
+        /// The block being migrated.
+        block: BlockId,
+    },
+    /// An interference reader (never completes, only cancelled).
+    Interference,
+    /// A slave's startup probe read measuring current disk conditions.
+    Calibration {
+        /// The probing slave's node.
+        node: NodeId,
+    },
+    /// A re-replication repair copy: reading `block` from `source`'s disk
+    /// to restore full replication on `target`.
+    Repair {
+        /// The block being re-replicated.
+        block: BlockId,
+        /// Node serving the copy.
+        source: NodeId,
+        /// Node receiving the new replica.
+        target: NodeId,
+    },
+    /// A map task's shuffle-spill write (fire-and-forget disk load; does
+    /// not gate task completion, mirroring overlapped spills).
+    SpillWrite,
+    /// Slot already reclaimed (stream was cancelled).
+    Dead,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ev {
+    /// A job's (dependency-resolved) submission instant.
+    SubmitJob(dyrs_dfs::JobId),
+    /// A job's lead-time elapsed: its tasks become runnable.
+    LaunchJob(dyrs_dfs::JobId),
+    /// Debounced scheduling pass.
+    Schedule,
+    /// Possible completion on a node's fluid resource; `gen` detects
+    /// staleness after membership changes.
+    StreamDone {
+        /// Node owning the resource.
+        node: NodeId,
+        /// Which resource.
+        kind: ResourceKind,
+        /// Resource generation at scheduling time.
+        gen: u64,
+    },
+    /// A task's compute phase finished.
+    TaskCompute {
+        /// The task.
+        task: TaskId,
+        /// Its execution attempt.
+        attempt: u32,
+    },
+    /// Slave heartbeat (also drives pulls, estimate refresh, series).
+    Heartbeat(NodeId),
+    /// Master retargeting pass (Algorithm 1).
+    Retarget,
+    /// Interference toggle.
+    Interference {
+        /// Victim node.
+        node: NodeId,
+        /// Turn on (true) or off (false).
+        on: bool,
+        /// Number of reader streams when turning on.
+        streams: u32,
+        /// Fluid weight per reader stream (micro-units: weight × 1000,
+        /// kept integral so `Ev` stays `Eq`).
+        weight_milli: u64,
+    },
+    /// A failure injection fires.
+    Failure(FailureEvent),
+    /// Start a slave's calibration probe read.
+    Calibrate(NodeId),
+    /// Release the next batch of a job's tasks (container grant round).
+    GrantContainers(dyrs_dfs::JobId),
+    /// Begin re-replicating the blocks lost with a failed node.
+    ReReplicate(NodeId),
+    /// Set a node's trace-driven background disk load to `frac_milli`
+    /// thousandths of its base bandwidth (0 clears it).
+    Background {
+        /// Victim node.
+        node: NodeId,
+        /// Background utilization × 1000 (integral so `Ev` stays `Eq`).
+        frac_milli: u64,
+    },
+}

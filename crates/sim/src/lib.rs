@@ -1,0 +1,60 @@
+//! # dyrs-sim — the integrated DYRS simulator
+//!
+//! Wires the substrate crates into one deterministic event-driven world:
+//!
+//! * `dyrs-cluster` — nodes, fluid-share disks/NICs/memory buses,
+//!   interference;
+//! * `dyrs-dfs` — namespace, replicas, NameNode read planning;
+//! * `dyrs` — the DYRS master/slaves and the baseline policies;
+//! * `dyrs-engine` — jobs, tasks, slot scheduling.
+//!
+//! The entry point is [`Simulation`]: build it from a [`SimConfig`] and a
+//! list of [`JobSpec`](dyrs_engine::JobSpec)s, call [`Simulation::run`],
+//! and get a [`SimResult`] with every per-job/per-task/per-node metric the
+//! paper's tables and figures are rendered from.
+//!
+//! ```
+//! use dyrs::MigrationPolicy;
+//! use dyrs_engine::JobSpec;
+//! use dyrs_dfs::JobId;
+//! use dyrs_sim::{FileSpec, SimConfig, Simulation};
+//! use simkit::SimTime;
+//!
+//! let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 42);
+//! cfg.files.push(FileSpec::new("input", 2 * 256 << 20));
+//! let job = JobSpec::map_only(JobId(0), "quick", SimTime::ZERO, vec!["input".into()]);
+//! let result = Simulation::new(cfg, vec![job]).run();
+//! assert_eq!(result.jobs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod driver;
+pub mod events;
+pub mod result;
+
+pub use config::{FailureEvent, FileSpec, SimConfig};
+pub use driver::Simulation;
+pub use result::{BlockReadRecord, NodeReport, SimResult};
+
+/// One-line import for simulation scripts and examples.
+///
+/// ```
+/// use dyrs_sim::prelude::*;
+///
+/// let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 1);
+/// cfg.files.push(FileSpec::new("data", 256 << 20));
+/// let job = JobSpec::map_only(JobId(0), "j", SimTime::ZERO, vec!["data".into()]);
+/// let result = Simulation::new(cfg, vec![job]).run();
+/// assert_eq!(result.jobs.len(), 1);
+/// ```
+pub mod prelude {
+    pub use crate::{FailureEvent, FileSpec, SimConfig, SimResult, Simulation};
+    pub use dyrs::{DyrsConfig, MigrationOrder, MigrationPolicy};
+    pub use dyrs_cluster::{ClusterSpec, InterferenceSchedule, NodeId, NodeSpec};
+    pub use dyrs_dfs::JobId;
+    pub use dyrs_engine::{EngineConfig, JobSpec};
+    pub use simkit::{SimDuration, SimTime};
+}

@@ -1,0 +1,429 @@
+//! Behavioral integration tests beyond the basics in `integration.rs`:
+//! homogeneous-cluster claims, eviction modes, read-path media, slot
+//! queueing, horizon handling, and conservation invariants under random
+//! small workloads.
+
+use dyrs::{MigrationOrder, MigrationPolicy};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{JobId, Medium};
+use dyrs_engine::JobSpec;
+use dyrs_sim::{FailureEvent, FileSpec, SimConfig, SimResult, Simulation};
+use simkit::{Rng, SimDuration, SimTime};
+
+const MB: u64 = 1 << 20;
+const BLOCK: u64 = 256 * MB;
+
+fn sim_with(
+    policy: MigrationPolicy,
+    blocks: u64,
+    seed: u64,
+    f: impl FnOnce(&mut SimConfig, &mut Vec<JobSpec>),
+) -> SimResult {
+    let mut cfg = SimConfig::paper_default(policy, seed);
+    cfg.files.push(FileSpec::new("in", blocks * BLOCK));
+    let mut jobs = vec![JobSpec::map_only(
+        JobId(0),
+        "job",
+        SimTime::ZERO,
+        vec!["in".into()],
+    )];
+    f(&mut cfg, &mut jobs);
+    Simulation::new(cfg, jobs).run()
+}
+
+/// Paper §VI: Ignem "suits the case where the node bandwidths are
+/// homogeneous" — without a handicapped node it must perform close to
+/// DYRS (both near the in-RAM bound for a coverable input).
+#[test]
+fn ignem_is_fine_on_homogeneous_clusters() {
+    let dyrs = sim_with(MigrationPolicy::Dyrs, 14, 3, |_, _| {});
+    let ignem = sim_with(MigrationPolicy::Ignem, 14, 3, |_, _| {});
+    let d = dyrs.jobs[0].duration.as_secs_f64();
+    let i = ignem.jobs[0].duration.as_secs_f64();
+    assert!(
+        (i - d).abs() / d < 0.25,
+        "homogeneous: Ignem {i:.1}s should track DYRS {d:.1}s"
+    );
+    assert!(ignem.memory_read_fraction() > 0.8);
+}
+
+/// Remote in-memory reads flow over the serving node's NIC: when a block
+/// is buffered on a node other than the reader's, the read is recorded as
+/// RemoteMemory from that node.
+#[test]
+fn remote_memory_reads_happen() {
+    let r = sim_with(MigrationPolicy::Dyrs, 28, 5, |_, _| {});
+    let remote_mem = r
+        .reads
+        .iter()
+        .filter(|rd| rd.medium == Medium::RemoteMemory)
+        .count();
+    let local_mem = r
+        .reads
+        .iter()
+        .filter(|rd| rd.medium == Medium::LocalMemory)
+        .count();
+    assert!(
+        remote_mem > 0,
+        "with one migrated replica per block, many readers are remote"
+    );
+    assert!(local_mem > 0, "locality preference should find some local hits");
+}
+
+/// Explicit-eviction jobs hold their buffers until completion; implicit
+/// ones drain as reads happen — so the explicit run's end-of-map buffer
+/// footprint dominates the implicit run's.
+#[test]
+fn eviction_modes_differ_in_footprint() {
+    let run = |implicit: bool| {
+        sim_with(MigrationPolicy::Dyrs, 28, 9, |_, jobs| {
+            jobs[0].implicit_eviction = implicit;
+        })
+    };
+    let imp = run(true);
+    let exp = run(false);
+    let peak = |r: &SimResult| -> u64 { r.nodes.iter().map(|n| n.peak_buffer_bytes).sum() };
+    assert!(
+        peak(&imp) <= peak(&exp),
+        "implicit {} must not exceed explicit {}",
+        peak(&imp),
+        peak(&exp)
+    );
+    // both runs end with empty buffers (explicit evicts at completion)
+    for r in [&imp, &exp] {
+        for n in &r.nodes {
+            let last = n.buffer_series.points().last().map(|&(_, v)| v).unwrap_or(0.0);
+            assert!(last <= 1.0, "buffers must drain by job end");
+        }
+    }
+}
+
+/// With one map slot per node, tasks queue for slots and queueing time
+/// becomes lead-time the migration layer can exploit (§II-C1).
+#[test]
+fn slot_queueing_extends_lead_time() {
+    let tight = sim_with(MigrationPolicy::Dyrs, 56, 11, |cfg, _| {
+        cfg.engine.map_slots_per_node = 1;
+    });
+    let roomy = sim_with(MigrationPolicy::Dyrs, 56, 11, |_, _| {});
+    // fewer slots → later tasks wait → more blocks migrated before read
+    assert!(
+        tight.memory_read_fraction() >= roomy.memory_read_fraction() - 0.05,
+        "queueing time should help coverage: tight {} vs roomy {}",
+        tight.memory_read_fraction(),
+        roomy.memory_read_fraction()
+    );
+    assert_eq!(tight.jobs.len(), 1);
+}
+
+/// The horizon hard-stops a runaway simulation.
+#[test]
+fn horizon_cuts_off() {
+    let r = sim_with(MigrationPolicy::Disabled, 56, 13, |cfg, _| {
+        cfg.horizon = SimTime::from_secs(5); // far too short for the job
+    });
+    assert!(r.jobs.is_empty(), "job cannot complete within 5s");
+    assert!(r.end_time <= SimTime::from_secs(6));
+}
+
+/// Failure storm: every injection type at once, on a multi-job workload —
+/// the system must degrade, never deadlock or double-complete.
+#[test]
+fn failure_storm_degrades_gracefully() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 17);
+    for i in 0..3 {
+        cfg.files.push(FileSpec::new(format!("f{i}"), 8 * BLOCK));
+    }
+    cfg.failures = vec![
+        FailureEvent::MasterRestart { at: SimTime::from_secs(3) },
+        FailureEvent::SlaveRestart { at: SimTime::from_secs(5), node: NodeId(1) },
+        FailureEvent::NodeDown { at: SimTime::from_secs(7), node: NodeId(2) },
+        FailureEvent::MasterRestart { at: SimTime::from_secs(9) },
+        FailureEvent::NodeDown { at: SimTime::from_secs(11), node: NodeId(4) },
+        FailureEvent::NodeUp { at: SimTime::from_secs(30), node: NodeId(2) },
+        FailureEvent::SlaveRestart { at: SimTime::from_secs(33), node: NodeId(0) },
+        FailureEvent::NodeUp { at: SimTime::from_secs(40), node: NodeId(4) },
+    ];
+    let jobs: Vec<JobSpec> = (0..3)
+        .map(|i| {
+            JobSpec::map_only(
+                JobId(i),
+                format!("j{i}"),
+                SimTime::from_secs(i * 2),
+                vec![format!("f{i}")],
+            )
+        })
+        .collect();
+    let r = Simulation::new(cfg, jobs).run();
+    assert_eq!(r.jobs.len() + r.failed_jobs.len(), 3, "every job accounted for");
+    assert_eq!(r.jobs.len(), 3, "3x replication survives two node losses");
+    // no read was served by a node after it died and before it returned
+    for rd in &r.reads {
+        if rd.source == NodeId(2) {
+            let t = rd.at;
+            assert!(
+                t <= SimTime::from_secs(7) || t >= SimTime::from_secs(30),
+                "read from dead node2 at {t}"
+            );
+        }
+    }
+}
+
+/// Migration-order disciplines all complete the same workload with the
+/// same read conservation (every block read exactly once per job).
+#[test]
+fn migration_orders_conserve_reads() {
+    for order in MigrationOrder::all() {
+        let r = sim_with(MigrationPolicy::Dyrs, 20, 19, |cfg, _| {
+            cfg.dyrs.migration_order = order;
+        });
+        assert_eq!(r.jobs.len(), 1, "{order:?}");
+        let mut blocks: Vec<_> = r.reads.iter().map(|rd| rd.block).collect();
+        blocks.sort();
+        blocks.dedup();
+        assert_eq!(blocks.len(), 20, "{order:?}: every block read");
+    }
+}
+
+/// Conservation fuzz: random small workloads under random policies always
+/// complete with exact read coverage and bounded memory.
+#[test]
+fn random_workloads_conserve() {
+    let mut rng = Rng::new(0xF00D);
+    for round in 0..25 {
+        let seed = rng.next_u64();
+        let policy = *rng.pick(&[
+            MigrationPolicy::Disabled,
+            MigrationPolicy::InstantRam,
+            MigrationPolicy::Ignem,
+            MigrationPolicy::Naive,
+            MigrationPolicy::Dyrs,
+        ]);
+        let njobs = rng.range_u64(1, 4);
+        let mut cfg = SimConfig::paper_default(policy, seed);
+        cfg.mem_limit = Some(rng.range_u64(2, 8) * BLOCK);
+        let mut jobs = Vec::new();
+        let mut expect_blocks = 0u64;
+        for j in 0..njobs {
+            let blocks = rng.range_u64(1, 12);
+            expect_blocks += blocks;
+            cfg.files
+                .push(FileSpec::new(format!("f{j}"), blocks * BLOCK));
+            let mut spec = JobSpec::map_only(
+                JobId(j),
+                format!("j{j}"),
+                SimTime::from_secs(rng.range_u64(0, 10)),
+                vec![format!("f{j}")],
+            );
+            spec.implicit_eviction = rng.chance(0.5);
+            if rng.chance(0.3) {
+                spec.shuffle_bytes = rng.range_u64(1, 64) * MB;
+                spec.reduce_tasks = rng.range_u64(1, 4) as usize;
+            }
+            jobs.push(spec);
+        }
+        let r = Simulation::new(cfg, jobs).run();
+        assert_eq!(
+            r.jobs.len() as u64,
+            njobs,
+            "round {round} ({policy:?}, seed {seed}): all jobs complete"
+        );
+        assert!(r.failed_jobs.is_empty());
+        let unique: std::collections::HashSet<_> =
+            r.reads.iter().map(|rd| rd.block).collect();
+        assert_eq!(
+            unique.len() as u64,
+            expect_blocks,
+            "round {round}: every block read at least once"
+        );
+        for n in &r.nodes {
+            assert!(
+                n.peak_buffer_bytes <= n.slave.bytes_migrated.max(1) + 8 * BLOCK,
+                "round {round}: absurd peak buffer"
+            );
+        }
+    }
+}
+
+/// HDFS re-replication: after a node fails and the grace period passes,
+/// every block it hosted regains full replication on surviving nodes —
+/// and the repair traffic does not break running jobs.
+#[test]
+fn re_replication_restores_replica_counts() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 23);
+    cfg.files.push(FileSpec::new("in", 20 * BLOCK));
+    cfg.re_replication_delay = SimDuration::from_secs(10);
+    cfg.failures.push(FailureEvent::NodeDown {
+        at: SimTime::from_secs(5),
+        node: NodeId(2),
+    });
+    // a long trailer job keeps the simulation alive while repairs finish
+    let mut jobs = vec![JobSpec::map_only(
+        JobId(0),
+        "job",
+        SimTime::ZERO,
+        vec!["in".into()],
+    )];
+    cfg.files.push(FileSpec::new("late", 20 * BLOCK));
+    jobs.push(JobSpec::map_only(
+        JobId(1),
+        "late",
+        SimTime::from_secs(120),
+        vec!["late".into()],
+    ));
+    let r = Simulation::new(cfg, jobs).run();
+    assert_eq!(r.jobs.len(), 2);
+    assert!(
+        r.repairs > 0,
+        "node2 hosted replicas; repairs must have run ({})",
+        r.repairs
+    );
+}
+
+/// With re-replication disabled, no repairs happen (the §III-C failure
+/// tests rely on plain fail-over only).
+#[test]
+fn re_replication_can_be_disabled() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 23);
+    cfg.files.push(FileSpec::new("in", 20 * BLOCK));
+    cfg.re_replication = false;
+    cfg.failures.push(FailureEvent::NodeDown {
+        at: SimTime::from_secs(5),
+        node: NodeId(2),
+    });
+    let jobs = vec![JobSpec::map_only(
+        JobId(0),
+        "job",
+        SimTime::ZERO,
+        vec!["in".into()],
+    )];
+    let r = Simulation::new(cfg, jobs).run();
+    assert_eq!(r.repairs, 0);
+    assert_eq!(r.jobs.len(), 1, "fail-over alone still completes the job");
+}
+
+/// A node returning within the grace period cancels the repair scan.
+#[test]
+fn quick_recovery_skips_repairs() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 23);
+    cfg.files.push(FileSpec::new("in", 20 * BLOCK));
+    cfg.re_replication_delay = SimDuration::from_secs(30);
+    cfg.failures.push(FailureEvent::NodeDown {
+        at: SimTime::from_secs(5),
+        node: NodeId(2),
+    });
+    cfg.failures.push(FailureEvent::NodeUp {
+        at: SimTime::from_secs(12),
+        node: NodeId(2),
+    });
+    cfg.files.push(FileSpec::new("late", 4 * BLOCK));
+    let jobs = vec![
+        JobSpec::map_only(JobId(0), "job", SimTime::ZERO, vec!["in".into()]),
+        JobSpec::map_only(JobId(1), "late", SimTime::from_secs(60), vec!["late".into()]),
+    ];
+    let r = Simulation::new(cfg, jobs).run();
+    assert_eq!(r.repairs, 0, "node came back before the grace period ended");
+    assert_eq!(r.jobs.len(), 2);
+}
+
+/// The simulator measures its own disk utilization: busy during the map
+/// waves, bounded in [0, 1], and the interfered node pegged near 1.0.
+#[test]
+fn measured_utilization_is_sane() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 29);
+    cfg.files.push(FileSpec::new("in", 20 * BLOCK));
+    cfg.interference
+        .push(dyrs_cluster::InterferenceSchedule::persistent(NodeId(0), 2));
+    let jobs = vec![JobSpec::map_only(
+        JobId(0),
+        "job",
+        SimTime::ZERO,
+        vec!["in".into()],
+    )];
+    let r = Simulation::new(cfg, jobs).run();
+    for n in &r.nodes {
+        for &(_, u) in n.utilization_series.points() {
+            assert!((0.0..=1.0).contains(&u), "{}: utilization {u}", n.node);
+        }
+    }
+    // the dd-hammered node is essentially always busy
+    let slow_mean = r.nodes[0]
+        .utilization_series
+        .time_weighted_mean(SimTime::from_secs(2), r.end_time, 0.0);
+    assert!(slow_mean > 0.9, "interfered node utilization {slow_mean:.2}");
+    // some quiet node had idle time too
+    let min_mean = r
+        .nodes
+        .iter()
+        .skip(1)
+        .map(|n| {
+            n.utilization_series
+                .time_weighted_mean(SimTime::from_secs(2), r.end_time, 0.0)
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_mean < 0.95, "someone must have idled: {min_mean:.2}");
+}
+
+/// §III-C1: a failed master *server* loses migration requests until the
+/// replacement is rerouted; with a live backup (zero reroute) the gap is
+/// negligible. Jobs always complete either way.
+#[test]
+fn master_server_failure_vs_live_backup() {
+    let run = |reroute_secs: u64| {
+        let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 31);
+        cfg.files.push(FileSpec::new("a", 10 * BLOCK));
+        cfg.files.push(FileSpec::new("b", 10 * BLOCK));
+        cfg.failures.push(FailureEvent::MasterServerFailure {
+            at: SimTime::from_secs(2),
+            reroute: SimDuration::from_secs(reroute_secs),
+        });
+        let jobs = vec![
+            JobSpec::map_only(JobId(0), "early", SimTime::ZERO, vec!["a".into()]),
+            // submitted while the slow-reroute master is unreachable
+            JobSpec::map_only(JobId(1), "during", SimTime::from_secs(4), vec!["b".into()]),
+        ];
+        Simulation::new(cfg, jobs).run()
+    };
+    let slow = run(60);
+    let backup = run(0);
+    assert_eq!(slow.jobs.len(), 2, "jobs must survive the outage");
+    assert_eq!(backup.jobs.len(), 2);
+    // the job submitted during the outage lost its migration request
+    let slow_during = slow.job(JobId(1)).expect("completed");
+    let backup_during = backup.job(JobId(1)).expect("completed");
+    assert!(
+        slow_during.memory_read_fraction < 0.1,
+        "no master, no migration: {}",
+        slow_during.memory_read_fraction
+    );
+    assert!(
+        backup_during.memory_read_fraction > 0.8,
+        "live backup keeps migration alive: {}",
+        backup_during.memory_read_fraction
+    );
+    assert!(backup_during.duration < slow_during.duration);
+}
+
+/// Rack-aware clusters: when the spec spans racks, placement follows
+/// HDFS's two-rack pattern and the whole pipeline still works.
+#[test]
+fn rack_aware_cluster_end_to_end() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 37);
+    cfg.cluster = dyrs_cluster::ClusterSpec::uniform_racked(8, 2);
+    cfg.files.push(FileSpec::new("in", 12 * BLOCK));
+    let jobs = vec![JobSpec::map_only(
+        JobId(0),
+        "job",
+        SimTime::ZERO,
+        vec!["in".into()],
+    )];
+    let racks = cfg.cluster.racks();
+    let r = Simulation::new(cfg, jobs).run();
+    assert_eq!(r.jobs.len(), 1);
+    assert!(r.memory_read_fraction() > 0.8);
+    // every block was read, and reads came from both racks over the run
+    let rack_of = |n: dyrs_cluster::NodeId| racks[n.index()];
+    let used: std::collections::HashSet<u32> =
+        r.reads.iter().map(|rd| rack_of(rd.source)).collect();
+    assert_eq!(used.len(), 2, "reads should touch both racks");
+}

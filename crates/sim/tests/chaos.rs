@@ -1,0 +1,118 @@
+//! Chaos testing: randomized failure schedules over randomized workloads
+//! must never deadlock, double-account, or violate conservation — the
+//! §III-C resilience story under adversarial conditions.
+
+use dyrs::MigrationPolicy;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::JobId;
+use dyrs_engine::JobSpec;
+use dyrs_sim::{FailureEvent, FileSpec, SimConfig, Simulation};
+use simkit::{Rng, SimTime};
+
+const BLOCK: u64 = 256 << 20;
+
+/// Build a random failure schedule that never takes down more than one
+/// node at a time for long (3x replication tolerates it) and always ends
+/// with every node back up.
+fn random_failures(rng: &mut Rng) -> Vec<FailureEvent> {
+    let mut failures = Vec::new();
+    let mut t = 3u64;
+    let mut down: Option<NodeId> = None;
+    for _ in 0..rng.range_u64(2, 10) {
+        t += rng.range_u64(2, 12);
+        let at = SimTime::from_secs(t);
+        match rng.below(5) {
+            0 => failures.push(FailureEvent::MasterRestart { at }),
+            1 => failures.push(FailureEvent::SlaveRestart {
+                at,
+                node: NodeId(rng.below(7) as u32),
+            }),
+            2 => {
+                if let Some(node) = down.take() {
+                    failures.push(FailureEvent::NodeUp { at, node });
+                } else {
+                    let node = NodeId(rng.below(7) as u32);
+                    down = Some(node);
+                    failures.push(FailureEvent::NodeDown { at, node });
+                }
+            }
+            3 => failures.push(FailureEvent::KillJob {
+                at,
+                job: JobId(rng.below(3)),
+            }),
+            _ => {}
+        }
+    }
+    if let Some(node) = down {
+        failures.push(FailureEvent::NodeUp {
+            at: SimTime::from_secs(t + 20),
+            node,
+        });
+    }
+    failures
+}
+
+#[test]
+fn random_failure_storms_never_hang() {
+    let mut rng = Rng::new(0xC0FFEE);
+    for round in 0..20 {
+        let seed = rng.next_u64();
+        let policy = *rng.pick(&[
+            MigrationPolicy::Dyrs,
+            MigrationPolicy::Ignem,
+            MigrationPolicy::Naive,
+            MigrationPolicy::Disabled,
+        ]);
+        let mut cfg = SimConfig::paper_default(policy, seed);
+        cfg.dyrs.migration_order = *rng.pick(&dyrs::MigrationOrder::all());
+        cfg.dyrs.max_concurrent_migrations = rng.range_u64(1, 4) as usize;
+        cfg.re_replication_delay = simkit::SimDuration::from_secs(rng.range_u64(5, 25));
+        cfg.horizon = SimTime::from_secs(1200); // hang detector
+        let njobs = rng.range_u64(2, 5);
+        let mut jobs = Vec::new();
+        for j in 0..njobs {
+            let blocks = rng.range_u64(1, 10);
+            cfg.files
+                .push(FileSpec::new(format!("f{j}"), blocks * BLOCK));
+            jobs.push(JobSpec::map_only(
+                JobId(j),
+                format!("j{j}"),
+                SimTime::from_secs(rng.range_u64(0, 8)),
+                vec![format!("f{j}")],
+            ));
+        }
+        cfg.failures = random_failures(&mut rng);
+        let kill_targets: Vec<JobId> = cfg
+            .failures
+            .iter()
+            .filter_map(|f| match f {
+                FailureEvent::KillJob { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        let r = Simulation::new(cfg, jobs).run();
+        // every job is accounted for exactly once
+        assert_eq!(
+            r.jobs.len() + r.failed_jobs.len(),
+            njobs as usize,
+            "round {round} (seed {seed}, {policy:?}): lost a job"
+        );
+        assert!(
+            r.end_time < SimTime::from_secs(1200),
+            "round {round}: hit the hang-detector horizon"
+        );
+        // only explicitly killed jobs may fail (one node down at a time
+        // never defeats 3x replication)
+        for f in &r.failed_jobs {
+            assert!(
+                kill_targets.contains(f),
+                "round {round}: job {f:?} failed without being killed"
+            );
+        }
+        // no job completed twice
+        let mut ids: Vec<JobId> = r.jobs.iter().map(|j| j.job).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), r.jobs.len(), "round {round}: duplicate completion");
+    }
+}

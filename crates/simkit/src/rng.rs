@@ -1,0 +1,319 @@
+//! Seedable random numbers and the sampling distributions used by the
+//! workload generators.
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64, exactly as
+//! specified by Blackman & Vigna. It is small, fast, fully reproducible
+//! across platforms, and more than good enough for workload synthesis (we
+//! are not doing cryptography). Implementing it here keeps the simulation
+//! kernel independent of external RNG API churn.
+
+/// A deterministic xoshiro256++ random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive an independent child generator from this one and a stream id.
+    ///
+    /// Used to give each workload / node / job its own stream so that adding
+    /// one more consumer does not perturb the samples everyone else sees.
+    pub fn derive(&self, stream: u64) -> Rng {
+        // Mix the stream id into a fresh seed through SplitMix64 twice so
+        // adjacent stream ids produce uncorrelated states.
+        let mut sm = self.s[0] ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let a = splitmix64(&mut sm);
+        Rng::new(a ^ self.s[2].rotate_left(17))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — safe for `ln()`.
+    #[inline]
+    pub fn f64_open(&mut self) -> f64 {
+        1.0 - self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased results.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64: {lo} > {hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "range_f64: {lo} > {hi}");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Exponential with the given mean (`mean = 1/λ`).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * self.f64_open().ln()
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = self.f64_open();
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative std_dev");
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Log-normal where the *underlying* normal has parameters `(mu, sigma)`.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Pareto (type I) with scale `x_min > 0` and shape `alpha > 0`.
+    ///
+    /// Heavy-tailed: used for job input sizes, which production traces show
+    /// to be dominated by a few very large jobs.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto params");
+        x_min / self.f64_open().powf(1.0 / alpha)
+    }
+
+    /// Zipf-distributed rank in `[1, n]` with exponent `s`, via inverse
+    /// transform on the exact CDF (O(n) precompute is avoided; this uses
+    /// rejection-free search over partial sums and is intended for small `n`).
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "zipf over empty support");
+        let h: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let mut u = self.f64() * h;
+        for k in 1..=n {
+            u -= (k as f64).powf(-s);
+            if u <= 0.0 {
+                return k;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let root = Rng::new(7);
+        let mut c1 = root.derive(1);
+        let mut c1b = root.derive(1);
+        let mut c2 = root.derive(2);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Rng::new(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // each bucket expects 10_000; allow ±5%
+            assert!((9_500..=10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let mut r = Rng::new(11);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range_u64(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = Rng::new(21);
+        let n = 200_000;
+        let mean = 8.8;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let m = sum / n as f64;
+        assert!((m - mean).abs() < 0.1, "sample mean {m}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = Rng::new(23);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_and_bounded_below() {
+        let mut r = Rng::new(31);
+        let xs: Vec<f64> = (0..100_000).map(|_| r.pareto(1.0, 1.2)).collect();
+        assert!(xs.iter().all(|&x| x >= 1.0));
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 100.0, "expected heavy tail, max {max}");
+    }
+
+    #[test]
+    fn zipf_rank1_most_likely() {
+        let mut r = Rng::new(37);
+        let mut counts = [0usize; 6];
+        for _ in 0..50_000 {
+            counts[r.zipf(5, 1.0) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(41);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = Rng::new(43);
+        let xs = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(xs.contains(r.pick(&xs)));
+        }
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut r = Rng::new(47);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((24_000..=26_000).contains(&hits), "hits {hits}");
+    }
+}

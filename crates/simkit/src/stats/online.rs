@@ -1,0 +1,177 @@
+//! Streaming moments (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass mean / variance / min / max accumulator.
+///
+/// Uses Welford's numerically stable update; O(1) memory regardless of the
+/// number of samples, so every task/job/node in a large simulation can carry
+/// one of these.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in a sample.
+    pub fn observe(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample: {x}");
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator into this one (Chan's parallel formula).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n = n;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0.0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroes() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.observe(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.observe(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.observe(x);
+        }
+        for &x in &xs[37..] {
+            b.observe(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.observe(3.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 3.0);
+    }
+}

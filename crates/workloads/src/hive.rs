@@ -1,0 +1,222 @@
+//! TPC-DS-style Hive queries (paper §V-B1, Fig. 4).
+//!
+//! The paper runs the ten TPC-DS queries that exist in HiveQL form on
+//! Hive 2.3.2. What matters for migration is each query's *shape*, not
+//! its SQL: how much cold table data the first stage scans, how selective
+//! the scan is (map output ≪ input — the paper measured maps at ~97% of
+//! query runtime), and how many shorter stages follow. We model each
+//! query as a chain of MapReduce jobs with those shapes, sized relative
+//! to a TPC-DS scale factor.
+//!
+//! Query names follow the TPC-DS numbering the paper's figures use
+//! (q15 is the one with the paper's best speedup).
+
+use crate::Workload;
+use dyrs_dfs::JobId;
+use dyrs_engine::JobSpec;
+use dyrs_sim::FileSpec;
+use simkit::{SimDuration, SimTime};
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+/// Per-byte CPU cost multiplier of Hive's SQL operators relative to the
+/// engine's light default mapper.
+pub const HIVE_CPU_FACTOR: f64 = 8.0;
+
+/// Shape of one modeled query.
+#[derive(Debug, Clone)]
+pub struct HiveQuery {
+    /// TPC-DS-style label ("q15").
+    pub name: &'static str,
+    /// Cold bytes the first stage scans at scale factor 1.0.
+    pub scan_bytes: u64,
+    /// Map-output : input selectivity of the scan stage (small — SELECT
+    /// plus WHERE predicates drop most data).
+    pub selectivity: f64,
+    /// Number of follow-up stages (joins/aggregations over reduced data).
+    pub follow_stages: usize,
+    /// Tables the scan stage touches, as fractions of `scan_bytes`; the
+    /// first entry is the fact table (store_sales / web_sales / ...), the
+    /// rest the joined dimensions. Fractions sum to 1.
+    pub tables: &'static [(&'static str, f64)],
+}
+
+/// The common TPC-DS scan shape: one dominant fact table plus small
+/// dimension tables (date_dim, item, customer...).
+const FACT_HEAVY: &[(&str, f64)] = &[
+    ("store_sales", 0.92),
+    ("date_dim", 0.01),
+    ("item", 0.03),
+    ("customer", 0.04),
+];
+const WEB_SALES: &[(&str, f64)] = &[
+    ("web_sales", 0.90),
+    ("date_dim", 0.01),
+    ("customer_address", 0.04),
+    ("customer", 0.05),
+];
+const TWO_FACT: &[(&str, f64)] = &[
+    ("store_sales", 0.62),
+    ("store_returns", 0.30),
+    ("date_dim", 0.01),
+    ("store", 0.07),
+];
+
+/// The ten queries, ordered by scan size like Fig. 4b (sorted by input).
+pub fn queries() -> Vec<HiveQuery> {
+    vec![
+        HiveQuery { name: "q55", scan_bytes: 9 * GB, selectivity: 0.03, follow_stages: 1, tables: FACT_HEAVY },
+        HiveQuery { name: "q3", scan_bytes: 11 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
+        HiveQuery { name: "q52", scan_bytes: 12 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
+        HiveQuery { name: "q19", scan_bytes: 15 * GB, selectivity: 0.04, follow_stages: 2, tables: WEB_SALES },
+        HiveQuery { name: "q42", scan_bytes: 17 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
+        HiveQuery { name: "q15", scan_bytes: 21 * GB, selectivity: 0.01, follow_stages: 1, tables: WEB_SALES },
+        HiveQuery { name: "q12", scan_bytes: 26 * GB, selectivity: 0.05, follow_stages: 2, tables: WEB_SALES },
+        HiveQuery { name: "q7", scan_bytes: 34 * GB, selectivity: 0.04, follow_stages: 2, tables: FACT_HEAVY },
+        HiveQuery { name: "q27", scan_bytes: 43 * GB, selectivity: 0.03, follow_stages: 2, tables: TWO_FACT },
+        HiveQuery { name: "q89", scan_bytes: 54 * GB, selectivity: 0.03, follow_stages: 2, tables: TWO_FACT },
+    ]
+}
+
+/// Build the workload for one query at the given scale factor: the table
+/// file plus a chain of stage jobs. Hive triggers migration right after
+/// query compilation (§IV-B), which the simulator models as the first
+/// stage's submission-time migration request.
+pub fn query_workload(q: &HiveQuery, scale: f64, base_job_id: u64) -> Workload {
+    assert!(scale > 0.0, "non-positive scale");
+    let scan = (q.scan_bytes as f64 * scale) as u64;
+    // One file per table the scan touches: the dominant fact table plus
+    // the joined dimension tables, sized by their catalog fractions.
+    let mut files = Vec::with_capacity(q.tables.len());
+    let mut table_names = Vec::with_capacity(q.tables.len());
+    for (tname, frac) in q.tables {
+        let fname = format!("tpcds/{}/{tname}", q.name);
+        files.push(FileSpec::new(
+            fname.clone(),
+            ((scan as f64 * frac) as u64).max(MB),
+        ));
+        table_names.push(fname);
+    }
+
+    let mut jobs = Vec::with_capacity(1 + q.follow_stages);
+    // Stage 1: the big cold scan over every touched table.
+    let shuffle1 = ((scan as f64 * q.selectivity) as u64).max(8 * MB);
+    let mut s1 = JobSpec::map_only(
+        JobId(base_job_id),
+        format!("{}-s1", q.name),
+        SimTime::ZERO,
+        table_names,
+    );
+    s1.shuffle_bytes = shuffle1;
+    s1.reduce_tasks = ((shuffle1 / GB) + 1).min(7) as usize;
+    // Hive compiles the query before submitting the first stage and the
+    // migration call sits right after compilation (§IV-B), so stage 1
+    // enjoys extra lead-time beyond the platform overhead.
+    s1.extra_lead_time = SimDuration::from_secs(5);
+    // SQL operators (deserialization, predicates, projections) are far
+    // heavier per byte than trace-replay mappers.
+    s1.cpu_factor = HIVE_CPU_FACTOR;
+    jobs.push(s1);
+
+    // Follow-up stages: each consumes a shrinking intermediate. Their
+    // inputs are materialized intermediates (small, written hot just
+    // before the read — modeled as small files read by the next stage).
+    let mut inter = shuffle1;
+    let mut prev = JobId(base_job_id);
+    for k in 0..q.follow_stages {
+        inter = (inter / 4).max(4 * MB);
+        let fname = format!("tpcds/{}-inter{}", q.name, k);
+        files.push(FileSpec::new(fname.clone(), inter));
+        let id = JobId(base_job_id + 1 + k as u64);
+        let mut s = JobSpec::map_only(
+            id,
+            format!("{}-s{}", q.name, k + 2),
+            SimTime::ZERO,
+            vec![fname],
+        );
+        s.depends_on = vec![prev];
+        s.shuffle_bytes = inter / 4;
+        s.reduce_tasks = 1;
+        s.cpu_factor = HIVE_CPU_FACTOR;
+        jobs.push(s);
+        prev = id;
+    }
+    Workload { files, jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_queries_sorted_by_scan() {
+        let qs = queries();
+        assert_eq!(qs.len(), 10);
+        assert!(qs.windows(2).all(|w| w[0].scan_bytes <= w[1].scan_bytes));
+        assert!(qs.iter().any(|q| q.name == "q15"));
+    }
+
+    #[test]
+    fn selectivity_is_high() {
+        for q in queries() {
+            assert!(
+                q.selectivity <= 0.05,
+                "{}: scans must filter heavily (got {})",
+                q.name,
+                q.selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn workload_chains_stages() {
+        let qs = queries();
+        let w = query_workload(&qs[3], 1.0, 100); // q19, 2 follow stages
+        assert_eq!(w.jobs.len(), 3);
+        assert_eq!(w.files.len(), qs[3].tables.len() + 2); // tables + 2 intermediates
+        assert!(w.jobs[0].depends_on.is_empty());
+        assert_eq!(w.jobs[1].depends_on, vec![JobId(100)]);
+        assert_eq!(w.jobs[2].depends_on, vec![JobId(101)]);
+        // the fact table dominates; intermediates shrink below dimensions
+        let inter = w.files.last().expect("files");
+        assert!(inter.bytes < w.files[0].bytes / 10);
+    }
+
+    #[test]
+    fn table_fractions_sum_to_one() {
+        for q in queries() {
+            let sum: f64 = q.tables.iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: fractions sum {sum}", q.name);
+            assert!(q.tables[0].1 > 0.5, "{}: first entry must be the fact table", q.name);
+        }
+    }
+
+    #[test]
+    fn stage1_reads_every_table() {
+        let q = &queries()[0];
+        let w = query_workload(q, 1.0, 0);
+        assert_eq!(w.jobs[0].input_files.len(), q.tables.len());
+        let total: u64 = w.files[..q.tables.len()].iter().map(|f| f.bytes).sum();
+        let want = q.scan_bytes;
+        assert!(
+            (total as f64 - want as f64).abs() / (want as f64) < 0.01,
+            "table sizes must sum to the scan: {total} vs {want}"
+        );
+    }
+
+    #[test]
+    fn scale_factor_scales_scan() {
+        let qs = queries();
+        let half = query_workload(&qs[0], 0.5, 0);
+        let full = query_workload(&qs[0], 1.0, 0);
+        let diff = (half.files[0].bytes as i64 * 2 - full.files[0].bytes as i64).abs();
+        assert!(diff <= 2, "fact table must scale linearly ({diff})");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_scale_rejected() {
+        query_workload(&queries()[0], 0.0, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dyrs-workloads — workload and trace generators
+//!
+//! The three evaluation workloads (paper §V-B) plus the Google-trace
+//! synthesis used by the motivation section (§II):
+//!
+//! * [`swim`] — a 200-job trace-style workload with the published
+//!   SWIM/Facebook marginals: heavy-tailed input sizes (85% of jobs under
+//!   64 MB, a few up to 24 GB), 170 GB cumulative input, inter-arrival
+//!   times reduced 75% to force concurrency;
+//! * [`hive`] — ten TPC-DS-style queries modeled as chains of
+//!   map-dominant MapReduce jobs with high input selectivity (the paper
+//!   measured map tasks at ~97% of query runtime);
+//! * [`sort`] — Sort jobs across input sizes and artificial lead-times
+//!   (Figs. 8–11, Table II);
+//! * [`google`] — synthetic per-node disk-utilization traces and job
+//!   lead-time/read-time populations calibrated to the Google cluster
+//!   trace statistics the paper reports (Figs. 1–3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod google;
+pub mod hive;
+pub mod iterative;
+pub mod sort;
+pub mod swim;
+
+use dyrs_engine::JobSpec;
+use dyrs_sim::FileSpec;
+
+/// A ready-to-run workload: the files that must pre-exist in the DFS and
+/// the jobs to submit.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// Input files.
+    pub files: Vec<FileSpec>,
+    /// Jobs, with submission times and dependencies.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl Workload {
+    /// Total bytes across all input files.
+    pub fn total_input_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}

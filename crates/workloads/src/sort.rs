@@ -1,0 +1,64 @@
+//! Sort jobs (paper §V-B3, §V-F).
+//!
+//! Sort is the adversarial case for migration: no data reduction (shuffle
+//! equals input), so the map phase is a smaller share of the job than in
+//! filtering workloads — the paper sees "up to 20%" speedup here versus
+//! 36% for Hive. The Fig. 8–11 and Table II experiments all use Sort with
+//! varying input sizes, lead-times and interference patterns.
+
+use crate::Workload;
+use dyrs_dfs::JobId;
+use dyrs_engine::JobSpec;
+use dyrs_sim::FileSpec;
+use simkit::{SimDuration, SimTime};
+
+const GB: u64 = 1 << 30;
+
+/// Build a single Sort job over `input_bytes`, with optional artificial
+/// extra lead-time (Fig. 11b).
+pub fn sort_workload(input_bytes: u64, extra_lead_time: SimDuration, job_id: u64) -> Workload {
+    let file = format!("sort/input-{job_id}");
+    let mut spec = JobSpec::map_only(
+        JobId(job_id),
+        format!("sort-{}g", input_bytes / GB),
+        SimTime::ZERO,
+        vec![file.clone()],
+    );
+    // Sort: every input byte is shuffled and written back out.
+    spec.shuffle_bytes = input_bytes;
+    spec.reduce_tasks = ((input_bytes / (2 * GB)) + 1).min(14) as usize;
+    spec.extra_lead_time = extra_lead_time;
+    Workload {
+        files: vec![FileSpec::new(file, input_bytes)],
+        jobs: vec![spec],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_shuffles_everything() {
+        let w = sort_workload(10 * GB, SimDuration::ZERO, 0);
+        assert_eq!(w.jobs.len(), 1);
+        assert_eq!(w.jobs[0].shuffle_bytes, 10 * GB);
+        assert!(w.jobs[0].reduce_tasks >= 1);
+        assert_eq!(w.total_input_bytes(), 10 * GB);
+    }
+
+    #[test]
+    fn lead_time_is_propagated() {
+        let w = sort_workload(GB, SimDuration::from_secs(30), 2);
+        assert_eq!(w.jobs[0].extra_lead_time, SimDuration::from_secs(30));
+        assert_eq!(w.jobs[0].id, JobId(2));
+    }
+
+    #[test]
+    fn reduce_count_scales_with_size() {
+        let small = sort_workload(GB, SimDuration::ZERO, 0);
+        let big = sort_workload(20 * GB, SimDuration::ZERO, 1);
+        assert!(big.jobs[0].reduce_tasks > small.jobs[0].reduce_tasks);
+        assert!(big.jobs[0].reduce_tasks <= 14);
+    }
+}

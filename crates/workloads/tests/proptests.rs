@@ -1,0 +1,95 @@
+//! Property-based tests for the workload generators: the published
+//! marginals must hold for *every* seed, not just the pinned one.
+
+use dyrs_workloads::{google, hive, sort, swim};
+use proptest::prelude::*;
+use simkit::SimDuration;
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SWIM marginals hold for any seed: job count, ~85% small jobs,
+    /// total ≈ 170 GB, max ≈ 24 GB, nondecreasing arrivals.
+    #[test]
+    fn swim_marginals_any_seed(seed in any::<u64>()) {
+        let w = swim::generate(&swim::SwimParams::default(), seed);
+        prop_assert_eq!(w.len(), 200);
+        let small = w.files.iter().filter(|f| f.bytes < 64 * MB).count() as f64 / 200.0;
+        prop_assert!((0.75..=0.95).contains(&small), "small fraction {small}");
+        let total = w.total_input_bytes();
+        prop_assert!(
+            (140 * GB..=200 * GB).contains(&total),
+            "total {} GB", total / GB
+        );
+        let max = w.files.iter().map(|f| f.bytes).max().expect("files");
+        prop_assert!(max <= 24 * GB, "max job {} GB", max / GB);
+        let times: Vec<_> = w.jobs.iter().map(|j| j.submit_at).collect();
+        prop_assert!(times.windows(2).all(|p| p[0] <= p[1]));
+        // every job's input file exists
+        for j in &w.jobs {
+            for f in &j.input_files {
+                prop_assert!(w.files.iter().any(|x| &x.name == f), "missing {f}");
+            }
+        }
+    }
+
+    /// Hive query workloads are well-formed at any scale: stage chains
+    /// are acyclic and every referenced file exists.
+    #[test]
+    fn hive_workloads_well_formed(scale in 0.05f64..2.0, qi in 0usize..10) {
+        let q = &hive::queries()[qi];
+        let w = hive::query_workload(q, scale, 500);
+        prop_assert_eq!(w.jobs.len(), 1 + q.follow_stages);
+        for (i, j) in w.jobs.iter().enumerate() {
+            if i == 0 {
+                prop_assert!(j.depends_on.is_empty());
+            } else {
+                prop_assert_eq!(j.depends_on.len(), 1);
+                prop_assert_eq!(j.depends_on[0], w.jobs[i - 1].id);
+            }
+            for f in &j.input_files {
+                prop_assert!(w.files.iter().any(|x| &x.name == f));
+            }
+            prop_assert!(j.cpu_factor >= 1.0, "Hive compute is heavy");
+        }
+        // the scan dominates: stage-1 input ≫ any follow-up input
+        prop_assert!(w.files[0].bytes >= 10 * w.files.last().expect("files").bytes);
+    }
+
+    /// Sort workloads shuffle exactly their input and scale reduce counts.
+    #[test]
+    fn sort_well_formed(gb in 1u64..64, lead in 0u64..300) {
+        let w = sort::sort_workload(gb << 30, SimDuration::from_secs(lead), 9);
+        prop_assert_eq!(w.jobs[0].shuffle_bytes, gb << 30);
+        prop_assert!(w.jobs[0].reduce_tasks >= 1);
+        prop_assert!(w.jobs[0].reduce_tasks <= 14);
+        prop_assert_eq!(w.jobs[0].extra_lead_time, SimDuration::from_secs(lead));
+        prop_assert_eq!(w.total_input_bytes(), gb << 30);
+    }
+
+    /// Google job populations keep their calibrated statistics under any
+    /// seed (the motivation figures are seed-robust).
+    #[test]
+    fn google_population_any_seed(seed in any::<u64>()) {
+        let jobs = google::job_population(seed, 30_000);
+        let frac = google::migratable_fraction(&jobs);
+        prop_assert!((0.77..=0.85).contains(&frac), "migratable {frac}");
+        let mean = jobs.iter().map(|j| j.lead_secs).sum::<f64>() / jobs.len() as f64;
+        prop_assert!((6.5..=11.5).contains(&mean), "mean lead {mean}");
+        prop_assert!(jobs.iter().all(|j| j.lead_secs > 0.0 && j.read_secs > 0.0));
+    }
+
+    /// Utilization traces stay in [0,1] and are never flat.
+    #[test]
+    fn google_traces_bounded(seed in any::<u64>(), node in 0u64..64) {
+        let t = google::node_utilization_trace(seed, node, google::SAMPLES_24H);
+        prop_assert_eq!(t.len(), google::SAMPLES_24H);
+        prop_assert!(t.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let var = t.iter().map(|u| (u - mean).powi(2)).sum::<f64>() / t.len() as f64;
+        prop_assert!(var > 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Failure drill: inject every failure the paper's §III-C discusses into
+//! one run — a DYRS master restart, a slave restart, a whole-server loss
+//! and a job killed without its evict call — and verify the system
+//! degrades gracefully (jobs still finish; leaked buffers get scavenged).
+//!
+//! ```sh
+//! cargo run --release --example failure_drill
+//! ```
+
+use dyrs::MigrationPolicy;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::JobId;
+use dyrs_engine::JobSpec;
+use dyrs_sim::{FailureEvent, FileSpec, SimConfig, Simulation};
+use simkit::SimTime;
+
+const BLOCK: u64 = 256 << 20;
+
+fn main() {
+    let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 42);
+    for i in 0..4 {
+        cfg.files.push(FileSpec::new(format!("data/f{i}"), 10 * BLOCK));
+    }
+    // Keep buffers tight so the kill-without-evict leak must be scavenged.
+    cfg.mem_limit = Some(4 * BLOCK);
+    cfg.failures = vec![
+        FailureEvent::MasterRestart { at: SimTime::from_secs(6) },
+        FailureEvent::SlaveRestart { at: SimTime::from_secs(14), node: NodeId(2) },
+        FailureEvent::KillJob { at: SimTime::from_secs(10), job: JobId(1) },
+        FailureEvent::NodeDown { at: SimTime::from_secs(20), node: NodeId(5) },
+        FailureEvent::NodeUp { at: SimTime::from_secs(45), node: NodeId(5) },
+    ];
+    let jobs: Vec<JobSpec> = (0..4)
+        .map(|i| {
+            JobSpec::map_only(
+                JobId(i),
+                format!("job-{i}"),
+                SimTime::from_secs(i * 3),
+                vec![format!("data/f{i}")],
+            )
+        })
+        .collect();
+
+    let r = Simulation::new(cfg, jobs).run();
+
+    println!("injected: master restart @6s, job-1 kill @10s, slave-2 restart @14s,");
+    println!("          node5 down @20s, node5 back @45s\n");
+    for j in &r.jobs {
+        println!(
+            "  {} finished in {:.1}s ({:.0}% memory reads)",
+            j.name,
+            j.duration.as_secs_f64(),
+            j.memory_read_fraction * 100.0
+        );
+    }
+    println!("\n  failed jobs: {:?} (job_1 was killed on purpose)", r.failed_jobs);
+    println!("  speculative re-executions: {}", r.speculations);
+    let leaked: u64 = r
+        .nodes
+        .iter()
+        .filter_map(|n| n.buffer_series.points().last().map(|&(_, v)| v as u64))
+        .sum();
+    println!(
+        "  bytes still buffered at the end: {} MB\n  (the killed job never evicted; DYRS scavenges such leaks lazily,\n   whenever a slave crosses its memory-pressure threshold — §III-C3)",
+        leaked >> 20
+    );
+
+    assert_eq!(r.jobs.len(), 3, "the three surviving jobs must complete");
+    assert_eq!(r.failed_jobs, vec![JobId(1)]);
+    println!("\nall surviving jobs completed — DYRS degraded, never broke.");
+}

@@ -1,0 +1,69 @@
+//! Run the full SWIM/Facebook-style workload (the paper's Table I
+//! experiment) under one policy and print a job-level breakdown.
+//!
+//! ```sh
+//! cargo run --release --example swim_trace              # DYRS, scale 0.5
+//! cargo run --release --example swim_trace hdfs 1.0     # policy + scale
+//! ```
+
+use dyrs::MigrationPolicy;
+use dyrs_experiments::scenarios::{hetero_config, swim_params};
+use dyrs_sim::Simulation;
+use dyrs_workloads::swim::{self, size_bin, SizeBin};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let policy = match args.get(1).map(|s| s.to_lowercase()).as_deref() {
+        None | Some("dyrs") => MigrationPolicy::Dyrs,
+        Some("hdfs") => MigrationPolicy::Disabled,
+        Some("ram") => MigrationPolicy::InstantRam,
+        Some("ignem") => MigrationPolicy::Ignem,
+        Some("naive") => MigrationPolicy::Naive,
+        Some(other) => panic!("unknown policy {other}; try dyrs/hdfs/ram/ignem/naive"),
+    };
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let params = swim_params(scale);
+    let mut cfg = hetero_config(policy, 42);
+    let w = swim::generate(&params, 42);
+    println!(
+        "SWIM: {} jobs, {:.0} GB total input, policy {}, handicapped node0\n",
+        w.len(),
+        w.total_input_bytes() as f64 / (1u64 << 30) as f64,
+        policy.name()
+    );
+    cfg.files = w.files;
+    let r = Simulation::new(cfg, w.jobs).run();
+
+    let mut by_bin = [(0usize, 0.0f64); 3];
+    for j in &r.jobs {
+        let b = match size_bin(j.input_bytes) {
+            SizeBin::Small => 0,
+            SizeBin::Medium => 1,
+            SizeBin::Large => 2,
+        };
+        by_bin[b].0 += 1;
+        by_bin[b].1 += j.duration.as_secs_f64();
+    }
+    println!("mean job duration : {:.1}s", r.mean_job_duration_secs());
+    println!("mean map task     : {:.2}s", r.mean_map_task_secs());
+    println!("memory reads      : {:.0}%", r.memory_read_fraction() * 100.0);
+    for (label, (n, sum)) in ["small", "medium", "large"].iter().zip(by_bin) {
+        if n > 0 {
+            println!("{label:>7} jobs ({n:>3}) : {:.1}s mean", sum / n as f64);
+        }
+    }
+    println!("\nslowest five jobs:");
+    let mut jobs = r.jobs.clone();
+    jobs.sort_by_key(|j| std::cmp::Reverse(j.duration));
+    for j in jobs.iter().take(5) {
+        println!(
+            "  {:<10} {:>7}MB  {:>7.1}s  ({:.0}% memory reads)",
+            j.name,
+            j.input_bytes >> 20,
+            j.duration.as_secs_f64(),
+            j.memory_read_fraction * 100.0
+        );
+    }
+    println!("\n(paper Table I: HDFS 31.5s mean; DYRS +33%; Ignem -111%)");
+}

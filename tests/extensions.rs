@@ -1,0 +1,64 @@
+//! Workspace-level tests for the implemented future-work extensions and
+//! the sensitivity analysis — the parts of this repository that go
+//! *beyond* the paper must be as trustworthy as the reproduction itself.
+
+use dyrs_experiments::{iterative, policies, replay, sensitivity};
+
+const SEED: u64 = 20190520;
+
+/// §III future work: the alternative migration orders complete the SWIM
+/// workload and expose the expected trade-off (SJF favors the majority
+/// small-job class without tanking the mean).
+#[test]
+fn migration_order_study() {
+    let p = policies::run(SEED, 0.3);
+    let fifo = p.row("FIFO");
+    let sjf = p.row("SJF");
+    assert!(sjf.small_job_secs <= fifo.small_job_secs * 1.05);
+    assert!(sjf.mean_job_secs <= fifo.mean_job_secs * 1.25);
+    assert!(sjf.missed_reads <= fifo.missed_reads, "SJF wastes less intent");
+}
+
+/// §I motivation measured: DYRS collapses the cold first-iteration
+/// penalty of iterative analytics.
+#[test]
+fn iterative_motivation() {
+    let s = iterative::run(SEED);
+    let hdfs = s.get("logreg", "HDFS").penalty();
+    let dyrs = s.get("logreg", "DYRS").penalty();
+    assert!(hdfs > 3.0, "cold LogReg penalty {hdfs:.1}x");
+    assert!(dyrs < hdfs * 0.7, "DYRS must collapse it: {dyrs:.1}x");
+}
+
+/// §II closed loop: DYRS keeps a solid speedup under replayed
+/// Google-trace background conditions.
+#[test]
+fn google_conditions_replay() {
+    let r = replay::run(SEED, 0.3);
+    let dyrs = r.row("DYRS").speedup_vs_hdfs.expect("speedup");
+    assert!(dyrs > 0.1, "replayed-conditions DYRS speedup {dyrs:.2}");
+    let mean_bg =
+        r.background_means.iter().sum::<f64>() / r.background_means.len() as f64;
+    assert!(mean_bg < 0.25, "background stays production-light: {mean_bg:.2}");
+}
+
+/// The reproduction's conclusions survive every modeled perturbation.
+#[test]
+fn sensitivity_conclusions_robust() {
+    let s = sensitivity::run(SEED, 0.25);
+    for v in &s.variants {
+        assert!(
+            v.conclusions_hold(),
+            "{}: DYRS {:.2} RAM {:.2} Ignem {:.2}",
+            v.name,
+            v.dyrs,
+            v.ram,
+            v.ignem
+        );
+    }
+    // and the magnitude-vs-disk-busyness story: real spill writes shrink
+    // the DYRS benefit relative to the clean baseline
+    let base = s.variant("baseline").dyrs;
+    let spill = s.variant("spill-writes-real").dyrs;
+    assert!(spill < base + 0.02, "spill {spill:.2} vs base {base:.2}");
+}

@@ -1,0 +1,125 @@
+//! Workspace-level integration tests: the paper's headline claims, each
+//! exercised through the full stack (workload generator → simulator →
+//! experiment harness). These are the "did we reproduce the paper" tests;
+//! per-module shape tests live next to each experiment.
+
+use dyrs_experiments::{ablations, fig02, fig03, fig04, fig06, fig08, fig09, table1, table2};
+
+const SEED: u64 = 20190520;
+
+/// §I / Table I: "Jobs in a trace-based workload experience a speedup of
+/// 33% on average" and Ignem is slower than plain HDFS.
+#[test]
+fn swim_headline_speedups() {
+    let t = table1::run(SEED, 0.5);
+    let dyrs = t.speedup("DYRS");
+    let ram = t.speedup("HDFS-Inputs-in-RAM");
+    let ignem = t.speedup("Ignem");
+    assert!(
+        (0.15..=0.65).contains(&dyrs),
+        "DYRS SWIM speedup {dyrs:.2} (paper 0.33)"
+    );
+    assert!(ram > dyrs, "the in-RAM bound must dominate: {ram:.2} vs {dyrs:.2}");
+    assert!(ignem < 0.05, "Ignem must not meaningfully win: {ignem:.2}");
+    assert!(
+        dyrs / ram > 0.5,
+        "DYRS should capture most of the bound ({:.2})",
+        dyrs / ram
+    );
+}
+
+/// §I / Fig. 4: "DYRS accelerates Hive queries by up to 48%, and by 36%
+/// on average", with every query faster and Ignem trailing far behind.
+#[test]
+fn hive_headline_speedups() {
+    let f = fig04::run(SEED, 0.35);
+    let mean = f.mean_speedup("DYRS");
+    let (best_q, best) = f.best_speedup("DYRS");
+    assert!(
+        (0.25..=0.70).contains(&mean),
+        "DYRS mean Hive speedup {mean:.2} (paper 0.36)"
+    );
+    assert!(
+        best >= mean && best <= 0.75,
+        "best query {best_q} at {best:.2} (paper: 0.48)"
+    );
+    for q in &f.queries {
+        assert!(
+            f.normalized(q, "DYRS") < 0.95,
+            "{q}: every query must speed up"
+        );
+    }
+    assert!(
+        f.mean_speedup("Ignem") < mean - 0.2,
+        "Ignem must trail DYRS badly"
+    );
+}
+
+/// §V-E2 / Fig. 6: mapper tasks much faster under DYRS (paper: 1.8x).
+#[test]
+fn mapper_speedup() {
+    let f = fig06::run(SEED, 0.5);
+    let ratio = f.dyrs_map_ratio();
+    assert!(
+        (1.3..=8.0).contains(&ratio),
+        "HDFS/DYRS mean map-task ratio {ratio:.2} (paper 1.8x)"
+    );
+}
+
+/// §II-C1 / Fig. 2: 81% of jobs have lead-time ≥ read-time, mean lead 8.8s.
+#[test]
+fn google_lead_time_analysis() {
+    let f = fig02::run(SEED, 100_000);
+    assert!((0.78..=0.84).contains(&f.migratable_fraction));
+    assert!((7.5..=10.0).contains(&f.mean_lead_secs));
+}
+
+/// §II-C2 / Fig. 3: 80% of utilization samples under 4%, mean ~3.1%.
+#[test]
+fn google_utilization_analysis() {
+    let f = fig03::run(SEED, 40);
+    assert!((0.70..=0.90).contains(&f.under_4pct));
+    assert!((0.015..=0.05).contains(&f.mean));
+}
+
+/// §V-F1 / Fig. 8: with a handicapped node, DYRS redirects load away
+/// while Ignem keeps loading it uniformly.
+#[test]
+fn heterogeneity_adaptation() {
+    let f = fig08::run(SEED, 14);
+    assert!(f.get("DYRS", true).slow_node_share() < f.get("Ignem", true).slow_node_share());
+}
+
+/// §V-F2 / Table II: equal total interference ⇒ equal Sort runtime.
+#[test]
+fn interference_invariance() {
+    let t = table2::run(SEED, 10);
+    let a = t.runtime("9a");
+    let d = t.runtime("9d");
+    let e = t.runtime("9e");
+    let spread = (a.max(d).max(e) - a.min(d).min(e)) / a;
+    assert!(
+        spread < 0.25,
+        "full-duty patterns must roughly coincide: a={a:.1} d={d:.1} e={e:.1}"
+    );
+}
+
+/// §V-F2 / Fig. 9: the migration-time estimate tracks interference and
+/// recovers when it stops.
+#[test]
+fn estimate_tracking() {
+    let f = fig09::run(SEED, 10);
+    let s = f.pattern("9c");
+    let on = fig09::window_mean(&s.node1, 8.0, 20.0);
+    let off = fig09::window_mean(&s.node1, 28.0, 40.0);
+    assert!(on > off, "estimate must fall in the off window: {on:.1} vs {off:.1}");
+}
+
+/// DESIGN.md ablations: each DYRS mechanism pulls its weight.
+#[test]
+fn ablations_hold() {
+    let b = ablations::binding(SEED, 10);
+    assert!(b.row("DYRS").job_secs < b.row("Ignem").job_secs);
+    let e = ablations::eviction(SEED, 10);
+    assert!(e.row("implicit").peak_buffer_bytes <= e.row("explicit").peak_buffer_bytes);
+}
