@@ -48,12 +48,16 @@ fn bench_algo1(c: &mut Criterion) {
     for gb in [50u64, 200, 800] {
         let blocks = gb * 1024 / 256;
         let mut m = loaded_master(blocks);
-        g.bench_with_input(BenchmarkId::new("retarget_pending", format!("{gb}GB")), &gb, |b, _| {
-            b.iter(|| {
-                m.retarget();
-                black_box(m.pending_len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("retarget_pending", format!("{gb}GB")),
+            &gb,
+            |b, _| {
+                b.iter(|| {
+                    m.retarget();
+                    black_box(m.pending_len())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -139,8 +143,7 @@ mod sim_throughput {
             b.iter(|| {
                 let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 11);
                 for i in 0..8u64 {
-                    cfg.files
-                        .push(FileSpec::new(format!("f{i}"), 6 * BLOCK));
+                    cfg.files.push(FileSpec::new(format!("f{i}"), 6 * BLOCK));
                 }
                 let jobs: Vec<JobSpec> = (0..8u64)
                     .map(|i| {

@@ -75,5 +75,11 @@ fn bench_sort(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_motivation, bench_hive, bench_swim, bench_sort);
+criterion_group!(
+    benches,
+    bench_motivation,
+    bench_hive,
+    bench_swim,
+    bench_sort
+);
 criterion_main!(benches);

@@ -153,8 +153,7 @@ impl InterferenceSchedule {
                 out
             }
             InterferencePattern::Custom(ts) => {
-                let mut out: Vec<Toggle> =
-                    ts.iter().copied().filter(|t| t.at <= horizon).collect();
+                let mut out: Vec<Toggle> = ts.iter().copied().filter(|t| t.at <= horizon).collect();
                 out.sort_by_key(|t| t.at);
                 if out.first().map(|t| t.at) != Some(SimTime::ZERO) {
                     out.insert(
@@ -203,14 +202,19 @@ mod tests {
     fn persistent_is_single_on_toggle() {
         let s = InterferenceSchedule::persistent(NodeId(1), 2);
         let t = s.toggles(hz());
-        assert_eq!(t, vec![Toggle { at: SimTime::ZERO, on: true }]);
+        assert_eq!(
+            t,
+            vec![Toggle {
+                at: SimTime::ZERO,
+                on: true
+            }]
+        );
         assert!((s.duty_cycle(hz()) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn alternating_10s_has_half_duty() {
-        let s =
-            InterferenceSchedule::alternating(NodeId(0), 2, SimDuration::from_secs(10), true);
+        let s = InterferenceSchedule::alternating(NodeId(0), 2, SimDuration::from_secs(10), true);
         let toggles = s.toggles(hz());
         assert_eq!(toggles.len(), 11); // t=0,10,...,100
         assert!(toggles[0].on);
@@ -220,8 +224,7 @@ mod tests {
 
     #[test]
     fn anti_phase_starts_off() {
-        let s =
-            InterferenceSchedule::alternating(NodeId(1), 2, SimDuration::from_secs(10), false);
+        let s = InterferenceSchedule::alternating(NodeId(1), 2, SimDuration::from_secs(10), false);
         let toggles = s.toggles(hz());
         assert!(!toggles[0].on);
         assert!(toggles[1].on);
@@ -231,10 +234,8 @@ mod tests {
     #[test]
     fn complementary_patterns_cover_everything() {
         // Figs 9d/9e: when node 1 is on, node 2 is off and vice versa.
-        let a =
-            InterferenceSchedule::alternating(NodeId(0), 2, SimDuration::from_secs(20), true);
-        let b =
-            InterferenceSchedule::alternating(NodeId(1), 2, SimDuration::from_secs(20), false);
+        let a = InterferenceSchedule::alternating(NodeId(0), 2, SimDuration::from_secs(20), true);
+        let b = InterferenceSchedule::alternating(NodeId(1), 2, SimDuration::from_secs(20), false);
         let d = a.duty_cycle(hz()) + b.duty_cycle(hz());
         assert!((d - 1.0).abs() < 0.01, "duty cycles must sum to 1, got {d}");
     }
@@ -246,8 +247,14 @@ mod tests {
             streams: 1,
             weight: DD_WEIGHT,
             pattern: InterferencePattern::Custom(vec![
-                Toggle { at: SimTime::from_secs(30), on: false },
-                Toggle { at: SimTime::from_secs(10), on: true },
+                Toggle {
+                    at: SimTime::from_secs(30),
+                    on: false,
+                },
+                Toggle {
+                    at: SimTime::from_secs(10),
+                    on: true,
+                },
             ]),
         };
         let t = s.toggles(hz());
@@ -266,12 +273,14 @@ mod tests {
             weight: 1.0,
             pattern: InterferencePattern::TraceDriven(vec![
                 (SimTime::ZERO, 0.2),
-                (SimTime::from_secs(10), 1.5), // clamped
+                (SimTime::from_secs(10), 1.5),  // clamped
                 (SimTime::from_secs(200), 0.9), // beyond horizon
             ]),
         };
         assert!(s.toggles(hz()).is_empty());
-        let samples = s.background_samples(hz()).expect("trace-driven");
+        let samples = s
+            .background_samples(hz())
+            .expect("TraceDriven servers always carry background samples");
         assert_eq!(samples.len(), 2);
         assert!((samples[1].1 - 0.99).abs() < 1e-9, "clamped to 0.99");
         let duty = s.duty_cycle(hz());
@@ -285,8 +294,14 @@ mod tests {
             streams: 1,
             weight: DD_WEIGHT,
             pattern: InterferencePattern::Custom(vec![
-                Toggle { at: SimTime::ZERO, on: true },
-                Toggle { at: SimTime::from_secs(500), on: false },
+                Toggle {
+                    at: SimTime::ZERO,
+                    on: true,
+                },
+                Toggle {
+                    at: SimTime::from_secs(500),
+                    on: false,
+                },
             ]),
         };
         assert_eq!(s.toggles(hz()).len(), 1);

@@ -89,6 +89,30 @@ impl MemoryStore {
     }
 }
 
+impl simkit::audit::Audit for MemoryStore {
+    fn audit(&self, report: &mut simkit::audit::AuditReport) {
+        let c = "memory-store";
+        report.check(
+            self.used <= self.capacity,
+            c,
+            "§IV-A1: pinned bytes stay under the configured hard limit",
+            || format!("used {} > capacity {}", self.used, self.capacity),
+        );
+        report.check(
+            self.used <= self.peak,
+            c,
+            "peak is the high-water mark of used",
+            || format!("used {} > peak {}", self.used, self.peak),
+        );
+        report.check(
+            self.peak <= self.total_pinned,
+            c,
+            "cumulative pinned bytes bound the peak",
+            || format!("peak {} > total_pinned {}", self.peak, self.total_pinned),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,9 +6,7 @@ use simkit::FluidResource;
 use std::fmt;
 
 /// Identifies a node (DataNode / DYRS slave host) within a cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

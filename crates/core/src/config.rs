@@ -63,8 +63,8 @@ impl Default for DyrsConfig {
             queue_slack: 1,
             scavenge_threshold: 0.8,
             migration_order: MigrationOrder::Fifo,
-            max_concurrent_migrations: 1,
-            in_progress_refresh: true,
+            max_concurrent_migrations: default_max_concurrent(),
+            in_progress_refresh: default_true(),
         }
     }
 }

@@ -37,8 +37,8 @@ pub mod types;
 
 pub use config::DyrsConfig;
 pub use estimator::MigrationEstimator;
-pub use master::Master;
 pub use master::JobHint;
+pub use master::Master;
 pub use policy::{MigrationOrder, MigrationPolicy};
 pub use refs::ReferenceLists;
 pub use slave::Slave;

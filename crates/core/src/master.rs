@@ -20,7 +20,7 @@ use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use serde::{Deserialize, Serialize};
 use simkit::Rng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Scheduling hints about the requesting job, used by the non-FIFO
 /// migration orders (future-work policies, see
@@ -146,16 +146,16 @@ pub struct Master {
     nodes: Vec<NodeState>,
     pending: VecDeque<PendingEntry>,
     /// Blocks currently in `pending` (dedup / O(1) membership).
-    pending_blocks: HashSet<BlockId>,
+    pending_blocks: BTreeSet<BlockId>,
     /// block → node currently buffering it.
-    migrated: HashMap<BlockId, NodeId>,
+    migrated: BTreeMap<BlockId, NodeId>,
     /// Ignem only: block → the replica chosen at submission time. Ignem's
     /// read path trusts this binding — reads are directed to the chosen
     /// node whether or not the migration has completed, which is why
     /// Fig. 8 shows Ignem's reads staying uniform even with a slow node.
-    ignem_bindings: HashMap<BlockId, NodeId>,
+    ignem_bindings: BTreeMap<BlockId, NodeId>,
     /// job → blocks it requested (eviction routing).
-    job_blocks: HashMap<JobId, Vec<BlockId>>,
+    job_blocks: BTreeMap<JobId, Vec<BlockId>>,
     rng: Rng,
     next_id: u64,
     stats: MasterStats,
@@ -185,10 +185,10 @@ impl Master {
                 num_nodes
             ],
             pending: VecDeque::new(),
-            pending_blocks: HashSet::new(),
-            migrated: HashMap::new(),
-            ignem_bindings: HashMap::new(),
-            job_blocks: HashMap::new(),
+            pending_blocks: BTreeSet::new(),
+            migrated: BTreeMap::new(),
+            ignem_bindings: BTreeMap::new(),
+            job_blocks: BTreeMap::new(),
             rng,
             next_id: 0,
             stats: MasterStats::default(),
@@ -257,6 +257,27 @@ impl Master {
     /// Where a block is buffered, if anywhere.
     pub fn memory_location(&self, block: BlockId) -> Option<NodeId> {
         self.migrated.get(&block).copied()
+    }
+
+    /// Blocks awaiting binding, in ascending id order (exposed for
+    /// auditing).
+    pub fn pending_block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.pending_blocks.iter().copied()
+    }
+
+    /// Every (block, hosting node) buffering record, in ascending block
+    /// order (exposed for auditing).
+    pub fn buffered_locations(&self) -> impl Iterator<Item = (BlockId, NodeId)> + '_ {
+        self.migrated.iter().map(|(&b, &n)| (b, n))
+    }
+
+    /// The master's heartbeat-fed view of `node`'s queued backlog in
+    /// bytes (exposed for auditing). Between heartbeats this can only
+    /// overestimate the slave's true backlog: binds add to both sides
+    /// synchronously, while completions and cancellations shrink the
+    /// slave's side first.
+    pub fn queued_bytes_view(&self, node: NodeId) -> f64 {
+        self.nodes[node.index()].queued_bytes
     }
 
     /// Ignem's submission-time binding for `block`, if the bound node is
@@ -412,27 +433,41 @@ impl Master {
             return;
         }
         self.stats.retarget_passes += 1;
-        let mut finish: Vec<f64> = self
-            .nodes
-            .iter()
-            .map(|s| s.spb * s.queued_bytes)
-            .collect();
+        let mut finish: Vec<f64> = self.nodes.iter().map(|s| s.spb * s.queued_bytes).collect();
+        let mut candidates: Vec<(NodeId, usize)> = Vec::new();
         for entry in &mut self.pending {
             let bytes = entry.migration.bytes as f64;
-            let mut best: Option<(f64, NodeId)> = None;
-            for &loc in &entry.migration.replicas {
+            // Candidates are scanned in NodeId order, but equal finish
+            // times tie-break on *placement rank* (the replica's position
+            // in the namenode's placement order): the first replica is the
+            // likeliest data-local reader, so binding there keeps the
+            // migrated copy next to the map task that wants it. The winner
+            // is a pure minimum over (finish, rank), so the result cannot
+            // depend on the order this loop happens to visit candidates.
+            candidates.clear();
+            candidates.extend(
+                entry
+                    .migration
+                    .replicas
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, loc)| self.nodes[loc.index()].up)
+                    .map(|(rank, loc)| (loc, rank)),
+            );
+            candidates.sort_unstable();
+            let mut best: Option<(f64, usize, NodeId)> = None;
+            for &(loc, rank) in &candidates {
                 let s = &self.nodes[loc.index()];
-                if !s.up {
-                    continue;
-                }
                 let candidate = finish[loc.index()] + s.spb * bytes;
-                // strict < keeps the earliest replica on ties → deterministic
-                if best.is_none() || candidate < best.expect("some").0 {
-                    best = Some((candidate, loc));
+                let better =
+                    best.is_none_or(|(bf, br, _)| candidate < bf || (candidate == bf && rank < br));
+                if better {
+                    best = Some((candidate, rank, loc));
                 }
             }
             match best {
-                Some((f, node)) => {
+                Some((f, _, node)) => {
                     entry.target = Some(node);
                     finish[node.index()] = f;
                 }
@@ -557,6 +592,101 @@ impl Master {
     }
 }
 
+impl simkit::audit::Audit for Master {
+    /// Master-side invariants:
+    ///
+    /// * the pending list holds at most one migration per block and
+    ///   `pending_blocks` is its exact mirror (the dedup set and the list
+    ///   must never drift — §III-A1's "bind once" hinges on it);
+    /// * every pending migration carries at least one interested job and a
+    ///   positive size;
+    /// * per-node state from heartbeats is sane: cost estimates finite and
+    ///   positive (§IV-A), queued-byte views finite and non-negative;
+    /// * buffering records point at nodes that are up (§III-C2: a dead
+    ///   node's records are dropped with it).
+    fn audit(&self, report: &mut simkit::audit::AuditReport) {
+        let c = "master";
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &self.pending {
+            let block = e.migration.block;
+            report.check(
+                seen.insert(block),
+                c,
+                "§III-A1: at most one pending migration per block",
+                || format!("{block} is pending twice"),
+            );
+            report.check(
+                self.pending_blocks.contains(&block),
+                c,
+                "pending_blocks mirrors the pending list",
+                || format!("{block} is pending but not in pending_blocks"),
+            );
+            report.check(
+                !e.migration.jobs.is_empty(),
+                c,
+                "every pending migration has an interested job",
+                || format!("{block} has no job references"),
+            );
+            report.check(
+                e.migration.bytes > 0,
+                c,
+                "every pending migration moves at least one byte",
+                || format!("{block} is zero-sized"),
+            );
+            if let Some(t) = e.target {
+                report.check(
+                    t.index() < self.nodes.len(),
+                    c,
+                    "targets index a known node",
+                    || format!("{block} targets out-of-range {t}"),
+                );
+            }
+        }
+        report.check(
+            seen.len() == self.pending_blocks.len(),
+            c,
+            "pending_blocks mirrors the pending list",
+            || {
+                format!(
+                    "pending_blocks has {} entries, pending list {}",
+                    self.pending_blocks.len(),
+                    seen.len()
+                )
+            },
+        );
+        for (i, s) in self.nodes.iter().enumerate() {
+            report.check(
+                s.spb.is_finite() && s.spb > 0.0,
+                c,
+                "§IV-A: per-node cost estimates are finite and positive",
+                || format!("node {i}: spb = {}", s.spb),
+            );
+            report.check(
+                s.queued_bytes.is_finite() && s.queued_bytes >= 0.0,
+                c,
+                "per-node queued-byte views are finite and non-negative",
+                || format!("node {i}: queued_bytes = {}", s.queued_bytes),
+            );
+        }
+        for (&block, &node) in &self.migrated {
+            report.check(
+                node.index() < self.nodes.len() && self.nodes[node.index()].up,
+                c,
+                "§III-C2: buffering records point at live nodes",
+                || format!("{block} recorded on {node}, which is not up"),
+            );
+        }
+        for (&block, &node) in &self.ignem_bindings {
+            report.check(
+                node.index() < self.nodes.len(),
+                c,
+                "Ignem bindings index a known node",
+                || format!("{block} bound to out-of-range {node}"),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,10 +795,18 @@ mod tests {
         // node 0 is 100x slower per byte
         m.on_heartbeat(n(0), 100.0 / (140.0 * MB as f64), 0);
         m.on_heartbeat(n(1), 1.0 / (140.0 * MB as f64), 0);
-        m.request_migration(j(1), vec![req(1, &[0, 1]), req(2, &[0, 1])], EvictionMode::Implicit);
+        m.request_migration(
+            j(1),
+            vec![req(1, &[0, 1]), req(2, &[0, 1])],
+            EvictionMode::Implicit,
+        );
         m.retarget();
         assert_eq!(m.target_of(b(1)), Some(n(1)));
-        assert_eq!(m.target_of(b(2)), Some(n(1)), "greedy still avoids the slow node");
+        assert_eq!(
+            m.target_of(b(2)),
+            Some(n(1)),
+            "greedy still avoids the slow node"
+        );
     }
 
     #[test]
@@ -715,7 +853,10 @@ mod tests {
         m.retarget();
         // everything targeted at fast node 0
         let slow_pull = m.on_slave_pull(n(1), 10);
-        assert!(slow_pull.is_empty(), "slow node must not bind targeted work");
+        assert!(
+            slow_pull.is_empty(),
+            "slow node must not bind targeted work"
+        );
         let fast_pull = m.on_slave_pull(n(0), 3);
         assert_eq!(fast_pull.len(), 3, "space limits the take");
         assert_eq!(m.pending_len(), 2);
@@ -760,7 +901,11 @@ mod tests {
     #[test]
     fn evict_job_routes_to_hosting_nodes_and_cleans_pending() {
         let mut m = master(MigrationPolicy::Dyrs);
-        m.request_migration(j(1), vec![req(1, &[0, 1]), req(2, &[0, 1])], EvictionMode::Explicit);
+        m.request_migration(
+            j(1),
+            vec![req(1, &[0, 1]), req(2, &[0, 1])],
+            EvictionMode::Explicit,
+        );
         m.retarget();
         // bind and complete block 1 on its target
         let tgt = m.target_of(b(1)).unwrap();
@@ -810,8 +955,16 @@ mod tests {
         let out = m.request_migration(
             j(1),
             vec![
-                BlockRequest { block: b(1), bytes: 0, replicas: vec![n(0)] },
-                BlockRequest { block: b(2), bytes: 10, replicas: vec![] },
+                BlockRequest {
+                    block: b(1),
+                    bytes: 0,
+                    replicas: vec![n(0)],
+                },
+                BlockRequest {
+                    block: b(2),
+                    bytes: 10,
+                    replicas: vec![],
+                },
             ],
             EvictionMode::Implicit,
         );
@@ -827,8 +980,18 @@ mod tests {
             expected_launch: simkit::SimTime::ZERO,
             total_bytes: bytes,
         };
-        m.request_migration_hinted(j(1), vec![req(1, &[0]), req(2, &[0])], EvictionMode::Implicit, hint(2 * 256 * MB));
-        m.request_migration_hinted(j(2), vec![req(3, &[0])], EvictionMode::Implicit, hint(256 * MB));
+        m.request_migration_hinted(
+            j(1),
+            vec![req(1, &[0]), req(2, &[0])],
+            EvictionMode::Implicit,
+            hint(2 * 256 * MB),
+        );
+        m.request_migration_hinted(
+            j(2),
+            vec![req(3, &[0])],
+            EvictionMode::Implicit,
+            hint(256 * MB),
+        );
         // job 2 is smaller → its block jumps the queue
         let pulled = m.on_slave_pull(n(0), 10);
         let order: Vec<BlockId> = pulled.iter().map(|p| p.block).collect();
@@ -932,8 +1095,13 @@ mod tests {
         let blocks: Vec<BlockRequest> = (10..80).map(|i| req(i, &[0, 1])).collect();
         m.request_migration(j(2), blocks, EvictionMode::Implicit);
         m.retarget();
-        let slow_count = (10..80).filter(|&i| m.target_of(b(i)) == Some(n(0))).count();
-        assert!(slow_count > 0, "a long batch should use residual slow-node bandwidth");
+        let slow_count = (10..80)
+            .filter(|&i| m.target_of(b(i)) == Some(n(0)))
+            .count();
+        assert!(
+            slow_count > 0,
+            "a long batch should use residual slow-node bandwidth"
+        );
         assert!(slow_count < 35, "but far less than half");
     }
 }

@@ -4,21 +4,23 @@
 //! job IDs for jobs that are expected to read the block. ... A block is
 //! evicted from memory when its reference list is empty."
 //!
-//! The implementation mirrors the paper's: a hash-map from job id to the
-//! list of blocks migrated for that job (for efficient per-job cleanup),
-//! alongside the per-block reference sets.
+//! The implementation mirrors the paper's: a map from job id to the
+//! list of blocks migrated for that job (the paper's §IV-A1 hash-map,
+//! kept here as a `BTreeMap` so walks over it — eviction sweeps, the
+//! `verify-audit` reports — are deterministic), alongside the per-block
+//! reference sets.
 
 use dyrs_dfs::{BlockId, JobId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Bidirectional job ↔ block reference tracking.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ReferenceLists {
     /// block → jobs still expecting to read it.
-    by_block: HashMap<BlockId, BTreeSet<JobId>>,
+    by_block: BTreeMap<BlockId, BTreeSet<JobId>>,
     /// job → blocks migrated on its behalf (the §IV-A1 hash-map).
-    by_job: HashMap<JobId, BTreeSet<BlockId>>,
+    by_job: BTreeMap<JobId, BTreeSet<BlockId>>,
 }
 
 impl ReferenceLists {
@@ -75,13 +77,13 @@ impl ReferenceLists {
     /// (the memory-pressure scavenge that queries the cluster scheduler,
     /// §III-C3). Returns newly evictable blocks in deterministic order.
     pub fn scavenge(&mut self, is_active: impl Fn(JobId) -> bool) -> Vec<BlockId> {
-        let mut dead: Vec<JobId> = self
+        // Keys come out of the BTreeMap already sorted.
+        let dead: Vec<JobId> = self
             .by_job
             .keys()
             .copied()
             .filter(|&j| !is_active(j))
             .collect();
-        dead.sort();
         let mut evictable = Vec::new();
         for job in dead {
             evictable.extend(self.remove_job(job));
@@ -118,6 +120,49 @@ impl ReferenceLists {
     pub fn clear(&mut self) {
         self.by_block.clear();
         self.by_job.clear();
+    }
+}
+
+impl simkit::audit::Audit for ReferenceLists {
+    /// The two maps are exact mirrors of one bidirectional relation
+    /// (§IV-A1: the per-job hash-map exists purely to make per-job cleanup
+    /// efficient — it must never disagree with the per-block lists), and
+    /// neither side stores an empty set (an empty list means the block is
+    /// evictable and the entry must be gone, §III-C3).
+    fn audit(&self, report: &mut simkit::audit::AuditReport) {
+        let c = "reference-lists";
+        for (&block, jobs) in &self.by_block {
+            report.check(
+                !jobs.is_empty(),
+                c,
+                "no empty reference list is retained",
+                || format!("{block} has an empty job set"),
+            );
+            for &job in jobs {
+                report.check(
+                    self.by_job.get(&job).is_some_and(|b| b.contains(&block)),
+                    c,
+                    "§IV-A1: by_block and by_job mirror each other",
+                    || format!("{block} lists {job}, but {job} does not list {block}"),
+                );
+            }
+        }
+        for (&job, blocks) in &self.by_job {
+            report.check(
+                !blocks.is_empty(),
+                c,
+                "no empty per-job block set is retained",
+                || format!("{job} has an empty block set"),
+            );
+            for &block in blocks {
+                report.check(
+                    self.by_block.get(&block).is_some_and(|j| j.contains(&job)),
+                    c,
+                    "§IV-A1: by_block and by_job mirror each other",
+                    || format!("{job} lists {block}, but {block} does not list {job}"),
+                );
+            }
+        }
     }
 }
 
@@ -194,6 +239,36 @@ mod tests {
         assert_eq!(r.active_jobs(), 2);
         let jobs: Vec<JobId> = r.jobs_of(b(1)).collect();
         assert_eq!(jobs, vec![j(1), j(2)]);
+    }
+
+    #[test]
+    fn audit_catches_deliberate_corruption() {
+        use simkit::audit::{Audit, AuditReport};
+        let audit = |r: &ReferenceLists| {
+            let mut report = AuditReport::new();
+            r.audit(&mut report);
+            report
+        };
+
+        let mut r = ReferenceLists::new();
+        r.add(j(1), b(10));
+        r.add(j(2), b(10));
+        assert!(audit(&r).is_clean());
+
+        // Drop one direction of the relation behind the API's back: the
+        // block still lists job 1, but job 1 no longer lists the block.
+        r.by_job.remove(&j(1));
+        assert!(!audit(&r).is_clean(), "missing mirror entry must be caught");
+
+        // A retained empty set is also corruption: an empty reference
+        // list means evictable, so the entry must be gone entirely.
+        let mut r = ReferenceLists::new();
+        r.add(j(3), b(30));
+        r.by_block
+            .get_mut(&b(30))
+            .expect("just added")
+            .remove(&j(3));
+        assert!(!audit(&r).is_clean(), "empty retained set must be caught");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use dyrs_cluster::{MemoryStore, NodeId};
 use dyrs_dfs::{BlockId, JobId};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A migration the slave has started on its disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,9 +144,9 @@ pub struct Slave {
     memory: MemoryStore,
     refs: ReferenceLists,
     /// block → bytes pinned for it.
-    buffered: HashMap<BlockId, u64>,
+    buffered: BTreeMap<BlockId, u64>,
     /// Jobs that opted into implicit eviction.
-    implicit_jobs: HashSet<JobId>,
+    implicit_jobs: BTreeSet<JobId>,
     /// False until the startup probe read has measured the disk. An
     /// uncalibrated slave reports zero queue space so binding decisions
     /// never rely on the optimistic idle-disk prior (a cold slow node
@@ -176,8 +176,8 @@ impl Slave {
             estimator,
             memory: MemoryStore::new(mem_capacity),
             refs: ReferenceLists::new(),
-            buffered: HashMap::new(),
-            implicit_jobs: HashSet::new(),
+            buffered: BTreeMap::new(),
+            implicit_jobs: BTreeSet::new(),
             calibrated: false,
             stats: SlaveStats::default(),
         }
@@ -236,8 +236,7 @@ impl Slave {
     /// True if `block` is bound here but not yet buffered (queued or
     /// actively migrating) — used to route missed-read notifications.
     pub fn has_pending(&self, block: BlockId) -> bool {
-        self.active_blocks().any(|b| b == block)
-            || self.queue.iter().any(|m| m.block == block)
+        self.active_blocks().any(|b| b == block) || self.queue.iter().any(|m| m.block == block)
     }
 
     /// The ideal local queue depth (§III-B): enough blocks to cover one
@@ -267,6 +266,15 @@ impl Slave {
     pub fn calibrate(&mut self, bytes: u64, duration: SimDuration) {
         self.estimator.on_complete(bytes, duration);
         self.calibrated = true;
+    }
+
+    /// Blocks bound here but not yet buffered: local queue, then active
+    /// migrations (exposed for auditing).
+    pub fn bound_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.queue
+            .iter()
+            .map(|m| m.block)
+            .chain(self.active_blocks())
     }
 
     /// Bytes bound here but not yet buffered (queue + active).
@@ -316,12 +324,24 @@ impl Slave {
                 self.queue.pop_front();
                 continue;
             }
+            if self.buffered.contains_key(&head.block) {
+                // Already buffered here (possible when a master restart
+                // loses the soft state and a later request re-binds a block
+                // this slave still holds, §III-C1). The references added at
+                // bind time keep the copy alive; migrating again would
+                // double-pin the buffer.
+                self.queue.pop_front();
+                continue;
+            }
             if !self.memory.fits(head.bytes) {
                 // §IV-A1: migrations queue until buffer space is available.
                 self.stats.memory_stalls += 1;
                 return None;
             }
-            let m = self.queue.pop_front().expect("peeked");
+            let m = self
+                .queue
+                .pop_front()
+                .expect("queue non-empty: front was just peeked");
             assert!(self.memory.pin(m.bytes), "fits() checked above");
             let start = StartedMigration {
                 block: m.block,
@@ -486,8 +506,8 @@ impl Slave {
     /// the new process tells the master to drop its state. Returns the
     /// blocks that were buffered (for unregistration).
     pub fn restart(&mut self) -> Vec<BlockId> {
-        let mut blocks: Vec<BlockId> = self.buffered.drain().map(|(b, _)| b).collect();
-        blocks.sort();
+        // BTreeMap: already in ascending BlockId order.
+        let blocks: Vec<BlockId> = std::mem::take(&mut self.buffered).into_keys().collect();
         self.memory.clear();
         self.queue.clear();
         self.active.clear();
@@ -496,6 +516,83 @@ impl Slave {
         self.estimator.reset();
         self.calibrated = false;
         blocks
+    }
+}
+
+impl simkit::audit::Audit for Slave {
+    /// Conservation invariants at this slave:
+    ///
+    /// * pinned bytes are exactly the buffered blocks plus in-flight
+    ///   migrations (every pin has an owner, every owner is pinned);
+    /// * in-flight migrations respect the configured concurrency (one
+    ///   under the paper's serialized default, §III-B);
+    /// * every buffered block still has a non-empty reference list
+    ///   (§III-C3: empty list ⇒ evicted);
+    /// * a block is bound here at most once and is never migrating while
+    ///   already buffered (§III-A1: binding is final);
+    /// * the advertised migration-cost estimate is finite and positive
+    ///   (§IV-A) — Algorithm 1 divides the cluster's work by it.
+    ///
+    /// Delegates to the [`MemoryStore`] and [`ReferenceLists`] audits.
+    fn audit(&self, report: &mut simkit::audit::AuditReport) {
+        let name = format!("slave[{}]", self.node.index());
+        let c = name.as_str();
+        self.memory.audit(report);
+        self.refs.audit(report);
+        report.check(
+            self.active.len() <= self.config.max_concurrent_migrations,
+            c,
+            "§III-B: in-flight migrations within the configured concurrency",
+            || {
+                format!(
+                    "{} active > limit {}",
+                    self.active.len(),
+                    self.config.max_concurrent_migrations
+                )
+            },
+        );
+        let owned: u64 = self.buffered.values().sum::<u64>()
+            + self.active.iter().map(|a| a.migration.bytes).sum::<u64>();
+        report.check(
+            self.memory.used() == owned,
+            c,
+            "pinned bytes equal buffered plus in-flight migration bytes",
+            || format!("pinned {} != buffered+active {}", self.memory.used(), owned),
+        );
+        for &block in self.buffered.keys() {
+            report.check(
+                !self.refs.is_unreferenced(block),
+                c,
+                "§III-C3: every buffered block has a non-empty reference list",
+                || format!("{block} is buffered but unreferenced"),
+            );
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &self.active {
+            report.check(
+                !self.buffered.contains_key(&a.migration.block),
+                c,
+                "§III-A1: a block is never migrating while already buffered",
+                || format!("{} is both active and buffered", a.migration.block),
+            );
+            report.check(
+                seen.insert(a.migration.block),
+                c,
+                "§III-A1: a block is in flight here at most once",
+                || format!("{} is active twice", a.migration.block),
+            );
+        }
+        let spb = if self.calibrated {
+            self.estimator.secs_per_byte()
+        } else {
+            UNCALIBRATED_SECS_PER_BYTE
+        };
+        report.check(
+            spb.is_finite() && spb > 0.0,
+            c,
+            "§IV-A: the advertised migration-cost estimate is finite and positive",
+            || format!("secs_per_byte = {spb}"),
+        );
     }
 }
 
@@ -525,7 +622,10 @@ mod tests {
             bytes,
             jobs: jobs
                 .iter()
-                .map(|&(job, eviction)| JobRef { job: j(job), eviction })
+                .map(|&(job, eviction)| JobRef {
+                    job: j(job),
+                    eviction,
+                })
                 .collect(),
             replicas: vec![NodeId(0)],
         }
@@ -670,7 +770,13 @@ mod tests {
         s.on_migration_complete(t(2));
         assert!(s.has_buffered(b(1)));
         let ev = s.on_read(b(1), j(1));
-        assert_eq!(ev, vec![Eviction { block: b(1), bytes: BLOCK }]);
+        assert_eq!(
+            ev,
+            vec![Eviction {
+                block: b(1),
+                bytes: BLOCK
+            }]
+        );
         assert!(!s.has_buffered(b(1)));
         assert_eq!(s.buffered_bytes(), 0);
     }
@@ -709,7 +815,7 @@ mod tests {
             mig(2, BLOCK, &[(1, EvictionMode::Implicit)]),
         ]);
         s.try_start(t(0)).unwrap(); // block 1 active
-        // block 2 is read from disk before its migration started
+                                    // block 2 is read from disk before its migration started
         let ev = s.on_read(b(2), j(1));
         assert!(ev.is_empty());
         assert_eq!(s.queue_len(), 0);
@@ -726,7 +832,10 @@ mod tests {
         s.try_start(t(0)).unwrap();
         // the only interested job reads the block from disk mid-migration
         let ev = s.on_read(b(1), j(1));
-        assert!(ev.is_empty(), "migration still running; nothing buffered yet");
+        assert!(
+            ev.is_empty(),
+            "migration still running; nothing buffered yet"
+        );
         let done = s.on_migration_complete(t(2));
         assert!(done.evicted_immediately, "nobody wants the buffered copy");
         assert_eq!(s.buffered_bytes(), 0);
@@ -805,7 +914,13 @@ mod tests {
         s.on_bind(vec![mig(1, BLOCK, &[(1, EvictionMode::Implicit)])]);
         s.try_start(t(0)).unwrap();
         s.on_migration_complete(t(2));
-        s.add_ref(b(1), JobRef { job: j(2), eviction: EvictionMode::Implicit });
+        s.add_ref(
+            b(1),
+            JobRef {
+                job: j(2),
+                eviction: EvictionMode::Implicit,
+            },
+        );
         assert!(s.on_read(b(1), j(1)).is_empty(), "job 2 still referenced");
         assert_eq!(s.on_read(b(1), j(2)).len(), 1);
     }

@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one migration (one block copied into one node's memory).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MigrationId(pub u64);
 
 impl fmt::Display for MigrationId {
@@ -87,8 +85,14 @@ mod tests {
             block: BlockId(1),
             bytes: 10,
             jobs: vec![
-                JobRef { job: JobId(1), eviction: EvictionMode::Implicit },
-                JobRef { job: JobId(2), eviction: EvictionMode::Explicit },
+                JobRef {
+                    job: JobId(1),
+                    eviction: EvictionMode::Implicit,
+                },
+                JobRef {
+                    job: JobId(2),
+                    eviction: EvictionMode::Explicit,
+                },
             ],
             replicas: vec![NodeId(0)],
         };

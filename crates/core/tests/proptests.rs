@@ -174,6 +174,40 @@ proptest! {
         }
     }
 
+    /// Reference lists: `by_block` and `by_job` stay exact mirrors under
+    /// arbitrary interleavings of every mutating operation — witnessed by
+    /// the same auditor the `verify-audit` feature runs at heartbeats.
+    #[test]
+    fn reference_lists_stay_bidirectionally_consistent(
+        ops in proptest::collection::vec((0u8..4, 0u64..6, 0u64..12), 1..150),
+    ) {
+        use simkit::audit::{Audit, AuditReport};
+        let mut r = ReferenceLists::new();
+        for (op, job, block) in ops {
+            match op {
+                0 => r.add(JobId(job), BlockId(block)),
+                1 => {
+                    r.remove(JobId(job), BlockId(block));
+                }
+                2 => {
+                    r.remove_job(JobId(job));
+                }
+                _ => {
+                    // `job` doubles as the liveness cutoff: ids below it
+                    // are dead and must be scavenged away.
+                    r.scavenge(|alive| alive.0 >= job);
+                }
+            }
+            let mut report = AuditReport::new();
+            r.audit(&mut report);
+            prop_assert!(
+                report.is_clean(),
+                "after op {op}({job},{block}): {:?}",
+                report.violations()
+            );
+        }
+    }
+
     /// Ignem binding is uniform over live replicas (chi-square-ish check).
     #[test]
     fn ignem_binding_uniformity(seed in 1u64..500) {

@@ -3,7 +3,7 @@
 use crate::ids::BlockId;
 use dyrs_cluster::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Metadata for one block: its size and where its disk replicas live.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,7 +20,7 @@ pub struct BlockInfo {
 /// The NameNode's block → metadata table.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BlockMap {
-    blocks: HashMap<BlockId, BlockInfo>,
+    blocks: BTreeMap<BlockId, BlockInfo>,
     next_id: u64,
 }
 
@@ -47,7 +47,9 @@ impl BlockMap {
     /// Look up a block, panicking on a dangling id (callers hold ids they
     /// obtained from this map; a miss is a logic error).
     pub fn expect(&self, id: BlockId) -> &BlockInfo {
-        self.blocks.get(&id).unwrap_or_else(|| panic!("unknown {id}"))
+        self.blocks
+            .get(&id)
+            .unwrap_or_else(|| panic!("BlockMap invariant violated: {id} was never allocated"))
     }
 
     /// Number of blocks.
@@ -104,7 +106,7 @@ impl BlockMap {
             .unwrap_or_default()
     }
 
-    /// Iterate over all blocks (arbitrary order — use ids for determinism).
+    /// Iterate over all blocks in ascending [`BlockId`] order.
     pub fn iter(&self) -> impl Iterator<Item = &BlockInfo> {
         self.blocks.values()
     }
@@ -182,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown")]
+    #[should_panic(expected = "never allocated")]
     fn expect_panics_on_miss() {
         BlockMap::new().expect(BlockId(1));
     }

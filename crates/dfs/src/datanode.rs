@@ -9,15 +9,15 @@
 use crate::ids::BlockId;
 use dyrs_cluster::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One DataNode's block inventory and serving counters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataNode {
     /// The node this DataNode runs on.
     pub node: NodeId,
-    disk_blocks: HashSet<BlockId>,
-    memory_blocks: HashSet<BlockId>,
+    disk_blocks: BTreeSet<BlockId>,
+    memory_blocks: BTreeSet<BlockId>,
     /// Reads served from disk (count).
     pub disk_reads: u64,
     /// Reads served from memory (count).
@@ -33,8 +33,8 @@ impl DataNode {
     pub fn new(node: NodeId) -> Self {
         DataNode {
             node,
-            disk_blocks: HashSet::new(),
-            memory_blocks: HashSet::new(),
+            disk_blocks: BTreeSet::new(),
+            memory_blocks: BTreeSet::new(),
             disk_reads: 0,
             memory_reads: 0,
             disk_bytes: 0,
@@ -71,9 +71,10 @@ impl DataNode {
     /// Drop all memory replicas (slave process restart, §III-C2) and return
     /// the ids that were buffered so the caller can release accounting.
     pub fn clear_memory(&mut self) -> Vec<BlockId> {
-        let mut ids: Vec<BlockId> = self.memory_blocks.drain().collect();
-        ids.sort(); // deterministic order for downstream processing
-        ids
+        // BTreeSet: already in ascending BlockId order.
+        std::mem::take(&mut self.memory_blocks)
+            .into_iter()
+            .collect()
     }
 
     /// Number of blocks currently buffered in memory.
@@ -115,7 +116,10 @@ mod tests {
         assert!(d.has_disk_replica(BlockId(1)));
         assert!(!d.has_memory_replica(BlockId(1)));
         assert!(d.add_memory_replica(BlockId(1)));
-        assert!(!d.add_memory_replica(BlockId(1)), "double add reports false");
+        assert!(
+            !d.add_memory_replica(BlockId(1)),
+            "double add reports false"
+        );
         assert!(d.has_memory_replica(BlockId(1)));
         assert!(d.drop_memory_replica(BlockId(1)));
         assert!(!d.drop_memory_replica(BlockId(1)));

@@ -13,7 +13,7 @@ use crate::placement::PlacementPolicy;
 use crate::read::{select_replica, ReadPlan};
 use dyrs_cluster::NodeId;
 use simkit::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The file system master.
 #[derive(Debug)]
@@ -26,9 +26,9 @@ pub struct NameNode {
     /// Last heartbeat time per node.
     last_heartbeat: Vec<SimTime>,
     /// Nodes explicitly marked dead (server failure confirmed).
-    dead: HashSet<NodeId>,
+    dead: BTreeSet<NodeId>,
     /// block → nodes holding an in-memory replica.
-    memory_registry: HashMap<BlockId, Vec<NodeId>>,
+    memory_registry: BTreeMap<BlockId, Vec<NodeId>>,
     /// After this many missed heartbeat intervals a node is unavailable
     /// ("the file system misses several consecutive heartbeats", §III-C2).
     heartbeat_timeout: SimDuration,
@@ -61,8 +61,8 @@ impl NameNode {
             blocks: BlockMap::new(),
             placement,
             last_heartbeat: vec![SimTime::ZERO; nodes as usize],
-            dead: HashSet::new(),
-            memory_registry: HashMap::new(),
+            dead: BTreeSet::new(),
+            memory_registry: BTreeMap::new(),
             heartbeat_timeout,
         }
     }
@@ -70,8 +70,13 @@ impl NameNode {
     /// Create a file and place its replicas (client write path, simulated
     /// instantaneously at setup time — all evaluation inputs pre-exist).
     pub fn create_file(&mut self, name: impl Into<String>, size: u64, block_size: u64) -> FileId {
-        self.namespace
-            .create_file(name, size, block_size, &mut self.blocks, &mut self.placement)
+        self.namespace.create_file(
+            name,
+            size,
+            block_size,
+            &mut self.blocks,
+            &mut self.placement,
+        )
     }
 
     /// Record a heartbeat from `node` at `now`.
@@ -278,9 +283,7 @@ mod tests {
         nn.clear_memory_registry();
         assert_eq!(nn.memory_replica_count(), 0);
         // reads still work from disk — DYRS failures degrade, never break
-        let p = nn
-            .plan_read(b, NodeId(6), SimTime::ZERO, |_| 0)
-            .unwrap();
+        let p = nn.plan_read(b, NodeId(6), SimTime::ZERO, |_| 0).unwrap();
         assert!(!p.medium.is_memory());
     }
 }

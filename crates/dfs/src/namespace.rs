@@ -89,10 +89,7 @@ impl Namespace {
     /// exactly what the DYRS master does with a client migration request
     /// (paper §III: "maps the files to blocks in the file system").
     /// Unknown names are skipped (the request degrades gracefully).
-    pub fn blocks_of_files<'a>(
-        &self,
-        names: impl IntoIterator<Item = &'a str>,
-    ) -> Vec<BlockId> {
+    pub fn blocks_of_files<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Vec<BlockId> {
         names
             .into_iter()
             .filter_map(|n| self.lookup(n))

@@ -210,8 +210,7 @@ mod tests {
             distinct.sort();
             distinct.dedup();
             assert_eq!(distinct.len(), 3, "replicas distinct: {r:?}");
-            let rs: std::collections::HashSet<u32> =
-                r.iter().map(|n| racks[n.index()]).collect();
+            let rs: std::collections::HashSet<u32> = r.iter().map(|n| racks[n.index()]).collect();
             assert_eq!(rs.len(), 2, "block must span exactly 2 racks: {r:?}");
             // replicas 2 and 3 share a rack, different from replica 1's
             assert_ne!(racks[r[0].index()], racks[r[1].index()]);
@@ -232,8 +231,7 @@ mod tests {
             d.sort();
             d.dedup();
             assert_eq!(d.len(), 3);
-            let rs: std::collections::HashSet<u32> =
-                r.iter().map(|n| racks[n.index()]).collect();
+            let rs: std::collections::HashSet<u32> = r.iter().map(|n| racks[n.index()]).collect();
             assert!(rs.len() >= 2, "must span racks: {r:?}");
             assert_ne!(racks[r[0].index()], racks[r[1].index()]);
         }

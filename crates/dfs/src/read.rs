@@ -85,10 +85,7 @@ pub fn select_replica(
             medium: Medium::LocalMemory,
         });
     }
-    if let Some(&src) = memory_replicas
-        .iter()
-        .min_by_key(|&&n| (load(n), n))
-    {
+    if let Some(&src) = memory_replicas.iter().min_by_key(|&&n| (load(n), n)) {
         return Some(ReadPlan {
             block,
             source: src,
@@ -124,30 +121,22 @@ mod tests {
 
     #[test]
     fn local_memory_wins() {
-        let plan = select_replica(
-            B,
-            NodeId(3),
-            &[NodeId(5), NodeId(3)],
-            &[NodeId(3)],
-            no_load,
-        )
-        .unwrap();
+        let plan =
+            select_replica(B, NodeId(3), &[NodeId(5), NodeId(3)], &[NodeId(3)], no_load).unwrap();
         assert_eq!(plan.medium, Medium::LocalMemory);
         assert_eq!(plan.source, NodeId(3));
     }
 
     #[test]
     fn remote_memory_beats_local_disk() {
-        let plan =
-            select_replica(B, NodeId(3), &[NodeId(5)], &[NodeId(3)], no_load).unwrap();
+        let plan = select_replica(B, NodeId(3), &[NodeId(5)], &[NodeId(3)], no_load).unwrap();
         assert_eq!(plan.medium, Medium::RemoteMemory);
         assert_eq!(plan.source, NodeId(5));
     }
 
     #[test]
     fn local_disk_beats_remote_disk() {
-        let plan =
-            select_replica(B, NodeId(3), &[], &[NodeId(1), NodeId(3)], no_load).unwrap();
+        let plan = select_replica(B, NodeId(3), &[], &[NodeId(1), NodeId(3)], no_load).unwrap();
         assert_eq!(plan.medium, Medium::LocalDisk);
         assert_eq!(plan.source, NodeId(3));
     }
@@ -155,24 +144,21 @@ mod tests {
     #[test]
     fn remote_disk_picks_least_loaded() {
         let load = |n: NodeId| if n == NodeId(1) { 10 } else { 2 };
-        let plan =
-            select_replica(B, NodeId(9), &[], &[NodeId(1), NodeId(4)], load).unwrap();
+        let plan = select_replica(B, NodeId(9), &[], &[NodeId(1), NodeId(4)], load).unwrap();
         assert_eq!(plan.medium, Medium::RemoteDisk);
         assert_eq!(plan.source, NodeId(4));
     }
 
     #[test]
     fn remote_disk_tie_breaks_by_node_id() {
-        let plan =
-            select_replica(B, NodeId(9), &[], &[NodeId(4), NodeId(2)], no_load).unwrap();
+        let plan = select_replica(B, NodeId(9), &[], &[NodeId(4), NodeId(2)], no_load).unwrap();
         assert_eq!(plan.source, NodeId(2));
     }
 
     #[test]
     fn remote_memory_picks_least_loaded() {
         let load = |n: NodeId| if n == NodeId(5) { 3 } else { 0 };
-        let plan =
-            select_replica(B, NodeId(9), &[NodeId(5), NodeId(6)], &[], load).unwrap();
+        let plan = select_replica(B, NodeId(9), &[NodeId(5), NodeId(6)], &[], load).unwrap();
         assert_eq!(plan.source, NodeId(6));
     }
 

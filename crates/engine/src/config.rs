@@ -157,7 +157,7 @@ mod tests {
     fn reduce_duration_includes_shuffle() {
         let c = EngineConfig::default();
         let d = c.reduce_duration(1 << 30); // 1 GiB shuffle
-        // at 150 MB/s the fetch alone is ~6.8 s
+                                            // at 150 MB/s the fetch alone is ~6.8 s
         assert!(d.as_secs_f64() > 6.0);
     }
 }

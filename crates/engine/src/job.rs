@@ -260,12 +260,7 @@ mod tests {
     use super::*;
 
     fn spec() -> JobSpec {
-        let mut s = JobSpec::map_only(
-            JobId(1),
-            "test",
-            SimTime::from_secs(5),
-            vec!["f".into()],
-        );
+        let mut s = JobSpec::map_only(JobId(1), "test", SimTime::from_secs(5), vec!["f".into()]);
         s.reduce_tasks = 2;
         s
     }

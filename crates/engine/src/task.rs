@@ -7,9 +7,7 @@ use simkit::SimTime;
 use std::fmt;
 
 /// Identifies one task across the whole simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -115,13 +113,7 @@ mod tests {
 
     #[test]
     fn map_task_lifecycle_timings() {
-        let mut t = TaskState::map(
-            TaskId(1),
-            JobId(1),
-            BlockId(9),
-            256,
-            SimTime::from_secs(1),
-        );
+        let mut t = TaskState::map(TaskId(1), JobId(1), BlockId(9), 256, SimTime::from_secs(1));
         assert!(t.is_map());
         assert_eq!(t.duration(), None);
         t.started_at = Some(SimTime::from_secs(2));

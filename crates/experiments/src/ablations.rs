@@ -55,24 +55,37 @@ impl Ablation {
 fn summarize(variant: String, r: &dyrs_sim::SimResult) -> AblationRow {
     AblationRow {
         variant,
-        job_secs: r.jobs.first().map(|j| j.duration.as_secs_f64()).unwrap_or(0.0),
+        job_secs: r
+            .jobs
+            .first()
+            .map(|j| j.duration.as_secs_f64())
+            .unwrap_or(0.0),
         memory_fraction: r.memory_read_fraction(),
-        peak_buffer_bytes: r.nodes.iter().map(|n| n.peak_buffer_bytes).max().unwrap_or(0),
+        peak_buffer_bytes: r
+            .nodes
+            .iter()
+            .map(|n| n.peak_buffer_bytes)
+            .max()
+            .unwrap_or(0),
     }
 }
 
 /// Binding policy ablation: DYRS vs naive delayed binding vs Ignem on the
 /// heterogeneous cluster.
 pub fn binding(seed: u64, input_gb: u64) -> Ablation {
-    let tasks = [MigrationPolicy::Dyrs, MigrationPolicy::Naive, MigrationPolicy::Ignem]
-        .into_iter()
-        .map(|p| {
-            let cfg = hetero_config(p, seed);
-            let w = sort::sort_workload(input_gb << 30, SimDuration::from_secs(20), 0);
-            let (cfg, jobs) = with_workload(cfg, w);
-            SimTask::new(p.name(), cfg, jobs)
-        })
-        .collect();
+    let tasks = [
+        MigrationPolicy::Dyrs,
+        MigrationPolicy::Naive,
+        MigrationPolicy::Ignem,
+    ]
+    .into_iter()
+    .map(|p| {
+        let cfg = hetero_config(p, seed);
+        let w = sort::sort_workload(input_gb << 30, SimDuration::from_secs(20), 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        SimTask::new(p.name(), cfg, jobs)
+    })
+    .collect();
     Ablation {
         name: "binding".into(),
         rows: run_all(tasks, 0)
@@ -95,9 +108,10 @@ pub fn refresh(seed: u64, input_gb: u64) -> Ablation {
                 node: SLOW_NODE,
                 streams: 2,
                 weight: dyrs_cluster::DD_WEIGHT,
-                pattern: dyrs_cluster::InterferencePattern::Custom(vec![
-                    dyrs_cluster::Toggle { at: SimTime::from_secs(10), on: true },
-                ]),
+                pattern: dyrs_cluster::InterferencePattern::Custom(vec![dyrs_cluster::Toggle {
+                    at: SimTime::from_secs(10),
+                    on: true,
+                }]),
             }];
             cfg.dyrs.in_progress_refresh = on;
             let w = sort::sort_workload(input_gb << 30, SimDuration::from_secs(30), 0);

@@ -8,14 +8,22 @@ use dyrs_sim::{FailureEvent, FileSpec, SimConfig};
 use simkit::SimTime;
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "examples/scenarios".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/scenarios".into());
     std::fs::create_dir_all(&out).expect("mkdir");
 
     // 1. heterogeneous sort under DYRS
     let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 42);
     cfg.files.push(FileSpec::new("sort/input", 10 << 30));
-    cfg.interference.push(InterferenceSchedule::persistent(NodeId(0), 2));
-    let mut job = JobSpec::map_only(JobId(0), "sort-10g", SimTime::ZERO, vec!["sort/input".into()]);
+    cfg.interference
+        .push(InterferenceSchedule::persistent(NodeId(0), 2));
+    let mut job = JobSpec::map_only(
+        JobId(0),
+        "sort-10g",
+        SimTime::ZERO,
+        vec!["sort/input".into()],
+    );
     job.shuffle_bytes = 10 << 30;
     job.reduce_tasks = 6;
     write(&out, "hetero_sort.json", &cfg, &[job]);
@@ -24,11 +32,21 @@ fn main() {
     let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 7);
     cfg.files.push(FileSpec::new("data/a", 5 << 30));
     cfg.files.push(FileSpec::new("data/b", 5 << 30));
-    cfg.failures.push(FailureEvent::MasterRestart { at: SimTime::from_secs(6) });
-    cfg.failures.push(FailureEvent::NodeDown { at: SimTime::from_secs(15), node: NodeId(3) });
+    cfg.failures.push(FailureEvent::MasterRestart {
+        at: SimTime::from_secs(6),
+    });
+    cfg.failures.push(FailureEvent::NodeDown {
+        at: SimTime::from_secs(15),
+        node: NodeId(3),
+    });
     let jobs = vec![
         JobSpec::map_only(JobId(0), "job-a", SimTime::ZERO, vec!["data/a".into()]),
-        JobSpec::map_only(JobId(1), "job-b", SimTime::from_secs(4), vec!["data/b".into()]),
+        JobSpec::map_only(
+            JobId(1),
+            "job-b",
+            SimTime::from_secs(4),
+            vec!["data/b".into()],
+        ),
     ];
     write(&out, "failures.json", &cfg, &jobs);
 }

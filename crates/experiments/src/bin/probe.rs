@@ -36,19 +36,31 @@ fn main() {
                 n.node,
                 n.migrations,
                 n.slave.missed_reads,
-                n.estimate_series.points().last().map(|&(_, v)| v).unwrap_or(0.0)
+                n.estimate_series
+                    .points()
+                    .last()
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0)
             );
         }
         println!("  speculations={}", r.speculations);
     }
     for q in [&queries[5], &queries[9]] {
-        println!("=== {} scan={}GB (scale {scale}) ===", q.name, q.scan_bytes >> 30);
+        println!(
+            "=== {} scan={}GB (scale {scale}) ===",
+            q.name,
+            q.scan_bytes >> 30
+        );
         for policy in MigrationPolicy::paper_configs() {
             let w = hive::query_workload(q, scale, 0);
             let (cfg, jobs) = with_workload(hetero_config(policy, 11), w);
             let r = Simulation::new(cfg, jobs).run();
             let total: f64 = r.jobs.iter().map(|j| j.duration.as_secs_f64()).sum();
-            let s1 = &r.jobs.iter().find(|j| j.name.ends_with("s1")).unwrap();
+            let s1 = &r
+                .jobs
+                .iter()
+                .find(|j| j.name.ends_with("s1"))
+                .expect("hive query workloads always contain a stage-1 job");
             println!(
                 "{:<20} query={:7.1}s s1={:6.1}s s1_map={:6.1}s memfrac={:.2} migs={} missed={} pend_end={}",
                 policy.name(),

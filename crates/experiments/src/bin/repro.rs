@@ -29,8 +29,24 @@ struct Opts {
 }
 
 const ALL: [&str; 18] = [
-    "fig1", "fig2", "fig3", "fig4", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "table2",
-    "fig10", "fig11", "policies", "ablations", "iterative", "replay", "sensitivity",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table2",
+    "fig10",
+    "fig11",
+    "policies",
+    "ablations",
+    "iterative",
+    "replay",
+    "sensitivity",
 ];
 
 fn parse_args() -> Opts {

@@ -65,11 +65,9 @@ fn print_nodes(r: &SimResult) {
         "node", "dreads", "mreads", "migrations", "peak-buf", "disk-busy", "util"
     );
     for n in &r.nodes {
-        let util = n.utilization_series.time_weighted_mean(
-            simkit::SimTime::ZERO,
-            r.end_time,
-            0.0,
-        );
+        let util = n
+            .utilization_series
+            .time_weighted_mean(simkit::SimTime::ZERO, r.end_time, 0.0);
         println!(
             "{:<7} {:>7} {:>7} {:>11} {:>9}MB {:>9.1}s {:>8.0}%",
             n.node.to_string(),
@@ -93,8 +91,7 @@ fn main() {
         eprintln!("usage: scenario <file.json> [--summary|--jobs|--nodes|--json]");
         std::process::exit(2);
     };
-    let raw = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let scenario: Scenario =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad scenario {path}: {e}"));
     let result = Simulation::new(scenario.config, scenario.jobs).run();

@@ -36,7 +36,7 @@ pub fn run(seed: u64) -> Fig1 {
         .enumerate()
         .map(|(i, t)| (t.iter().sum::<f64>() / t.len() as f64, i))
         .collect();
-    by_mean.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+    by_mean.sort_by(|a, b| b.0.total_cmp(&a.0));
     let picks = [by_mean[0].1, by_mean[30].1, by_mean[50].1];
     let traces: Vec<Vec<f64>> = picks.iter().map(|&i| pop[i].clone()).collect();
     let means = traces

@@ -88,7 +88,7 @@ mod tests {
         let peak = f
             .bins
             .iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+            .max_by(|a, b| a.2.total_cmp(&b.2))
             .expect("non-empty");
         assert!(peak.0 >= -0.5, "peak bin starts at {}", peak.0);
     }

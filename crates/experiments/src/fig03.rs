@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn cdf_monotone() {
         let f = run(2, 40);
-        assert!(f.cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(f
+            .cdf
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
     }
 
     #[test]

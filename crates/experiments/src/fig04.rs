@@ -65,7 +65,7 @@ impl Fig4 {
         self.queries
             .iter()
             .map(|q| (q.clone(), 1.0 - self.normalized(q, config)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty")
     }
 }
@@ -79,7 +79,11 @@ pub fn run(seed: u64, scale: f64) -> Fig4 {
         for (qi, q) in queries.iter().enumerate() {
             let w = hive::query_workload(q, scale, (qi * 10) as u64);
             let (cfg, jobs) = with_workload(hetero_config(policy, seed), w);
-            tasks.push(SimTask::new(format!("{}/{}", policy.name(), q.name), cfg, jobs));
+            tasks.push(SimTask::new(
+                format!("{}/{}", policy.name(), q.name),
+                cfg,
+                jobs,
+            ));
         }
     }
     let results = run_all(tasks, 0);
@@ -112,7 +116,13 @@ fn query_duration(r: &SimResult) -> f64 {
 /// Render Fig. 4a (normalized durations) and 4b (input sizes).
 pub fn render(f: &Fig4) -> String {
     let mut tt = TextTable::new(vec![
-        "Query", "Input", "HDFS", "RAM(norm)", "Ignem(norm)", "DYRS(norm)", "DYRS speedup",
+        "Query",
+        "Input",
+        "HDFS",
+        "RAM(norm)",
+        "Ignem(norm)",
+        "DYRS(norm)",
+        "DYRS speedup",
     ]);
     for (q, &ib) in f.queries.iter().zip(&f.input_bytes) {
         tt.row(vec![

@@ -70,12 +70,22 @@ pub fn run(seed: u64, scale: f64) -> Fig5 {
         }
         means.push(
             (0..3)
-                .map(|b| if ns[b] == 0 { 0.0 } else { sums[b] / ns[b] as f64 })
+                .map(|b| {
+                    if ns[b] == 0 {
+                        0.0
+                    } else {
+                        sums[b] / ns[b] as f64
+                    }
+                })
                 .collect(),
         );
     }
     Fig5 {
-        bins: vec!["Small(<64MB)".into(), "Medium(64MB-1GB)".into(), "Large(>1GB)".into()],
+        bins: vec![
+            "Small(<64MB)".into(),
+            "Medium(64MB-1GB)".into(),
+            "Large(>1GB)".into(),
+        ],
         counts,
         configs,
         means,
@@ -85,7 +95,13 @@ pub fn run(seed: u64, scale: f64) -> Fig5 {
 /// Render the per-bin table.
 pub fn render(f: &Fig5) -> String {
     let mut tt = TextTable::new(vec![
-        "Bin", "Jobs", "HDFS(s)", "RAM(s)", "Ignem(s)", "DYRS(s)", "DYRS speedup",
+        "Bin",
+        "Jobs",
+        "HDFS(s)",
+        "RAM(s)",
+        "Ignem(s)",
+        "DYRS(s)",
+        "DYRS speedup",
     ]);
     for b in 0..3 {
         tt.row(vec![

@@ -108,7 +108,10 @@ mod tests {
         // paper: 1.8x; shape: meaningfully faster but below the RAM bound
         assert!(ratio > 1.3, "HDFS/DYRS map ratio {ratio}");
         let ram_ratio = f.summary("HDFS").mean / f.summary("HDFS-Inputs-in-RAM").mean;
-        assert!(ratio <= ram_ratio + 0.2, "DYRS {ratio} above RAM bound {ram_ratio}");
+        assert!(
+            ratio <= ram_ratio + 0.2,
+            "DYRS {ratio} above RAM bound {ram_ratio}"
+        );
     }
 
     #[test]

@@ -55,7 +55,12 @@ pub fn run(seed: u64, scale: f64) -> Fig7 {
         })
         .sum::<f64>()
         / n;
-    let dyrs_peak_bytes = dyrs.nodes.iter().map(|nr| nr.peak_buffer_bytes).max().unwrap_or(0);
+    let dyrs_peak_bytes = dyrs
+        .nodes
+        .iter()
+        .map(|nr| nr.peak_buffer_bytes)
+        .max()
+        .unwrap_or(0);
 
     // Hypothetical scheme reconstructed from the RAM run's job intervals:
     // a job's whole input is resident (spread over the 7 servers) from
@@ -70,7 +75,7 @@ pub fn run(seed: u64, scale: f64) -> Fig7 {
         events.push((j.completed_at.as_secs_f64(), -(j.input_bytes as i64)));
     }
     hypo_mean /= horizon;
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut cur: i64 = 0;
     let mut peak: i64 = 0;
     for (_, d) in events {

@@ -103,7 +103,15 @@ pub fn render(f: &Fig8) -> String {
             "--- homogeneous ---\n"
         });
         let mut tt = TextTable::new(vec![
-            "Config", "n0", "n1", "n2", "n3", "n4", "n5", "n6", "slow/mean",
+            "Config",
+            "n0",
+            "n1",
+            "n2",
+            "n3",
+            "n4",
+            "n5",
+            "n6",
+            "slow/mean",
         ]);
         for cfg_name in ["HDFS", "Ignem", "DYRS"] {
             let d = f.get(cfg_name, hetero);
@@ -145,7 +153,10 @@ mod tests {
             ignem > 0.6,
             "Ignem must keep loading the slow node: {ignem}"
         );
-        assert!(ignem > dyrs + 0.2, "separation: ignem {ignem} vs dyrs {dyrs}");
+        assert!(
+            ignem > dyrs + 0.2,
+            "separation: ignem {ignem} vs dyrs {dyrs}"
+        );
     }
 
     #[test]

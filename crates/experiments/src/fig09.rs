@@ -28,9 +28,18 @@ pub fn patterns() -> Vec<(&'static str, Vec<InterferenceSchedule>)> {
     let s10 = SimDuration::from_secs(10);
     let s20 = SimDuration::from_secs(20);
     vec![
-        ("9a-persistent-n1", vec![InterferenceSchedule::persistent(n1, DD_STREAMS)]),
-        ("9b-alt10-n1", vec![InterferenceSchedule::alternating(n1, DD_STREAMS, s10, true)]),
-        ("9c-alt20-n1", vec![InterferenceSchedule::alternating(n1, DD_STREAMS, s20, true)]),
+        (
+            "9a-persistent-n1",
+            vec![InterferenceSchedule::persistent(n1, DD_STREAMS)],
+        ),
+        (
+            "9b-alt10-n1",
+            vec![InterferenceSchedule::alternating(n1, DD_STREAMS, s10, true)],
+        ),
+        (
+            "9c-alt20-n1",
+            vec![InterferenceSchedule::alternating(n1, DD_STREAMS, s20, true)],
+        ),
         (
             "9d-alt10-n1n2",
             vec![
@@ -120,7 +129,11 @@ pub fn run(seed: u64, input_gb: u64) -> Fig9 {
                 label,
                 node1: pick(0),
                 node2: pick(1),
-                job_secs: r.jobs.first().map(|j| j.duration.as_secs_f64()).unwrap_or(0.0),
+                job_secs: r
+                    .jobs
+                    .first()
+                    .map(|j| j.duration.as_secs_f64())
+                    .unwrap_or(0.0),
             }
         })
         .collect();
@@ -134,7 +147,10 @@ pub fn render(f: &Fig9) -> String {
          (paper: the estimate tracks each pattern; anti-phased nodes mirror)\n\n",
     );
     for s in &f.series {
-        out.push_str(&format!("--- {} (sort ran {:.0}s) ---\n", s.label, s.job_secs));
+        out.push_str(&format!(
+            "--- {} (sort ran {:.0}s) ---\n",
+            s.label, s.job_secs
+        ));
         out.push_str("node #1 estimate (s):\n");
         out.push_str(&ascii_series(&s.node1, 72, 5));
         out.push_str("node #2 estimate (s):\n");
@@ -184,8 +200,14 @@ mod tests {
         let n2_early = window_mean(&s.node2, 8.0, 20.0);
         let n1_late = window_mean(&s.node1, 28.0, 40.0);
         let n2_late = window_mean(&s.node2, 28.0, 40.0);
-        assert!(n1_early > n2_early, "early: n1 {n1_early:.1} vs n2 {n2_early:.1}");
-        assert!(n2_late > n1_late, "late: n2 {n2_late:.1} vs n1 {n1_late:.1}");
+        assert!(
+            n1_early > n2_early,
+            "early: n1 {n1_early:.1} vs n2 {n2_early:.1}"
+        );
+        assert!(
+            n2_late > n1_late,
+            "late: n2 {n2_late:.1} vs n1 {n1_late:.1}"
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub fn run(seed: u64, input_gb: u64) -> Fig10 {
         let (cfg, jobs) = with_workload(cfg, w);
         SimTask::new(policy.name(), cfg, jobs)
     };
-    let results = run_all(vec![mk(MigrationPolicy::Naive), mk(MigrationPolicy::Dyrs)], 0);
+    let results = run_all(
+        vec![mk(MigrationPolicy::Naive), mk(MigrationPolicy::Dyrs)],
+        0,
+    );
     let timelines: Vec<TailTimeline> = results
         .into_iter()
         .map(|(config, r)| {
@@ -93,15 +96,16 @@ pub fn run(seed: u64, input_gb: u64) -> Fig10 {
                 .into_iter()
                 .rev()
                 .collect();
-            let span = tail
-                .first()
-                .map(|r| -r.t_rel_secs)
-                .unwrap_or(0.0);
+            let span = tail.first().map(|r| -r.t_rel_secs).unwrap_or(0.0);
             TailTimeline {
                 config,
                 tail,
                 tail_span_secs: span,
-                job_secs: r.jobs.first().map(|j| j.duration.as_secs_f64()).unwrap_or(0.0),
+                job_secs: r
+                    .jobs
+                    .first()
+                    .map(|j| j.duration.as_secs_f64())
+                    .unwrap_or(0.0),
             }
         })
         .collect();
@@ -179,7 +183,10 @@ mod tests {
             assert_eq!(t.tail.len(), 30);
             let last = t.tail.last().expect("non-empty");
             assert!(last.t_rel_secs.abs() < 1e-9);
-            assert!(t.tail.windows(2).all(|w| w[0].t_rel_secs <= w[1].t_rel_secs));
+            assert!(t
+                .tail
+                .windows(2)
+                .all(|w| w[0].t_rel_secs <= w[1].t_rel_secs));
         }
     }
 

@@ -127,7 +127,13 @@ pub fn render(f: &Fig11) -> String {
     let mut b = TextTable::new(vec!["Input", "lead+0s", "lead+20s", "lead+45s", "lead+90s"]);
     for &gb in &f.lead_sizes_gb {
         let cell = |lead: u64| secs(f.get(gb, lead, "DYRS").e2e_secs);
-        b.row(vec![format!("{gb}GB"), cell(0), cell(20), cell(45), cell(90)]);
+        b.row(vec![
+            format!("{gb}GB"),
+            cell(0),
+            cell(20),
+            cell(45),
+            cell(90),
+        ]);
     }
     format!(
         "FIG 11a: Sort map-phase duration vs input size (fixed lead-time)\n\

@@ -62,7 +62,11 @@ pub fn run(seed: u64) -> IterStudy {
         for p in [MigrationPolicy::Disabled, MigrationPolicy::Dyrs] {
             let w = iterative::workload(&app, 0);
             let (cfg, jobs) = with_workload(homogeneous_config(p, seed), w);
-            tasks.push(SimTask::new(format!("{}/{}", app.name, p.name()), cfg, jobs));
+            tasks.push(SimTask::new(
+                format!("{}/{}", app.name, p.name()),
+                cfg,
+                jobs,
+            ));
         }
     }
     let results = run_all(tasks, 0);
@@ -97,7 +101,11 @@ pub fn run(seed: u64) -> IterStudy {
 /// Render the comparison.
 pub fn render(s: &IterStudy) -> String {
     let mut tt = TextTable::new(vec![
-        "App", "Config", "Iter 1 (s)", "Iters 2+ (s)", "Penalty",
+        "App",
+        "Config",
+        "Iter 1 (s)",
+        "Iters 2+ (s)",
+        "Penalty",
     ]);
     for r in &s.runs {
         tt.row(vec![

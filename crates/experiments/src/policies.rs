@@ -97,7 +97,12 @@ pub fn run(seed: u64, scale: f64) -> PolicyStudy {
 /// Render the comparison table.
 pub fn render(p: &PolicyStudy) -> String {
     let mut tt = TextTable::new(vec![
-        "Order", "Mean job(s)", "Small jobs(s)", "Large jobs(s)", "Mem reads", "Missed",
+        "Order",
+        "Mean job(s)",
+        "Small jobs(s)",
+        "Large jobs(s)",
+        "Mem reads",
+        "Missed",
     ]);
     for r in &p.rows {
         tt.row(vec![
@@ -138,10 +143,7 @@ mod tests {
         let fifo = p.row("FIFO").mean_job_secs;
         for name in ["SJF", "EDF"] {
             let x = p.row(name).mean_job_secs;
-            assert!(
-                x < fifo * 1.3,
-                "{name} mean {x:.1}s vs FIFO {fifo:.1}s"
-            );
+            assert!(x < fifo * 1.3, "{name} mean {x:.1}s vs FIFO {fifo:.1}s");
         }
     }
 

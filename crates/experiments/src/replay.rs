@@ -139,12 +139,17 @@ mod tests {
     #[test]
     fn background_is_light_on_average_but_heterogeneous() {
         let r = run(7, 0.1);
-        let mean =
-            r.background_means.iter().sum::<f64>() / r.background_means.len() as f64;
-        assert!(mean < 0.25, "background must be light on average: {mean:.2}");
+        let mean = r.background_means.iter().sum::<f64>() / r.background_means.len() as f64;
+        assert!(
+            mean < 0.25,
+            "background must be light on average: {mean:.2}"
+        );
         let max = r.background_means.iter().cloned().fold(0.0, f64::max);
         let min = r.background_means.iter().cloned().fold(1.0, f64::min);
-        assert!(max / min.max(1e-6) > 2.0, "heterogeneous: {max:.3} vs {min:.3}");
+        assert!(
+            max / min.max(1e-6) > 2.0,
+            "heterogeneous: {max:.3} vs {min:.3}"
+        );
     }
 
     #[test]

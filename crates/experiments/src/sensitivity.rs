@@ -58,7 +58,10 @@ impl Sensitivity {
     }
 }
 
-fn perturbations() -> Vec<(&'static str, Box<dyn Fn(&mut SimConfig) + Send + Sync>)> {
+/// A named tweak applied to the baseline configuration.
+type Perturbation = (&'static str, Box<dyn Fn(&mut SimConfig) + Send + Sync>);
+
+fn perturbations() -> Vec<Perturbation> {
     vec![
         ("baseline", Box::new(|_| {})),
         (
@@ -91,10 +94,7 @@ fn perturbations() -> Vec<(&'static str, Box<dyn Fn(&mut SimConfig) + Send + Syn
             "heartbeat-3s",
             Box::new(|c| c.dyrs.heartbeat_interval = simkit::SimDuration::from_secs(3)),
         ),
-        (
-            "ewma-alpha-0.25",
-            Box::new(|c| c.dyrs.ewma_alpha = 0.25),
-        ),
+        ("ewma-alpha-0.25", Box::new(|c| c.dyrs.ewma_alpha = 0.25)),
         (
             "no-speculation",
             Box::new(|c| c.engine.speculative_max_attempts = 1),
@@ -156,7 +156,11 @@ pub fn render(s: &Sensitivity) -> String {
             pct(v.dyrs),
             pct(v.ram),
             pct(v.ignem),
-            if v.conclusions_hold() { "hold".into() } else { "BROKEN".to_string() },
+            if v.conclusions_hold() {
+                "hold".into()
+            } else {
+                "BROKEN".to_string()
+            },
         ]);
     }
     format!(

@@ -58,8 +58,7 @@ pub fn run(seed: u64, scale: f64) -> Table1 {
             Table1Row {
                 config: p.name().to_string(),
                 mean_duration_secs: mean,
-                speedup_vs_hdfs: (*p != MigrationPolicy::Disabled)
-                    .then(|| 1.0 - mean / hdfs_mean),
+                speedup_vs_hdfs: (*p != MigrationPolicy::Disabled).then(|| 1.0 - mean / hdfs_mean),
             }
         })
         .collect();
@@ -101,8 +100,14 @@ mod tests {
         // ordering: RAM bound ≥ DYRS > 0 > Ignem
         assert!(ram > 0.15, "RAM speedup {ram}");
         assert!(dyrs > 0.10, "DYRS speedup {dyrs}");
-        assert!(dyrs <= ram + 0.03, "DYRS {dyrs} cannot beat the bound {ram}");
-        assert!(ignem < 0.0, "Ignem must slow down under heterogeneity: {ignem}");
+        assert!(
+            dyrs <= ram + 0.03,
+            "DYRS {dyrs} cannot beat the bound {ram}"
+        );
+        assert!(
+            ignem < 0.0,
+            "Ignem must slow down under heterogeneity: {ignem}"
+        );
         // DYRS captures a meaningful share of the bound (paper: 33/46 ≈ 72%)
         assert!(dyrs / ram > 0.45, "DYRS/bound ratio {}", dyrs / ram);
     }

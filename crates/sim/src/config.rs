@@ -145,8 +145,8 @@ impl SimConfig {
             failures: Vec::new(),
             horizon: SimTime::from_secs(24 * 3600),
             mem_limit: None,
-            re_replication: true,
-            re_replication_delay: simkit::SimDuration::from_secs(30),
+            re_replication: default_re_replication(),
+            re_replication_delay: default_re_replication_delay(),
         }
     }
 }

@@ -30,6 +30,7 @@ impl Simulation {
     /// master "starts up with no state about which blocks are in memory at
     /// the slaves" — reads fall back to disk until slaves clean up.
     fn master_restart(&mut self) {
+        self.soft_state_reset = true;
         self.master.restart();
         self.namenode.clear_memory_registry();
     }
@@ -38,6 +39,7 @@ impl Simulation {
     /// new slave "directs the master to drop state about blocks that were
     /// previously buffered on that server".
     fn slave_restart(&mut self, node: NodeId) {
+        self.soft_state_reset = true;
         // Abort any in-flight migrations' disk streams.
         for (_, sid) in std::mem::take(&mut self.active_migration_stream[node.index()]) {
             self.cancel_stream(node, ResourceKind::Disk, sid);
@@ -96,8 +98,7 @@ impl Simulation {
             .tasks
             .iter()
             .filter(|t| {
-                t.node == Some(node)
-                    && matches!(t.phase, TaskPhase::Reading | TaskPhase::Computing)
+                t.node == Some(node) && matches!(t.phase, TaskPhase::Reading | TaskPhase::Computing)
             })
             .map(|t| t.id)
             .collect();
@@ -108,7 +109,11 @@ impl Simulation {
             let is_map = self.tasks[tid.0 as usize].is_map();
             self.slots.release(
                 node,
-                if is_map { SlotKind::Map } else { SlotKind::Reduce },
+                if is_map {
+                    SlotKind::Map
+                } else {
+                    SlotKind::Reduce
+                },
             );
             self.requeue_task(tid);
         }
@@ -153,9 +158,11 @@ impl Simulation {
             dyrs_dfs::Medium::RemoteMemory => {
                 (plan.source, ResourceKind::Nic, self.cfg.engine.mem_read_cap)
             }
-            dyrs_dfs::Medium::LocalDisk | dyrs_dfs::Medium::RemoteDisk => {
-                (plan.source, ResourceKind::Disk, self.cfg.engine.disk_read_cap)
-            }
+            dyrs_dfs::Medium::LocalDisk | dyrs_dfs::Medium::RemoteDisk => (
+                plan.source,
+                ResourceKind::Disk,
+                self.cfg.engine.disk_read_cap,
+            ),
         };
         let attempt = self.attempts[tid.0 as usize];
         let sid = self.start_stream_capped(

@@ -12,7 +12,9 @@ use dyrs_engine::scheduler::SlotKind;
 use dyrs_engine::{JobMetrics, JobState, JobStatus, TaskId, TaskMetrics, TaskPhase, TaskState};
 
 fn node_of_task(sim: &Simulation, tid: TaskId) -> NodeId {
-    sim.tasks[tid.0 as usize].node.expect("running task is placed")
+    sim.tasks[tid.0 as usize]
+        .node
+        .expect("running task is placed")
 }
 
 impl Simulation {
@@ -36,8 +38,7 @@ impl Simulation {
             let bytes = info.size;
             let replicas = info.replicas.clone();
             let tid = TaskId(self.tasks.len() as u64);
-            self.tasks
-                .push(TaskState::map(tid, id, b, bytes, self.now));
+            self.tasks.push(TaskState::map(tid, id, b, bytes, self.now));
             self.attempts.push(0);
             self.avoid_node.push(None);
             task_ids.push(tid);
@@ -58,9 +59,7 @@ impl Simulation {
             EvictionMode::Explicit
         };
         let hint = dyrs::JobHint {
-            expected_launch: self.now
-                + self.cfg.engine.platform_overhead
-                + spec.extra_lead_time,
+            expected_launch: self.now + self.cfg.engine.platform_overhead + spec.extra_lead_time,
             total_bytes: requests.iter().map(|r| r.bytes).sum(),
         };
         // A migration request to an unreachable master is simply lost —
@@ -141,7 +140,12 @@ impl Simulation {
             self.tasks[t.0 as usize].ready_at = self.now;
             self.ready_maps.push_back(t);
         }
-        if self.ungranted.get(&id).map(|q| q.is_empty()).unwrap_or(true) {
+        if self
+            .ungranted
+            .get(&id)
+            .map(|q| q.is_empty())
+            .unwrap_or(true)
+        {
             self.ungranted.remove(&id);
         } else {
             self.queue.schedule(
@@ -277,9 +281,11 @@ impl Simulation {
         let (res_node, res_kind, cap) = match plan.medium {
             Medium::LocalMemory => (node, ResourceKind::Membus, self.cfg.engine.mem_read_cap),
             Medium::RemoteMemory => (plan.source, ResourceKind::Nic, self.cfg.engine.mem_read_cap),
-            Medium::LocalDisk | Medium::RemoteDisk => {
-                (plan.source, ResourceKind::Disk, self.cfg.engine.disk_read_cap)
-            }
+            Medium::LocalDisk | Medium::RemoteDisk => (
+                plan.source,
+                ResourceKind::Disk,
+                self.cfg.engine.disk_read_cap,
+            ),
         };
         let attempt = self.attempts[tid.0 as usize];
         let sid = self.start_stream_capped(
@@ -382,7 +388,7 @@ impl Simulation {
         } else {
             // calibrated default: write time folded into the task
             let write_secs = shuffle_share as f64 / self.cfg.engine.shuffle_bw;
-            dur = dur + simkit::SimDuration::from_secs_f64(write_secs);
+            dur += simkit::SimDuration::from_secs_f64(write_secs);
         }
         self.queue
             .schedule(now + dur, Ev::TaskCompute { task: tid, attempt });
@@ -437,8 +443,7 @@ impl Simulation {
                     let share = job.spec.shuffle_bytes / reduces as u64;
                     for _ in 0..reduces {
                         let rid = TaskId(self.tasks.len() as u64);
-                        self.tasks
-                            .push(TaskState::reduce(rid, job_id, share, now));
+                        self.tasks.push(TaskState::reduce(rid, job_id, share, now));
                         self.attempts.push(0);
                         self.avoid_node.push(None);
                         self.ready_reduces.push_back(rid);
@@ -510,10 +515,7 @@ impl Simulation {
         let running: Vec<TaskId> = self
             .tasks
             .iter()
-            .filter(|t| {
-                t.job == id
-                    && matches!(t.phase, TaskPhase::Reading | TaskPhase::Computing)
-            })
+            .filter(|t| t.job == id && matches!(t.phase, TaskPhase::Reading | TaskPhase::Computing))
             .map(|t| t.id)
             .collect();
         for tid in running {
@@ -555,17 +557,20 @@ impl Simulation {
         let slack = self.cfg.engine.speculative_slack;
         let cap = self.cfg.engine.disk_read_cap;
         // Per-job median completed-map duration (the peer baseline).
-        let mut per_job: std::collections::HashMap<JobId, Vec<f64>> = Default::default();
+        let mut per_job: std::collections::BTreeMap<JobId, Vec<f64>> = Default::default();
         for t in &self.done_tasks {
             if t.is_map {
-                per_job.entry(t.job).or_default().push(t.duration.as_secs_f64());
+                per_job
+                    .entry(t.job)
+                    .or_default()
+                    .push(t.duration.as_secs_f64());
             }
         }
         let median = |xs: &mut Vec<f64>| -> f64 {
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.sort_by(f64::total_cmp);
             xs[xs.len() / 2]
         };
-        let baselines: std::collections::HashMap<JobId, f64> = per_job
+        let baselines: std::collections::BTreeMap<JobId, f64> = per_job
             .into_iter()
             .filter(|(_, xs)| xs.len() >= 4) // need peers to compare against
             .map(|(j, mut xs)| (j, median(&mut xs)))
@@ -581,9 +586,10 @@ impl Simulation {
             .filter(|t| {
                 let elapsed = now.saturating_since(t.started_at.expect("reading"));
                 // peer-relative when peers exist, absolute-pace fallback
-                let expected = baselines.get(&t.job).copied().unwrap_or_else(|| {
-                    t.bytes as f64 / cap
-                });
+                let expected = baselines
+                    .get(&t.job)
+                    .copied()
+                    .unwrap_or_else(|| t.bytes as f64 / cap);
                 let threshold =
                     simkit::SimDuration::from_secs_f64(expected).mul_f64(factor) + slack;
                 elapsed > threshold && self.job_alive(t.job)
@@ -613,7 +619,9 @@ impl Simulation {
         if let Some((n, k, sid)) = self.task_streams.remove(&tid) {
             self.cancel_stream(n, k, sid);
         }
-        let node = self.tasks[tid.0 as usize].node.expect("reading task placed");
+        let node = self.tasks[tid.0 as usize]
+            .node
+            .expect("reading task placed");
         self.slots.release(node, SlotKind::Map);
         self.speculations += 1;
         // Hadoop never re-runs an attempt on the node it straggled on.
@@ -627,10 +635,7 @@ impl Simulation {
             return;
         };
         for d in deps {
-            let remaining = self
-                .waiting_deps
-                .get_mut(&d)
-                .expect("dependent registered");
+            let remaining = self.waiting_deps.get_mut(&d).expect("dependent registered");
             *remaining -= 1;
             if *remaining == 0 {
                 self.waiting_deps.remove(&d);

@@ -95,6 +95,9 @@ impl Simulation {
             let evictions = self.slaves[node.index()].scavenge(|j| alive.contains(&j));
             self.apply_evictions(node, evictions);
         }
+
+        #[cfg(feature = "verify-audit")]
+        self.audit_heartbeat(node);
     }
 
     /// Start a slave's calibration probe: a small raw sequential read that

@@ -9,6 +9,8 @@
 //!   migration execution, eviction;
 //! * `failures.rs` — failure injections.
 
+#[cfg(feature = "verify-audit")]
+mod audit;
 mod failures;
 mod jobs;
 mod migration;
@@ -63,8 +65,10 @@ pub struct Simulation {
     /// Stream payloads; fluid tags index this slab.
     pub(crate) stream_meta: Vec<StreamMeta>,
     /// Per-node in-flight migration streams, keyed by block (at most one
-    /// entry under the paper's serialized default).
-    pub(crate) active_migration_stream: Vec<HashMap<dyrs_dfs::BlockId, StreamId>>,
+    /// entry under the paper's serialized default). BTreeMap: slave
+    /// restarts drain this map, and the cancellation order must not
+    /// depend on hash order.
+    pub(crate) active_migration_stream: Vec<BTreeMap<dyrs_dfs::BlockId, StreamId>>,
     /// Per-node live interference streams.
     pub(crate) interference_streams: Vec<Vec<StreamId>>,
     /// Per-node trace-driven background stream (rate-capped, infinite).
@@ -77,11 +81,21 @@ pub struct Simulation {
     pub(crate) repairs_completed: u64,
     /// Events dispatched by the run loop (throughput accounting).
     pub(crate) events_processed: u64,
+    /// FNV-1a digest over the dispatched event stream: same scenario +
+    /// same seed must reproduce it bit-for-bit (tests/determinism.rs).
+    pub(crate) trace_digest: simkit::audit::TraceDigest,
+    /// True once a master or slave restart has discarded soft state
+    /// (§III-C): cross-component audits that assume the master's view is
+    /// authoritative are skipped from then on.
+    #[cfg_attr(not(feature = "verify-audit"), allow(dead_code))]
+    pub(crate) soft_state_reset: bool,
     /// The DYRS master is unreachable until this instant (master-server
     /// failure, §III-C1). `None` = reachable.
     pub(crate) master_down_until: Option<SimTime>,
-    /// task → (serving node, resource, stream) for cancellation.
-    pub(crate) task_streams: HashMap<TaskId, (NodeId, ResourceKind, StreamId)>,
+    /// task → (serving node, resource, stream) for cancellation. BTreeMap:
+    /// node failures iterate this to find reads served by the dead node,
+    /// and the re-plan order must not depend on hash order.
+    pub(crate) task_streams: BTreeMap<TaskId, (NodeId, ResourceKind, StreamId)>,
     /// Per-job (memory bytes, total bytes) read accumulators.
     pub(crate) job_read_bytes: HashMap<JobId, (u64, u64)>,
     pub(crate) done_jobs: Vec<JobMetrics>,
@@ -152,12 +166,7 @@ impl Simulation {
                 namenode.register_memory_replica(b, node);
             }
         }
-        let mut master = Master::new(
-            cfg.policy,
-            n,
-            cfg.cluster.nodes[0].disk_bw,
-            rng.derive(2),
-        );
+        let mut master = Master::new(cfg.policy, n, cfg.cluster.nodes[0].disk_bw, rng.derive(2));
         master.set_order(cfg.dyrs.migration_order);
         let mem_limit = |spec_cap: u64| cfg.mem_limit.unwrap_or(spec_cap);
         let slaves: Vec<Slave> = cfg
@@ -202,15 +211,17 @@ impl Simulation {
             ready_reduces: VecDeque::new(),
             schedule_pending: false,
             stream_meta: Vec::new(),
-            active_migration_stream: vec![HashMap::new(); n],
+            active_migration_stream: vec![BTreeMap::new(); n],
             interference_streams: vec![Vec::new(); n],
             background_stream: vec![None; n],
             repair_queue: VecDeque::new(),
             repair_active: vec![false; n],
             repairs_completed: 0,
             events_processed: 0,
+            trace_digest: simkit::audit::TraceDigest::new(),
+            soft_state_reset: false,
             master_down_until: None,
-            task_streams: HashMap::new(),
+            task_streams: BTreeMap::new(),
             job_read_bytes: HashMap::new(),
             done_jobs: Vec::new(),
             done_tasks: Vec::new(),
@@ -244,8 +255,10 @@ impl Simulation {
             );
         }
         if self.cfg.policy.uses_targeting() {
-            self.queue
-                .schedule(SimTime::ZERO + self.cfg.dyrs.retarget_interval, Ev::Retarget);
+            self.queue.schedule(
+                SimTime::ZERO + self.cfg.dyrs.retarget_interval,
+                Ev::Retarget,
+            );
         }
         // Interference: trace-driven schedules become background-load
         // samples; on/off patterns become toggles.
@@ -278,7 +291,8 @@ impl Simulation {
         // a probe at t=0 measures the disk *with* any t=0 interference
         // already attached (same-time events fire in scheduling order).
         for node in 0..self.cluster.len() as u32 {
-            self.queue.schedule(SimTime::ZERO, Ev::Calibrate(NodeId(node)));
+            self.queue
+                .schedule(SimTime::ZERO, Ev::Calibrate(NodeId(node)));
         }
         // Failure injections.
         for f in self.cfg.failures.clone() {
@@ -324,6 +338,10 @@ impl Simulation {
             }
             self.now = t;
             self.events_processed += 1;
+            {
+                use std::fmt::Write as _;
+                let _ = write!(self.trace_digest, "{t:?}|{ev:?};");
+            }
             self.dispatch(ev);
         }
         self.finish()
@@ -404,6 +422,7 @@ impl Simulation {
             speculations: self.speculations,
             repairs: self.repairs_completed,
             events_processed: self.events_processed,
+            trace_digest: self.trace_digest.value(),
             end_time: self.now,
         }
     }

@@ -164,13 +164,11 @@ impl Simulation {
         let tag = self.stream_meta.len() as u64;
         self.stream_meta.push(StreamMeta::Interference);
         let now = self.now;
-        let id = self.cluster.node_mut(node).disk.add_stream_capped(
-            now,
-            f64::INFINITY,
-            1.0,
-            cap,
-            tag,
-        );
+        let id =
+            self.cluster
+                .node_mut(node)
+                .disk
+                .add_stream_capped(now, f64::INFINITY, 1.0, cap, tag);
         self.reschedule(node, ResourceKind::Disk);
         self.background_stream[node.index()] = Some(id);
     }

@@ -79,6 +79,11 @@ pub struct SimResult {
     pub repairs: u64,
     /// Discrete events the run loop dispatched.
     pub events_processed: u64,
+    /// FNV-1a digest of the dispatched event stream (time + event, in
+    /// order). Identical scenarios under identical seeds must reproduce
+    /// this bit-for-bit; a mismatch means nondeterminism reached the
+    /// event loop.
+    pub trace_digest: u64,
     /// Simulated instant the last event fired.
     pub end_time: SimTime,
 }
@@ -113,15 +118,12 @@ impl SimResult {
 
     /// Fraction of map input bytes served from memory, across all jobs.
     pub fn memory_read_fraction(&self) -> f64 {
-        let (mem, total) = self
-            .reads
-            .iter()
-            .fold((0u64, 0u64), |(m, t), r| {
-                (
-                    m + if r.medium.is_memory() { r.bytes } else { 0 },
-                    t + r.bytes,
-                )
-            });
+        let (mem, total) = self.reads.iter().fold((0u64, 0u64), |(m, t), r| {
+            (
+                m + if r.medium.is_memory() { r.bytes } else { 0 },
+                t + r.bytes,
+            )
+        });
         if total == 0 {
             0.0
         } else {
@@ -176,6 +178,7 @@ mod tests {
             speculations: 0,
             repairs: 0,
             events_processed: 0,
+            trace_digest: 0,
             end_time: SimTime::ZERO,
         }
     }

@@ -67,7 +67,10 @@ fn remote_memory_reads_happen() {
         remote_mem > 0,
         "with one migrated replica per block, many readers are remote"
     );
-    assert!(local_mem > 0, "locality preference should find some local hits");
+    assert!(
+        local_mem > 0,
+        "locality preference should find some local hits"
+    );
 }
 
 /// Explicit-eviction jobs hold their buffers until completion; implicit
@@ -92,7 +95,12 @@ fn eviction_modes_differ_in_footprint() {
     // both runs end with empty buffers (explicit evicts at completion)
     for r in [&imp, &exp] {
         for n in &r.nodes {
-            let last = n.buffer_series.points().last().map(|&(_, v)| v).unwrap_or(0.0);
+            let last = n
+                .buffer_series
+                .points()
+                .last()
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
             assert!(last <= 1.0, "buffers must drain by job end");
         }
     }
@@ -135,14 +143,36 @@ fn failure_storm_degrades_gracefully() {
         cfg.files.push(FileSpec::new(format!("f{i}"), 8 * BLOCK));
     }
     cfg.failures = vec![
-        FailureEvent::MasterRestart { at: SimTime::from_secs(3) },
-        FailureEvent::SlaveRestart { at: SimTime::from_secs(5), node: NodeId(1) },
-        FailureEvent::NodeDown { at: SimTime::from_secs(7), node: NodeId(2) },
-        FailureEvent::MasterRestart { at: SimTime::from_secs(9) },
-        FailureEvent::NodeDown { at: SimTime::from_secs(11), node: NodeId(4) },
-        FailureEvent::NodeUp { at: SimTime::from_secs(30), node: NodeId(2) },
-        FailureEvent::SlaveRestart { at: SimTime::from_secs(33), node: NodeId(0) },
-        FailureEvent::NodeUp { at: SimTime::from_secs(40), node: NodeId(4) },
+        FailureEvent::MasterRestart {
+            at: SimTime::from_secs(3),
+        },
+        FailureEvent::SlaveRestart {
+            at: SimTime::from_secs(5),
+            node: NodeId(1),
+        },
+        FailureEvent::NodeDown {
+            at: SimTime::from_secs(7),
+            node: NodeId(2),
+        },
+        FailureEvent::MasterRestart {
+            at: SimTime::from_secs(9),
+        },
+        FailureEvent::NodeDown {
+            at: SimTime::from_secs(11),
+            node: NodeId(4),
+        },
+        FailureEvent::NodeUp {
+            at: SimTime::from_secs(30),
+            node: NodeId(2),
+        },
+        FailureEvent::SlaveRestart {
+            at: SimTime::from_secs(33),
+            node: NodeId(0),
+        },
+        FailureEvent::NodeUp {
+            at: SimTime::from_secs(40),
+            node: NodeId(4),
+        },
     ];
     let jobs: Vec<JobSpec> = (0..3)
         .map(|i| {
@@ -155,7 +185,11 @@ fn failure_storm_degrades_gracefully() {
         })
         .collect();
     let r = Simulation::new(cfg, jobs).run();
-    assert_eq!(r.jobs.len() + r.failed_jobs.len(), 3, "every job accounted for");
+    assert_eq!(
+        r.jobs.len() + r.failed_jobs.len(),
+        3,
+        "every job accounted for"
+    );
     assert_eq!(r.jobs.len(), 3, "3x replication survives two node losses");
     // no read was served by a node after it died and before it returned
     for rd in &r.reads {
@@ -229,8 +263,7 @@ fn random_workloads_conserve() {
             "round {round} ({policy:?}, seed {seed}): all jobs complete"
         );
         assert!(r.failed_jobs.is_empty());
-        let unique: std::collections::HashSet<_> =
-            r.reads.iter().map(|rd| rd.block).collect();
+        let unique: std::collections::HashSet<_> = r.reads.iter().map(|rd| rd.block).collect();
         assert_eq!(
             unique.len() as u64,
             expect_blocks,
@@ -319,7 +352,12 @@ fn quick_recovery_skips_repairs() {
     cfg.files.push(FileSpec::new("late", 4 * BLOCK));
     let jobs = vec![
         JobSpec::map_only(JobId(0), "job", SimTime::ZERO, vec!["in".into()]),
-        JobSpec::map_only(JobId(1), "late", SimTime::from_secs(60), vec!["late".into()]),
+        JobSpec::map_only(
+            JobId(1),
+            "late",
+            SimTime::from_secs(60),
+            vec!["late".into()],
+        ),
     ];
     let r = Simulation::new(cfg, jobs).run();
     assert_eq!(r.repairs, 0, "node came back before the grace period ended");
@@ -347,10 +385,14 @@ fn measured_utilization_is_sane() {
         }
     }
     // the dd-hammered node is essentially always busy
-    let slow_mean = r.nodes[0]
-        .utilization_series
-        .time_weighted_mean(SimTime::from_secs(2), r.end_time, 0.0);
-    assert!(slow_mean > 0.9, "interfered node utilization {slow_mean:.2}");
+    let slow_mean =
+        r.nodes[0]
+            .utilization_series
+            .time_weighted_mean(SimTime::from_secs(2), r.end_time, 0.0);
+    assert!(
+        slow_mean > 0.9,
+        "interfered node utilization {slow_mean:.2}"
+    );
     // some quiet node had idle time too
     let min_mean = r
         .nodes

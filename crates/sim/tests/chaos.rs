@@ -113,6 +113,10 @@ fn random_failure_storms_never_hang() {
         let mut ids: Vec<JobId> = r.jobs.iter().map(|j| j.job).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), r.jobs.len(), "round {round}: duplicate completion");
+        assert_eq!(
+            ids.len(),
+            r.jobs.len(),
+            "round {round}: duplicate completion"
+        );
     }
 }

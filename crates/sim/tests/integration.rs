@@ -74,7 +74,10 @@ fn dyrs_migrates_during_lead_time_and_speeds_up() {
     let d_ram = ram.jobs[0].duration.as_secs_f64();
     let d_dyrs = dyrs.jobs[0].duration.as_secs_f64();
 
-    assert!(d_ram < d_hdfs, "RAM bound must beat disk: {d_ram} vs {d_hdfs}");
+    assert!(
+        d_ram < d_hdfs,
+        "RAM bound must beat disk: {d_ram} vs {d_hdfs}"
+    );
     assert!(
         d_dyrs < d_hdfs,
         "DYRS must beat plain HDFS: {d_dyrs} vs {d_hdfs}"
@@ -136,8 +139,9 @@ fn dyrs_avoids_handicapped_node_ignem_does_not() {
     // per-node average; Ignem binds uniformly (most of its slow-node
     // migrations end up cancelled by missed reads, so count bound work =
     // completed + missed, not completions).
-    let bound = |r: &SimResult, n: usize| (r.nodes[n].slave.completed
-        + r.nodes[n].slave.missed_reads) as f64;
+    let bound = |r: &SimResult, n: usize| {
+        (r.nodes[n].slave.completed + r.nodes[n].slave.missed_reads) as f64
+    };
     let dyrs_slow = bound(&dyrs, slow.index());
     let dyrs_avg = (0..7).map(|i| bound(&dyrs, i)).sum::<f64>() / 7.0;
     let ignem_slow = bound(&ignem, slow.index());
@@ -192,7 +196,10 @@ fn memory_is_evicted_after_job_completion() {
         }
     }
     let total_peak: u64 = r.nodes.iter().map(|n| n.peak_buffer_bytes).sum();
-    assert!(total_peak > 0, "migration must have pinned memory at some point");
+    assert!(
+        total_peak > 0,
+        "migration must have pinned memory at some point"
+    );
 }
 
 #[test]

@@ -1,0 +1,206 @@
+//! Runtime invariant auditing and event-trace digests.
+//!
+//! Stateful components implement [`Audit`] to check their own conservation
+//! invariants (reference-list mirrors, buffer accounting, estimate sanity)
+//! into an [`AuditReport`]. The simulation driver — under its
+//! `verify-audit` cargo feature — audits every component at heartbeat
+//! boundaries and panics with the full violation list on the first dirty
+//! report, so a broken invariant is caught at the heartbeat where it
+//! appears rather than as a silently wrong figure.
+//!
+//! [`TraceDigest`] is an order-sensitive FNV-1a accumulator over the
+//! dispatched event stream. Two runs of the same scenario under the same
+//! seed must produce identical digests; a mismatch means nondeterminism
+//! entered the event loop (exactly what `dyrs-verify lint` exists to keep
+//! out at the source level).
+
+use std::fmt;
+
+/// One failed invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditViolation {
+    /// Which component failed (e.g. `slave[3]`, `master`).
+    pub component: String,
+    /// The invariant, stated declaratively.
+    pub invariant: &'static str,
+    /// The observed state that contradicts it.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} — {}",
+            self.component, self.invariant, self.detail
+        )
+    }
+}
+
+/// Collector the [`Audit`] implementations write into.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `invariant` as violated by `component`.
+    pub fn fail(&mut self, component: &str, invariant: &'static str, detail: String) {
+        self.violations.push(AuditViolation {
+            component: component.to_string(),
+            invariant,
+            detail,
+        });
+    }
+
+    /// Record a violation unless `ok` holds. `detail` is only evaluated on
+    /// failure, so checks stay cheap on the (overwhelmingly common) clean
+    /// path.
+    pub fn check(
+        &mut self,
+        ok: bool,
+        component: &str,
+        invariant: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !ok {
+            self.fail(component, invariant, detail());
+        }
+    }
+
+    /// True if nothing failed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations recorded so far.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// Panic with every violation if the report is dirty. `context` names
+    /// the audit point (e.g. `"heartbeat(node 2) @ 13.5s"`).
+    pub fn assert_clean(&self, context: &str) {
+        if self.is_clean() {
+            return;
+        }
+        let mut msg = format!("audit failed at {context}:");
+        for v in &self.violations {
+            msg.push_str("\n  - ");
+            msg.push_str(&v.to_string());
+        }
+        panic!("{msg}");
+    }
+}
+
+/// Self-checking of a component's conservation invariants.
+pub trait Audit {
+    /// Check every invariant this component can verify locally, recording
+    /// failures into `report`. Must not mutate observable state.
+    fn audit(&self, report: &mut AuditReport);
+}
+
+/// Order-sensitive 64-bit FNV-1a digest over a byte/text stream.
+///
+/// Implements [`fmt::Write`], so event streams can be folded in without
+/// allocating: `write!(digest, "{time:?}|{event:?}")?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDigest(u64);
+
+impl TraceDigest {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest (FNV offset basis).
+    pub const fn new() -> Self {
+        TraceDigest(Self::OFFSET_BASIS)
+    }
+
+    /// Fold `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for TraceDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Write for TraceDigest {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.update(s.as_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fmt::Write as _;
+
+    #[test]
+    fn clean_report_asserts_quietly() {
+        let mut r = AuditReport::new();
+        r.check(true, "x", "always holds", || unreachable!());
+        assert!(r.is_clean());
+        r.assert_clean("test");
+    }
+
+    #[test]
+    fn violations_are_collected_not_thrown() {
+        let mut r = AuditReport::new();
+        r.check(false, "slave[0]", "pinned bytes conserved", || {
+            "1 != 2".into()
+        });
+        r.fail("master", "pending mirrored", "extra block".into());
+        assert!(!r.is_clean());
+        assert_eq!(r.violations().len(), 2);
+        assert_eq!(r.violations()[0].component, "slave[0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned bytes conserved")]
+    fn dirty_report_panics_with_details() {
+        let mut r = AuditReport::new();
+        r.fail("slave[0]", "pinned bytes conserved", "1 != 2".into());
+        r.assert_clean("unit test");
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let mut a = TraceDigest::new();
+        let mut b = TraceDigest::new();
+        a.update(b"xy");
+        b.update(b"yx");
+        assert_ne!(a.value(), b.value());
+        let mut c = TraceDigest::new();
+        c.update(b"x");
+        c.update(b"y");
+        assert_eq!(a.value(), c.value(), "chunking must not matter");
+        assert_ne!(TraceDigest::new().value(), 0);
+    }
+
+    #[test]
+    fn digest_accepts_fmt_writes() {
+        let mut a = TraceDigest::new();
+        let mut b = TraceDigest::new();
+        write!(a, "ev{}", 1).unwrap();
+        b.update(b"ev1");
+        assert_eq!(a.value(), b.value());
+    }
+}

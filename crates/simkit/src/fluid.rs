@@ -286,7 +286,10 @@ impl FluidResource {
     ) -> StreamId {
         debug_assert_eq!(self.last_advance, now, "add_stream without advance");
         assert!(bytes >= 0.0, "negative stream size");
-        assert!(weight > 0.0 && weight.is_finite(), "invalid weight {weight}");
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "invalid weight {weight}"
+        );
         assert!(cap > 0.0, "invalid cap {cap}");
         let stamp = self.next_stamp;
         self.next_stamp = self.next_stamp.wrapping_add(1);
@@ -321,7 +324,9 @@ impl FluidResource {
         let entry = self.slots.get_mut(id.slot as usize)?;
         match entry {
             Some(s) if s.stamp == id.stamp => {
-                let s = entry.take().expect("checked above");
+                let s = entry
+                    .take()
+                    .expect("slot occupancy verified by the is_some guard");
                 self.total_weight -= s.weight;
                 self.active -= 1;
                 self.free.push(id.slot);

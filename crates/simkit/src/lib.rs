@@ -19,6 +19,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`audit`] | runtime invariant auditing ([`audit::Audit`]) and event-trace digests |
 //! | [`time`] | [`SimTime`], [`SimDuration`] — microsecond-resolution simulated clock types |
 //! | [`queue`] | deterministic binary-heap event queue |
 //! | [`rng`] | xoshiro256++ RNG + uniform/exponential/normal/lognormal/pareto/zipf sampling |
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod fluid;
 pub mod queue;
 pub mod rng;

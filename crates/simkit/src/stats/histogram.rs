@@ -52,7 +52,10 @@ impl Histogram {
 
     /// `bins` logarithmically spaced bins covering `[lo, hi)`; `lo > 0`.
     pub fn logarithmic(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(bins >= 1 && lo > 0.0 && hi > lo, "invalid log histogram spec");
+        assert!(
+            bins >= 1 && lo > 0.0 && hi > lo,
+            "invalid log histogram spec"
+        );
         let (llo, lhi) = (lo.ln(), hi.ln());
         let w = (lhi - llo) / bins as f64;
         Self::from_edges((0..=bins).map(|i| (llo + w * i as f64).exp()).collect())
@@ -61,12 +64,9 @@ impl Histogram {
     /// Record one sample.
     pub fn observe(&mut self, x: f64) {
         debug_assert!(x.is_finite(), "non-finite sample: {x}");
-        let idx = match self
-            .edges
-            .binary_search_by(|e| e.partial_cmp(&x).expect("finite"))
-        {
-            Ok(i) => i + 1,  // exactly on edge i → bin i (right-open bins)
-            Err(i) => i,     // first edge greater than x
+        let idx = match self.edges.binary_search_by(|e| e.total_cmp(&x)) {
+            Ok(i) => i + 1, // exactly on edge i → bin i (right-open bins)
+            Err(i) => i,    // first edge greater than x
         };
         self.counts[idx] += 1;
         self.total += 1;

@@ -39,7 +39,7 @@ pub fn cdf_points(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut xs = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    xs.sort_by(f64::total_cmp);
     (0..points)
         .map(|i| {
             let p = i as f64 / (points - 1) as f64;
@@ -99,8 +99,7 @@ impl Quantiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

@@ -77,9 +77,9 @@ proptest! {
         mut xs in proptest::collection::vec(-1e9f64..1e9, 1..200),
         ps in proptest::collection::vec(0.0f64..=100.0, 2..20),
     ) {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let mut sorted_ps = ps.clone();
-        sorted_ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_ps.sort_by(f64::total_cmp);
         let mut last = f64::NEG_INFINITY;
         for &p in &sorted_ps {
             let v = percentile(&xs, p);
@@ -130,7 +130,7 @@ proptest! {
         let mut q = Quantiles::new();
         q.extend_from(&xs);
         let mut sorted_probes = probes.clone();
-        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted_probes.sort_by(f64::total_cmp);
         let mut last = 0.0f64;
         for &x in &sorted_probes {
             let f = q.fraction_at_most(x);

@@ -1,0 +1,163 @@
+//! The checked-in suppression list (`verify-allowlist.txt`).
+//!
+//! Each entry is keyed on the rule name, the workspace-relative path, and
+//! the exact (trimmed) source line — **not** the line number — so the
+//! suppression survives unrelated edits to the file but dies with the
+//! line it justified. Stale entries fail the lint: the allowlist can only
+//! shrink or carry live, justified suppressions.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # justification for the next entry
+//! <rule> <path> :: <trimmed source line>
+//! ```
+
+use crate::rules::{Finding, Rule};
+
+/// One parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule being suppressed.
+    pub rule: Rule,
+    /// Workspace-relative path the entry applies to.
+    pub path: String,
+    /// Exact trimmed source line being justified.
+    pub line_text: String,
+    /// Line number *within the allowlist file* (for error reporting).
+    pub at: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parse allowlist text. Returns `Err` with a message on malformed lines.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (rule_name, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
+                format!(
+                    "allowlist line {}: expected `<rule> <path> :: <line>`",
+                    i + 1
+                )
+            })?;
+            let rule = Rule::from_name(rule_name)
+                .ok_or_else(|| format!("allowlist line {}: unknown rule `{rule_name}`", i + 1))?;
+            let (path, line_text) = rest
+                .split_once(" :: ")
+                .ok_or_else(|| format!("allowlist line {}: missing ` :: ` separator", i + 1))?;
+            entries.push(Entry {
+                rule,
+                path: path.trim().to_owned(),
+                line_text: line_text.trim().to_owned(),
+                at: i + 1,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split findings into (kept, suppressed) and report stale entries
+    /// that matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize, Vec<Entry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for f in findings {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == f.rule && e.path == f.path && e.line_text == f.excerpt);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => kept.push(f),
+            }
+        }
+        let stale: Vec<Entry> = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e.clone())
+            .collect();
+        (kept, suppressed, stale)
+    }
+
+    /// Render a finding as an allowlist entry line (for `--emit-allowlist`).
+    pub fn format_entry(f: &Finding) -> String {
+        format!("{} {} :: {}", f.rule, f.path, f.excerpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, path: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_owned(),
+            line: 7,
+            excerpt: excerpt.to_owned(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn suppresses_exact_matches_and_reports_stale() {
+        let al = Allowlist::parse(
+            "# read-only summary over counters; order does not reach decisions\n\
+             nondet-iter crates/sim/src/x.rs :: for (k, v) in counts.iter() {\n\
+             wall-clock crates/sim/src/y.rs :: let t = Instant::now();\n",
+        )
+        .expect("well-formed allowlist parses");
+        assert_eq!(al.len(), 2);
+        let findings = vec![finding(
+            Rule::NondetIter,
+            "crates/sim/src/x.rs",
+            "for (k, v) in counts.iter() {",
+        )];
+        let (kept, suppressed, stale) = al.apply(findings);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, Rule::WallClock);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("nonsense-rule a.rs :: x\n").is_err());
+        assert!(Allowlist::parse("nondet-iter missing-separator\n").is_err());
+    }
+
+    #[test]
+    fn line_number_changes_do_not_invalidate_entries() {
+        let al =
+            Allowlist::parse("lib-unwrap crates/core/src/a.rs :: x.unwrap();\n").expect("parses");
+        let mut f = finding(Rule::LibUnwrap, "crates/core/src/a.rs", "x.unwrap();");
+        f.line = 999;
+        let (kept, suppressed, _) = al.apply(vec![f]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+}

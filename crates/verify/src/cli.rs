@@ -1,0 +1,134 @@
+//! Command-line entry: `dyrs-verify lint [--root DIR] [--allowlist FILE]
+//! [--emit-allowlist] [paths…]`.
+
+use crate::allowlist::Allowlist;
+use crate::scan;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: dyrs-verify lint [options] [paths…]
+
+Scans the workspace's crates/*/src for nondeterminism hazards. With
+explicit paths, scans only those files/directories with every rule
+enabled (fixture mode; the allowlist is not applied).
+
+options:
+  --root DIR          workspace root (default: current directory)
+  --allowlist FILE    suppression file (default: ROOT/verify-allowlist.txt)
+  --emit-allowlist    print findings as allowlist entries and exit 1
+  -h, --help          this text
+
+exit status: 0 clean · 1 findings (or stale allowlist entries) · 2 usage";
+
+/// Run the CLI; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    if cmd == "-h" || cmd == "--help" {
+        println!("{USAGE}");
+        return 0;
+    }
+    if cmd != "lint" {
+        eprintln!("unknown command `{cmd}`\n{USAGE}");
+        return 2;
+    }
+
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut emit = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("--root needs a value\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--allowlist needs a value\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--emit-allowlist" => emit = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let fixture_mode = !paths.is_empty();
+    let findings = if fixture_mode {
+        scan::scan_file(&root, &paths)
+    } else {
+        scan::scan_workspace(&root)
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dyrs-verify: {e}");
+            return 2;
+        }
+    };
+
+    if emit {
+        for f in &findings {
+            println!("{}", Allowlist::format_entry(f));
+        }
+        return i32::from(!findings.is_empty());
+    }
+
+    // Fixture mode is for proving the lint *fires*; no suppression there.
+    let (kept, suppressed, stale) = if fixture_mode {
+        (findings, 0, Vec::new())
+    } else {
+        let path = allowlist_path.unwrap_or_else(|| root.join("verify-allowlist.txt"));
+        let allowlist = match std::fs::read_to_string(&path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("dyrs-verify: {e}");
+                    return 2;
+                }
+            },
+            Err(_) => Allowlist::default(), // absent file = empty allowlist
+        };
+        allowlist.apply(findings)
+    };
+
+    for f in &kept {
+        println!("{f}");
+    }
+    let mut failed = !kept.is_empty();
+    for e in &stale {
+        eprintln!(
+            "stale allowlist entry (line {}): {} {} :: {}",
+            e.at, e.rule, e.path, e.line_text
+        );
+        failed = true;
+    }
+    if failed {
+        eprintln!(
+            "dyrs-verify: {} finding(s), {} suppressed, {} stale allowlist entr(ies)",
+            kept.len(),
+            suppressed,
+            stale.len()
+        );
+        1
+    } else {
+        println!("dyrs-verify: clean ({suppressed} suppressed by allowlist)");
+        0
+    }
+}

@@ -1,0 +1,332 @@
+//! A minimal Rust source "lexer" for linting: blanks out comments and the
+//! *contents* of string/char literals (keeping `"` delimiters so rules can
+//! still see `expect("")`), and locates `#[cfg(test)]` regions so rules
+//! can skip test-only code. Byte offsets and line structure are preserved
+//! exactly, so findings report real line numbers.
+
+/// Source with comments and literal bodies blanked, line structure intact.
+#[derive(Debug)]
+pub struct StrippedSource {
+    text: String,
+    /// Half-open line ranges (1-based) covered by `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl StrippedSource {
+    /// Lines of the stripped text, 1-based alongside their numbers.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.text.lines().enumerate().map(|(i, l)| (i + 1, l))
+    }
+
+    /// Whether a 1-based line number falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| start <= line && line < end)
+    }
+
+    /// The stripped text (for tests and debugging).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+/// Strip `source`, preserving byte-for-byte length and newlines.
+pub fn strip(source: &str) -> StrippedSource {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Push `n` bytes of blank, preserving any newlines in the skipped span.
+    let blank = |out: &mut Vec<u8>, span: &[u8]| {
+        for &b in span {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let rest = &bytes[i..];
+
+        if rest.starts_with(b"//") {
+            let end = memchr_newline(rest);
+            blank(&mut out, &rest[..end]);
+            i += end;
+        } else if rest.starts_with(b"/*") {
+            let end = block_comment_end(rest);
+            blank(&mut out, &rest[..end]);
+            i += end;
+        } else if b == b'"' {
+            let end = string_end(rest, 0);
+            out.push(b'"');
+            blank(&mut out, &rest[1..end - 1]);
+            out.push(b'"');
+            i += end;
+        } else if (b == b'r' || b == b'b') && raw_or_byte_string_len(rest).is_some() {
+            let (hashes, end) = raw_or_byte_string_len(rest).expect("checked above");
+            // Keep the opening/closing quotes for expect("")-style rules;
+            // blank everything else including the r/b prefix and hashes.
+            let open = rest
+                .iter()
+                .position(|&c| c == b'"')
+                .expect("raw string has an opening quote");
+            blank(&mut out, &rest[..open]);
+            out.push(b'"');
+            blank(&mut out, &rest[open + 1..end - 1 - hashes]);
+            out.push(b'"');
+            blank(&mut out, &rest[end - hashes..end]);
+            i += end;
+        } else if b == b'\'' {
+            if let Some(end) = char_literal_len(rest) {
+                blank(&mut out, &rest[..end]);
+                i += end;
+            } else {
+                // A lifetime: copy verbatim.
+                out.push(b);
+                i += 1;
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+
+    let text = String::from_utf8(out).expect("stripping only replaces ASCII spans with spaces");
+    let test_regions = find_test_regions(&text);
+    StrippedSource { text, test_regions }
+}
+
+fn memchr_newline(bytes: &[u8]) -> usize {
+    bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .unwrap_or(bytes.len())
+}
+
+/// Length of a (nested) block comment starting at `/*`.
+fn block_comment_end(bytes: &[u8]) -> usize {
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i..].starts_with(b"/*") {
+            depth += 1;
+            i += 2;
+        } else if bytes[i..].starts_with(b"*/") {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// Length of a `"..."` string starting at the opening quote (after `skip`
+/// prefix bytes), honouring backslash escapes.
+fn string_end(bytes: &[u8], skip: usize) -> usize {
+    let mut i = skip + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `bytes` starts a raw string (`r"`, `r#"`, …) or byte string (`b"`,
+/// `br#"`, …), return `(hash_count, total_len)`.
+fn raw_or_byte_string_len(bytes: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = i < bytes.len() && bytes[i] == b'r';
+    if raw {
+        i += 1;
+    }
+    if i == 0 {
+        return None; // plain `"` handled by the caller
+    }
+    let mut hashes = 0;
+    while raw && i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return None; // identifier like `b` or `r#ident`, not a string
+    }
+    if !raw {
+        // b"...": ordinary escape rules.
+        return Some((0, string_end(bytes, i)));
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    let mut j = i + 1;
+    while j < bytes.len() {
+        if bytes[j..].starts_with(&closer) {
+            return Some((hashes, j + closer.len()));
+        }
+        j += 1;
+    }
+    Some((hashes, bytes.len()))
+}
+
+/// If `bytes` starts a character literal (not a lifetime), its length.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    // bytes[0] == '\''
+    match bytes.get(1)? {
+        b'\\' => {
+            // Escaped char: find the closing quote.
+            let mut i = 2;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return Some(i + 1),
+                    _ => i += 1,
+                }
+            }
+            Some(bytes.len())
+        }
+        _ => {
+            // `'x'` is a char; `'a` (no closing quote right after one
+            // char) is a lifetime. Multibyte chars: scan to the next `'`
+            // within a small window.
+            let window = bytes.len().min(6);
+            for (i, &b) in bytes.iter().enumerate().take(window).skip(2) {
+                if b == b'\'' {
+                    return Some(i + 1);
+                }
+                if b & 0x80 == 0 && !b.is_ascii_alphanumeric() {
+                    break;
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Locate `#[cfg(test)]` items and the line span of their bodies.
+fn find_test_regions(stripped: &str) -> Vec<(usize, usize)> {
+    let bytes = stripped.as_bytes();
+    let mut regions = Vec::new();
+    let needle = b"#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = find_from(bytes, needle, from) {
+        from = pos + needle.len();
+        // Walk forward to the item's opening `{`; a `;` first means the
+        // attribute decorated a braceless item (e.g. a `use`), skip it.
+        let mut i = from;
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let start_line = line_of(bytes, pos);
+        let end_line = line_of(bytes, j.min(bytes.len().saturating_sub(1))) + 1;
+        regions.push((start_line, end_line));
+    }
+    regions
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes[..pos].iter().filter(|&&b| b == b'\n').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip("let x = 1; // Instant::now()\n/* SystemTime */ let y = 2;\n");
+        assert!(!s.text().contains("Instant::now"));
+        assert!(!s.text().contains("SystemTime"));
+        assert!(s.text().contains("let x = 1;"));
+        assert!(s.text().contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_doc_comments_with_code_examples() {
+        let s = strip("/// let v = map.iter().next().unwrap();\nfn f() {}\n");
+        assert!(!s.text().contains("unwrap"));
+        assert!(s.text().contains("fn f() {}"));
+    }
+
+    #[test]
+    fn blanks_string_bodies_but_keeps_quotes() {
+        let s = strip(r#"x.expect("thread_rng is fine in prose"); y.expect("");"#);
+        assert!(!s.text().contains("thread_rng"));
+        assert!(s.text().contains(r#"expect("")"#));
+    }
+
+    #[test]
+    fn preserves_line_numbers_through_multiline_strings() {
+        let s = strip("let a = \"one\ntwo\nthree\";\nlet b = 4;\n");
+        let lines: Vec<(usize, &str)> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].1.contains("let b = 4;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let s = strip(r##"let a = r#"panic!("x")"#; let c = '"'; fn f<'a>(x: &'a str) {}"##);
+        assert!(!s.text().contains("panic!"));
+        assert!(s.text().contains("fn f<'a>(x: &'a str) {}"));
+    }
+
+    #[test]
+    fn finds_cfg_test_regions() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let s = strip(src);
+        assert!(!s.in_test_region(1));
+        assert!(s.in_test_region(3));
+        assert!(s.in_test_region(4));
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_ignored() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let s = strip(src);
+        assert!(!s.in_test_region(3));
+    }
+}

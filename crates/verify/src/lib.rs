@@ -1,0 +1,42 @@
+//! # dyrs-verify — nondeterminism & correctness linting for the DYRS workspace
+//!
+//! DYRS's evaluation rests on a deterministic discrete-event simulation:
+//! two runs with the same seed must produce bit-identical results, and the
+//! reproduction's paper-claim tests depend on it. This crate is the
+//! source-level half of the verification story (the runtime half is the
+//! `Audit` trait in `simkit::audit`): a dependency-free scanner over the
+//! workspace's `.rs` files that flags constructs known to leak
+//! nondeterminism or mask broken invariants:
+//!
+//! * **nondet-iter** — iterating a `HashMap`/`HashSet` in decision-path
+//!   crates, where hash-order can leak into Algorithm 1 tie-breaking;
+//! * **wall-clock** — `Instant::now`/`SystemTime` in simulation code that
+//!   must only observe [`SimTime`];
+//! * **ambient-rng** — `thread_rng`/`OsRng`/entropy seeding outside
+//!   `simkit::rng`;
+//! * **nan-compare** — `partial_cmp(..).unwrap()`-style float comparisons
+//!   that panic (or worse, silently mis-sort) on NaN;
+//! * **lib-unwrap** — `unwrap()`/`panic!`/empty `expect("")` in library
+//!   crates, which hide *which* invariant was violated.
+//!
+//! Findings are suppressed through a checked-in allowlist
+//! (`verify-allowlist.txt` at the workspace root) keyed on the rule, the
+//! file, and the exact source line — so CI failures are deterministic and
+//! every suppression carries a written justification in the file.
+//!
+//! Run it as `cargo run -p dyrs-verify -- lint`.
+//!
+//! [`SimTime`]: https://docs.rs/simkit
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod cli;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use allowlist::Allowlist;
+pub use rules::{Finding, Rule};
+pub use scan::{scan_file, scan_workspace, ScanContext};

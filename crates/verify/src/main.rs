@@ -1,0 +1,6 @@
+//! `dyrs-verify` CLI. See the library crate for the lint engine.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dyrs_verify::cli::run(&args));
+}

@@ -1,0 +1,149 @@
+//! Workspace traversal: decides which rules apply to which files and
+//! drives the two-phase scan (hash-container name collection, then rule
+//! checks) crate by crate.
+
+use crate::lexer;
+use crate::rules::{self, Finding, HashNames, RuleSet};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crates whose iteration order can leak into scheduling/targeting
+/// decisions (Algorithm 1 and the event loop around it).
+const DECISION_CRATES: [&str; 4] = ["core", "dfs", "sim", "engine"];
+
+/// Library crates where `unwrap()`/`panic!` must state the violated
+/// invariant (the satellite-task scope plus this crate itself).
+const STRICT_LIB_CRATES: [&str; 5] = ["core", "dfs", "cluster", "simkit", "verify"];
+
+/// Scanning configuration for one file.
+#[derive(Debug, Clone)]
+pub struct ScanContext {
+    /// Workspace root all reported paths are relative to.
+    pub root: PathBuf,
+}
+
+impl ScanContext {
+    /// Rule set for a workspace file, from its crate name and location.
+    fn rules_for(&self, rel: &str) -> RuleSet {
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("");
+        let in_src = rel.contains("/src/");
+        RuleSet {
+            nondet_iter: in_src && DECISION_CRATES.contains(&crate_name),
+            // The sim only advances SimTime; wall-clock reads and ambient
+            // entropy are hazards everywhere in library code.
+            wall_clock: in_src,
+            ambient_rng: in_src && rel != "crates/simkit/src/rng.rs",
+            nan_compare: in_src,
+            lib_unwrap: in_src && STRICT_LIB_CRATES.contains(&crate_name),
+        }
+    }
+}
+
+/// Scan the whole workspace under `root` (all `crates/*/src/**/*.rs`).
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let ctx = ScanContext {
+        root: root.to_path_buf(),
+    };
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+
+        // Phase 1: hash-container names across the crate, so iterating a
+        // field declared in another file is still caught.
+        let mut sources: BTreeMap<PathBuf, (String, lexer::StrippedSource)> = BTreeMap::new();
+        let mut names = HashNames::new();
+        for file in &files {
+            let text = std::fs::read_to_string(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let stripped = lexer::strip(&text);
+            rules::collect_hash_names(&stripped, &mut names);
+            sources.insert(file.clone(), (text, stripped));
+        }
+
+        // Phase 2: rule checks.
+        for (file, (text, stripped)) in &sources {
+            let rel = relative_to(file, &ctx.root);
+            let rules_for_file = ctx.rules_for(&rel);
+            rules::check(stripped, text, &rel, rules_for_file, &names, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    Ok(findings)
+}
+
+/// Scan explicitly-listed files (or directories) with every rule enabled —
+/// used for lint fixtures and ad-hoc checks.
+pub fn scan_file(root: &Path, paths: &[PathBuf]) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs_files(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+
+    let mut names = HashNames::new();
+    let mut sources = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let stripped = lexer::strip(&text);
+        rules::collect_hash_names(&stripped, &mut names);
+        sources.push((file.clone(), text, stripped));
+    }
+    let mut findings = Vec::new();
+    for (file, text, stripped) in &sources {
+        let rel = relative_to(file, root);
+        rules::check(
+            stripped,
+            text,
+            &rel,
+            RuleSet::strict(),
+            &names,
+            &mut findings,
+        );
+    }
+    findings.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_to(file: &Path, root: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

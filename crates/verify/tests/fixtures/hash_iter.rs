@@ -1,0 +1,41 @@
+//! Lint fixture: hash-ordered iteration in a decision path, NaN-unsafe
+//! float ordering, and invariant-free panics. Scanned by
+//! `tests/lint_fixtures.rs` — never compiled.
+
+use std::collections::HashMap;
+
+pub struct Scheduler {
+    pub queued: HashMap<u64, u64>,
+}
+
+pub fn pick_target(s: &Scheduler) -> Option<u64> {
+    // nondet-iter: hash order decides which node wins the tie.
+    for (node, bytes) in s.queued.iter() {
+        if *bytes == 0 {
+            return Some(*node);
+        }
+    }
+    None
+}
+
+pub fn sort_by_cost(costs: &mut Vec<f64>) {
+    // nan-compare: silently mis-sorts the moment a NaN appears.
+    costs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn first_queued(s: &Scheduler) -> u64 {
+    // lib-unwrap: which invariant did we just assume?
+    *s.queued.keys().next().unwrap()
+}
+
+pub fn keyed_access_is_fine(s: &Scheduler) -> Option<u64> {
+    s.queued.get(&7).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from lib-unwrap: this must not fire.
+    pub fn in_test_unwrap(v: Option<u64>) -> u64 {
+        v.unwrap()
+    }
+}

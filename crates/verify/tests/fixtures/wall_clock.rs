@@ -1,0 +1,27 @@
+//! Lint fixture: wall-clock reads and ambient entropy in simulation
+//! code. Scanned by `tests/lint_fixtures.rs` — never compiled, so it
+//! needs no real dependencies. Every hazard here must be caught; the
+//! commented-out ones must NOT be (comments are stripped before rules
+//! run).
+
+// let banned = std::time::Instant::now();  <- comment: must not fire
+
+pub fn stamp_wallclock() -> std::time::Instant {
+    // wall-clock: the simulation must only observe SimTime.
+    std::time::Instant::now()
+}
+
+pub fn stamp_system_time() -> u64 {
+    let t = std::time::SystemTime::now();
+    secs_since_epoch(t)
+}
+
+pub fn ambient_seed() -> u64 {
+    // ambient-rng: entropy outside simkit::rng breaks replay.
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn says_instant_in_a_string() -> &'static str {
+    "Instant::now is only prose here and must not fire"
+}

@@ -48,7 +48,7 @@ impl GoogleJob {
 /// exponential burst process (the within-day variation).
 pub fn node_utilization_trace(seed: u64, node: u64, samples: usize) -> Vec<f64> {
     let mut rng = Rng::new(seed ^ 0x474f_4f47).derive(node); // "GOOG"
-    // Base rate: median 1.6%, heavy upper tail → mean ≈ 3%.
+                                                             // Base rate: median 1.6%, heavy upper tail → mean ≈ 3%.
     let base = rng.lognormal(0.016f64.ln(), 1.1).clamp(0.001, 0.5);
     let mut burst = 1.0f64;
     (0..samples)
@@ -73,9 +73,9 @@ pub fn cluster_utilization(seed: u64, nodes: usize, samples: usize) -> Vec<Vec<f
 /// mean lead-time is ≈8.8 s and ≈81% of jobs have lead ≥ read.
 pub fn job_population(seed: u64, n: usize) -> Vec<GoogleJob> {
     let mut rng = Rng::new(seed ^ 0x4a4f_4253); // "JOBS"
-    // lead ~ lognormal(µ=1.45, σ=1.2) → mean e^{1.45+0.72} ≈ 8.8 s.
-    // read ~ lognormal(µ=-0.24, σ=1.5) →
-    //   P(lead ≥ read) = Φ((1.45+0.24)/√(1.2²+1.5²)) = Φ(0.88) ≈ 0.81.
+                                                // lead ~ lognormal(µ=1.45, σ=1.2) → mean e^{1.45+0.72} ≈ 8.8 s.
+                                                // read ~ lognormal(µ=-0.24, σ=1.5) →
+                                                //   P(lead ≥ read) = Φ((1.45+0.24)/√(1.2²+1.5²)) = Φ(0.88) ≈ 0.81.
     (0..n)
         .map(|_| GoogleJob {
             lead_secs: rng.lognormal(1.45, 1.2),
@@ -115,10 +115,7 @@ pub fn migratable_fraction(jobs: &[GoogleJob]) -> f64 {
     if jobs.is_empty() {
         return 0.0;
     }
-    jobs.iter()
-        .filter(|j| j.lead_secs >= j.read_secs)
-        .count() as f64
-        / jobs.len() as f64
+    jobs.iter().filter(|j| j.lead_secs >= j.read_secs).count() as f64 / jobs.len() as f64
 }
 
 #[cfg(test)]
@@ -175,7 +172,10 @@ mod tests {
     fn lead_time_mean_is_8_8_seconds() {
         let jobs = job_population(1, 100_000);
         let mean = jobs.iter().map(|j| j.lead_secs).sum::<f64>() / jobs.len() as f64;
-        assert!((7.5..=10.0).contains(&mean), "mean lead {mean} (paper: 8.8)");
+        assert!(
+            (7.5..=10.0).contains(&mean),
+            "mean lead {mean} (paper: 8.8)"
+        );
     }
 
     #[test]
@@ -215,7 +215,10 @@ mod tests {
 
     #[test]
     fn ratio_edge_cases() {
-        let j = GoogleJob { lead_secs: 5.0, read_secs: 0.0 };
+        let j = GoogleJob {
+            lead_secs: 5.0,
+            read_secs: 0.0,
+        };
         assert_eq!(j.lead_to_read_ratio(), f64::INFINITY);
         assert_eq!(migratable_fraction(&[]), 0.0);
     }

@@ -66,16 +66,76 @@ const TWO_FACT: &[(&str, f64)] = &[
 /// The ten queries, ordered by scan size like Fig. 4b (sorted by input).
 pub fn queries() -> Vec<HiveQuery> {
     vec![
-        HiveQuery { name: "q55", scan_bytes: 9 * GB, selectivity: 0.03, follow_stages: 1, tables: FACT_HEAVY },
-        HiveQuery { name: "q3", scan_bytes: 11 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
-        HiveQuery { name: "q52", scan_bytes: 12 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
-        HiveQuery { name: "q19", scan_bytes: 15 * GB, selectivity: 0.04, follow_stages: 2, tables: WEB_SALES },
-        HiveQuery { name: "q42", scan_bytes: 17 * GB, selectivity: 0.02, follow_stages: 1, tables: FACT_HEAVY },
-        HiveQuery { name: "q15", scan_bytes: 21 * GB, selectivity: 0.01, follow_stages: 1, tables: WEB_SALES },
-        HiveQuery { name: "q12", scan_bytes: 26 * GB, selectivity: 0.05, follow_stages: 2, tables: WEB_SALES },
-        HiveQuery { name: "q7", scan_bytes: 34 * GB, selectivity: 0.04, follow_stages: 2, tables: FACT_HEAVY },
-        HiveQuery { name: "q27", scan_bytes: 43 * GB, selectivity: 0.03, follow_stages: 2, tables: TWO_FACT },
-        HiveQuery { name: "q89", scan_bytes: 54 * GB, selectivity: 0.03, follow_stages: 2, tables: TWO_FACT },
+        HiveQuery {
+            name: "q55",
+            scan_bytes: 9 * GB,
+            selectivity: 0.03,
+            follow_stages: 1,
+            tables: FACT_HEAVY,
+        },
+        HiveQuery {
+            name: "q3",
+            scan_bytes: 11 * GB,
+            selectivity: 0.02,
+            follow_stages: 1,
+            tables: FACT_HEAVY,
+        },
+        HiveQuery {
+            name: "q52",
+            scan_bytes: 12 * GB,
+            selectivity: 0.02,
+            follow_stages: 1,
+            tables: FACT_HEAVY,
+        },
+        HiveQuery {
+            name: "q19",
+            scan_bytes: 15 * GB,
+            selectivity: 0.04,
+            follow_stages: 2,
+            tables: WEB_SALES,
+        },
+        HiveQuery {
+            name: "q42",
+            scan_bytes: 17 * GB,
+            selectivity: 0.02,
+            follow_stages: 1,
+            tables: FACT_HEAVY,
+        },
+        HiveQuery {
+            name: "q15",
+            scan_bytes: 21 * GB,
+            selectivity: 0.01,
+            follow_stages: 1,
+            tables: WEB_SALES,
+        },
+        HiveQuery {
+            name: "q12",
+            scan_bytes: 26 * GB,
+            selectivity: 0.05,
+            follow_stages: 2,
+            tables: WEB_SALES,
+        },
+        HiveQuery {
+            name: "q7",
+            scan_bytes: 34 * GB,
+            selectivity: 0.04,
+            follow_stages: 2,
+            tables: FACT_HEAVY,
+        },
+        HiveQuery {
+            name: "q27",
+            scan_bytes: 43 * GB,
+            selectivity: 0.03,
+            follow_stages: 2,
+            tables: TWO_FACT,
+        },
+        HiveQuery {
+            name: "q89",
+            scan_bytes: 54 * GB,
+            selectivity: 0.03,
+            follow_stages: 2,
+            tables: TWO_FACT,
+        },
     ]
 }
 
@@ -188,7 +248,11 @@ mod tests {
         for q in queries() {
             let sum: f64 = q.tables.iter().map(|&(_, f)| f).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{}: fractions sum {sum}", q.name);
-            assert!(q.tables[0].1 > 0.5, "{}: first entry must be the fact table", q.name);
+            assert!(
+                q.tables[0].1 > 0.5,
+                "{}: first entry must be the fact table",
+                q.name
+            );
         }
     }
 

@@ -43,8 +43,18 @@ pub struct IterativeSpec {
 /// The two applications the paper cites.
 pub fn apps() -> Vec<IterativeSpec> {
     vec![
-        IterativeSpec { name: "logreg", input_bytes: 8 << 30, iterations: 6, cpu_factor: 0.6 },
-        IterativeSpec { name: "kmeans", input_bytes: 8 << 30, iterations: 6, cpu_factor: 4.0 },
+        IterativeSpec {
+            name: "logreg",
+            input_bytes: 8 << 30,
+            iterations: 6,
+            cpu_factor: 0.6,
+        },
+        IterativeSpec {
+            name: "kmeans",
+            input_bytes: 8 << 30,
+            iterations: 6,
+            cpu_factor: 4.0,
+        },
     ]
 }
 
@@ -88,8 +98,7 @@ pub fn workload(spec: &IterativeSpec, base_job_id: u64) -> Workload {
         );
         it.depends_on = vec![JobId(base_job_id + k as u64 - 1)];
         // same per-task compute as an iteration-1 task over a full block
-        it.cpu_factor = spec.cpu_factor * dyrs_dfs::DEFAULT_BLOCK_SIZE as f64
-            / part_bytes as f64;
+        it.cpu_factor = spec.cpu_factor * dyrs_dfs::DEFAULT_BLOCK_SIZE as f64 / part_bytes as f64;
         jobs.push(it);
     }
     Workload { files, jobs }

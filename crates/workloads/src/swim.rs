@@ -65,9 +65,9 @@ impl Default for SwimParams {
 /// ```
 pub fn generate(params: &SwimParams, seed: u64) -> Workload {
     let mut rng = Rng::new(seed ^ 0x5157_494d); // "SWIM"
-    // --- input sizes -------------------------------------------------
-    // Small jobs: log-uniform in [1 MB, 64 MB). The tail: log-uniform in
-    // [64 MB, max], which concentrates most bytes in a handful of jobs.
+                                                // --- input sizes -------------------------------------------------
+                                                // Small jobs: log-uniform in [1 MB, 64 MB). The tail: log-uniform in
+                                                // [64 MB, max], which concentrates most bytes in a handful of jobs.
     let mut sizes: Vec<u64> = (0..params.jobs)
         .map(|_| {
             if rng.chance(params.small_fraction) {
@@ -88,24 +88,15 @@ pub fn generate(params: &SwimParams, seed: u64) -> Workload {
     }
     // Rescale the *tail* so totals match without moving jobs across the
     // 64 MB boundary (which would break the 85% marginal).
-    let small_total: u64 = sizes
-        .iter()
-        .filter(|&&s| s < params.small_cutoff)
-        .sum();
-    let tail_total: u64 = sizes
-        .iter()
-        .filter(|&&s| s >= params.small_cutoff)
-        .sum();
+    let small_total: u64 = sizes.iter().filter(|&&s| s < params.small_cutoff).sum();
+    let tail_total: u64 = sizes.iter().filter(|&&s| s >= params.small_cutoff).sum();
     let target_tail = params.total_input_bytes.saturating_sub(small_total);
     if tail_total > 0 {
         // Iteratively scale-and-clamp: scaling can push jobs past the
         // documented 24 GB maximum, so redistribute the excess over the
         // unclamped tail a few times (converges fast).
         for _ in 0..4 {
-            let current: u64 = sizes
-                .iter()
-                .filter(|&&s| s >= params.small_cutoff)
-                .sum();
+            let current: u64 = sizes.iter().filter(|&&s| s >= params.small_cutoff).sum();
             let unclamped: u64 = sizes
                 .iter()
                 .filter(|&&s| s >= params.small_cutoff && s < params.max_input)
@@ -119,8 +110,7 @@ pub fn generate(params: &SwimParams, seed: u64) -> Workload {
                 .iter_mut()
                 .filter(|s| **s >= params.small_cutoff && **s < params.max_input)
             {
-                *s = (((*s as f64 * k) as u64).max(params.small_cutoff))
-                    .min(params.max_input);
+                *s = (((*s as f64 * k) as u64).max(params.small_cutoff)).min(params.max_input);
             }
         }
     }
@@ -191,16 +181,8 @@ mod tests {
     fn marginals_match_the_paper() {
         let w = generate(&SwimParams::default(), 42);
         assert_eq!(w.len(), 200);
-        let small = w
-            .files
-            .iter()
-            .filter(|f| f.bytes < 64 * MB)
-            .count() as f64
-            / 200.0;
-        assert!(
-            (0.78..=0.92).contains(&small),
-            "small-job fraction {small}"
-        );
+        let small = w.files.iter().filter(|f| f.bytes < 64 * MB).count() as f64 / 200.0;
+        assert!((0.78..=0.92).contains(&small), "small-job fraction {small}");
         let total = w.total_input_bytes() as f64 / GB as f64;
         assert!(
             (150.0..=190.0).contains(&total),

@@ -33,7 +33,10 @@ fn main() {
     );
 
     println!("estimated migration time per 256MB block (node0 vs node1), sampled every 4s:");
-    println!("{:>6} {:>10} {:>10}  interference", "t(s)", "node0", "node1");
+    println!(
+        "{:>6} {:>10} {:>10}  interference",
+        "t(s)", "node0", "node1"
+    );
     let end = r.end_time.as_secs_f64() as u64;
     for t in (0..=end).step_by(4) {
         let at = SimTime::from_secs(t);
@@ -47,7 +50,9 @@ fn main() {
         );
     }
 
-    println!("\nmigrations per node: {:?}",
-        r.nodes.iter().map(|n| n.migrations).collect::<Vec<_>>());
+    println!(
+        "\nmigrations per node: {:?}",
+        r.nodes.iter().map(|n| n.migrations).collect::<Vec<_>>()
+    );
     println!("(node0 should have completed fewer migrations than its peers)");
 }

@@ -16,7 +16,11 @@ use dyrs_workloads::swim;
 
 fn main() {
     let params = swim_params(0.5);
-    println!("SWIM-style workload: {} jobs, {} GB total input\n", params.jobs, params.total_input_bytes >> 30);
+    println!(
+        "SWIM-style workload: {} jobs, {} GB total input\n",
+        params.jobs,
+        params.total_input_bytes >> 30
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>12}",
         "nodes", "HDFS mean(s)", "DYRS mean(s)", "DYRS gain"

@@ -19,16 +19,31 @@ const BLOCK: u64 = 256 << 20;
 fn main() {
     let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 42);
     for i in 0..4 {
-        cfg.files.push(FileSpec::new(format!("data/f{i}"), 10 * BLOCK));
+        cfg.files
+            .push(FileSpec::new(format!("data/f{i}"), 10 * BLOCK));
     }
     // Keep buffers tight so the kill-without-evict leak must be scavenged.
     cfg.mem_limit = Some(4 * BLOCK);
     cfg.failures = vec![
-        FailureEvent::MasterRestart { at: SimTime::from_secs(6) },
-        FailureEvent::SlaveRestart { at: SimTime::from_secs(14), node: NodeId(2) },
-        FailureEvent::KillJob { at: SimTime::from_secs(10), job: JobId(1) },
-        FailureEvent::NodeDown { at: SimTime::from_secs(20), node: NodeId(5) },
-        FailureEvent::NodeUp { at: SimTime::from_secs(45), node: NodeId(5) },
+        FailureEvent::MasterRestart {
+            at: SimTime::from_secs(6),
+        },
+        FailureEvent::SlaveRestart {
+            at: SimTime::from_secs(14),
+            node: NodeId(2),
+        },
+        FailureEvent::KillJob {
+            at: SimTime::from_secs(10),
+            job: JobId(1),
+        },
+        FailureEvent::NodeDown {
+            at: SimTime::from_secs(20),
+            node: NodeId(5),
+        },
+        FailureEvent::NodeUp {
+            at: SimTime::from_secs(45),
+            node: NodeId(5),
+        },
     ];
     let jobs: Vec<JobSpec> = (0..4)
         .map(|i| {
@@ -53,7 +68,10 @@ fn main() {
             j.memory_read_fraction * 100.0
         );
     }
-    println!("\n  failed jobs: {:?} (job_1 was killed on purpose)", r.failed_jobs);
+    println!(
+        "\n  failed jobs: {:?} (job_1 was killed on purpose)",
+        r.failed_jobs
+    );
     println!("  speculative re-executions: {}", r.speculations);
     let leaked: u64 = r
         .nodes

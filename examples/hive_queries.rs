@@ -18,11 +18,12 @@ fn main() {
     let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
 
     let queries = hive::queries();
-    let q = queries
-        .iter()
-        .find(|q| q.name == want)
-        .unwrap_or_else(|| panic!("unknown query {want}; try one of {:?}",
-            queries.iter().map(|q| q.name).collect::<Vec<_>>()));
+    let q = queries.iter().find(|q| q.name == want).unwrap_or_else(|| {
+        panic!(
+            "unknown query {want}; try one of {:?}",
+            queries.iter().map(|q| q.name).collect::<Vec<_>>()
+        )
+    });
 
     println!(
         "query {} — {:.1} GB cold scan, {} follow-up stage(s), scale {scale}",

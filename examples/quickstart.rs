@@ -18,7 +18,8 @@ fn main() {
     let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 42);
 
     // 3.5 GB of cold input data, written with 3x replication.
-    cfg.files.push(FileSpec::new("logs/clicks-2019-05-20", 14 * BLOCK));
+    cfg.files
+        .push(FileSpec::new("logs/clicks-2019-05-20", 14 * BLOCK));
 
     // One map-only job that scans it, submitted at t=0. The DYRS client
     // call in the job submitter fires the migration request immediately;
@@ -34,14 +35,18 @@ fn main() {
 
     let j = &result.jobs[0];
     println!("job {:?} ({})", j.job, j.name);
-    println!("  input           : {} blocks, {} MB", j.map_tasks, j.input_bytes >> 20);
-    println!("  lead-time       : {:.1}s (used for migration)", j.lead_time.as_secs_f64());
+    println!(
+        "  input           : {} blocks, {} MB",
+        j.map_tasks,
+        j.input_bytes >> 20
+    );
+    println!(
+        "  lead-time       : {:.1}s (used for migration)",
+        j.lead_time.as_secs_f64()
+    );
     println!("  map phase       : {:.1}s", j.map_phase.as_secs_f64());
     println!("  end-to-end      : {:.1}s", j.duration.as_secs_f64());
-    println!(
-        "  reads from RAM  : {:.0}%",
-        j.memory_read_fraction * 100.0
-    );
+    println!("  reads from RAM  : {:.0}%", j.memory_read_fraction * 100.0);
     println!(
         "  migrations done : {} (master bound {}, missed reads {})",
         result.master.completed, result.master.bound, result.master.missed_reads
@@ -55,6 +60,9 @@ fn main() {
             n.disk_busy.as_secs_f64()
         );
     }
-    assert!(j.memory_read_fraction > 0.9, "lead-time should cover this input");
+    assert!(
+        j.memory_read_fraction > 0.9,
+        "lead-time should cover this input"
+    );
     println!("\nTip: rerun with MigrationPolicy::Disabled to see the cold-read baseline.");
 }

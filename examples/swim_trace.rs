@@ -47,7 +47,10 @@ fn main() {
     }
     println!("mean job duration : {:.1}s", r.mean_job_duration_secs());
     println!("mean map task     : {:.2}s", r.mean_map_task_secs());
-    println!("memory reads      : {:.0}%", r.memory_read_fraction() * 100.0);
+    println!(
+        "memory reads      : {:.0}%",
+        r.memory_read_fraction() * 100.0
+    );
     for (label, (n, sum)) in ["small", "medium", "large"].iter().zip(by_bin) {
         if n > 0 {
             println!("{label:>7} jobs ({n:>3}) : {:.1}s mean", sum / n as f64);

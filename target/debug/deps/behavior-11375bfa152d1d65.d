@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-11375bfa152d1d65.d: crates/sim/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-11375bfa152d1d65: crates/sim/tests/behavior.rs
+
+crates/sim/tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-3259755218ca047c.d: crates/sim/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-3259755218ca047c: crates/sim/tests/behavior.rs
+
+crates/sim/tests/behavior.rs:

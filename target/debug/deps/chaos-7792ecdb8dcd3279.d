@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-7792ecdb8dcd3279.d: crates/sim/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-7792ecdb8dcd3279: crates/sim/tests/chaos.rs
+
+crates/sim/tests/chaos.rs:

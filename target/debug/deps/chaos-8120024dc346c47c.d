@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-8120024dc346c47c.d: crates/sim/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-8120024dc346c47c: crates/sim/tests/chaos.rs
+
+crates/sim/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2b74c8f98c005262.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-2b74c8f98c005262: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

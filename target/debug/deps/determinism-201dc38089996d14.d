@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-201dc38089996d14.d: crates/experiments/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-201dc38089996d14: crates/experiments/../../tests/determinism.rs
+
+crates/experiments/../../tests/determinism.rs:

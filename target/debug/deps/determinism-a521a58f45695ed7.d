@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a521a58f45695ed7.d: crates/experiments/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a521a58f45695ed7: crates/experiments/../../tests/determinism.rs
+
+crates/experiments/../../tests/determinism.rs:

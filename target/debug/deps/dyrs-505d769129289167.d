@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dyrs-505d769129289167.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs-505d769129289167.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/estimator.rs:
+crates/core/src/master.rs:
+crates/core/src/policy.rs:
+crates/core/src/refs.rs:
+crates/core/src/slave.rs:
+crates/core/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

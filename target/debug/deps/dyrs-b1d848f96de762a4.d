@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs-b1d848f96de762a4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libdyrs-b1d848f96de762a4.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/libdyrs-b1d848f96de762a4.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/estimator.rs:
+crates/core/src/master.rs:
+crates/core/src/policy.rs:
+crates/core/src/refs.rs:
+crates/core/src/slave.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs-fd3c8646f7807627.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+/root/repo/target/debug/deps/dyrs-fd3c8646f7807627: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/estimator.rs:
+crates/core/src/master.rs:
+crates/core/src/policy.rs:
+crates/core/src/refs.rs:
+crates/core/src/slave.rs:
+crates/core/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyrs_bench-2280c91938cf9375.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dyrs_bench-2280c91938cf9375: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyrs_bench-335b69c7ae33ba3f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_bench-335b69c7ae33ba3f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

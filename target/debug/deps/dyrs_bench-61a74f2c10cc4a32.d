@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyrs_bench-61a74f2c10cc4a32.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdyrs_bench-61a74f2c10cc4a32.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdyrs_bench-61a74f2c10cc4a32.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dyrs_bench-d9a5e82f1c41ac20.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdyrs_bench-d9a5e82f1c41ac20.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdyrs_bench-d9a5e82f1c41ac20.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dyrs_cluster-2b3c7f955c7d40e2.d: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/debug/deps/dyrs_cluster-2b3c7f955c7d40e2: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/interference.rs:
+crates/cluster/src/memory.rs:
+crates/cluster/src/node.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyrs_cluster-3cfc242e5521651f.d: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/debug/deps/libdyrs_cluster-3cfc242e5521651f.rlib: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/debug/deps/libdyrs_cluster-3cfc242e5521651f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/interference.rs:
+crates/cluster/src/memory.rs:
+crates/cluster/src/node.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_cluster-819154b86669f8c5.d: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_cluster-819154b86669f8c5.rmeta: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/interference.rs:
+crates/cluster/src/memory.rs:
+crates/cluster/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

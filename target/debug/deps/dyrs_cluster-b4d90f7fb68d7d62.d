@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyrs_cluster-b4d90f7fb68d7d62.d: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/debug/deps/libdyrs_cluster-b4d90f7fb68d7d62.rlib: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/debug/deps/libdyrs_cluster-b4d90f7fb68d7d62.rmeta: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/interference.rs:
+crates/cluster/src/memory.rs:
+crates/cluster/src/node.rs:

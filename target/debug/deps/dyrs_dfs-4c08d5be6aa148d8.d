@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs_dfs-4c08d5be6aa148d8.d: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+/root/repo/target/debug/deps/libdyrs_dfs-4c08d5be6aa148d8.rlib: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+/root/repo/target/debug/deps/libdyrs_dfs-4c08d5be6aa148d8.rmeta: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/block.rs:
+crates/dfs/src/datanode.rs:
+crates/dfs/src/ids.rs:
+crates/dfs/src/namenode.rs:
+crates/dfs/src/namespace.rs:
+crates/dfs/src/placement.rs:
+crates/dfs/src/read.rs:

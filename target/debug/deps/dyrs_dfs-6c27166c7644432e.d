@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dyrs_dfs-6c27166c7644432e.d: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_dfs-6c27166c7644432e.rmeta: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs Cargo.toml
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/block.rs:
+crates/dfs/src/datanode.rs:
+crates/dfs/src/ids.rs:
+crates/dfs/src/namenode.rs:
+crates/dfs/src/namespace.rs:
+crates/dfs/src/placement.rs:
+crates/dfs/src/read.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_dfs-a05efb38e82c9d12.d: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+/root/repo/target/debug/deps/dyrs_dfs-a05efb38e82c9d12: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/block.rs:
+crates/dfs/src/datanode.rs:
+crates/dfs/src/ids.rs:
+crates/dfs/src/namenode.rs:
+crates/dfs/src/namespace.rs:
+crates/dfs/src/placement.rs:
+crates/dfs/src/read.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_engine-0e81e76e4b584101.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/debug/deps/libdyrs_engine-0e81e76e4b584101.rlib: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/debug/deps/libdyrs_engine-0e81e76e4b584101.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/job.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/scheduler.rs:
+crates/engine/src/task.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_engine-63154a5338b13ec1.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/debug/deps/libdyrs_engine-63154a5338b13ec1.rlib: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/debug/deps/libdyrs_engine-63154a5338b13ec1.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/job.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/scheduler.rs:
+crates/engine/src/task.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyrs_engine-c5b8799291cff34b.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/debug/deps/dyrs_engine-c5b8799291cff34b: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/job.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/scheduler.rs:
+crates/engine/src/task.rs:

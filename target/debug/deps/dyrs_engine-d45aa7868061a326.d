@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs_engine-d45aa7868061a326.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_engine-d45aa7868061a326.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/job.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/scheduler.rs:
+crates/engine/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/dyrs_experiments-a07ed4a073b5aee9.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig08.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/iterative.rs crates/experiments/src/policies.rs crates/experiments/src/render.rs crates/experiments/src/replay.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/sensitivity.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_experiments-a07ed4a073b5aee9.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig08.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/iterative.rs crates/experiments/src/policies.rs crates/experiments/src/render.rs crates/experiments/src/replay.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/sensitivity.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/fig01.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig04.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig08.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/iterative.rs:
+crates/experiments/src/policies.rs:
+crates/experiments/src/render.rs:
+crates/experiments/src/replay.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenarios.rs:
+crates/experiments/src/sensitivity.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dyrs_sim-9bac0de5fae06780.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_sim-9bac0de5fae06780.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver/mod.rs:
+crates/sim/src/driver/failures.rs:
+crates/sim/src/driver/jobs.rs:
+crates/sim/src/driver/migration.rs:
+crates/sim/src/driver/repair.rs:
+crates/sim/src/driver/streams.rs:
+crates/sim/src/events.rs:
+crates/sim/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs_sim-ee5fb6815138830d.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/dyrs_sim-ee5fb6815138830d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver/mod.rs:
+crates/sim/src/driver/failures.rs:
+crates/sim/src/driver/jobs.rs:
+crates/sim/src/driver/migration.rs:
+crates/sim/src/driver/repair.rs:
+crates/sim/src/driver/streams.rs:
+crates/sim/src/events.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyrs_verify-18eb8fcd659a68e2.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/dyrs_verify-18eb8fcd659a68e2: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

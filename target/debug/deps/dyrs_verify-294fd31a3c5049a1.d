@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyrs_verify-294fd31a3c5049a1.d: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+/root/repo/target/debug/deps/dyrs_verify-294fd31a3c5049a1: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/allowlist.rs:
+crates/verify/src/cli.rs:
+crates/verify/src/lexer.rs:
+crates/verify/src/rules.rs:
+crates/verify/src/scan.rs:

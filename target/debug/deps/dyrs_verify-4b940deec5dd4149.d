@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs_verify-4b940deec5dd4149.d: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_verify-4b940deec5dd4149.rmeta: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/allowlist.rs:
+crates/verify/src/cli.rs:
+crates/verify/src/lexer.rs:
+crates/verify/src/rules.rs:
+crates/verify/src/scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

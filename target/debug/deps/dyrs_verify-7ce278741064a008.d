@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dyrs_verify-7ce278741064a008.d: crates/verify/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_verify-7ce278741064a008.rmeta: crates/verify/src/main.rs Cargo.toml
+
+crates/verify/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_verify-fc2348e602a05cdb.d: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+/root/repo/target/debug/deps/libdyrs_verify-fc2348e602a05cdb.rlib: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+/root/repo/target/debug/deps/libdyrs_verify-fc2348e602a05cdb.rmeta: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/allowlist.rs:
+crates/verify/src/cli.rs:
+crates/verify/src/lexer.rs:
+crates/verify/src/rules.rs:
+crates/verify/src/scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dyrs_verify-fe0845647eab2d86.d: crates/verify/src/main.rs
+
+/root/repo/target/debug/deps/dyrs_verify-fe0845647eab2d86: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

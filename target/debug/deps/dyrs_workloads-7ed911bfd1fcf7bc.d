@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyrs_workloads-7ed911bfd1fcf7bc.d: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyrs_workloads-7ed911bfd1fcf7bc.rmeta: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/google.rs:
+crates/workloads/src/hive.rs:
+crates/workloads/src/iterative.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/swim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_workloads-a51fb90033b0f462.d: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/debug/deps/libdyrs_workloads-a51fb90033b0f462.rlib: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/debug/deps/libdyrs_workloads-a51fb90033b0f462.rmeta: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/google.rs:
+crates/workloads/src/hive.rs:
+crates/workloads/src/iterative.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/swim.rs:

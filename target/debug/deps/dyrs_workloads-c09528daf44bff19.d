@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyrs_workloads-c09528daf44bff19.d: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/debug/deps/libdyrs_workloads-c09528daf44bff19.rlib: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/debug/deps/libdyrs_workloads-c09528daf44bff19.rmeta: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/google.rs:
+crates/workloads/src/hive.rs:
+crates/workloads/src/iterative.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/swim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dyrs_workloads-ffa9db7f18e79314.d: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/debug/deps/dyrs_workloads-ffa9db7f18e79314: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/google.rs:
+crates/workloads/src/hive.rs:
+crates/workloads/src/iterative.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/swim.rs:

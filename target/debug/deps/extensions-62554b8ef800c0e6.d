@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-62554b8ef800c0e6.d: crates/experiments/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-62554b8ef800c0e6: crates/experiments/../../tests/extensions.rs
+
+crates/experiments/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-8ce80cfbd4741923.d: crates/experiments/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-8ce80cfbd4741923: crates/experiments/../../tests/extensions.rs
+
+crates/experiments/../../tests/extensions.rs:

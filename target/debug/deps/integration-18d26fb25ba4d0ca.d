@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-18d26fb25ba4d0ca.d: crates/sim/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-18d26fb25ba4d0ca: crates/sim/tests/integration.rs
+
+crates/sim/tests/integration.rs:

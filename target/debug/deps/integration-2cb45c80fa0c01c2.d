@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-2cb45c80fa0c01c2.d: crates/sim/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-2cb45c80fa0c01c2: crates/sim/tests/integration.rs
+
+crates/sim/tests/integration.rs:

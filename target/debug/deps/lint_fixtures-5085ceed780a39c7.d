@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_fixtures-5085ceed780a39c7.d: crates/verify/tests/lint_fixtures.rs
+
+/root/repo/target/debug/deps/lint_fixtures-5085ceed780a39c7: crates/verify/tests/lint_fixtures.rs
+
+crates/verify/tests/lint_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/verify

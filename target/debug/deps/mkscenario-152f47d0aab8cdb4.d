@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mkscenario-152f47d0aab8cdb4.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/debug/deps/mkscenario-152f47d0aab8cdb4: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

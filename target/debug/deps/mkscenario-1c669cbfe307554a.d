@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mkscenario-1c669cbfe307554a.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/debug/deps/mkscenario-1c669cbfe307554a: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mkscenario-38e85d8bf1a4e8c2.d: crates/experiments/src/bin/mkscenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmkscenario-38e85d8bf1a4e8c2.rmeta: crates/experiments/src/bin/mkscenario.rs Cargo.toml
+
+crates/experiments/src/bin/mkscenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

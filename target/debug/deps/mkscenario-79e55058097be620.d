@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mkscenario-79e55058097be620.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/debug/deps/mkscenario-79e55058097be620: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mkscenario-9363270454d46f52.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/debug/deps/mkscenario-9363270454d46f52: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

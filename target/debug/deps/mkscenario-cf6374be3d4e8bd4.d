@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mkscenario-cf6374be3d4e8bd4.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/debug/deps/mkscenario-cf6374be3d4e8bd4: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

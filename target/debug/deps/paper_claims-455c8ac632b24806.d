@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-455c8ac632b24806.d: crates/experiments/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-455c8ac632b24806: crates/experiments/../../tests/paper_claims.rs
+
+crates/experiments/../../tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-50cd84cc9f2b2495.d: crates/experiments/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-50cd84cc9f2b2495: crates/experiments/../../tests/paper_claims.rs
+
+crates/experiments/../../tests/paper_claims.rs:

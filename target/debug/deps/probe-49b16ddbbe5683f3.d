@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-49b16ddbbe5683f3.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-49b16ddbbe5683f3: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

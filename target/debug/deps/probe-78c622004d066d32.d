@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-78c622004d066d32.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-78c622004d066d32: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

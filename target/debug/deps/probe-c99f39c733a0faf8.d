@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-c99f39c733a0faf8.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-c99f39c733a0faf8: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

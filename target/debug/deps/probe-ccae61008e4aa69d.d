@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/probe-ccae61008e4aa69d.d: crates/experiments/src/bin/probe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprobe-ccae61008e4aa69d.rmeta: crates/experiments/src/bin/probe.rs Cargo.toml
+
+crates/experiments/src/bin/probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

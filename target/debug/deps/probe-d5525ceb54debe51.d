@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-d5525ceb54debe51.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-d5525ceb54debe51: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-fba90786dbae7d3b.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-fba90786dbae7d3b: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5e1a8e772891d1f5.d: crates/engine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5e1a8e772891d1f5: crates/engine/tests/proptests.rs
+
+crates/engine/tests/proptests.rs:

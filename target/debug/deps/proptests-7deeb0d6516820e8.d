@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7deeb0d6516820e8.d: crates/dfs/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7deeb0d6516820e8: crates/dfs/tests/proptests.rs
+
+crates/dfs/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7ffb4684ad46abf0.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7ffb4684ad46abf0: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-857fdb6553f96db7.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-857fdb6553f96db7: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

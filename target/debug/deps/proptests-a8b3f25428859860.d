@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a8b3f25428859860.d: crates/simkit/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a8b3f25428859860: crates/simkit/tests/proptests.rs
+
+crates/simkit/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-38c41966c8638c9b.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-38c41966c8638c9b: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-652ee00db58d4236.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-652ee00db58d4236.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a277dca073c3139d.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a277dca073c3139d: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b293365854a792ba.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b293365854a792ba: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

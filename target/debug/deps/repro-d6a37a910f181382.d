@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d6a37a910f181382.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d6a37a910f181382: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

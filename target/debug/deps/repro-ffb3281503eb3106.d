@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ffb3281503eb3106.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ffb3281503eb3106: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario-207ddba55169a565.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/debug/deps/scenario-207ddba55169a565: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario-8229204998b37513.d: crates/experiments/src/bin/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario-8229204998b37513.rmeta: crates/experiments/src/bin/scenario.rs Cargo.toml
+
+crates/experiments/src/bin/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario-87ba06c207c0cba8.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/debug/deps/scenario-87ba06c207c0cba8: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario-9e3cf94411f3b369.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/debug/deps/scenario-9e3cf94411f3b369: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario-bad4d3a133a11d1c.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/debug/deps/scenario-bad4d3a133a11d1c: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

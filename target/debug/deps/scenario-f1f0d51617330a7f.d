@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario-f1f0d51617330a7f.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/debug/deps/scenario-f1f0d51617330a7f: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/simkit-077ac93839754ede.d: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkit-077ac93839754ede.rmeta: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/audit.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats/mod.rs:
+crates/simkit/src/stats/ewma.rs:
+crates/simkit/src/stats/histogram.rs:
+crates/simkit/src/stats/online.rs:
+crates/simkit/src/stats/quantile.rs:
+crates/simkit/src/stats/timeseries.rs:
+crates/simkit/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

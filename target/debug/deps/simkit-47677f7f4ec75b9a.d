@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/simkit-47677f7f4ec75b9a.d: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/simkit-47677f7f4ec75b9a: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/audit.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats/mod.rs:
+crates/simkit/src/stats/ewma.rs:
+crates/simkit/src/stats/histogram.rs:
+crates/simkit/src/stats/online.rs:
+crates/simkit/src/stats/quantile.rs:
+crates/simkit/src/stats/timeseries.rs:
+crates/simkit/src/time.rs:

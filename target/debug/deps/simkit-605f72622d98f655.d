@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/simkit-605f72622d98f655.d: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-605f72622d98f655.rlib: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-605f72622d98f655.rmeta: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/audit.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats/mod.rs:
+crates/simkit/src/stats/ewma.rs:
+crates/simkit/src/stats/histogram.rs:
+crates/simkit/src/stats/online.rs:
+crates/simkit/src/stats/quantile.rs:
+crates/simkit/src/stats/timeseries.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/simkit-ce53611f7662ab9d.d: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-ce53611f7662ab9d.rlib: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+/root/repo/target/debug/deps/libsimkit-ce53611f7662ab9d.rmeta: crates/simkit/src/lib.rs crates/simkit/src/audit.rs crates/simkit/src/fluid.rs crates/simkit/src/queue.rs crates/simkit/src/rng.rs crates/simkit/src/stats/mod.rs crates/simkit/src/stats/ewma.rs crates/simkit/src/stats/histogram.rs crates/simkit/src/stats/online.rs crates/simkit/src/stats/quantile.rs crates/simkit/src/stats/timeseries.rs crates/simkit/src/time.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/audit.rs:
+crates/simkit/src/fluid.rs:
+crates/simkit/src/queue.rs:
+crates/simkit/src/rng.rs:
+crates/simkit/src/stats/mod.rs:
+crates/simkit/src/stats/ewma.rs:
+crates/simkit/src/stats/histogram.rs:
+crates/simkit/src/stats/online.rs:
+crates/simkit/src/stats/quantile.rs:
+crates/simkit/src/stats/timeseries.rs:
+crates/simkit/src/time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_sort-b395376ca1b318c5.d: crates/experiments/../../examples/adaptive_sort.rs
+
+/root/repo/target/debug/examples/adaptive_sort-b395376ca1b318c5: crates/experiments/../../examples/adaptive_sort.rs
+
+crates/experiments/../../examples/adaptive_sort.rs:

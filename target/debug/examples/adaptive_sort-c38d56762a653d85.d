@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_sort-c38d56762a653d85.d: crates/experiments/../../examples/adaptive_sort.rs
+
+/root/repo/target/debug/examples/adaptive_sort-c38d56762a653d85: crates/experiments/../../examples/adaptive_sort.rs
+
+crates/experiments/../../examples/adaptive_sort.rs:

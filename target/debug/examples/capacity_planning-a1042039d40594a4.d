@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-a1042039d40594a4.d: crates/experiments/../../examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-a1042039d40594a4: crates/experiments/../../examples/capacity_planning.rs
+
+crates/experiments/../../examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-dcd70020645ed35a.d: crates/experiments/../../examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-dcd70020645ed35a: crates/experiments/../../examples/capacity_planning.rs
+
+crates/experiments/../../examples/capacity_planning.rs:

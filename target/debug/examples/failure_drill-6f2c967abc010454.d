@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_drill-6f2c967abc010454.d: crates/experiments/../../examples/failure_drill.rs
+
+/root/repo/target/debug/examples/failure_drill-6f2c967abc010454: crates/experiments/../../examples/failure_drill.rs
+
+crates/experiments/../../examples/failure_drill.rs:

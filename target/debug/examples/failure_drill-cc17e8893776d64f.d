@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_drill-cc17e8893776d64f.d: crates/experiments/../../examples/failure_drill.rs
+
+/root/repo/target/debug/examples/failure_drill-cc17e8893776d64f: crates/experiments/../../examples/failure_drill.rs
+
+crates/experiments/../../examples/failure_drill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hive_queries-bccb4ca20924d55c.d: crates/experiments/../../examples/hive_queries.rs
+
+/root/repo/target/debug/examples/hive_queries-bccb4ca20924d55c: crates/experiments/../../examples/hive_queries.rs
+
+crates/experiments/../../examples/hive_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hive_queries-f917cd50a77db616.d: crates/experiments/../../examples/hive_queries.rs
+
+/root/repo/target/debug/examples/hive_queries-f917cd50a77db616: crates/experiments/../../examples/hive_queries.rs
+
+crates/experiments/../../examples/hive_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d1066152af404f7.d: crates/experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d1066152af404f7: crates/experiments/../../examples/quickstart.rs
+
+crates/experiments/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d592e04f2a0e546f.d: crates/experiments/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d592e04f2a0e546f: crates/experiments/../../examples/quickstart.rs
+
+crates/experiments/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swim_trace-02079bbb447d04ca.d: crates/experiments/../../examples/swim_trace.rs
+
+/root/repo/target/debug/examples/swim_trace-02079bbb447d04ca: crates/experiments/../../examples/swim_trace.rs
+
+crates/experiments/../../examples/swim_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swim_trace-5105adbe7016469a.d: crates/experiments/../../examples/swim_trace.rs
+
+/root/repo/target/debug/examples/swim_trace-5105adbe7016469a: crates/experiments/../../examples/swim_trace.rs
+
+crates/experiments/../../examples/swim_trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-456551d5dffb02d0.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-456551d5dffb02d0.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-456551d5dffb02d0.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dyrs-0c21621f3d414d8a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libdyrs-0c21621f3d414d8a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+/root/repo/target/release/deps/libdyrs-0c21621f3d414d8a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/estimator.rs crates/core/src/master.rs crates/core/src/policy.rs crates/core/src/refs.rs crates/core/src/slave.rs crates/core/src/types.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/estimator.rs:
+crates/core/src/master.rs:
+crates/core/src/policy.rs:
+crates/core/src/refs.rs:
+crates/core/src/slave.rs:
+crates/core/src/types.rs:

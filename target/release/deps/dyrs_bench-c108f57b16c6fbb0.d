@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dyrs_bench-c108f57b16c6fbb0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdyrs_bench-c108f57b16c6fbb0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdyrs_bench-c108f57b16c6fbb0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

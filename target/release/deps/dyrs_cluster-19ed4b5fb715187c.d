@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dyrs_cluster-19ed4b5fb715187c.d: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/release/deps/libdyrs_cluster-19ed4b5fb715187c.rlib: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+/root/repo/target/release/deps/libdyrs_cluster-19ed4b5fb715187c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/interference.rs crates/cluster/src/memory.rs crates/cluster/src/node.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/interference.rs:
+crates/cluster/src/memory.rs:
+crates/cluster/src/node.rs:

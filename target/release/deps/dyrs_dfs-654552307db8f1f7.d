@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dyrs_dfs-654552307db8f1f7.d: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+/root/repo/target/release/deps/libdyrs_dfs-654552307db8f1f7.rlib: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+/root/repo/target/release/deps/libdyrs_dfs-654552307db8f1f7.rmeta: crates/dfs/src/lib.rs crates/dfs/src/block.rs crates/dfs/src/datanode.rs crates/dfs/src/ids.rs crates/dfs/src/namenode.rs crates/dfs/src/namespace.rs crates/dfs/src/placement.rs crates/dfs/src/read.rs
+
+crates/dfs/src/lib.rs:
+crates/dfs/src/block.rs:
+crates/dfs/src/datanode.rs:
+crates/dfs/src/ids.rs:
+crates/dfs/src/namenode.rs:
+crates/dfs/src/namespace.rs:
+crates/dfs/src/placement.rs:
+crates/dfs/src/read.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dyrs_engine-91a5f255ce1daa2f.d: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/release/deps/libdyrs_engine-91a5f255ce1daa2f.rlib: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+/root/repo/target/release/deps/libdyrs_engine-91a5f255ce1daa2f.rmeta: crates/engine/src/lib.rs crates/engine/src/config.rs crates/engine/src/job.rs crates/engine/src/metrics.rs crates/engine/src/scheduler.rs crates/engine/src/task.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/config.rs:
+crates/engine/src/job.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/scheduler.rs:
+crates/engine/src/task.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/dyrs_experiments-33a0cf693e75b84a.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig08.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/iterative.rs crates/experiments/src/policies.rs crates/experiments/src/render.rs crates/experiments/src/replay.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/sensitivity.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libdyrs_experiments-33a0cf693e75b84a.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig08.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/iterative.rs crates/experiments/src/policies.rs crates/experiments/src/render.rs crates/experiments/src/replay.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/sensitivity.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+/root/repo/target/release/deps/libdyrs_experiments-33a0cf693e75b84a.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/fig01.rs crates/experiments/src/fig02.rs crates/experiments/src/fig03.rs crates/experiments/src/fig04.rs crates/experiments/src/fig05.rs crates/experiments/src/fig06.rs crates/experiments/src/fig07.rs crates/experiments/src/fig08.rs crates/experiments/src/fig09.rs crates/experiments/src/fig10.rs crates/experiments/src/fig11.rs crates/experiments/src/iterative.rs crates/experiments/src/policies.rs crates/experiments/src/render.rs crates/experiments/src/replay.rs crates/experiments/src/report.rs crates/experiments/src/runner.rs crates/experiments/src/scenarios.rs crates/experiments/src/sensitivity.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/fig01.rs:
+crates/experiments/src/fig02.rs:
+crates/experiments/src/fig03.rs:
+crates/experiments/src/fig04.rs:
+crates/experiments/src/fig05.rs:
+crates/experiments/src/fig06.rs:
+crates/experiments/src/fig07.rs:
+crates/experiments/src/fig08.rs:
+crates/experiments/src/fig09.rs:
+crates/experiments/src/fig10.rs:
+crates/experiments/src/fig11.rs:
+crates/experiments/src/iterative.rs:
+crates/experiments/src/policies.rs:
+crates/experiments/src/render.rs:
+crates/experiments/src/replay.rs:
+crates/experiments/src/report.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/scenarios.rs:
+crates/experiments/src/sensitivity.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:

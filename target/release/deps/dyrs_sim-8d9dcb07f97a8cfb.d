@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dyrs_sim-8d9dcb07f97a8cfb.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libdyrs_sim-8d9dcb07f97a8cfb.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/libdyrs_sim-8d9dcb07f97a8cfb.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/driver/mod.rs crates/sim/src/driver/failures.rs crates/sim/src/driver/jobs.rs crates/sim/src/driver/migration.rs crates/sim/src/driver/repair.rs crates/sim/src/driver/streams.rs crates/sim/src/events.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/driver/mod.rs:
+crates/sim/src/driver/failures.rs:
+crates/sim/src/driver/jobs.rs:
+crates/sim/src/driver/migration.rs:
+crates/sim/src/driver/repair.rs:
+crates/sim/src/driver/streams.rs:
+crates/sim/src/events.rs:
+crates/sim/src/result.rs:

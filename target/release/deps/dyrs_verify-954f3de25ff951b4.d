@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dyrs_verify-954f3de25ff951b4.d: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+/root/repo/target/release/deps/libdyrs_verify-954f3de25ff951b4.rlib: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+/root/repo/target/release/deps/libdyrs_verify-954f3de25ff951b4.rmeta: crates/verify/src/lib.rs crates/verify/src/allowlist.rs crates/verify/src/cli.rs crates/verify/src/lexer.rs crates/verify/src/rules.rs crates/verify/src/scan.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/allowlist.rs:
+crates/verify/src/cli.rs:
+crates/verify/src/lexer.rs:
+crates/verify/src/rules.rs:
+crates/verify/src/scan.rs:

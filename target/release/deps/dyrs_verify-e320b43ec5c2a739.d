@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dyrs_verify-e320b43ec5c2a739.d: crates/verify/src/main.rs
+
+/root/repo/target/release/deps/dyrs_verify-e320b43ec5c2a739: crates/verify/src/main.rs
+
+crates/verify/src/main.rs:

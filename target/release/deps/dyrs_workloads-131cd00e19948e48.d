@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dyrs_workloads-131cd00e19948e48.d: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/release/deps/libdyrs_workloads-131cd00e19948e48.rlib: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+/root/repo/target/release/deps/libdyrs_workloads-131cd00e19948e48.rmeta: crates/workloads/src/lib.rs crates/workloads/src/google.rs crates/workloads/src/hive.rs crates/workloads/src/iterative.rs crates/workloads/src/sort.rs crates/workloads/src/swim.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/google.rs:
+crates/workloads/src/hive.rs:
+crates/workloads/src/iterative.rs:
+crates/workloads/src/sort.rs:
+crates/workloads/src/swim.rs:

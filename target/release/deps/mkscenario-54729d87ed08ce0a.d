@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mkscenario-54729d87ed08ce0a.d: crates/experiments/src/bin/mkscenario.rs
+
+/root/repo/target/release/deps/mkscenario-54729d87ed08ce0a: crates/experiments/src/bin/mkscenario.rs
+
+crates/experiments/src/bin/mkscenario.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2d96e625e02f67e1.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2d96e625e02f67e1.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2d96e625e02f67e1.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

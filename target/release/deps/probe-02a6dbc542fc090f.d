@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-02a6dbc542fc090f.d: crates/experiments/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-02a6dbc542fc090f: crates/experiments/src/bin/probe.rs
+
+crates/experiments/src/bin/probe.rs:

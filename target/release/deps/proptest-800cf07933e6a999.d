@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-800cf07933e6a999.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-800cf07933e6a999.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-800cf07933e6a999.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

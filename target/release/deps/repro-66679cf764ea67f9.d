@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-66679cf764ea67f9.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-66679cf764ea67f9: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

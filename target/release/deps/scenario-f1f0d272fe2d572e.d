@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scenario-f1f0d272fe2d572e.d: crates/experiments/src/bin/scenario.rs
+
+/root/repo/target/release/deps/scenario-f1f0d272fe2d572e: crates/experiments/src/bin/scenario.rs
+
+crates/experiments/src/bin/scenario.rs:

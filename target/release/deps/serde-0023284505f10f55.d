@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-0023284505f10f55.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0023284505f10f55.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-0023284505f10f55.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

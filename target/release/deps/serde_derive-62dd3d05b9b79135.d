@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-62dd3d05b9b79135.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-62dd3d05b9b79135.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-11200265ebea187b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-11200265ebea187b.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-11200265ebea187b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

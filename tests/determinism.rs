@@ -3,11 +3,13 @@
 //! policies sharing a seed (identical placement).
 
 use dyrs::MigrationPolicy;
+use dyrs_cluster::NodeId;
 use dyrs_experiments::runner::{run_all, SimTask};
-use dyrs_experiments::scenarios::{hetero_config, with_workload};
+use dyrs_experiments::scenarios::{hetero_config, homogeneous_config, with_workload};
 use dyrs_experiments::table1;
+use dyrs_sim::FailureEvent;
 use dyrs_workloads::{sort, swim};
-use simkit::SimDuration;
+use simkit::{SimDuration, SimTime};
 
 const SEED: u64 = 99;
 
@@ -46,6 +48,73 @@ fn parallel_sweep_equals_serial_sweep() {
         assert_eq!(ra.master, rb.master);
         assert_eq!(ra.reads.len(), rb.reads.len());
     }
+}
+
+#[test]
+fn event_traces_are_bit_stable_across_reruns() {
+    // The driver folds every dispatched (time, event) pair into an FNV
+    // digest; two runs of the same scenario under the same seed must
+    // reproduce it bit-for-bit, or nondeterminism reached the event
+    // loop. The failure drill matters most: the restart paths discard
+    // and rebuild soft state, which is where iteration-order bugs hide.
+    // (Under `--features verify-audit` these same runs also pass the
+    // heartbeat invariant auditor.)
+    let mk = || -> Vec<SimTask> {
+        let plain = |label: &str, policy, hetero: bool| {
+            let cfg = if hetero {
+                hetero_config(policy, SEED)
+            } else {
+                homogeneous_config(policy, SEED)
+            };
+            let w = sort::sort_workload(2 << 30, SimDuration::from_secs(20), 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            SimTask::new(label, cfg, jobs)
+        };
+        let drill = {
+            let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+            cfg.failures = vec![
+                FailureEvent::MasterRestart {
+                    at: SimTime::from_secs(6),
+                },
+                FailureEvent::SlaveRestart {
+                    at: SimTime::from_secs(14),
+                    node: NodeId(1),
+                },
+                FailureEvent::NodeDown {
+                    at: SimTime::from_secs(20),
+                    node: NodeId(2),
+                },
+                FailureEvent::NodeUp {
+                    at: SimTime::from_secs(45),
+                    node: NodeId(2),
+                },
+            ];
+            let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            SimTask::new("drill", cfg, jobs)
+        };
+        vec![
+            plain("dyrs-hetero", MigrationPolicy::Dyrs, true),
+            plain("dyrs-homog", MigrationPolicy::Dyrs, false),
+            plain("disabled", MigrationPolicy::Disabled, true),
+            drill,
+        ]
+    };
+    let first = run_all(mk(), 1);
+    let second = run_all(mk(), 1);
+    for ((label, a), (_, b)) in first.iter().zip(&second) {
+        assert_ne!(a.trace_digest, 0, "{label}: digest must be populated");
+        assert_eq!(
+            a.trace_digest, b.trace_digest,
+            "{label}: same seed must replay the identical event stream"
+        );
+    }
+    // Distinct scenarios must not collide — otherwise the digest is not
+    // actually sensitive to the event stream.
+    let mut digests: Vec<u64> = first.iter().map(|(_, r)| r.trace_digest).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), first.len(), "scenario digests collided");
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn migration_order_study() {
     let sjf = p.row("SJF");
     assert!(sjf.small_job_secs <= fifo.small_job_secs * 1.05);
     assert!(sjf.mean_job_secs <= fifo.mean_job_secs * 1.25);
-    assert!(sjf.missed_reads <= fifo.missed_reads, "SJF wastes less intent");
+    assert!(
+        sjf.missed_reads <= fifo.missed_reads,
+        "SJF wastes less intent"
+    );
 }
 
 /// §I motivation measured: DYRS collapses the cold first-iteration
@@ -37,9 +40,11 @@ fn google_conditions_replay() {
     let r = replay::run(SEED, 0.3);
     let dyrs = r.row("DYRS").speedup_vs_hdfs.expect("speedup");
     assert!(dyrs > 0.1, "replayed-conditions DYRS speedup {dyrs:.2}");
-    let mean_bg =
-        r.background_means.iter().sum::<f64>() / r.background_means.len() as f64;
-    assert!(mean_bg < 0.25, "background stays production-light: {mean_bg:.2}");
+    let mean_bg = r.background_means.iter().sum::<f64>() / r.background_means.len() as f64;
+    assert!(
+        mean_bg < 0.25,
+        "background stays production-light: {mean_bg:.2}"
+    );
 }
 
 /// The reproduction's conclusions survive every modeled perturbation.

@@ -19,7 +19,10 @@ fn swim_headline_speedups() {
         (0.15..=0.65).contains(&dyrs),
         "DYRS SWIM speedup {dyrs:.2} (paper 0.33)"
     );
-    assert!(ram > dyrs, "the in-RAM bound must dominate: {ram:.2} vs {dyrs:.2}");
+    assert!(
+        ram > dyrs,
+        "the in-RAM bound must dominate: {ram:.2} vs {dyrs:.2}"
+    );
     assert!(ignem < 0.05, "Ignem must not meaningfully win: {ignem:.2}");
     assert!(
         dyrs / ram > 0.5,
@@ -112,7 +115,10 @@ fn estimate_tracking() {
     let s = f.pattern("9c");
     let on = fig09::window_mean(&s.node1, 8.0, 20.0);
     let off = fig09::window_mean(&s.node1, 28.0, 40.0);
-    assert!(on > off, "estimate must fall in the off window: {on:.1} vs {off:.1}");
+    assert!(
+        on > off,
+        "estimate must fall in the off window: {on:.1} vs {off:.1}"
+    );
 }
 
 /// DESIGN.md ablations: each DYRS mechanism pulls its weight.

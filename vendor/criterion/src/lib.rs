@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench sources compiling and runnable without the statistics
+//! machinery: each registered bench body runs exactly once and its elapsed
+//! wall time is printed. Good enough to smoke-test that the benches still
+//! execute; useless for actual measurement — restore the real criterion
+//! dependency for that.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run `f` once under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(name, &mut f);
+        self
+    }
+
+    /// Open a named group of benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs one sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run `f` once under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_once(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Run `f` once with `input`, under the composed benchmark id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::default();
+        let start = Instant::now();
+        f(&mut b, input);
+        report(&label, start);
+        self
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose `function_name/parameter` like the real crate.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Stand-in for `criterion::Bencher`: `iter` runs the closure once.
+#[derive(Default)]
+pub struct Bencher {}
+
+impl Bencher {
+    /// Run the measured body exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    f(&mut b);
+    report(label, start);
+}
+
+fn report(label: &str, start: Instant) {
+    println!(
+        "bench {label}: ran once in {:?} (offline criterion stand-in)",
+        start.elapsed()
+    );
+}
+
+/// Build a bench-group entry point from bench functions, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Build `main()` from one or more bench groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // If a test runner invokes this binary with libtest's --test
+            // flag, skip the bodies: running the full sims there would be
+            // both slow and redundant with the experiments crate's tests.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

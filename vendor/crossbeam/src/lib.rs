@@ -1,0 +1,42 @@
+//! Offline stand-in for `crossbeam` (the `scope` API only).
+//!
+//! `crossbeam::scope` predates `std::thread::scope`; the std version now
+//! provides the same structured-concurrency guarantee, so this stub adapts
+//! the crossbeam calling convention (`scope.spawn(|_| ...)`, outer
+//! `Result`) onto it. Panics in spawned threads propagate when the scope
+//! closes (std re-raises them), so the `Err` arm of the returned `Result`
+//! is unreachable here — callers' `.expect(...)` never fires spuriously.
+
+use std::thread;
+
+/// Scope handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope handle argument
+    /// (unused by this workspace) to match crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Create a scope in which threads may borrow from the enclosing stack
+/// frame; all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// `crossbeam::thread` module alias for callers using the long path.
+pub mod thread_mod {
+    pub use super::{scope, Scope};
+}

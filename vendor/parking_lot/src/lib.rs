@@ -1,0 +1,38 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync::Mutex` behind parking_lot's no-poison API: `lock()`
+//! returns the guard directly. A poisoned lock (a worker panicked while
+//! holding it) panics here too, matching parking_lot's effective behaviour
+//! for this workspace — the sweep runner already treats a panicked worker
+//! as fatal.
+
+use std::sync::{Mutex as StdMutex, MutexGuard};
+
+/// Mutual exclusion primitive matching `parking_lot::Mutex`'s API surface.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, returning the guard directly (no poison `Result`).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .expect("mutex poisoned: a thread panicked while holding it")
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("mutex poisoned: a thread panicked while holding it")
+    }
+}

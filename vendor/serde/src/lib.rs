@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde through `#[derive(Serialize, Deserialize)]`
+//! and a single generic `T: Serialize` bound in the experiment renderer.
+//! Blanket marker implementations satisfy every bound without generating
+//! any serialization code; the derive macros (from the stub `serde_derive`)
+//! exist purely so the attribute syntax compiles.
+
+/// Marker trait standing in for `serde::Serialize`. Every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`. Every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// `serde::de` module subset.
+pub mod de {
+    pub use super::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

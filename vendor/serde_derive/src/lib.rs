@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's stub `serde` crate provides blanket implementations of
+//! its `Serialize`/`Deserialize` marker traits, so the derives here only
+//! need to (a) exist and (b) declare the `serde` helper attribute so that
+//! `#[serde(default)]`, `#[serde(skip)]`, `#[serde(default = "path")]`
+//! and friends parse. They emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers); emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace's stub `serde` generates no serialization code, so this
+//! crate cannot produce or parse real JSON. It preserves the call surface
+//! the workspace uses — `json!`, `to_string_pretty`, `from_str`, `Value` —
+//! with honest degraded behaviour: serialization yields `"null"`,
+//! deserialization always fails with a descriptive error. Both paths are
+//! only reachable from the experiment binaries, never from tests.
+
+use std::fmt;
+
+/// Stand-in for `serde_json::Value`; only the `Null` case is constructible.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Value {
+    /// The only value the offline stub produces.
+    #[default]
+    Null,
+}
+
+/// Error type for the stub's (always-failing) deserialization path.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub serialization: every value renders as `null`.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Ok("null".to_owned())
+}
+
+/// Stub serialization: every value renders as `null`.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String, Error> {
+    Ok("null".to_owned())
+}
+
+/// Stub deserialization: always fails (the offline stand-in cannot parse).
+pub fn from_str<T: serde::DeserializeOwned>(_s: &str) -> Result<T, Error> {
+    Err(Error {
+        msg: "offline serde_json stand-in cannot deserialize; \
+              restore the real serde_json dependency to load JSON input",
+    })
+}
+
+/// Stub `json!`: evaluates (and discards) the field expressions of a flat
+/// object literal, or swallows arbitrary tokens, yielding [`Value::Null`].
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        $(let _ = &$val;)*
+        $crate::Value::Null
+    }};
+    ($($tokens:tt)*) => {
+        $crate::Value::Null
+    };
+}
