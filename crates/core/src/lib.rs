@@ -23,6 +23,12 @@
 //! caller must apply (streams to start, replicas to register, blocks to
 //! evict). The `dyrs-sim` crate owns the event loop; everything here is
 //! deterministic, synchronous, and directly unit-testable.
+//!
+//! Both state machines accept an [`ObsHandle`] (`attach_obs`) that records
+//! migration lifecycle spans, registry metrics, and Algorithm 1 decision
+//! provenance — see the re-exported [`obs`] crate and
+//! `docs/OBSERVABILITY.md`. Without the `obs` cargo feature the handle is
+//! a zero-sized no-op and the instrumentation compiles away.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +42,8 @@ pub mod slave;
 pub mod types;
 
 pub use config::DyrsConfig;
+pub use dyrs_obs as obs;
+pub use dyrs_obs::ObsHandle;
 pub use estimator::MigrationEstimator;
 pub use master::JobHint;
 pub use master::Master;

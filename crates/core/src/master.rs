@@ -18,6 +18,7 @@ use crate::policy::{MigrationOrder, MigrationPolicy};
 use crate::types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
+use dyrs_obs::{cause, CandidateScore, ObsHandle, ProvenanceRecord};
 use serde::{Deserialize, Serialize};
 use simkit::Rng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -164,6 +165,9 @@ pub struct Master {
     /// Pending-list discipline (FIFO in the paper; SJF/EDF implemented
     /// as the paper's future-work exploration).
     order: MigrationOrder,
+    /// Lifecycle span + provenance recorder; disconnected unless the
+    /// driver attached one.
+    obs: ObsHandle,
 }
 
 impl Master {
@@ -194,7 +198,15 @@ impl Master {
             stats: MasterStats::default(),
             default_spb: 1.0 / default_disk_bw,
             order: MigrationOrder::Fifo,
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attach an observability recorder. Migration lifecycle transitions
+    /// owned by the master (pending / targeted / bound / master-side
+    /// aborts) and Algorithm 1 provenance are recorded through it.
+    pub fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Select the pending-list discipline (default FIFO).
@@ -358,6 +370,8 @@ impl Master {
                 replicas: req.replicas,
             };
             self.next_id += 1;
+            self.obs
+                .migration_pending(migration.id.0, req.block, req.bytes, Some(job));
             if self.policy == MigrationPolicy::Ignem {
                 // Immediate random-replica binding; the block never enters
                 // the pending list.
@@ -371,7 +385,12 @@ impl Master {
                     self.nodes[node.index()].queued_bytes += migration.bytes as f64;
                     self.stats.bound += 1;
                     self.ignem_bindings.insert(migration.block, node);
+                    self.obs
+                        .migration_bound(migration.id.0, node, cause::IGNEM_IMMEDIATE);
                     out.immediate.push(BoundMigration { migration, node });
+                } else {
+                    self.obs
+                        .migration_aborted(migration.id.0, None, cause::NO_LIVE_REPLICA);
                 }
             } else {
                 self.pending_blocks.insert(migration.block);
@@ -435,6 +454,11 @@ impl Master {
         self.stats.retarget_passes += 1;
         let mut finish: Vec<f64> = self.nodes.iter().map(|s| s.spb * s.queued_bytes).collect();
         let mut candidates: Vec<(NodeId, usize)> = Vec::new();
+        // Decision provenance is recording-only; skip all of it (including
+        // the per-entry score vectors) when nothing is listening — this
+        // loop is the `bench/algo1_pass` hot path.
+        let recording = self.obs.is_enabled();
+        let mut provenance: Vec<ProvenanceRecord> = Vec::new();
         for entry in &mut self.pending {
             let bytes = entry.migration.bytes as f64;
             // Candidates are scanned in NodeId order, but equal finish
@@ -457,22 +481,48 @@ impl Master {
             );
             candidates.sort_unstable();
             let mut best: Option<(f64, usize, NodeId)> = None;
+            let mut scores: Vec<CandidateScore> = Vec::new();
             for &(loc, rank) in &candidates {
                 let s = &self.nodes[loc.index()];
                 let candidate = finish[loc.index()] + s.spb * bytes;
+                if recording {
+                    scores.push(CandidateScore {
+                        node: loc.0,
+                        rank: rank as u32,
+                        est_finish_secs: candidate,
+                    });
+                }
                 let better =
                     best.is_none_or(|(bf, br, _)| candidate < bf || (candidate == bf && rank < br));
                 if better {
                     best = Some((candidate, rank, loc));
                 }
             }
+            let old_target = entry.target;
             match best {
                 Some((f, _, node)) => {
                     entry.target = Some(node);
                     finish[node.index()] = f;
+                    if old_target != Some(node) {
+                        self.obs.migration_targeted(entry.migration.id.0, node);
+                    }
                 }
                 None => entry.target = None, // all replicas down right now
             }
+            if recording {
+                provenance.push(ProvenanceRecord {
+                    at: simkit::SimTime::ZERO, // recorder stamps time + pass
+                    pass: 0,
+                    migration: entry.migration.id.0,
+                    block: entry.migration.block.0,
+                    bytes: entry.migration.bytes,
+                    candidates: scores,
+                    winner: entry.target.map(|n| n.0),
+                });
+            }
+        }
+        if recording {
+            self.obs.retarget_pass(provenance);
         }
     }
 
@@ -506,6 +556,8 @@ impl Master {
                 self.pending_blocks.remove(&entry.migration.block);
                 self.nodes[node.index()].queued_bytes += entry.migration.bytes as f64;
                 self.stats.bound += 1;
+                self.obs
+                    .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
                 taken.push(entry.migration);
             } else {
                 kept.push_back(entry);
@@ -535,6 +587,10 @@ impl Master {
     /// Returns `true` if a pending migration was cancelled.
     pub fn on_block_read(&mut self, block: BlockId) -> bool {
         if self.pending_blocks.remove(&block) {
+            if let Some(e) = self.pending.iter().find(|e| e.migration.block == block) {
+                self.obs
+                    .migration_aborted(e.migration.id.0, None, cause::MISSED_READ);
+            }
             self.pending.retain(|e| e.migration.block != block);
             self.stats.missed_reads += 1;
             true
@@ -553,13 +609,14 @@ impl Master {
         for entry in &mut self.pending {
             entry.migration.jobs.retain(|r| r.job != job);
             if entry.migration.jobs.is_empty() {
-                removed.push(entry.migration.block);
+                removed.push((entry.migration.block, entry.migration.id));
             }
         }
         if !removed.is_empty() {
             self.pending.retain(|e| !e.migration.jobs.is_empty());
-            for b in &removed {
+            for (b, id) in &removed {
                 self.pending_blocks.remove(b);
+                self.obs.migration_aborted(id.0, None, cause::JOB_EVICTED);
             }
         }
         // Tell every slave buffering one of the job's blocks.
@@ -580,6 +637,10 @@ impl Master {
     /// the only cost is that reads cannot be redirected to memory until
     /// state is repopulated.
     pub fn restart(&mut self) {
+        for entry in &self.pending {
+            self.obs
+                .migration_aborted(entry.migration.id.0, None, cause::MASTER_RESTART);
+        }
         self.pending.clear();
         self.pending_blocks.clear();
         self.migrated.clear();

@@ -18,6 +18,7 @@ use crate::refs::ReferenceLists;
 use crate::types::{EvictionMode, JobRef, Migration};
 use dyrs_cluster::{MemoryStore, NodeId};
 use dyrs_dfs::{BlockId, JobId};
+use dyrs_obs::{cause, ObsHandle};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -154,6 +155,9 @@ pub struct Slave {
     /// and binding is final, §III-A).
     calibrated: bool,
     stats: SlaveStats,
+    /// Lifecycle span + gauge recorder; disconnected unless the driver
+    /// attached one.
+    obs: ObsHandle,
 }
 
 impl Slave {
@@ -180,7 +184,15 @@ impl Slave {
             implicit_jobs: BTreeSet::new(),
             calibrated: false,
             stats: SlaveStats::default(),
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attach an observability recorder. Lifecycle transitions owned by
+    /// the slave (started / finished / evicted / slave-side aborts) and
+    /// the per-heartbeat estimate-overdue gauge are recorded through it.
+    pub fn attach_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Statistics so far.
@@ -321,6 +333,8 @@ impl Slave {
         while let Some(head) = self.queue.front() {
             if self.refs.is_unreferenced(head.block) {
                 // Every interested job already read it or died — skip.
+                self.obs
+                    .migration_aborted(head.id.0, Some(self.node), cause::UNREFERENCED);
                 self.queue.pop_front();
                 continue;
             }
@@ -330,6 +344,8 @@ impl Slave {
                 // this slave still holds, §III-C1). The references added at
                 // bind time keep the copy alive; migrating again would
                 // double-pin the buffer.
+                self.obs
+                    .migration_aborted(head.id.0, Some(self.node), cause::ALREADY_BUFFERED);
                 self.queue.pop_front();
                 continue;
             }
@@ -347,6 +363,7 @@ impl Slave {
                 block: m.block,
                 bytes: m.bytes,
             };
+            self.obs.migration_started(m.id.0, self.node);
             self.active.push(Active {
                 migration: m,
                 started: now,
@@ -384,6 +401,16 @@ impl Slave {
         let active = self.active.remove(idx);
         let duration = now.saturating_since(active.started);
         let m = active.migration;
+        if self.obs.is_enabled() {
+            // Realized-vs-estimated error (signed, seconds), sampled
+            // before this completion teaches the estimator.
+            let est = self.estimator.estimate(m.bytes).as_secs_f64();
+            self.obs.gauge(
+                "node.estimate_error_secs",
+                self.node.index() as u64,
+                duration.as_secs_f64() - est,
+            );
+        }
         self.estimator.on_complete(m.bytes, duration);
         self.stats.completed += 1;
         self.stats.bytes_migrated += m.bytes;
@@ -392,6 +419,8 @@ impl Slave {
         if self.refs.is_unreferenced(m.block) {
             self.memory.unpin(m.bytes);
             self.stats.evictions += 1;
+            self.obs
+                .migration_evicted(m.id.0, self.node, cause::UNREFERENCED);
             return CompletedMigration {
                 block: m.block,
                 bytes: m.bytes,
@@ -400,6 +429,7 @@ impl Slave {
             };
         }
         self.buffered.insert(m.block, m.bytes);
+        self.obs.migration_finished(m.id.0, self.node, duration);
         CompletedMigration {
             block: m.block,
             bytes: m.bytes,
@@ -411,6 +441,26 @@ impl Slave {
     /// Heartbeat processing: refresh the in-progress estimate if the
     /// active migration is overdue (§IV-A) and report estimate + backlog.
     pub fn on_heartbeat(&mut self, now: SimTime) -> HeartbeatReport {
+        if self.obs.is_enabled() {
+            // How far the worst in-flight migration is past its *current*
+            // estimate, sampled before the refresh below corrects it. A
+            // nonzero sample is exactly the condition that fires the
+            // §IV-A in-progress refresh (elapsed > estimate).
+            let overdue = self
+                .active
+                .iter()
+                .map(|a| {
+                    let elapsed = now.saturating_since(a.started).as_secs_f64();
+                    let estimate = self.estimator.estimate(a.migration.bytes).as_secs_f64();
+                    (elapsed - estimate).max(0.0)
+                })
+                .fold(0.0, f64::max);
+            self.obs.gauge(
+                "node.estimate_overdue_secs",
+                self.node.index() as u64,
+                overdue,
+            );
+        }
         if self.config.in_progress_refresh {
             // borrow dance: collect first, estimator is a separate field
             let samples: Vec<(u64, SimDuration)> = self
@@ -453,6 +503,10 @@ impl Slave {
             let became_free = self.refs.remove(job, block);
             if became_free {
                 if queued {
+                    for m in self.queue.iter().filter(|m| m.block == block) {
+                        self.obs
+                            .migration_aborted(m.id.0, Some(self.node), cause::MISSED_READ);
+                    }
                     self.queue.retain(|m| m.block != block);
                     self.stats.missed_reads += 1;
                 }
@@ -471,7 +525,7 @@ impl Slave {
     pub fn evict_job(&mut self, job: JobId) -> Vec<Eviction> {
         let freed = self.refs.remove_job(job);
         self.implicit_jobs.remove(&job);
-        self.apply_evictions(freed)
+        self.apply_evictions(freed, cause::JOB_EVICTED)
     }
 
     /// Memory-pressure scavenge (§III-C3): query the cluster scheduler via
@@ -479,7 +533,7 @@ impl Slave {
     pub fn scavenge(&mut self, is_active: impl Fn(JobId) -> bool) -> Vec<Eviction> {
         let freed = self.refs.scavenge(&is_active);
         self.implicit_jobs.retain(|&j| is_active(j));
-        self.apply_evictions(freed)
+        self.apply_evictions(freed, cause::SCAVENGED)
     }
 
     /// True once buffer usage crosses the scavenge threshold.
@@ -487,7 +541,7 @@ impl Slave {
         self.memory.used() as f64 >= self.config.scavenge_threshold * self.memory.capacity() as f64
     }
 
-    fn apply_evictions(&mut self, freed: Vec<BlockId>) -> Vec<Eviction> {
+    fn apply_evictions(&mut self, freed: Vec<BlockId>, why: &'static str) -> Vec<Eviction> {
         let mut out = Vec::new();
         for block in freed {
             if let Some(bytes) = self.buffered.remove(&block) {
@@ -497,6 +551,9 @@ impl Slave {
             }
             // Unstarted queue entries for freed blocks are discarded lazily
             // by try_start; drop them eagerly so backlog reporting is honest.
+            for m in self.queue.iter().filter(|m| m.block == block) {
+                self.obs.migration_aborted(m.id.0, Some(self.node), why);
+            }
             self.queue.retain(|m| m.block != block);
         }
         out
@@ -506,6 +563,14 @@ impl Slave {
     /// the new process tells the master to drop its state. Returns the
     /// blocks that were buffered (for unregistration).
     pub fn restart(&mut self) -> Vec<BlockId> {
+        for m in &self.queue {
+            self.obs
+                .migration_aborted(m.id.0, Some(self.node), cause::SLAVE_RESTART);
+        }
+        for a in &self.active {
+            self.obs
+                .migration_aborted(a.migration.id.0, Some(self.node), cause::SLAVE_RESTART);
+        }
         // BTreeMap: already in ascending BlockId order.
         let blocks: Vec<BlockId> = std::mem::take(&mut self.buffered).into_keys().collect();
         self.memory.clear();

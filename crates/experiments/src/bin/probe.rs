@@ -1,5 +1,9 @@
 //! Calibration probe: dump detailed stats for single scenario runs.
 //! Not part of the reproduction surface — a developer tool.
+//!
+//! `probe [scale] [--trace-out <dir>]` — with `--trace-out`, the detail
+//! run's observability data (spans, metrics, provenance, Perfetto trace)
+//! is exported to `<dir>`; see `docs/OBSERVABILITY.md`.
 
 use dyrs::MigrationPolicy;
 use dyrs_experiments::scenarios::{hetero_config, with_workload};
@@ -7,10 +11,16 @@ use dyrs_sim::Simulation;
 use dyrs_workloads::hive;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.2);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--trace-out").map(|i| {
+            args.remove(i);
+            if i >= args.len() {
+                panic!("--trace-out needs a directory");
+            }
+            args.remove(i).into()
+        });
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.2);
     let queries = hive::queries();
     // detail: DYRS on q15
     {
@@ -34,7 +44,7 @@ fn main() {
             println!(
                 "  {}: migs={} missed={} est_end={:.2}s",
                 n.node,
-                n.migrations,
+                n.slave.completed,
                 n.slave.missed_reads,
                 n.estimate_series
                     .points()
@@ -44,6 +54,12 @@ fn main() {
             );
         }
         println!("  speculations={}", r.speculations);
+        if let Some(dir) = &trace_out {
+            r.obs
+                .write_to_dir(dir)
+                .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", dir.display()));
+            println!("  trace written to {}", dir.display());
+        }
     }
     for q in [&queries[5], &queries[9]] {
         println!(

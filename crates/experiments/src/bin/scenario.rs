@@ -2,7 +2,12 @@
 //!
 //! ```text
 //! scenario path/to/scenario.json [--summary|--jobs|--nodes|--json]
+//!          [--trace-out <dir>]
 //! ```
+//!
+//! `--trace-out <dir>` additionally exports the run's observability data
+//! (spans.jsonl, metrics.jsonl, provenance.jsonl, and a Perfetto-loadable
+//! trace.json); see `docs/OBSERVABILITY.md`.
 //!
 //! A scenario file contains a full `SimConfig` plus the workload:
 //!
@@ -73,7 +78,7 @@ fn print_nodes(r: &SimResult) {
             n.node.to_string(),
             n.disk_reads,
             n.memory_reads,
-            n.migrations,
+            n.slave.completed,
             n.peak_buffer_bytes >> 20,
             n.disk_busy.as_secs_f64(),
             util * 100.0
@@ -83,18 +88,37 @@ fn print_nodes(r: &SimResult) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--trace-out <dir>` before mode detection (it takes a value).
+    let trace_out: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--trace-out").map(|i| {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--trace-out needs a directory");
+                std::process::exit(2);
+            }
+            args.remove(i).into()
+        });
     let mode = args
         .iter()
         .position(|a| a.starts_with("--"))
         .map(|i| args.remove(i));
     let Some(path) = args.first() else {
-        eprintln!("usage: scenario <file.json> [--summary|--jobs|--nodes|--json]");
+        eprintln!(
+            "usage: scenario <file.json> [--summary|--jobs|--nodes|--json] [--trace-out <dir>]"
+        );
         std::process::exit(2);
     };
     let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let scenario: Scenario =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("bad scenario {path}: {e}"));
     let result = Simulation::new(scenario.config, scenario.jobs).run();
+    if let Some(dir) = &trace_out {
+        result
+            .obs
+            .write_to_dir(dir)
+            .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", dir.display()));
+        eprintln!("trace written to {}", dir.display());
+    }
     match mode.as_deref() {
         None | Some("--summary") => print_summary(&result),
         Some("--jobs") => print_jobs(&result),

@@ -85,7 +85,7 @@ pub fn run(seed: u64, scale: f64) -> Fig7 {
     let hypo_peak_bytes = (peak as f64 / n) as u64;
 
     let total_input: u64 = dyrs.jobs.iter().map(|j| j.input_bytes).sum();
-    let migrated: u64 = dyrs.nodes.iter().map(|nr| nr.migrated_bytes).sum();
+    let migrated: u64 = dyrs.nodes.iter().map(|nr| nr.slave.bytes_migrated).sum();
     let s = |r: &dyrs_sim::SimResult| r.mean_job_duration_secs();
     let dyrs_speedup = 1.0 - s(dyrs) / s(hdfs);
     let ram_speedup = 1.0 - s(ram) / s(hdfs);

@@ -1,0 +1,362 @@
+//! The live recording handle (`enabled` feature).
+
+use crate::report::ObsReport;
+use crate::span::{cause, ProvenanceRecord, SpanEvent, SpanState};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use simkit::stats::{Histogram, TimeSeries};
+use simkit::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Per-migration facts remembered at request time so that every later
+/// span event is self-contained (carries block and size without the
+/// emitter having to thread them through).
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    block: u64,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    now: SimTime,
+    report: ObsReport,
+    meta: BTreeMap<u64, Meta>,
+    passes: u64,
+}
+
+/// Recording handle threaded through master, slaves, and the sim driver.
+///
+/// Cheap to clone (all clones share one recorder) and single-threaded by
+/// construction — the simulation event loop owns it; only the extracted
+/// [`ObsReport`] crosses threads. `ObsHandle::default()` is a
+/// *disconnected* handle: every call is a no-op and `is_enabled()` is
+/// `false`, which is what components get when nothing attached telemetry
+/// (e.g. unit tests constructing a `Master` directly).
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle(Option<Rc<RefCell<Inner>>>);
+
+impl ObsHandle {
+    /// A connected recorder.
+    pub fn new() -> Self {
+        let inner = Inner {
+            report: ObsReport {
+                enabled: true,
+                ..ObsReport::default()
+            },
+            ..Inner::default()
+        };
+        ObsHandle(Some(Rc::new(RefCell::new(inner))))
+    }
+
+    /// Whether recording is active. Callers use this to skip building
+    /// recording-only payloads (e.g. provenance candidate vectors) on hot
+    /// paths.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Advance the recorder's clock; the driver calls this once per
+    /// dispatched event so every record is stamped with simulated time.
+    #[inline]
+    pub fn set_now(&self, t: SimTime) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().now = t;
+        }
+    }
+
+    fn record(
+        &self,
+        migration: u64,
+        state: SpanState,
+        node: Option<NodeId>,
+        why: &'static str,
+        job: Option<u64>,
+    ) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let Meta { block, bytes } = inner
+                .meta
+                .get(&migration)
+                .copied()
+                .unwrap_or(Meta { block: 0, bytes: 0 });
+            let at = inner.now;
+            inner.report.events.push(SpanEvent {
+                at,
+                migration,
+                block,
+                bytes,
+                state,
+                node: node.map(|n| n.0),
+                cause: why,
+                job,
+            });
+            let counter = match state {
+                SpanState::Pending => "span.pending",
+                SpanState::Targeted => "span.targeted",
+                SpanState::Bound => "span.bound",
+                SpanState::Started => "span.started",
+                SpanState::Finished => "span.finished",
+                SpanState::Aborted => "span.aborted",
+                SpanState::Evicted => "span.evicted",
+            };
+            *inner.report.counters.entry(counter).or_insert(0) += 1;
+        }
+    }
+
+    /// The master queued a new migration request.
+    pub fn migration_pending(
+        &self,
+        migration: u64,
+        block: BlockId,
+        bytes: u64,
+        job: Option<JobId>,
+    ) {
+        if let Some(inner) = &self.0 {
+            inner.borrow_mut().meta.insert(
+                migration,
+                Meta {
+                    block: block.0,
+                    bytes,
+                },
+            );
+        }
+        self.record(
+            migration,
+            SpanState::Pending,
+            None,
+            cause::REQUESTED,
+            job.map(|j| j.0),
+        );
+    }
+
+    /// Algorithm 1 picked (or changed) the preferred source node.
+    pub fn migration_targeted(&self, migration: u64, node: NodeId) {
+        self.record(
+            migration,
+            SpanState::Targeted,
+            Some(node),
+            cause::RETARGET,
+            None,
+        );
+    }
+
+    /// The migration was handed to a slave (`cause` distinguishes delayed
+    /// binding on heartbeat pull from Ignem's immediate binding).
+    pub fn migration_bound(&self, migration: u64, node: NodeId, why: &'static str) {
+        self.record(migration, SpanState::Bound, Some(node), why, None);
+    }
+
+    /// The slave began streaming the block.
+    pub fn migration_started(&self, migration: u64, node: NodeId) {
+        self.record(
+            migration,
+            SpanState::Started,
+            Some(node),
+            cause::ADMITTED,
+            None,
+        );
+    }
+
+    /// Terminal: the block landed in memory. Also observes the
+    /// `migration.duration_secs` histogram with the bound→finish latency.
+    pub fn migration_finished(&self, migration: u64, node: NodeId, took: SimDuration) {
+        self.record(
+            migration,
+            SpanState::Finished,
+            Some(node),
+            cause::COMPLETED,
+            None,
+        );
+        self.observe("migration.duration_secs", took.as_secs_f64());
+    }
+
+    /// Terminal: the block landed but memory pressure evicted it in the
+    /// same instant, so it never served a read from memory.
+    pub fn migration_evicted(&self, migration: u64, node: NodeId, why: &'static str) {
+        self.record(migration, SpanState::Evicted, Some(node), why, None);
+    }
+
+    /// Terminal: the migration was cancelled before completion.
+    pub fn migration_aborted(&self, migration: u64, node: Option<NodeId>, why: &'static str) {
+        self.record(migration, SpanState::Aborted, node, why, None);
+    }
+
+    /// Record one Algorithm 1 retarget pass. The recorder assigns the
+    /// monotone pass index and timestamps; callers fill everything else.
+    pub fn retarget_pass(&self, mut records: Vec<ProvenanceRecord>) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let pass = inner.passes;
+            inner.passes += 1;
+            let at = inner.now;
+            for rec in &mut records {
+                rec.pass = pass;
+                rec.at = at;
+            }
+            inner.report.provenance.append(&mut records);
+        }
+    }
+
+    /// Bump a monotone counter.
+    pub fn counter_add(&self, name: &'static str, by: u64) {
+        if let Some(inner) = &self.0 {
+            *inner.borrow_mut().report.counters.entry(name).or_insert(0) += by;
+        }
+    }
+
+    /// Sample a gauge for `(name, key)` at the current simulated time.
+    /// The key is a node index for `node.*` metrics and a job id for
+    /// `job.*` metrics.
+    pub fn gauge(&self, name: &'static str, key: u64, value: f64) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let at = inner.now;
+            inner
+                .report
+                .gauges
+                .entry((name, key))
+                .or_insert_with(TimeSeries::new)
+                .record(at, value);
+        }
+    }
+
+    /// Record one sample into the named histogram (bins come from the
+    /// catalog in `docs/OBSERVABILITY.md`).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner
+                .borrow_mut()
+                .report
+                .histograms
+                .entry(name)
+                .or_insert_with(|| histogram_for(name))
+                .observe(value);
+        }
+    }
+
+    /// Extract everything recorded so far, leaving the recorder empty but
+    /// still connected. The driver calls this once when building
+    /// `SimResult`.
+    pub fn take_report(&self) -> ObsReport {
+        match &self.0 {
+            Some(inner) => {
+                let mut inner = inner.borrow_mut();
+                let report = std::mem::take(&mut inner.report);
+                inner.report.enabled = true;
+                report
+            }
+            None => ObsReport::default(),
+        }
+    }
+}
+
+/// Bin layout per histogram name. Migration durations span ~ms (small
+/// blocks on fast disks) to hours (stragglers under interference), so the
+/// default is logarithmic.
+fn histogram_for(name: &str) -> Histogram {
+    match name {
+        "migration.duration_secs" => Histogram::logarithmic(1e-3, 1e4, 70),
+        _ => Histogram::logarithmic(1e-6, 1e6, 60),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanState;
+
+    #[test]
+    fn disconnected_handle_records_nothing() {
+        let h = ObsHandle::default();
+        assert!(!h.is_enabled());
+        h.migration_pending(1, BlockId(1), 64, None);
+        h.counter_add("span.pending", 1);
+        h.gauge("node.buffer_bytes", 0, 1.0);
+        h.observe("migration.duration_secs", 1.0);
+        let r = h.take_report();
+        assert!(!r.enabled);
+        assert!(r.events.is_empty());
+        assert!(r.counters.is_empty());
+    }
+
+    #[test]
+    fn lifecycle_records_self_contained_events() {
+        let h = ObsHandle::new();
+        assert!(h.is_enabled());
+        h.set_now(SimTime::from_secs(1));
+        h.migration_pending(5, BlockId(42), 1024, Some(JobId(3)));
+        h.set_now(SimTime::from_secs(2));
+        h.migration_bound(5, NodeId(1), cause::HEARTBEAT_PULL);
+        h.migration_finished(5, NodeId(1), SimDuration::from_secs(4));
+        let r = h.take_report();
+        assert!(r.enabled);
+        assert_eq!(r.events.len(), 3);
+        // Later events inherit block/bytes from the pending record.
+        assert!(r.events.iter().all(|e| e.block == 42 && e.bytes == 1024));
+        assert_eq!(r.events[1].at, SimTime::from_secs(2));
+        assert_eq!(r.events[1].node, Some(1));
+        assert_eq!(r.counter("span.pending"), 1);
+        assert_eq!(r.counter("span.finished"), 1);
+        let hist = r.histogram("migration.duration_secs").expect("histogram");
+        assert_eq!(hist.total(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_recorder_and_take_resets() {
+        let h = ObsHandle::new();
+        let h2 = h.clone();
+        h.set_now(SimTime::from_secs(1));
+        h2.migration_pending(1, BlockId(1), 8, None);
+        let r = h.take_report();
+        assert_eq!(r.events.len(), 1);
+        // After take the recorder is empty but still enabled.
+        let r2 = h.take_report();
+        assert!(r2.enabled);
+        assert!(r2.events.is_empty());
+    }
+
+    #[test]
+    fn retarget_pass_assigns_monotone_pass_index() {
+        let h = ObsHandle::new();
+        h.set_now(SimTime::from_secs(1));
+        let rec = |mig| ProvenanceRecord {
+            at: SimTime::ZERO,
+            pass: 0,
+            migration: mig,
+            block: mig,
+            bytes: 8,
+            candidates: Vec::new(),
+            winner: None,
+        };
+        h.retarget_pass(vec![rec(1), rec(2)]);
+        h.set_now(SimTime::from_secs(2));
+        h.retarget_pass(vec![rec(1)]);
+        let r = h.take_report();
+        assert_eq!(r.provenance.len(), 3);
+        assert_eq!(r.provenance[0].pass, 0);
+        assert_eq!(r.provenance[1].pass, 0);
+        assert_eq!(r.provenance[2].pass, 1);
+        assert_eq!(r.provenance[2].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn terminal_state_per_span() {
+        let h = ObsHandle::new();
+        h.migration_pending(1, BlockId(1), 8, None);
+        h.migration_aborted(1, None, cause::MISSED_READ);
+        let r = h.take_report();
+        let spans = r.spans();
+        let span = &spans[&1];
+        assert!(span.last().expect("nonempty").state.is_terminal());
+        assert_eq!(
+            span.iter()
+                .filter(|e| e.state == SpanState::Aborted)
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Migration lifecycle spans and Algorithm 1 decision provenance.
+//!
+//! A migration's life is a span of state transitions
+//! `pending → targeted → bound(node) → started → finished | aborted |
+//! evicted`. Each transition is one [`SpanEvent`]: a flat, self-contained
+//! record (migration id, block, bytes, node, cause) so a single JSONL line
+//! can be understood without joining against other tables.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// One state in a migration's lifecycle.
+///
+/// The non-terminal states mirror the paper's pipeline: the master queues a
+/// request (`Pending`, §III-A), Algorithm 1 picks a preferred source
+/// replica (`Targeted`, §III-A2), binding is delayed until that node's
+/// heartbeat pull (`Bound`, §III-A1), and the slave starts streaming when
+/// disk bandwidth and memory admit it (`Started`). Every migration ends in
+/// exactly one terminal state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanState {
+    /// Queued at the master, not yet assigned a preferred source node.
+    Pending,
+    /// Algorithm 1 chose (or re-chose) a preferred source node.
+    Targeted,
+    /// Handed to a slave on its heartbeat pull (delayed binding).
+    Bound,
+    /// The slave began streaming the block disk→memory.
+    Started,
+    /// Terminal: the block landed in memory.
+    Finished,
+    /// Terminal: cancelled before the block landed (first read beat the
+    /// migration, job eviction, restart, discard at the slave, ...).
+    Aborted,
+    /// Terminal: the block landed but was evicted in the same instant to
+    /// relieve memory pressure (never served a read from memory).
+    Evicted,
+}
+
+impl SpanState {
+    /// Whether this state ends the span.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SpanState::Finished | SpanState::Aborted | SpanState::Evicted
+        )
+    }
+
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanState::Pending => "pending",
+            SpanState::Targeted => "targeted",
+            SpanState::Bound => "bound",
+            SpanState::Started => "started",
+            SpanState::Finished => "finished",
+            SpanState::Aborted => "aborted",
+            SpanState::Evicted => "evicted",
+        }
+    }
+}
+
+/// Transition causes. Static strings so recording never allocates; the
+/// catalog is documented in `docs/OBSERVABILITY.md`.
+pub mod cause {
+    /// Job submission asked the master to migrate this block (§III-A).
+    pub const REQUESTED: &str = "requested";
+    /// Algorithm 1 retarget pass picked a preferred source node.
+    pub const RETARGET: &str = "retarget";
+    /// Ignem mode bound immediately at request time, skipping delayed
+    /// binding (the paper's strawman baseline).
+    pub const IGNEM_IMMEDIATE: &str = "ignem-immediate";
+    /// No live replica holds the block, so the request was dropped.
+    pub const NO_LIVE_REPLICA: &str = "no-live-replica";
+    /// The targeted node's heartbeat pull bound the migration (§III-A1).
+    pub const HEARTBEAT_PULL: &str = "heartbeat-pull";
+    /// Disk bandwidth and memory admitted the stream.
+    pub const ADMITTED: &str = "admitted";
+    /// The stream completed and the block is served from memory.
+    pub const COMPLETED: &str = "completed";
+    /// A task read the block from disk before migration finished, so the
+    /// copy became useless (§III-C3 implicit eviction, pre-completion).
+    pub const MISSED_READ: &str = "missed-read";
+    /// Every referencing job finished or was evicted (§III-C3).
+    pub const JOB_EVICTED: &str = "job-evicted";
+    /// Memory pressure scavenged the queued entry before it started.
+    pub const SCAVENGED: &str = "scavenged";
+    /// By the time the slave dequeued the entry no live job referenced it.
+    pub const UNREFERENCED: &str = "unreferenced";
+    /// The block was already resident in this slave's memory.
+    pub const ALREADY_BUFFERED: &str = "already-buffered";
+    /// Memory pressure evicted the block in the instant it landed.
+    pub const PRESSURE: &str = "pressure";
+    /// The master restarted and dropped its soft state (§III-C).
+    pub const MASTER_RESTART: &str = "master-restart";
+    /// The slave restarted (or its node died) and dropped its queue.
+    pub const SLAVE_RESTART: &str = "slave-restart";
+}
+
+/// One lifecycle transition of one migration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Simulated time of the transition.
+    pub at: SimTime,
+    /// Migration id (`dyrs::MigrationId.0`).
+    pub migration: u64,
+    /// Block being migrated (`BlockId.0`).
+    pub block: u64,
+    /// Block size in bytes.
+    pub bytes: u64,
+    /// New lifecycle state.
+    pub state: SpanState,
+    /// Node involved, when one is (target / bound / executing node).
+    pub node: Option<u32>,
+    /// Why the transition happened; one of the [`cause`] constants.
+    pub cause: &'static str,
+    /// Requesting job, when known (set on the `Pending` transition).
+    pub job: Option<u64>,
+}
+
+/// Estimated finish time for one candidate replica node considered by
+/// Algorithm 1 (`finish[n] = spb[n]·queued_bytes[n] + spb[n]·bytes`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateScore {
+    /// Candidate source node.
+    pub node: u32,
+    /// Placement rank of the replica on this node (tie-break key).
+    pub rank: u32,
+    /// Estimated finish time in seconds if this node is chosen.
+    pub est_finish_secs: f64,
+}
+
+/// One migration's scoring inside one Algorithm 1 retarget pass.
+///
+/// `winner` is the candidate with the minimum `(est_finish_secs, rank)`;
+/// `None` means no live replica was available. A placement is thus fully
+/// explainable from this record alone: the winner's score is ≤ every other
+/// candidate's, with rank breaking exact ties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProvenanceRecord {
+    /// Simulated time of the retarget pass.
+    pub at: SimTime,
+    /// Index of the retarget pass (0-based, monotone over the run).
+    pub pass: u64,
+    /// Migration being (re)targeted.
+    pub migration: u64,
+    /// Block being migrated.
+    pub block: u64,
+    /// Block size in bytes.
+    pub bytes: u64,
+    /// All live candidate replicas with their scores, in replica order.
+    pub candidates: Vec<CandidateScore>,
+    /// The chosen node, if any candidate was live.
+    pub winner: Option<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!SpanState::Pending.is_terminal());
+        assert!(!SpanState::Targeted.is_terminal());
+        assert!(!SpanState::Bound.is_terminal());
+        assert!(!SpanState::Started.is_terminal());
+        assert!(SpanState::Finished.is_terminal());
+        assert!(SpanState::Aborted.is_terminal());
+        assert!(SpanState::Evicted.is_terminal());
+    }
+
+    #[test]
+    fn names_are_lowercase_and_distinct() {
+        let all = [
+            SpanState::Pending,
+            SpanState::Targeted,
+            SpanState::Bound,
+            SpanState::Started,
+            SpanState::Finished,
+            SpanState::Aborted,
+            SpanState::Evicted,
+        ];
+        let names: std::collections::BTreeSet<&str> = all.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), all.len());
+        assert!(names.iter().all(|n| *n == n.to_lowercase()));
+    }
+}

@@ -115,6 +115,29 @@ impl Simulation {
         }
         job.status = JobStatus::Running;
         job.launched_at = Some(self.now);
+        // Lead-time utilization (§IV-B): how much of the job's input the
+        // migration pipeline made memory-resident before the first task
+        // could run. 1.0 means the lead-time fully hid the migration.
+        if self.obs.is_enabled() {
+            let blocks: Vec<dyrs_dfs::BlockId> = self
+                .tasks
+                .iter()
+                .filter(|t| t.job == id && t.is_map())
+                .filter_map(|t| t.block)
+                .collect();
+            if !blocks.is_empty() {
+                let now = self.now;
+                let ready = blocks
+                    .iter()
+                    .filter(|&&b| self.namenode.has_memory_replica(b, now))
+                    .count();
+                self.obs.gauge(
+                    "job.lead_time_ready_fraction",
+                    id.0,
+                    ready as f64 / blocks.len() as f64,
+                );
+            }
+        }
         let task_ids: std::collections::VecDeque<TaskId> = self
             .tasks
             .iter()

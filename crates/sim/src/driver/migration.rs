@@ -57,6 +57,8 @@ impl Simulation {
                 .estimate(self.cfg.block_size)
                 .as_secs_f64();
             self.estimate_series[node.index()].record(now, est);
+            self.obs
+                .gauge("node.estimate_secs_per_block", node.0 as u64, est);
         }
         self.buffer_series[node.index()]
             .record(now, self.slaves[node.index()].buffered_bytes() as f64);
@@ -68,6 +70,17 @@ impl Simulation {
         self.last_disk_busy[node.index()] = busy;
         let util = delta.as_secs_f64() / self.hb_interval().as_secs_f64().max(1e-9);
         self.utilization_series[node.index()].record(now, util.min(1.0));
+        if self.obs.is_enabled() {
+            let key = node.0 as u64;
+            self.obs
+                .gauge("node.queue_backlog_bytes", key, report.queued_bytes as f64);
+            self.obs.gauge(
+                "node.buffer_bytes",
+                key,
+                self.slaves[node.index()].buffered_bytes() as f64,
+            );
+            self.obs.gauge("node.disk_utilization", key, util.min(1.0));
+        }
 
         // Idle estimate freshness: if nothing has exercised this disk's
         // estimator recently and no migration is running, send a re-probe.

@@ -117,6 +117,10 @@ pub struct Simulation {
     pub(crate) calib_inflight: Vec<bool>,
     /// Per-node time of the last estimator signal (migration or probe).
     pub(crate) last_estimate_signal: Vec<SimTime>,
+    /// Observability recorder shared with the master and every slave
+    /// (lifecycle spans, metrics registry, Algorithm 1 provenance). A
+    /// zero-sized no-op without the `obs` feature.
+    pub(crate) obs: dyrs_obs::ObsHandle,
     #[allow(dead_code)]
     pub(crate) rng: Rng,
 }
@@ -166,8 +170,10 @@ impl Simulation {
                 namenode.register_memory_replica(b, node);
             }
         }
+        let obs = dyrs_obs::ObsHandle::new();
         let mut master = Master::new(cfg.policy, n, cfg.cluster.nodes[0].disk_bw, rng.derive(2));
         master.set_order(cfg.dyrs.migration_order);
+        master.attach_obs(obs.clone());
         let mem_limit = |spec_cap: u64| cfg.mem_limit.unwrap_or(spec_cap);
         let slaves: Vec<Slave> = cfg
             .cluster
@@ -175,13 +181,15 @@ impl Simulation {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                Slave::new(
+                let mut sl = Slave::new(
                     NodeId(i as u32),
                     cfg.dyrs.clone(),
                     s.disk_bw,
                     mem_limit(s.mem_capacity),
                     cfg.block_size,
-                )
+                );
+                sl.attach_obs(obs.clone());
+                sl
             })
             .collect();
         let slots = SlotPool::new(
@@ -236,6 +244,7 @@ impl Simulation {
             calib_start: vec![SimTime::ZERO; n],
             calib_inflight: vec![false; n],
             last_estimate_signal: vec![SimTime::ZERO; n],
+            obs,
             rng: rng.derive(3),
             cfg,
         };
@@ -337,6 +346,7 @@ impl Simulation {
                 break;
             }
             self.now = t;
+            self.obs.set_now(t);
             self.events_processed += 1;
             {
                 use std::fmt::Write as _;
@@ -401,8 +411,6 @@ impl Simulation {
                     memory_reads: dn.memory_reads,
                     disk_bytes: dn.disk_bytes,
                     memory_bytes: dn.memory_bytes,
-                    migrations: sl.stats().completed,
-                    migrated_bytes: sl.stats().bytes_migrated,
                     peak_buffer_bytes: sl.memory().peak(),
                     slave: sl.stats(),
                     disk_busy: self.cluster.node(node).disk.busy_time(),
@@ -424,6 +432,7 @@ impl Simulation {
             events_processed: self.events_processed,
             trace_digest: self.trace_digest.value(),
             end_time: self.now,
+            obs: self.obs.take_report(),
         }
     }
 }

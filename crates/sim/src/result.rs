@@ -39,13 +39,10 @@ pub struct NodeReport {
     pub disk_bytes: u64,
     /// Bytes served from memory.
     pub memory_bytes: u64,
-    /// Migrations completed by its slave.
-    pub migrations: u64,
-    /// Bytes migrated into its memory.
-    pub migrated_bytes: u64,
     /// Peak migration-buffer footprint.
     pub peak_buffer_bytes: u64,
-    /// Slave counters.
+    /// Slave counters (completed migrations, migrated bytes, evictions —
+    /// the single source of truth for migration roll-ups).
     pub slave: SlaveStats,
     /// Total time the disk had at least one active stream.
     pub disk_busy: SimDuration,
@@ -86,6 +83,11 @@ pub struct SimResult {
     pub trace_digest: u64,
     /// Simulated instant the last event fired.
     pub end_time: SimTime,
+    /// Observability report: migration lifecycle spans, metric registry,
+    /// and Algorithm 1 decision provenance. Empty (with `enabled: false`)
+    /// when the `obs` feature is off. Export with
+    /// [`write_to_dir`](dyrs_obs::ObsReport::write_to_dir).
+    pub obs: dyrs_obs::ObsReport,
 }
 
 impl SimResult {
@@ -180,6 +182,7 @@ mod tests {
             events_processed: 0,
             trace_digest: 0,
             end_time: SimTime::ZERO,
+            obs: Default::default(),
         }
     }
 

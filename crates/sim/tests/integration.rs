@@ -58,7 +58,7 @@ fn disabled_reads_everything_from_disk() {
     let r = run_one(MigrationPolicy::Disabled, 14, 1);
     assert_eq!(r.memory_read_fraction(), 0.0);
     assert_eq!(r.master.completed, 0);
-    assert_eq!(r.nodes.iter().map(|n| n.migrations).sum::<u64>(), 0);
+    assert_eq!(r.nodes.iter().map(|n| n.slave.completed).sum::<u64>(), 0);
 }
 
 #[test]

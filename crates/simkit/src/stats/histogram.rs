@@ -110,6 +110,23 @@ impl Histogram {
             .map(|(w, &c)| (w[0], w[1], c))
     }
 
+    /// Merge another histogram with identical bin edges into this one
+    /// (bin-wise count addition). Merging is associative and commutative,
+    /// so per-shard histograms can be combined in any grouping — the
+    /// property tests in `tests/proptests.rs` pin this down.
+    ///
+    /// Panics if the edge vectors differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "merging histograms with different bin edges"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Fraction of samples strictly below `x` (piecewise-constant estimate
     /// using whole bins; `x` should normally be a bin edge).
     pub fn fraction_below(&self, x: f64) -> f64 {

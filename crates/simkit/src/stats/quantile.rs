@@ -87,6 +87,14 @@ impl Quantiles {
         self.sorted = false;
     }
 
+    /// Merge another collector's samples into this one. Order-insensitive
+    /// (quantiles are computed over the sorted multiset), so merging is
+    /// associative and commutative.
+    pub fn merge(&mut self, other: &Quantiles) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.samples.len()

@@ -115,6 +115,33 @@ impl TimeSeries {
         acc / total
     }
 
+    /// Merge another series into this one, interleaving by time with a
+    /// stable two-pointer pass: on equal timestamps `self`'s points come
+    /// first. The left-priority tie rule makes the operation associative
+    /// (`(a·b)·c == a·(b·c)`), so per-shard series can be combined in any
+    /// grouping — pinned down by the property tests in
+    /// `tests/proptests.rs`.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        if other.points.is_empty() {
+            return;
+        }
+        let left = std::mem::take(&mut self.points);
+        let mut out = Vec::with_capacity(left.len() + other.points.len());
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < other.points.len() {
+            if left[i].0 <= other.points[j].0 {
+                out.push(left[i]);
+                i += 1;
+            } else {
+                out.push(other.points[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&left[i..]);
+        out.extend_from_slice(&other.points[j..]);
+        self.points = out;
+    }
+
     /// Maximum recorded value; `None` if empty.
     pub fn max_value(&self) -> Option<f64> {
         self.points

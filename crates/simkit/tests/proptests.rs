@@ -1,8 +1,18 @@
 //! Property-based tests for simkit invariants.
 
 use proptest::prelude::*;
-use simkit::stats::{percentile, Ewma, Histogram, OnlineStats, Quantiles};
+use simkit::stats::{percentile, Ewma, Histogram, OnlineStats, Quantiles, TimeSeries};
 use simkit::{EventQueue, FluidResource, Rng, SimDuration, SimTime};
+
+/// Build a time series from (already sorted) microsecond offsets, with the
+/// point's index as its value so stability violations are observable.
+fn series_from(times: &[u64], value_base: f64) -> TimeSeries {
+    let mut ts = TimeSeries::new();
+    for (i, &t) in times.iter().enumerate() {
+        ts.record(SimTime::from_micros(t), value_base + i as f64);
+    }
+    ts
+}
 
 proptest! {
     /// Popping an event queue always yields nondecreasing times, regardless
@@ -261,6 +271,144 @@ proptest! {
             // only when caps are small — check the weaker invariant instead)
             prop_assert!(rate >= (capacity - demand) / (caps.len() as f64 + 1.0) - 1e-6);
             prop_assert!(rate <= capacity - 0.0 + 1e-6);
+        }
+    }
+
+    /// Histogram::merge is associative and equivalent to observing the
+    /// concatenated sample stream into one histogram.
+    #[test]
+    fn histogram_merge_associative(
+        xs in proptest::collection::vec(-100.0f64..200.0, 0..120),
+        ys in proptest::collection::vec(-100.0f64..200.0, 0..120),
+        zs in proptest::collection::vec(-100.0f64..200.0, 0..120),
+    ) {
+        let fill = |samples: &[f64]| {
+            let mut h = Histogram::linear(0.0, 100.0, 10);
+            for &x in samples { h.observe(x); }
+            h
+        };
+        let (a, b, c) = (fill(&xs), fill(&ys), fill(&zs));
+        // (a·b)·c
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        // a·(b·c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        // sequential observation of the whole stream
+        let whole = fill(&[xs.clone(), ys, zs].concat());
+        prop_assert_eq!(ab_c.total(), whole.total());
+        prop_assert_eq!(a_bc.total(), whole.total());
+        for i in 0..whole.num_bins() {
+            prop_assert_eq!(ab_c.bin_count(i), whole.bin_count(i));
+            prop_assert_eq!(a_bc.bin_count(i), whole.bin_count(i));
+        }
+        prop_assert_eq!(ab_c.underflow(), whole.underflow());
+        prop_assert_eq!(ab_c.overflow(), whole.overflow());
+        prop_assert_eq!(a_bc.underflow(), whole.underflow());
+        prop_assert_eq!(a_bc.overflow(), whole.overflow());
+    }
+
+    /// TimeSeries::merge is associative: the left-priority tie rule makes
+    /// grouping irrelevant, point for point.
+    #[test]
+    fn timeseries_merge_associative(
+        mut ta in proptest::collection::vec(0u64..1000, 0..50),
+        mut tb in proptest::collection::vec(0u64..1000, 0..50),
+        mut tc in proptest::collection::vec(0u64..1000, 0..50),
+    ) {
+        ta.sort_unstable();
+        tb.sort_unstable();
+        tc.sort_unstable();
+        let a = series_from(&ta, 0.0);
+        let b = series_from(&tb, 1000.0);
+        let c = series_from(&tc, 2000.0);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.points(), a_bc.points());
+        prop_assert_eq!(ab_c.len(), ta.len() + tb.len() + tc.len());
+        // merged output is still a valid series: nondecreasing times
+        prop_assert!(ab_c.points().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    /// Merging preserves stability: on equal timestamps every left point
+    /// precedes every right point.
+    #[test]
+    fn timeseries_merge_is_stable(n in 1usize..20, t in 0u64..1000) {
+        let left = series_from(&vec![t; n], 0.0);
+        let right = series_from(&vec![t; n], 1000.0);
+        let mut merged = left.clone();
+        merged.merge(&right);
+        let values: Vec<f64> = merged.points().iter().map(|&(_, v)| v).collect();
+        let expect: Vec<f64> = (0..n).map(|i| i as f64)
+            .chain((0..n).map(|i| 1000.0 + i as f64))
+            .collect();
+        prop_assert_eq!(values, expect);
+    }
+
+    /// Empty series: identity for merge, and every query degrades cleanly.
+    #[test]
+    fn timeseries_empty_edge_cases(
+        mut times in proptest::collection::vec(0u64..1000, 0..50),
+        probe in 0u64..2000,
+    ) {
+        times.sort_unstable();
+        let s = series_from(&times, 0.0);
+        let mut left = s.clone();
+        left.merge(&TimeSeries::new());
+        prop_assert_eq!(left.points(), s.points());
+        let mut right = TimeSeries::new();
+        right.merge(&s);
+        prop_assert_eq!(right.points(), s.points());
+
+        let empty = TimeSeries::new();
+        prop_assert!(empty.is_empty());
+        prop_assert_eq!(empty.value_at(SimTime::from_micros(probe)), None);
+        prop_assert_eq!(empty.max_value(), None);
+        let grid = empty.resample(
+            SimTime::ZERO,
+            SimTime::from_micros(probe),
+            SimDuration::from_micros(100),
+            7.0,
+        );
+        prop_assert!(grid.iter().all(|&(_, v)| v == 7.0));
+        prop_assert_eq!(
+            empty.time_weighted_mean(SimTime::ZERO, SimTime::from_micros(probe), 3.5),
+            3.5
+        );
+    }
+
+    /// Quantiles::merge equals bulk observation, and the percentile
+    /// function stays monotone on the merged collector.
+    #[test]
+    fn quantiles_merge_matches_bulk(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ps in proptest::collection::vec(0.0f64..=100.0, 2..12),
+    ) {
+        let mut merged = Quantiles::new();
+        merged.extend_from(&xs);
+        let mut other = Quantiles::new();
+        other.extend_from(&ys);
+        merged.merge(&other);
+        let mut bulk = Quantiles::new();
+        bulk.extend_from(&[xs, ys].concat());
+        prop_assert_eq!(merged.count(), bulk.count());
+        let mut sorted_ps = ps.clone();
+        sorted_ps.sort_by(f64::total_cmp);
+        let mut last = f64::NEG_INFINITY;
+        for &p in &sorted_ps {
+            let v = merged.percentile(p);
+            prop_assert_eq!(v, bulk.percentile(p));
+            prop_assert!(v >= last, "percentile must be monotone in p");
+            last = v;
         }
     }
 

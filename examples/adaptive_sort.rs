@@ -52,7 +52,10 @@ fn main() {
 
     println!(
         "\nmigrations per node: {:?}",
-        r.nodes.iter().map(|n| n.migrations).collect::<Vec<_>>()
+        r.nodes
+            .iter()
+            .map(|n| n.slave.completed)
+            .collect::<Vec<_>>()
     );
     println!("(node0 should have completed fewer migrations than its peers)");
 }

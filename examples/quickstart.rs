@@ -4,6 +4,10 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--trace-out <dir>` to export the run's observability data
+//! (lifecycle spans, metrics, Algorithm 1 provenance, and a Chrome
+//! `trace.json` loadable in Perfetto) — see `docs/OBSERVABILITY.md`.
 
 use dyrs::MigrationPolicy;
 use dyrs_dfs::JobId;
@@ -12,6 +16,17 @@ use dyrs_sim::{FileSpec, SimConfig, Simulation};
 use simkit::SimTime;
 
 const BLOCK: u64 = 256 << 20;
+
+/// Value of `--trace-out <dir>` if present on the command line.
+fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return Some(args.next().expect("--trace-out needs a directory").into());
+        }
+    }
+    None
+}
 
 fn main() {
     // A 7-node cluster like the paper's testbed, running full DYRS.
@@ -55,7 +70,7 @@ fn main() {
         println!(
             "  {}: {} migrations, peak buffer {} MB, disk busy {:.1}s",
             n.node,
-            n.migrations,
+            n.slave.completed,
             n.peak_buffer_bytes >> 20,
             n.disk_busy.as_secs_f64()
         );
@@ -64,5 +79,15 @@ fn main() {
         j.memory_read_fraction > 0.9,
         "lead-time should cover this input"
     );
+    if let Some(dir) = trace_out_arg() {
+        result
+            .obs
+            .write_to_dir(&dir)
+            .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", dir.display()));
+        println!(
+            "\ntrace written to {} (open trace.json in https://ui.perfetto.dev)",
+            dir.display()
+        );
+    }
     println!("\nTip: rerun with MigrationPolicy::Disabled to see the cold-read baseline.");
 }

@@ -118,6 +118,42 @@ fn event_traces_are_bit_stable_across_reruns() {
 }
 
 #[test]
+fn trace_exports_are_byte_identical_across_reruns() {
+    // The observability exports are part of the determinism contract:
+    // two same-seed runs must render byte-identical spans.jsonl,
+    // metrics.jsonl, provenance.jsonl and trace.json — any wall-clock
+    // stamp, hash-order iteration, or f64 formatting instability in the
+    // recorder would show up here. The failure drill exercises the abort
+    // paths (restart causes) too.
+    let run = || {
+        let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+        cfg.failures = vec![
+            FailureEvent::MasterRestart {
+                at: SimTime::from_secs(6),
+            },
+            FailureEvent::SlaveRestart {
+                at: SimTime::from_secs(14),
+                node: NodeId(1),
+            },
+        ];
+        let w = sort::sort_workload(2 << 30, SimDuration::from_secs(10), 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        dyrs_sim::Simulation::new(cfg, jobs).run().obs
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.spans_jsonl(), b.spans_jsonl());
+    assert_eq!(a.metrics_jsonl(), b.metrics_jsonl());
+    assert_eq!(a.provenance_jsonl(), b.provenance_jsonl());
+    assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+    if a.enabled {
+        assert!(
+            !a.events.is_empty() && !a.provenance.is_empty(),
+            "an obs-enabled drill run must record spans and provenance"
+        );
+    }
+}
+
+#[test]
 fn workload_generation_is_stable() {
     let p = swim::SwimParams::default();
     let a = swim::generate(&p, SEED);
