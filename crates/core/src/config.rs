@@ -44,6 +44,105 @@ pub struct DyrsConfig {
     /// for the ablation study.
     #[serde(default = "default_true")]
     pub in_progress_refresh: bool,
+    /// Gray-failure detector: heartbeat deadlines, bounded retry, and
+    /// per-node quarantine.
+    #[serde(default)]
+    pub failure_detector: FailureDetectorConfig,
+}
+
+/// Master-side gray-failure detector knobs.
+///
+/// The paper's protocol assumes nodes either heartbeat or are dead; this
+/// layer covers the space in between — a node whose heartbeats stall, or
+/// whose bound migrations crawl, without the node ever failing outright.
+/// Disabling it (`enabled: false`) restores the paper's exact behavior.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDetectorConfig {
+    /// Master-side detector on/off switch.
+    #[serde(default = "default_true")]
+    pub enabled: bool,
+    /// A node missing heartbeats for this long becomes *suspect*: its
+    /// bound-but-unstarted migrations are unbound back to pending and it
+    /// leaves Algorithm 1 candidacy until it heartbeats again. Must exceed
+    /// the heartbeat interval with slack for ordinary jitter.
+    #[serde(default = "default_suspect_after")]
+    pub suspect_after: SimDuration,
+    /// A bound migration not finished within this many multiples of the
+    /// node's own estimate (`spb · bytes`, floored by `stuck_floor`) is
+    /// declared stuck and re-bound elsewhere.
+    #[serde(default = "default_stuck_multiple")]
+    pub stuck_multiple: f64,
+    /// Lower bound on the stuck deadline, so cheap blocks on fast disks
+    /// are not declared stuck over scheduling noise.
+    #[serde(default = "default_stuck_floor")]
+    pub stuck_floor: SimDuration,
+    /// Total binding attempts per block before the master gives up with a
+    /// terminal `retries-exhausted` abort.
+    #[serde(default = "default_max_attempts")]
+    pub max_attempts: u32,
+    /// Base of the deterministic exponential backoff between attempts:
+    /// attempt k re-enters candidacy after `retry_backoff · 2^(k−1)`.
+    #[serde(default = "default_retry_backoff")]
+    pub retry_backoff: SimDuration,
+    /// Strikes (suspect transitions or stuck migrations) within
+    /// `strike_window` that quarantine a node.
+    #[serde(default = "default_quarantine_strikes")]
+    pub quarantine_strikes: u32,
+    /// Sliding window over which strikes are counted.
+    #[serde(default = "default_strike_window")]
+    pub strike_window: SimDuration,
+    /// How long a quarantined node is barred from candidacy before it may
+    /// run a probation migration.
+    #[serde(default = "default_quarantine_backoff")]
+    pub quarantine_backoff: SimDuration,
+}
+
+fn default_suspect_after() -> SimDuration {
+    SimDuration::from_secs(3)
+}
+
+fn default_stuck_multiple() -> f64 {
+    8.0
+}
+
+fn default_stuck_floor() -> SimDuration {
+    SimDuration::from_secs(20)
+}
+
+fn default_max_attempts() -> u32 {
+    4
+}
+
+fn default_retry_backoff() -> SimDuration {
+    SimDuration::from_secs(1)
+}
+
+fn default_quarantine_strikes() -> u32 {
+    3
+}
+
+fn default_strike_window() -> SimDuration {
+    SimDuration::from_secs(30)
+}
+
+fn default_quarantine_backoff() -> SimDuration {
+    SimDuration::from_secs(10)
+}
+
+impl Default for FailureDetectorConfig {
+    fn default() -> Self {
+        FailureDetectorConfig {
+            enabled: true,
+            suspect_after: default_suspect_after(),
+            stuck_multiple: default_stuck_multiple(),
+            stuck_floor: default_stuck_floor(),
+            max_attempts: default_max_attempts(),
+            retry_backoff: default_retry_backoff(),
+            quarantine_strikes: default_quarantine_strikes(),
+            strike_window: default_strike_window(),
+            quarantine_backoff: default_quarantine_backoff(),
+        }
+    }
 }
 
 fn default_max_concurrent() -> usize {
@@ -65,6 +164,7 @@ impl Default for DyrsConfig {
             migration_order: MigrationOrder::Fifo,
             max_concurrent_migrations: default_max_concurrent(),
             in_progress_refresh: default_true(),
+            failure_detector: FailureDetectorConfig::default(),
         }
     }
 }
@@ -115,5 +215,30 @@ mod tests {
     fn queue_depth_zero_block_is_minimal() {
         let c = DyrsConfig::default();
         assert_eq!(c.queue_depth(0, 1e8), 1 + c.queue_slack);
+    }
+
+    #[test]
+    fn detector_defaults_are_sane() {
+        let c = DyrsConfig::default();
+        let d = &c.failure_detector;
+        assert!(d.enabled);
+        assert!(d.suspect_after > c.heartbeat_interval);
+        assert!(d.stuck_multiple > 1.0);
+        assert!(d.max_attempts >= 2);
+        assert!(d.quarantine_strikes >= 2);
+        assert!(d.strike_window > d.suspect_after);
+    }
+
+    #[test]
+    fn disabling_detector_keeps_other_defaults() {
+        let d = FailureDetectorConfig {
+            enabled: false,
+            ..FailureDetectorConfig::default()
+        };
+        assert!(!d.enabled);
+        assert_eq!(
+            d.max_attempts,
+            FailureDetectorConfig::default().max_attempts
+        );
     }
 }

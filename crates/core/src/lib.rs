@@ -41,12 +41,13 @@ pub mod refs;
 pub mod slave;
 pub mod types;
 
-pub use config::DyrsConfig;
+pub use config::{DyrsConfig, FailureDetectorConfig};
 pub use dyrs_obs as obs;
 pub use dyrs_obs::ObsHandle;
 pub use estimator::MigrationEstimator;
 pub use master::JobHint;
 pub use master::Master;
+pub use master::{HealthReport, NodeHealth};
 pub use policy::{MigrationOrder, MigrationPolicy};
 pub use refs::ReferenceLists;
 pub use slave::Slave;

@@ -14,13 +14,14 @@
 //! All state is soft (§III-C): [`Master::restart`] drops everything and
 //! the system degrades to plain HDFS until slaves repopulate it.
 
+use crate::config::FailureDetectorConfig;
 use crate::policy::{MigrationOrder, MigrationPolicy};
 use crate::types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use dyrs_obs::{cause, CandidateScore, ObsHandle, ProvenanceRecord};
 use serde::{Deserialize, Serialize};
-use simkit::Rng;
+use simkit::{Rng, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Scheduling hints about the requesting job, used by the non-FIFO
@@ -102,6 +103,108 @@ struct PendingEntry {
     seq: u64,
     /// Requesting job's scheduling hint.
     hint: JobHint,
+    /// Retry backoff: the entry may not bind before this instant.
+    not_before: SimTime,
+}
+
+/// A node's health as classified by the gray-failure detector. Only
+/// `Healthy` and `Probation` nodes are Algorithm 1 candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeHealth {
+    /// Heartbeating on time; full candidacy.
+    Healthy,
+    /// Missed its heartbeat deadline; its bound-but-unstarted migrations
+    /// are unbound and it leaves candidacy until it heartbeats again.
+    Suspect,
+    /// Struck out (`quarantine_strikes` within `strike_window`); barred
+    /// from candidacy until the quarantine backoff elapses.
+    Quarantined,
+    /// Quarantine backoff elapsed; allowed exactly one probation
+    /// migration, whose completion restores `Healthy`.
+    Probation,
+}
+
+impl NodeHealth {
+    /// Stable lowercase name used in exports and test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Suspect => "suspect",
+            NodeHealth::Quarantined => "quarantined",
+            NodeHealth::Probation => "probation",
+        }
+    }
+
+    /// Numeric encoding for the `node.health` gauge (0 = healthy,
+    /// 1 = suspect, 2 = probation, 3 = quarantined — ordered by how far
+    /// the node is from full candidacy).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            NodeHealth::Healthy => 0.0,
+            NodeHealth::Suspect => 1.0,
+            NodeHealth::Probation => 2.0,
+            NodeHealth::Quarantined => 3.0,
+        }
+    }
+}
+
+/// Per-node detector bookkeeping.
+#[derive(Debug, Clone)]
+struct DetectorState {
+    /// Last heartbeat instant; `None` means the deadline is not armed
+    /// (fresh start, node restart, or master restart) and arms at the
+    /// next health check — so a resuming master never mass-suspects
+    /// nodes it simply was not listening to.
+    last_heartbeat: Option<SimTime>,
+    health: NodeHealth,
+    /// Strike instants inside the sliding window.
+    strikes: VecDeque<SimTime>,
+    quarantined_until: SimTime,
+    /// The one in-flight probation migration, when on probation.
+    probation_block: Option<BlockId>,
+}
+
+impl Default for DetectorState {
+    fn default() -> Self {
+        DetectorState {
+            last_heartbeat: None,
+            health: NodeHealth::Healthy,
+            strikes: VecDeque::new(),
+            quarantined_until: SimTime::ZERO,
+            probation_block: None,
+        }
+    }
+}
+
+/// A binding the master is tracking until the slave reports completion;
+/// the raw material for stuck detection and for minting retry successors.
+#[derive(Debug, Clone)]
+struct BoundRecord {
+    node: NodeId,
+    bound_at: SimTime,
+    /// The node's estimated stream time (`spb · bytes`) when the binding
+    /// was made. The stuck deadline is measured against this snapshot, not
+    /// the live estimate: a node that degrades after binding inflates its
+    /// own estimate, and judging it by the inflated number would let a
+    /// crawling queue keep its work forever.
+    est_secs_at_bind: f64,
+    hint: JobHint,
+    migration: Migration,
+}
+
+/// What one [`Master::check_health`] pass found. The caller (the sim
+/// driver, or an RPC layer in a real deployment) owns the slave channel,
+/// so the master reports *candidates* and the caller confirms them against
+/// the slave before calling [`Master::on_unbound`] / [`Master::discard_bound`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Nodes that just transitioned to `Suspect` (or failed probation):
+    /// their bound-but-unstarted migrations should be revoked and
+    /// unbound.
+    pub newly_suspect: Vec<NodeId>,
+    /// Bound migrations past their progress deadline, as (bound node,
+    /// block) pairs.
+    pub stuck: Vec<(NodeId, BlockId)>,
 }
 
 /// The DYRS master state machine.
@@ -168,6 +271,17 @@ pub struct Master {
     /// Lifecycle span + provenance recorder; disconnected unless the
     /// driver attached one.
     obs: ObsHandle,
+    /// Gray-failure detector config; `None` = detector off (the paper's
+    /// exact behavior).
+    detector: Option<FailureDetectorConfig>,
+    /// Per-node detector state (only meaningful while `detector` is on).
+    det: Vec<DetectorState>,
+    /// Bindings awaiting completion, tracked for stuck detection and
+    /// retry successors.
+    bound_records: BTreeMap<BlockId, BoundRecord>,
+    /// The detector's monotone view of simulated time, advanced by
+    /// [`Master::on_heartbeat_at`] and [`Master::check_health`].
+    clock: SimTime,
 }
 
 impl Master {
@@ -199,6 +313,36 @@ impl Master {
             default_spb: 1.0 / default_disk_bw,
             order: MigrationOrder::Fifo,
             obs: ObsHandle::default(),
+            detector: None,
+            det: vec![DetectorState::default(); num_nodes],
+            bound_records: BTreeMap::new(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Enable the gray-failure detector. Only meaningful under delayed
+    /// binding (Dyrs / Naive): the other policies never hold master-side
+    /// bindings to unbind.
+    pub fn configure_detector(&mut self, cfg: FailureDetectorConfig) {
+        if cfg.enabled && self.policy.delayed_binding() {
+            self.detector = Some(cfg);
+        } else {
+            self.detector = None;
+        }
+    }
+
+    /// Whether the gray-failure detector is active.
+    pub fn detector_enabled(&self) -> bool {
+        self.detector.is_some()
+    }
+
+    /// The detector's current classification of `node` (`Healthy` when
+    /// the detector is off).
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        if self.detector.is_some() {
+            self.det[node.index()].health
+        } else {
+            NodeHealth::Healthy
         }
     }
 
@@ -368,6 +512,7 @@ impl Master {
                 bytes: req.bytes,
                 jobs: vec![jref],
                 replicas: req.replicas,
+                attempt: 0,
             };
             self.next_id += 1;
             self.obs
@@ -400,6 +545,7 @@ impl Master {
                     target: None,
                     seq,
                     hint,
+                    not_before: SimTime::ZERO,
                 });
             }
         }
@@ -412,12 +558,37 @@ impl Master {
     // ------------------------------------------------------------------
 
     /// Record a slave heartbeat: its migration-cost estimate (seconds per
-    /// byte) and its queued backlog in bytes.
+    /// byte) and its queued backlog in bytes. Timeless variant for callers
+    /// without a clock (keeps the heartbeat at the detector's current
+    /// time, so deadlines never regress).
     pub fn on_heartbeat(&mut self, node: NodeId, secs_per_byte: f64, queued_bytes: u64) {
+        let now = self.clock;
+        self.on_heartbeat_at(node, secs_per_byte, queued_bytes, now);
+    }
+
+    /// Record a slave heartbeat at simulated time `now`: feeds the cost /
+    /// backlog view and re-arms the node's failure-detector deadline. A
+    /// heartbeat from a `Suspect` node clears the suspicion (its strike
+    /// stays on the record).
+    pub fn on_heartbeat_at(
+        &mut self,
+        node: NodeId,
+        secs_per_byte: f64,
+        queued_bytes: u64,
+        now: SimTime,
+    ) {
+        self.clock = self.clock.max(now);
         let s = &mut self.nodes[node.index()];
         s.spb = secs_per_byte;
         s.queued_bytes = queued_bytes as f64;
         s.up = true;
+        if self.detector.is_some() {
+            let d = &mut self.det[node.index()];
+            d.last_heartbeat = Some(self.clock);
+            if d.health == NodeHealth::Suspect {
+                d.health = NodeHealth::Healthy;
+            }
+        }
     }
 
     /// Mark a slave up or down (mirrors the file system's liveness view).
@@ -427,12 +598,237 @@ impl Master {
             // Blocks buffered there are gone; pending targets get fixed by
             // the next retarget pass.
             self.migrated.retain(|_, &mut n| n != node);
+            if self.detector.is_some() {
+                // Fail-stop: the slave aborts its own queue when it dies;
+                // the master re-pends successors so surviving replicas can
+                // cover the work (no strike — this is a detected crash,
+                // not a gray failure).
+                let lost: Vec<BlockId> = self
+                    .bound_records
+                    .iter()
+                    .filter(|(_, r)| r.node == node)
+                    .map(|(&b, _)| b)
+                    .collect();
+                for block in lost {
+                    self.respawn_bound(block, false);
+                }
+                let d = &mut self.det[node.index()];
+                *d = DetectorState::default();
+            }
+        } else if self.detector.is_some() {
+            // Re-arm the deadline at the next health check rather than
+            // inheriting the pre-crash one.
+            self.det[node.index()].last_heartbeat = None;
         }
+    }
+
+    /// One failure-detector pass at simulated time `now`: classify nodes
+    /// whose heartbeat deadline lapsed as `Suspect`, lift expired
+    /// quarantines into `Probation`, and flag bound migrations past their
+    /// progress deadline. The caller confirms the report against the
+    /// slaves (which it owns) and feeds confirmed unbinds back through
+    /// [`Master::on_unbound`] / [`Master::discard_bound`].
+    pub fn check_health(&mut self, now: SimTime) -> HealthReport {
+        let mut report = HealthReport::default();
+        let Some(cfg) = self.detector.clone() else {
+            return report;
+        };
+        self.clock = self.clock.max(now);
+        let now = self.clock;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].up {
+                continue;
+            }
+            let node = NodeId(i as u32);
+            let d = &mut self.det[i];
+            if d.health == NodeHealth::Quarantined && now >= d.quarantined_until {
+                d.health = NodeHealth::Probation;
+                d.probation_block = None;
+                self.obs.counter_add("detector.probations", 1);
+            }
+            match d.last_heartbeat {
+                None => d.last_heartbeat = Some(now), // arm the deadline
+                Some(hb) => {
+                    let lapsed = now.saturating_since(hb) > cfg.suspect_after;
+                    if lapsed && matches!(d.health, NodeHealth::Healthy | NodeHealth::Probation) {
+                        let failed_probation = d.health == NodeHealth::Probation;
+                        d.health = NodeHealth::Suspect;
+                        report.newly_suspect.push(node);
+                        self.obs.counter_add("detector.suspects", 1);
+                        self.strike(node, &cfg, now);
+                        if failed_probation {
+                            // A node that goes dark on probation has not
+                            // earned its way back.
+                            self.quarantine(node, &cfg, now);
+                        }
+                    }
+                }
+            }
+        }
+        for (&block, rec) in &self.bound_records {
+            let i = rec.node.index();
+            if !self.nodes[i].up {
+                continue;
+            }
+            let deadline =
+                simkit::SimDuration::from_secs_f64(rec.est_secs_at_bind * cfg.stuck_multiple)
+                    .max(cfg.stuck_floor);
+            if now.saturating_since(rec.bound_at) > deadline {
+                report.stuck.push((rec.node, block));
+            }
+        }
+        report
+    }
+
+    /// Count one strike against `node` inside the sliding window;
+    /// quarantine it when it strikes out.
+    fn strike(&mut self, node: NodeId, cfg: &FailureDetectorConfig, now: SimTime) {
+        self.obs.counter_add("detector.strikes", 1);
+        let d = &mut self.det[node.index()];
+        d.strikes.push_back(now);
+        while let Some(&t) = d.strikes.front() {
+            if now.saturating_since(t) > cfg.strike_window {
+                d.strikes.pop_front();
+            } else {
+                break;
+            }
+        }
+        if d.strikes.len() as u32 >= cfg.quarantine_strikes {
+            self.quarantine(node, cfg, now);
+        }
+    }
+
+    fn quarantine(&mut self, node: NodeId, cfg: &FailureDetectorConfig, now: SimTime) {
+        let d = &mut self.det[node.index()];
+        d.health = NodeHealth::Quarantined;
+        d.quarantined_until = now + cfg.quarantine_backoff;
+        d.probation_block = None;
+        d.strikes.clear();
+        self.obs.counter_add("detector.quarantines", 1);
+    }
+
+    /// A confirmed unbind: the caller revoked `block` from `node`'s queue
+    /// (suspect node or stuck stream). Strikes the node, aborts the old
+    /// span, and — while the bounded-retry budget lasts — re-pends a
+    /// successor migration under a fresh id with deterministic exponential
+    /// backoff, so Algorithm 1 can re-target a surviving replica.
+    pub fn on_unbound(&mut self, node: NodeId, block: BlockId, why: &'static str) {
+        let Some(cfg) = self.detector.clone() else {
+            return;
+        };
+        match self.bound_records.get(&block) {
+            Some(rec) if rec.node == node => {}
+            _ => return, // stale: completed or re-bound meanwhile
+        }
+        let rec = self.bound_records.remove(&block).expect("presence checked");
+        let s = &mut self.nodes[node.index()];
+        s.queued_bytes = (s.queued_bytes - rec.migration.bytes as f64).max(0.0);
+        self.strike(node, &cfg, self.clock);
+        let old = rec.migration;
+        let attempt = old.attempt + 1;
+        if attempt >= cfg.max_attempts {
+            // Bounded retry: give up on the chain; the jobs read from disk.
+            self.obs
+                .migration_aborted(old.id.0, Some(node), cause::RETRIES_EXHAUSTED);
+            self.obs.counter_add("detector.retries_exhausted", 1);
+            return;
+        }
+        self.obs.migration_aborted(old.id.0, Some(node), why);
+        if self.pending_blocks.contains(&block) {
+            // A newer request already re-pended the block; no successor.
+            return;
+        }
+        self.spawn_successor(old, attempt, rec.hint, true);
+    }
+
+    /// Forget a binding without a strike or a successor: the caller found
+    /// the slave no longer holds it (completed, cancelled by a read,
+    /// scavenged, ...) so the slave owned the span's terminal event.
+    ///
+    /// Deliberately leaves `queued_bytes` alone: the slave dropped the
+    /// block before this call, so the node's next heartbeat report (often
+    /// already the last one) excludes its bytes — decrementing here on top
+    /// of that sync would push the master's view *below* the slave's true
+    /// backlog, breaking the §III-D overestimate invariant. A stale
+    /// overestimate until the next heartbeat is the safe direction.
+    pub fn discard_bound(&mut self, block: BlockId) {
+        self.bound_records.remove(&block);
+    }
+
+    /// Re-pend a bound migration whose node fail-stopped. The dying slave
+    /// owns the old span's terminal event (`slave-restart`), so this mints
+    /// the successor silently on the old id and loudly on the new one.
+    fn respawn_bound(&mut self, block: BlockId, strike: bool) {
+        let Some(cfg) = self.detector.clone() else {
+            return;
+        };
+        let Some(rec) = self.bound_records.remove(&block) else {
+            return;
+        };
+        let s = &mut self.nodes[rec.node.index()];
+        s.queued_bytes = (s.queued_bytes - rec.migration.bytes as f64).max(0.0);
+        if strike {
+            self.strike(rec.node, &cfg, self.clock);
+        }
+        let attempt = rec.migration.attempt + 1;
+        if attempt >= cfg.max_attempts || self.pending_blocks.contains(&block) {
+            return;
+        }
+        self.spawn_successor(rec.migration, attempt, rec.hint, true);
+    }
+
+    /// Mint and enqueue the retry successor for an unbound migration.
+    fn spawn_successor(&mut self, old: Migration, attempt: u32, hint: JobHint, backoff: bool) {
+        let Some(cfg) = self.detector.clone() else {
+            return;
+        };
+        let id = MigrationId(self.next_id);
+        self.next_id += 1;
+        let not_before = if backoff {
+            // retry_backoff · 2^(attempt−1), exponent capped well below
+            // overflow; attempt ≥ 1 here.
+            self.clock
+                + cfg
+                    .retry_backoff
+                    .mul_f64(f64::powi(2.0, (attempt - 1).min(16) as i32))
+        } else {
+            self.clock
+        };
+        let migration = Migration {
+            id,
+            block: old.block,
+            bytes: old.bytes,
+            jobs: old.jobs,
+            replicas: old.replicas,
+            attempt,
+        };
+        self.obs
+            .migration_pending_why(id.0, old.block, old.bytes, None, cause::RETRY);
+        self.obs.counter_add("detector.retries", 1);
+        self.pending_blocks.insert(old.block);
+        let seq = self.next_id;
+        self.pending.push_back(PendingEntry {
+            migration,
+            target: None,
+            seq,
+            hint,
+            not_before,
+        });
+        self.sort_pending();
     }
 
     // ------------------------------------------------------------------
     // Algorithm 1 — finish-time targeting
     // ------------------------------------------------------------------
+
+    /// Whether the detector admits `node` as an Algorithm 1 candidate.
+    fn targetable(&self, node: NodeId) -> bool {
+        self.detector.is_none()
+            || matches!(
+                self.det[node.index()].health,
+                NodeHealth::Healthy | NodeHealth::Probation
+            )
+    }
 
     /// One pass of Algorithm 1: greedily set each pending block's target
     /// to the replica node where it is expected to finish earliest, given
@@ -459,6 +855,12 @@ impl Master {
         // loop is the `bench/algo1_pass` hot path.
         let recording = self.obs.is_enabled();
         let mut provenance: Vec<ProvenanceRecord> = Vec::new();
+        // Health gating is hoisted out of the candidate filter: the pending
+        // list is borrowed mutably below, so `targetable` cannot be called
+        // on `self` inside the loop.
+        let healthy: Vec<bool> = (0..self.nodes.len())
+            .map(|i| self.targetable(NodeId(i as u32)))
+            .collect();
         for entry in &mut self.pending {
             let bytes = entry.migration.bytes as f64;
             // Candidates are scanned in NodeId order, but equal finish
@@ -476,7 +878,7 @@ impl Master {
                     .iter()
                     .copied()
                     .enumerate()
-                    .filter(|&(_, loc)| self.nodes[loc.index()].up)
+                    .filter(|&(_, loc)| self.nodes[loc.index()].up && healthy[loc.index()])
                     .map(|(rank, loc)| (loc, rank)),
             );
             candidates.sort_unstable();
@@ -541,11 +943,29 @@ impl Master {
         if !self.policy.delayed_binding() || space == 0 || !self.nodes[node.index()].up {
             return Vec::new();
         }
+        // Detector gating: suspect and quarantined nodes get no work; a
+        // probation node gets exactly one migration in flight.
+        let mut allow = usize::MAX;
+        let detector_on = self.detector.is_some();
+        if detector_on {
+            match self.det[node.index()].health {
+                NodeHealth::Suspect | NodeHealth::Quarantined => return Vec::new(),
+                NodeHealth::Probation => {
+                    if self.det[node.index()].probation_block.is_some() {
+                        return Vec::new();
+                    }
+                    allow = 1;
+                }
+                NodeHealth::Healthy => {}
+            }
+        }
         let targeted = self.policy.uses_targeting();
+        let now = self.clock;
         let mut taken = Vec::new();
         let mut kept = VecDeque::with_capacity(self.pending.len());
         while let Some(entry) = self.pending.pop_front() {
-            let eligible = if taken.len() >= space {
+            // retry-backoff entries (`not_before`) are not yet eligible
+            let eligible = if taken.len() >= space.min(allow) || entry.not_before > now {
                 false
             } else if targeted {
                 entry.target == Some(node)
@@ -558,6 +978,22 @@ impl Master {
                 self.stats.bound += 1;
                 self.obs
                     .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
+                if detector_on {
+                    if self.det[node.index()].health == NodeHealth::Probation {
+                        self.det[node.index()].probation_block = Some(entry.migration.block);
+                    }
+                    self.bound_records.insert(
+                        entry.migration.block,
+                        BoundRecord {
+                            node,
+                            bound_at: now,
+                            est_secs_at_bind: self.nodes[node.index()].spb
+                                * entry.migration.bytes as f64,
+                            hint: entry.hint,
+                            migration: entry.migration.clone(),
+                        },
+                    );
+                }
                 taken.push(entry.migration);
             } else {
                 kept.push_back(entry);
@@ -575,6 +1011,19 @@ impl Master {
     pub fn on_migration_complete(&mut self, node: NodeId, block: BlockId) {
         self.migrated.insert(block, node);
         self.stats.completed += 1;
+        if self.detector.is_some() {
+            if matches!(self.bound_records.get(&block), Some(rec) if rec.node == node) {
+                self.bound_records.remove(&block);
+            }
+            let d = &mut self.det[node.index()];
+            if d.health == NodeHealth::Probation && d.probation_block == Some(block) {
+                // The probation migration finished: the circuit closes.
+                d.health = NodeHealth::Healthy;
+                d.probation_block = None;
+                d.strikes.clear();
+                self.obs.counter_add("detector.probations_passed", 1);
+            }
+        }
     }
 
     /// A slave evicted `block` from its memory.
@@ -646,9 +1095,15 @@ impl Master {
         self.migrated.clear();
         self.ignem_bindings.clear();
         self.job_blocks.clear();
+        self.bound_records.clear();
         for s in &mut self.nodes {
             s.spb = self.default_spb;
             s.queued_bytes = 0.0;
+        }
+        // Detector state is soft too: everyone restarts healthy with an
+        // unarmed deadline (no mass-suspect storm after the outage).
+        for d in &mut self.det {
+            *d = DetectorState::default();
         }
     }
 }
@@ -744,6 +1199,36 @@ impl simkit::audit::Audit for Master {
                 "Ignem bindings index a known node",
                 || format!("{block} bound to out-of-range {node}"),
             );
+        }
+        for (&block, rec) in &self.bound_records {
+            report.check(
+                rec.node.index() < self.nodes.len(),
+                c,
+                "bound records index a known node",
+                || format!("{block} bound on out-of-range {}", rec.node),
+            );
+            report.check(
+                rec.migration.block == block,
+                c,
+                "bound records are keyed by their migration's block",
+                || format!("record for {block} holds {}", rec.migration.block),
+            );
+        }
+        if self.detector.is_some() {
+            for (i, d) in self.det.iter().enumerate() {
+                report.check(
+                    d.probation_block.is_none() || d.health == NodeHealth::Probation,
+                    c,
+                    "only probation nodes hold a probation migration",
+                    || format!("node {i} is {:?} with a probation block", d.health),
+                );
+                report.check(
+                    d.health != NodeHealth::Quarantined || d.quarantined_until > SimTime::ZERO,
+                    c,
+                    "quarantines always carry a lift deadline",
+                    || format!("node {i} quarantined with no deadline"),
+                );
+            }
         }
     }
 }
@@ -1164,5 +1649,212 @@ mod tests {
             "a long batch should use residual slow-node bandwidth"
         );
         assert!(slow_count < 35, "but far less than half");
+    }
+
+    // ------------------------------------------------------------------
+    // gray-failure detector
+    // ------------------------------------------------------------------
+
+    use crate::config::FailureDetectorConfig;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn detector_master() -> Master {
+        let mut m = master(MigrationPolicy::Dyrs);
+        m.configure_detector(FailureDetectorConfig::default());
+        for i in 0..4 {
+            m.on_heartbeat_at(n(i), 1.0 / (140.0 * MB as f64), 0, t(0));
+        }
+        m
+    }
+
+    /// Bind one block (replicated on `reps`) and return its bound node.
+    fn bind_one(m: &mut Master, block: u64, reps: &[u32]) -> NodeId {
+        m.request_migration(j(block), vec![req(block, reps)], EvictionMode::Implicit);
+        m.retarget();
+        let tgt = m.target_of(b(block)).expect("live replica");
+        let taken = m.on_slave_pull(tgt, 4);
+        assert!(taken.iter().any(|mig| mig.block == b(block)));
+        tgt
+    }
+
+    #[test]
+    fn detector_off_for_non_delayed_binding_policies() {
+        for policy in [MigrationPolicy::Ignem, MigrationPolicy::Disabled] {
+            let mut m = master(policy);
+            m.configure_detector(FailureDetectorConfig::default());
+            assert!(!m.detector_enabled(), "{policy:?} holds no bindings");
+        }
+        let mut m = master(MigrationPolicy::Naive);
+        m.configure_detector(FailureDetectorConfig::default());
+        assert!(m.detector_enabled());
+        m.configure_detector(FailureDetectorConfig {
+            enabled: false,
+            ..FailureDetectorConfig::default()
+        });
+        assert!(!m.detector_enabled());
+    }
+
+    #[test]
+    fn missed_heartbeats_suspect_the_node_and_unbind_rebinds_elsewhere() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        // everyone else heartbeats on; the bound node goes dark
+        for i in 0..4 {
+            if n(i) != tgt {
+                m.on_heartbeat_at(n(i), 1.0 / (140.0 * MB as f64), 0, t(4));
+            }
+        }
+        let report = m.check_health(t(4));
+        assert_eq!(report.newly_suspect, vec![tgt]);
+        assert_eq!(m.node_health(tgt), NodeHealth::Suspect);
+        // the caller confirms the revocation; a successor re-pends
+        m.on_unbound(tgt, b(1), cause::NODE_SUSPECT);
+        assert_eq!(m.pending_len(), 1);
+        // suspect nodes are not candidates; the survivor is
+        m.retarget();
+        let new_target = m.target_of(b(1)).expect("survivor replica");
+        assert_ne!(new_target, tgt);
+        // backoff: the successor may not bind before clock + retry_backoff
+        assert!(m.on_slave_pull(new_target, 4).is_empty(), "backoff gates");
+        m.on_heartbeat_at(new_target, 1.0 / (140.0 * MB as f64), 0, t(6));
+        let taken = m.on_slave_pull(new_target, 4);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(taken[0].block, b(1));
+        assert_eq!(taken[0].attempt, 1, "successor carries the retry count");
+    }
+
+    #[test]
+    fn heartbeat_clears_suspicion() {
+        let mut m = detector_master();
+        m.check_health(t(4));
+        assert_eq!(m.node_health(n(0)), NodeHealth::Suspect);
+        m.on_heartbeat_at(n(0), 1.0, 0, t(5));
+        assert_eq!(m.node_health(n(0)), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn strikes_quarantine_then_probation_then_healthy() {
+        let mut m = detector_master();
+        // three stuck-stream strikes inside the window → quarantine
+        for i in 0..3 {
+            let tgt = bind_one(&mut m, i, &[0]);
+            assert_eq!(tgt, n(0));
+            m.on_unbound(n(0), b(i), cause::STUCK_STREAM);
+        }
+        assert_eq!(m.node_health(n(0)), NodeHealth::Quarantined);
+        assert!(
+            m.on_slave_pull(n(0), 8).is_empty(),
+            "quarantined binds nothing"
+        );
+        // quarantined node is not a candidate even as sole replica: the
+        // successors stay pending rather than being dropped
+        m.retarget();
+        assert!(m.pending_len() > 0);
+        for blk in m.pending_block_ids().collect::<Vec<_>>() {
+            assert_eq!(m.target_of(blk), None, "{blk} targeted a quarantined node");
+        }
+        // backoff elapses → probation admits exactly one migration
+        m.on_heartbeat_at(n(0), 1.0 / (140.0 * MB as f64), 0, t(11));
+        m.check_health(t(11));
+        assert_eq!(m.node_health(n(0)), NodeHealth::Probation);
+        m.retarget();
+        let taken = m.on_slave_pull(n(0), 8);
+        assert_eq!(taken.len(), 1, "probation allows one in-flight migration");
+        assert!(m.on_slave_pull(n(0), 8).is_empty(), "second pull gated");
+        // completing the probation migration closes the circuit
+        m.on_migration_complete(n(0), taken[0].block);
+        assert_eq!(m.node_health(n(0)), NodeHealth::Healthy);
+        m.on_heartbeat_at(n(0), 1.0 / (140.0 * MB as f64), 0, t(13));
+        assert!(!m.on_slave_pull(n(0), 8).is_empty(), "healthy again");
+    }
+
+    #[test]
+    fn bounded_retry_gives_up_after_max_attempts() {
+        let mut m = detector_master();
+        m.configure_detector(FailureDetectorConfig {
+            max_attempts: 3,
+            quarantine_strikes: 100, // isolate the retry budget
+            ..FailureDetectorConfig::default()
+        });
+        bind_one(&mut m, 1, &[0]);
+        let mut clock = 0;
+        for attempt in 1..3u32 {
+            m.on_unbound(n(0), b(1), cause::STUCK_STREAM);
+            assert_eq!(m.pending_len(), 1, "attempt {attempt} re-pends");
+            // advance past the backoff and re-bind
+            clock += 10;
+            m.on_heartbeat_at(n(0), 1.0 / (140.0 * MB as f64), 0, t(clock));
+            m.retarget();
+            let taken = m.on_slave_pull(n(0), 4);
+            assert_eq!(taken.len(), 1);
+            assert_eq!(taken[0].attempt, attempt);
+        }
+        // third unbind exhausts the budget: no successor
+        m.on_unbound(n(0), b(1), cause::STUCK_STREAM);
+        assert_eq!(m.pending_len(), 0, "retries exhausted → chain ends");
+    }
+
+    #[test]
+    fn node_down_repends_bound_work_without_a_strike() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        m.set_node_up(tgt, false);
+        assert_eq!(m.pending_len(), 1, "fail-stop re-pends the binding");
+        assert_eq!(m.node_health(tgt), NodeHealth::Healthy, "crash ≠ strike");
+        m.retarget();
+        let new_target = m.target_of(b(1)).expect("survivor");
+        assert_ne!(new_target, tgt);
+    }
+
+    #[test]
+    fn stuck_streams_are_reported_after_the_deadline() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        // keep the node heartbeating (not suspect), but the migration
+        // never completes: past the floor deadline it is flagged
+        m.on_heartbeat_at(tgt, 1.0 / (140.0 * MB as f64), 256 * MB, t(20));
+        assert!(m.check_health(t(20)).stuck.is_empty(), "deadline not yet");
+        m.on_heartbeat_at(tgt, 1.0 / (140.0 * MB as f64), 256 * MB, t(21));
+        let report = m.check_health(t(21));
+        assert_eq!(report.stuck, vec![(tgt, b(1))]);
+    }
+
+    #[test]
+    fn discard_bound_forgets_without_strike_or_successor() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        m.discard_bound(b(1));
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.node_health(tgt), NodeHealth::Healthy);
+        assert!(m.check_health(t(30)).stuck.is_empty(), "record is gone");
+    }
+
+    #[test]
+    fn stale_unbound_is_ignored() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        m.on_migration_complete(tgt, b(1));
+        // a stale revocation after completion must not strike or re-pend
+        m.on_unbound(tgt, b(1), cause::STUCK_STREAM);
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.node_health(tgt), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn master_restart_resets_detector_state() {
+        let mut m = detector_master();
+        for i in 0..3 {
+            bind_one(&mut m, i, &[0]);
+            m.on_unbound(n(0), b(i), cause::STUCK_STREAM);
+        }
+        assert_eq!(m.node_health(n(0)), NodeHealth::Quarantined);
+        m.restart();
+        assert_eq!(m.node_health(n(0)), NodeHealth::Healthy);
+        // no mass-suspect storm: deadlines re-arm at the first check
+        let report = m.check_health(t(100));
+        assert!(report.newly_suspect.is_empty());
     }
 }

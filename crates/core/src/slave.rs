@@ -91,6 +91,18 @@ struct Active {
     started: SimTime,
 }
 
+/// What [`Slave::revoke`] found bound for the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Revoked {
+    /// A queued (unstarted) entry was removed.
+    Queued,
+    /// An in-flight migration was cancelled; the caller must cancel its
+    /// disk stream.
+    Active,
+    /// Nothing was bound for the block (stale revocation).
+    NotBound,
+}
+
 /// The DYRS slave state machine for one node.
 ///
 /// ```
@@ -117,6 +129,7 @@ struct Active {
 ///     bytes: 256 * MB,
 ///     jobs: vec![JobRef { job: JobId(1), eviction: EvictionMode::Implicit }],
 ///     replicas: vec![NodeId(0)],
+///     attempt: 0,
 /// }]);
 /// let started = slave.try_start(SimTime::ZERO).unwrap();
 /// assert_eq!(started.block, BlockId(9));
@@ -559,6 +572,45 @@ impl Slave {
         out
     }
 
+    /// Revoke the binding of `block` on the master's orders (failure
+    /// detector re-binding): a queued entry is removed outright; an active
+    /// migration is cancelled and its pinned memory released — the caller
+    /// must also cancel the corresponding disk stream. Deliberately
+    /// **obs-silent**: the master owns the abort event for detector
+    /// unbinds, so the span gets exactly one terminal record.
+    ///
+    /// Job references added at bind time are dropped unless the block is
+    /// also buffered here (a master-restart re-bind), where they keep the
+    /// existing copy alive.
+    pub fn revoke(&mut self, block: BlockId) -> Revoked {
+        if let Some(idx) = self.queue.iter().position(|m| m.block == block) {
+            let m = self
+                .queue
+                .remove(idx)
+                .expect("index from position() is in bounds");
+            if !self.buffered.contains_key(&block) {
+                for r in &m.jobs {
+                    self.refs.remove(r.job, block);
+                }
+            }
+            return Revoked::Queued;
+        }
+        if let Some(idx) = self.active.iter().position(|a| a.migration.block == block) {
+            let a = self.active.remove(idx);
+            self.memory.unpin(a.migration.bytes);
+            for r in &a.migration.jobs {
+                self.refs.remove(r.job, block);
+            }
+            return Revoked::Active;
+        }
+        Revoked::NotBound
+    }
+
+    /// Blocks in the local queue (bound but not started), front first.
+    pub fn queued_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.queue.iter().map(|m| m.block)
+    }
+
     /// Slave process restart (§III-C2): the OS reclaims all buffer space;
     /// the new process tells the master to drop its state. Returns the
     /// blocks that were buffered (for unregistration).
@@ -693,6 +745,7 @@ mod tests {
                 })
                 .collect(),
             replicas: vec![NodeId(0)],
+            attempt: 0,
         }
     }
 
@@ -988,5 +1041,48 @@ mod tests {
         );
         assert!(s.on_read(b(1), j(1)).is_empty(), "job 2 still referenced");
         assert_eq!(s.on_read(b(1), j(2)).len(), 1);
+    }
+
+    #[test]
+    fn revoke_removes_queued_entry_and_its_refs() {
+        let mut s = slave();
+        s.on_bind(vec![
+            mig(1, BLOCK, &[(1, EvictionMode::Implicit)]),
+            mig(2, BLOCK, &[(1, EvictionMode::Implicit)]),
+        ]);
+        assert_eq!(s.revoke(b(2)), Revoked::Queued);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.queued_blocks().collect::<Vec<_>>(), vec![b(1)]);
+        assert!(!s.has_pending(b(2)));
+        // the dropped reference cannot resurrect the block on a later read
+        assert!(s.on_read(b(2), j(1)).is_empty());
+        assert_eq!(s.revoke(b(2)), Revoked::NotBound, "stale revoke is a no-op");
+    }
+
+    #[test]
+    fn revoke_cancels_active_migration_and_unpins() {
+        let mut s = slave();
+        s.on_bind(vec![mig(1, BLOCK, &[(1, EvictionMode::Explicit)])]);
+        s.try_start(t(0)).unwrap();
+        assert_eq!(s.buffered_bytes(), BLOCK, "in-flight bytes pinned");
+        assert_eq!(s.revoke(b(1)), Revoked::Active);
+        assert_eq!(s.buffered_bytes(), 0, "pin released on cancellation");
+        assert!(!s.is_migrating());
+        // the queue is free to start other work immediately
+        s.on_bind(vec![mig(2, BLOCK, &[(1, EvictionMode::Explicit)])]);
+        assert!(s.try_start(t(1)).is_some());
+    }
+
+    #[test]
+    fn revoke_keeps_buffered_copy_alive() {
+        let mut s = slave();
+        s.on_bind(vec![mig(1, BLOCK, &[(1, EvictionMode::Explicit)])]);
+        s.try_start(t(0)).unwrap();
+        s.on_migration_complete(t(2));
+        // master restart re-binds the same block here, then revokes it
+        s.on_bind(vec![mig(1, BLOCK, &[(2, EvictionMode::Explicit)])]);
+        assert_eq!(s.revoke(b(1)), Revoked::Queued);
+        assert!(s.has_buffered(b(1)), "existing copy survives the revoke");
+        assert_eq!(s.buffered_bytes(), BLOCK);
     }
 }

@@ -52,6 +52,12 @@ pub struct Migration {
     pub jobs: Vec<JobRef>,
     /// Nodes holding an on-disk replica the migration could run on.
     pub replicas: Vec<NodeId>,
+    /// How many earlier bindings of this block were unbound by the failure
+    /// detector (0 for a first attempt). Retry successors get a fresh
+    /// [`MigrationId`] but carry the predecessor's count + 1 so the
+    /// bounded-retry budget spans the whole chain.
+    #[serde(default)]
+    pub attempt: u32,
 }
 
 /// A migration bound to a slave, as delivered by a pull response or by
@@ -95,6 +101,7 @@ mod tests {
                 },
             ],
             replicas: vec![NodeId(0)],
+            attempt: 0,
         };
         assert_eq!(m.jobs.len(), 2);
     }

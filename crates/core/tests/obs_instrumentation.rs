@@ -36,6 +36,7 @@ fn mig(i: u64, jobs: &[u64]) -> Migration {
             })
             .collect(),
         replicas: vec![NodeId(0)],
+        attempt: 0,
     }
 }
 

@@ -101,6 +101,7 @@ proptest! {
                 bytes,
                 jobs: vec![JobRef { job: JobId(i as u64 % 3), eviction: EvictionMode::Explicit }],
                 replicas: vec![NodeId(0)],
+                attempt: 0,
             })
             .collect();
         s.on_bind(migs);
@@ -204,6 +205,87 @@ proptest! {
                 report.is_clean(),
                 "after op {op}({job},{block}): {:?}",
                 report.violations()
+            );
+        }
+    }
+
+    /// Under arbitrary strike/heartbeat/health interleavings, Algorithm 1
+    /// never targets a suspect or quarantined node and pulls from such
+    /// nodes bind nothing — and a block whose only live replica is
+    /// quarantined stays pending (never dropped) until probation lifts.
+    #[test]
+    fn detector_gates_candidacy(
+        ops in proptest::collection::vec((0u8..3, 0u32..4, 1u64..40), 1..80),
+    ) {
+        use dyrs::master::NodeHealth;
+        use dyrs::FailureDetectorConfig;
+        let mut m = Master::new(MigrationPolicy::Dyrs, 4, BW, Rng::new(3));
+        m.configure_detector(FailureDetectorConfig::default());
+        let mut clock = SimTime::ZERO;
+        for n in 0..4 {
+            m.on_heartbeat_at(NodeId(n), 1.0 / BW, 0, clock);
+        }
+        // the sole-replica block: only node 0 ever holds it
+        m.request_migration(
+            JobId(9),
+            vec![BlockRequest { block: BlockId(999), bytes: BLOCK, replicas: vec![NodeId(0)] }],
+            EvictionMode::Implicit,
+        );
+        for (i, (op, node, dt)) in ops.iter().enumerate() {
+            clock += SimDuration::from_secs(*dt);
+            let node = NodeId(*node);
+            match op {
+                // a heartbeat from one node; the others may go suspect
+                0 => m.on_heartbeat_at(node, 1.0 / BW, 0, clock),
+                // a request + bind + unbind cycle that strikes the bound
+                // node (never node 0, so block 999 can only ever bind via
+                // a gate violation)
+                1 => {
+                    let bnode = NodeId(1 + (node.0 % 3));
+                    m.request_migration(
+                        JobId(i as u64),
+                        vec![BlockRequest {
+                            block: BlockId(i as u64),
+                            bytes: BLOCK,
+                            replicas: vec![bnode, NodeId(1 + ((node.0 + 1) % 3))],
+                        }],
+                        EvictionMode::Implicit,
+                    );
+                    m.retarget();
+                    for mig in m.on_slave_pull(bnode, 2) {
+                        m.on_unbound(bnode, mig.block, dyrs::obs::cause::STUCK_STREAM);
+                    }
+                }
+                _ => { m.check_health(clock); }
+            }
+            m.retarget();
+            for n in 0..4u32 {
+                let health = m.node_health(NodeId(n));
+                let gated = matches!(health, NodeHealth::Suspect | NodeHealth::Quarantined);
+                if gated {
+                    prop_assert!(
+                        m.on_slave_pull(NodeId(n), 8).is_empty(),
+                        "{health:?} node {n} bound work"
+                    );
+                }
+            }
+            let target_healths: Vec<NodeHealth> = m
+                .pending_block_ids()
+                .filter_map(|b| m.target_of(b))
+                .map(|n| m.node_health(n))
+                .collect();
+            for h in target_healths {
+                prop_assert!(
+                    matches!(h, NodeHealth::Healthy | NodeHealth::Probation),
+                    "Algorithm 1 targeted a {h:?} node"
+                );
+            }
+            // the sole-replica block can only leave pending via a bind on
+            // node 0, which this schedule never performs: whatever health
+            // node 0 cycles through, the block must stay pending
+            prop_assert!(
+                m.pending_block_ids().any(|b| b == BlockId(999)),
+                "sole-replica block was dropped from pending"
             );
         }
     }

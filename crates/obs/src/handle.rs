@@ -115,6 +115,20 @@ impl ObsHandle {
         bytes: u64,
         job: Option<JobId>,
     ) {
+        self.migration_pending_why(migration, block, bytes, job, cause::REQUESTED);
+    }
+
+    /// Like [`ObsHandle::migration_pending`] with an explicit cause —
+    /// retry successors open their span with [`cause::RETRY`] instead of
+    /// [`cause::REQUESTED`].
+    pub fn migration_pending_why(
+        &self,
+        migration: u64,
+        block: BlockId,
+        bytes: u64,
+        job: Option<JobId>,
+        why: &'static str,
+    ) {
         if let Some(inner) = &self.0 {
             inner.borrow_mut().meta.insert(
                 migration,
@@ -124,13 +138,7 @@ impl ObsHandle {
                 },
             );
         }
-        self.record(
-            migration,
-            SpanState::Pending,
-            None,
-            cause::REQUESTED,
-            job.map(|j| j.0),
-        );
+        self.record(migration, SpanState::Pending, None, why, job.map(|j| j.0));
     }
 
     /// Algorithm 1 picked (or changed) the preferred source node.
@@ -235,6 +243,29 @@ impl ObsHandle {
                 .entry(name)
                 .or_insert_with(|| histogram_for(name))
                 .observe(value);
+        }
+    }
+
+    /// Close every span that has no terminal event yet with an `aborted`
+    /// record of cause `why`. The driver calls this once at end of run so
+    /// completed runs never leave dangling spans: every migration span
+    /// ends in exactly one terminal event, whatever the run cut short.
+    pub fn close_dangling(&self, why: &'static str) {
+        let Some(inner) = &self.0 else { return };
+        let dangling: Vec<u64> = {
+            let inner = inner.borrow();
+            let mut seen = BTreeMap::new();
+            for ev in &inner.report.events {
+                let closed = seen.entry(ev.migration).or_insert(false);
+                *closed = *closed || ev.state.is_terminal();
+            }
+            seen.into_iter()
+                .filter(|&(_, closed)| !closed)
+                .map(|(id, _)| id)
+                .collect()
+        };
+        for id in dangling {
+            self.migration_aborted(id, None, why);
         }
     }
 

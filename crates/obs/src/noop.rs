@@ -48,6 +48,18 @@ impl ObsHandle {
 
     /// No-op.
     #[inline]
+    pub fn migration_pending_why(
+        &self,
+        _migration: u64,
+        _block: BlockId,
+        _bytes: u64,
+        _job: Option<JobId>,
+        _why: &'static str,
+    ) {
+    }
+
+    /// No-op.
+    #[inline]
     pub fn migration_targeted(&self, _migration: u64, _node: NodeId) {}
 
     /// No-op.
@@ -85,6 +97,10 @@ impl ObsHandle {
     /// No-op.
     #[inline]
     pub fn observe(&self, _name: &'static str, _value: f64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn close_dangling(&self, _why: &'static str) {}
 
     /// Always the empty, `enabled: false` report.
     #[inline]

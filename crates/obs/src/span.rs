@@ -95,6 +95,21 @@ pub mod cause {
     pub const MASTER_RESTART: &str = "master-restart";
     /// The slave restarted (or its node died) and dropped its queue.
     pub const SLAVE_RESTART: &str = "slave-restart";
+    /// A successor migration re-queued after its predecessor was unbound
+    /// from a suspect/stuck node (bounded retry, carries attempt count).
+    pub const RETRY: &str = "retry";
+    /// The failure detector suspected the bound node (missed heartbeat
+    /// deadline) and unbound the not-yet-started migration.
+    pub const NODE_SUSPECT: &str = "node-suspect";
+    /// The bound migration exceeded its progress deadline without
+    /// finishing (gray failure: stream wedged or node crawling).
+    pub const STUCK_STREAM: &str = "stuck-stream";
+    /// Terminal: the bounded-retry budget ran out; the master gives up on
+    /// this block rather than retrying forever.
+    pub const RETRIES_EXHAUSTED: &str = "retries-exhausted";
+    /// Terminal: the run ended with the span still open (work cut short by
+    /// the last job completing or the horizon).
+    pub const RUN_END: &str = "run-end";
 }
 
 /// One lifecycle transition of one migration.

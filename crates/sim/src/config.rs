@@ -81,6 +81,89 @@ pub enum FailureEvent {
     },
 }
 
+/// Gray-fault injections: the node stays "up" the whole time — nothing
+/// crashes, nothing is marked dead — but some part of it silently stops
+/// keeping its promises. These are the failures the paper's fail-stop
+/// model (§III-C) cannot see and the master's failure detector exists to
+/// catch. Every fault flows through the fluid model, so degraded disks and
+/// frozen streams contend with real traffic instead of being modeled as
+/// instantaneous state flips.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrayFault {
+    /// The node's disk silently degrades to `factor_milli`/1000 of its
+    /// spec bandwidth (a dying disk, a firmware retry storm). Every stream
+    /// on the disk — reads, migrations, repairs — slows down together.
+    DiskDegrade {
+        /// When the degradation sets in.
+        at: SimTime,
+        /// Victim node.
+        node: NodeId,
+        /// New bandwidth as thousandths of spec (e.g. 100 = 1/10th).
+        /// Clamped to at least 1 so the resource stays live.
+        factor_milli: u64,
+    },
+    /// The disk recovers to its spec bandwidth.
+    DiskRestore {
+        /// When the disk recovers.
+        at: SimTime,
+        /// Recovering node.
+        node: NodeId,
+    },
+    /// The node's heartbeats to the DYRS *master* are lost in
+    /// `[at, until)`: the slave process runs, its DFS heartbeats still
+    /// reach the NameNode, but the master hears nothing and cannot bind
+    /// work to it (a partial network partition or a wedged RPC thread).
+    HeartbeatLoss {
+        /// Window start.
+        at: SimTime,
+        /// Victim node.
+        node: NodeId,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// Migration streams on the node freeze in `[at, until)`: in-flight
+    /// and newly started migration reads make (almost) no progress while
+    /// everything else on the disk proceeds — a hung IO path that only
+    /// afflicts the slave's sequential reads.
+    StuckStreams {
+        /// Window start.
+        at: SimTime,
+        /// Victim node.
+        node: NodeId,
+        /// Window end (exclusive).
+        until: SimTime,
+    },
+    /// The node flaps: `times` crash/recover cycles of `downtime` each,
+    /// one every `period`, starting at `at`. Expands into the ordinary
+    /// fail-stop [`FailureEvent::NodeDown`]/[`FailureEvent::NodeUp`] pair
+    /// so recovery goes through the full rejoin path every cycle.
+    Flap {
+        /// First crash instant.
+        at: SimTime,
+        /// Flapping node.
+        node: NodeId,
+        /// How long each outage lasts.
+        downtime: simkit::SimDuration,
+        /// Number of crash/recover cycles.
+        times: u32,
+        /// Spacing between consecutive crashes (must exceed `downtime`).
+        period: simkit::SimDuration,
+    },
+}
+
+impl GrayFault {
+    /// When the fault (or its window) begins.
+    pub fn at(&self) -> SimTime {
+        match self {
+            GrayFault::DiskDegrade { at, .. }
+            | GrayFault::DiskRestore { at, .. }
+            | GrayFault::HeartbeatLoss { at, .. }
+            | GrayFault::StuckStreams { at, .. }
+            | GrayFault::Flap { at, .. } => *at,
+        }
+    }
+}
+
 /// Everything needed to build a [`crate::Simulation`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -104,6 +187,10 @@ pub struct SimConfig {
     pub interference: Vec<InterferenceSchedule>,
     /// Failure injections.
     pub failures: Vec<FailureEvent>,
+    /// Gray-fault injections (degraded disks, lost heartbeats, frozen
+    /// streams, flapping nodes).
+    #[serde(default)]
+    pub gray_faults: Vec<GrayFault>,
     /// Hard wall on simulated time (safety net against runaway runs).
     pub horizon: SimTime,
     /// Per-node migration-buffer hard limit override (bytes); `None` uses
@@ -143,6 +230,7 @@ impl SimConfig {
             files: Vec::new(),
             interference: Vec::new(),
             failures: Vec::new(),
+            gray_faults: Vec::new(),
             horizon: SimTime::from_secs(24 * 3600),
             mem_limit: None,
             re_replication: default_re_replication(),

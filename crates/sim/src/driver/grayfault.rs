@@ -1,0 +1,109 @@
+//! Gray-fault injection: faults that degrade a node without killing it.
+//!
+//! Unlike the fail-stop injections in `failures.rs`, nothing here marks a
+//! node down or clears its state — the point is precisely that every
+//! component still *looks* alive. Disk degradation and stream freezes are
+//! applied to the node's fluid disk resource, so the fault's effect on
+//! co-located traffic (task reads, repairs, interference) emerges from the
+//! same water-filling model as everything else.
+
+use super::Simulation;
+use crate::config::{FailureEvent, GrayFault};
+use crate::events::{Ev, ResourceKind};
+use dyrs_cluster::NodeId;
+
+/// Rate cap applied to frozen migration streams (bytes/sec). Small enough
+/// that no block finishes within any realistic horizon, positive so the
+/// fluid model's invariants hold.
+pub(crate) const FROZEN_STREAM_CAP: f64 = 1e-3;
+
+impl Simulation {
+    pub(crate) fn on_gray_fault(&mut self, f: GrayFault) {
+        match f {
+            GrayFault::DiskDegrade {
+                node, factor_milli, ..
+            } => self.disk_degrade(node, factor_milli.max(1) as f64 / 1000.0),
+            GrayFault::DiskRestore { node, .. } => self.disk_degrade(node, 1.0),
+            GrayFault::HeartbeatLoss { node, until, .. } => {
+                let cur = self.hb_lost_until[node.index()];
+                self.hb_lost_until[node.index()] = cur.max(until);
+            }
+            GrayFault::StuckStreams { node, until, .. } => {
+                let cur = self.stuck_until[node.index()];
+                self.stuck_until[node.index()] = cur.max(until);
+                self.set_migration_stream_caps(node, FROZEN_STREAM_CAP);
+                self.queue.schedule(until, Ev::UnstickStreams(node));
+            }
+            GrayFault::Flap {
+                node,
+                downtime,
+                times,
+                period,
+                ..
+            } => {
+                // Expand into ordinary fail-stop down/up pairs so recovery
+                // exercises the full rejoin path each cycle.
+                for k in 0..times as u64 {
+                    let down_at = self.now + period * k;
+                    let up_at = down_at + downtime;
+                    self.queue.schedule(
+                        down_at,
+                        Ev::Failure(FailureEvent::NodeDown { at: down_at, node }),
+                    );
+                    self.queue
+                        .schedule(up_at, Ev::Failure(FailureEvent::NodeUp { at: up_at, node }));
+                }
+            }
+        }
+    }
+
+    /// Set the node's disk to `factor` of its spec bandwidth (1.0 =
+    /// restore). In-flight streams are rescheduled under the new rate.
+    fn disk_degrade(&mut self, node: NodeId, factor: f64) {
+        if !self.cluster.node(node).up {
+            return;
+        }
+        self.touch(node, ResourceKind::Disk);
+        let now = self.now;
+        let cap = self.cluster.node(node).spec.disk_bw * factor;
+        self.cluster.node_mut(node).disk.set_base_capacity(now, cap);
+        self.reschedule(node, ResourceKind::Disk);
+    }
+
+    /// The stuck-stream window elapsed: thaw any still-frozen migration
+    /// streams (those the detector has not already revoked).
+    pub(crate) fn on_unstick_streams(&mut self, node: NodeId) {
+        if self.now < self.stuck_until[node.index()] {
+            return; // a later window extended the freeze
+        }
+        self.set_migration_stream_caps(node, f64::INFINITY);
+    }
+
+    /// True while `node`'s migration streams are inside a freeze window.
+    pub(crate) fn streams_stuck(&self, node: NodeId) -> bool {
+        self.now < self.stuck_until[node.index()]
+    }
+
+    fn set_migration_stream_caps(&mut self, node: NodeId, cap: f64) {
+        if self.active_migration_stream[node.index()].is_empty() {
+            return;
+        }
+        self.touch(node, ResourceKind::Disk);
+        let now = self.now;
+        let ids: Vec<simkit::StreamId> = self.active_migration_stream[node.index()]
+            .values()
+            .copied()
+            .collect();
+        for sid in ids {
+            // Returns false for streams that completed or were cancelled
+            // in the meantime; the map is pruned on those paths, but the
+            // touch above may have just completed one.
+            let _ = self
+                .cluster
+                .node_mut(node)
+                .disk
+                .set_stream_cap(now, sid, cap);
+        }
+        self.reschedule(node, ResourceKind::Disk);
+    }
+}

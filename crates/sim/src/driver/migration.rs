@@ -34,10 +34,22 @@ impl Simulation {
         }
         let now = self.now;
         let report = self.slaves[node.index()].on_heartbeat(now);
+        // The DFS heartbeat always goes through: a gray heartbeat-loss
+        // window only severs the slave ↔ DYRS-master channel, so job reads
+        // and replica liveness are unaffected (the node is not dead).
         self.namenode.heartbeat(node, now);
-        if self.master_reachable() {
+        let hb_lost = now < self.hb_lost_until[node.index()];
+        if self.master_reachable() && !hb_lost {
             self.master
-                .on_heartbeat(node, report.secs_per_byte, report.queued_bytes);
+                .on_heartbeat_at(node, report.secs_per_byte, report.queued_bytes, now);
+
+            // Failure-detector pass: this heartbeat's arrival is also the
+            // master's chance to notice *other* nodes going quiet or
+            // sitting on stuck migrations.
+            if self.master.detector_enabled() {
+                let health = self.master.check_health(now);
+                self.apply_health_report(health);
+            }
 
             // Delayed binding: the slave pulls just enough work to stay
             // busy until the next heartbeat (§III-A1).
@@ -46,6 +58,13 @@ impl Simulation {
                 self.slaves[node.index()].on_bind(pulled);
                 self.try_start_migrations(node);
             }
+        }
+        if self.master.detector_enabled() && self.obs.is_enabled() {
+            self.obs.gauge(
+                "node.health",
+                node.0 as u64,
+                self.master.node_health(node).as_gauge(),
+            );
         }
 
         // Figure series: per-block migration-time estimate (Fig. 9) and
@@ -113,6 +132,44 @@ impl Simulation {
         self.audit_heartbeat(node);
     }
 
+    /// Act on a failure-detector report: revoke the queued work of newly
+    /// suspect nodes and confirm (or refute) stuck-migration flags.
+    ///
+    /// Terminal-event ownership: [`dyrs::Slave::revoke`] is obs-silent;
+    /// the master's `on_unbound` emits the single abort for each revoked
+    /// binding and mints the retry successor.
+    pub(crate) fn apply_health_report(&mut self, report: dyrs::HealthReport) {
+        for node in report.newly_suspect {
+            // Unbind bound-but-unstarted migrations so Algorithm 1 can
+            // re-target surviving replicas. Active streams are left to the
+            // stuck detector — they may well complete.
+            let queued: Vec<BlockId> = self.slaves[node.index()].queued_blocks().collect();
+            for block in queued {
+                self.slaves[node.index()].revoke(block);
+                self.master
+                    .on_unbound(node, block, dyrs::obs::cause::NODE_SUSPECT);
+            }
+        }
+        for (node, block) in report.stuck {
+            // Confirm against the slave before punishing: the completion
+            // may simply not have reached the master yet.
+            if self.slaves[node.index()].has_pending(block) {
+                if let dyrs::slave::Revoked::Active = self.slaves[node.index()].revoke(block) {
+                    if let Some(sid) = self.active_migration_stream[node.index()].remove(&block) {
+                        self.cancel_stream(node, ResourceKind::Disk, sid);
+                    }
+                }
+                self.master
+                    .on_unbound(node, block, dyrs::obs::cause::STUCK_STREAM);
+                self.try_start_migrations(node);
+            } else {
+                // The binding is gone slave-side (completed, evicted, or
+                // restarted away): forget the record without a strike.
+                self.master.discard_bound(block);
+            }
+        }
+    }
+
     /// Start a slave's calibration probe: a small raw sequential read that
     /// measures what migration currently costs on this disk. Until it
     /// completes the slave reports zero queue space, so no migration is
@@ -154,6 +211,7 @@ impl Simulation {
             return;
         }
         let now = self.now;
+        let stuck = self.streams_stuck(node);
         while let Some(start) = self.slaves[node.index()].try_start(now) {
             let sid = self.start_stream(
                 node,
@@ -164,6 +222,17 @@ impl Simulation {
                     block: start.block,
                 },
             );
+            if stuck {
+                // The node's migration IO path is wedged (gray fault): the
+                // new stream starts frozen and thaws with the window.
+                self.touch(node, ResourceKind::Disk);
+                let _ = self.cluster.node_mut(node).disk.set_stream_cap(
+                    now,
+                    sid,
+                    super::grayfault::FROZEN_STREAM_CAP,
+                );
+                self.reschedule(node, ResourceKind::Disk);
+            }
             self.active_migration_stream[node.index()].insert(start.block, sid);
         }
     }

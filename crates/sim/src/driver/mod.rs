@@ -12,6 +12,7 @@
 #[cfg(feature = "verify-audit")]
 mod audit;
 mod failures;
+mod grayfault;
 mod jobs;
 mod migration;
 mod repair;
@@ -92,6 +93,12 @@ pub struct Simulation {
     /// The DYRS master is unreachable until this instant (master-server
     /// failure, §III-C1). `None` = reachable.
     pub(crate) master_down_until: Option<SimTime>,
+    /// Per-node: heartbeats to the DYRS master are lost until this instant
+    /// (gray fault). DFS heartbeats to the NameNode are unaffected.
+    pub(crate) hb_lost_until: Vec<SimTime>,
+    /// Per-node: migration streams are frozen until this instant (gray
+    /// fault).
+    pub(crate) stuck_until: Vec<SimTime>,
     /// task → (serving node, resource, stream) for cancellation. BTreeMap:
     /// node failures iterate this to find reads served by the dead node,
     /// and the re-plan order must not depend on hash order.
@@ -174,6 +181,7 @@ impl Simulation {
         let mut master = Master::new(cfg.policy, n, cfg.cluster.nodes[0].disk_bw, rng.derive(2));
         master.set_order(cfg.dyrs.migration_order);
         master.attach_obs(obs.clone());
+        master.configure_detector(cfg.dyrs.failure_detector.clone());
         let mem_limit = |spec_cap: u64| cfg.mem_limit.unwrap_or(spec_cap);
         let slaves: Vec<Slave> = cfg
             .cluster
@@ -229,6 +237,8 @@ impl Simulation {
             trace_digest: simkit::audit::TraceDigest::new(),
             soft_state_reset: false,
             master_down_until: None,
+            hb_lost_until: vec![SimTime::ZERO; n],
+            stuck_until: vec![SimTime::ZERO; n],
             task_streams: BTreeMap::new(),
             job_read_bytes: HashMap::new(),
             done_jobs: Vec::new(),
@@ -315,6 +325,10 @@ impl Simulation {
             };
             self.queue.schedule(at, Ev::Failure(f));
         }
+        // Gray-fault injections.
+        for f in self.cfg.gray_faults.clone() {
+            self.queue.schedule(f.at(), Ev::GrayFault(f));
+        }
         // Workload: jobs without dependencies are submitted on schedule;
         // dependent jobs wait for completions.
         for spec in workload {
@@ -373,6 +387,8 @@ impl Simulation {
                 weight_milli,
             } => self.on_interference(node, on, streams, weight_milli as f64 / 1000.0),
             Ev::Failure(f) => self.on_failure(f),
+            Ev::GrayFault(f) => self.on_gray_fault(f),
+            Ev::UnstickStreams(node) => self.on_unstick_streams(node),
             Ev::Calibrate(node) => self.start_calibration(node),
             Ev::GrantContainers(job) => self.on_grant_containers(job),
             Ev::Background { node, frac_milli } => {
@@ -400,6 +416,9 @@ impl Simulation {
     }
 
     fn finish(self) -> SimResult {
+        // Whatever cut the run short (last job done, horizon), no span is
+        // left dangling: open migrations get a terminal `run-end` abort.
+        self.obs.close_dangling(dyrs_obs::cause::RUN_END);
         let nodes = (0..self.cluster.len())
             .map(|i| {
                 let dn = &self.datanodes[i];

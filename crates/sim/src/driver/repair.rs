@@ -32,10 +32,10 @@ impl Simulation {
             return; // came back within the grace period — nothing lost
         }
         let lost = self.namenode.blocks.blocks_on(node);
+        self.datanodes[node.index()].clear_memory(); // defensive; cheap
         for block in lost {
             // The dead node's copy is gone for good.
             self.namenode.blocks.remove_replica(block, node);
-            self.datanodes[node.index()].clear_memory(); // defensive; cheap
             let survivors = self
                 .namenode
                 .blocks

@@ -1,6 +1,6 @@
 //! Event and stream-payload types for the simulation loop.
 
-use crate::config::FailureEvent;
+use crate::config::{FailureEvent, GrayFault};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::BlockId;
 use dyrs_engine::TaskId;
@@ -103,6 +103,11 @@ pub enum Ev {
     },
     /// A failure injection fires.
     Failure(FailureEvent),
+    /// A gray-fault injection fires.
+    GrayFault(GrayFault),
+    /// A node's stuck-stream window ended: thaw its frozen migration
+    /// streams.
+    UnstickStreams(NodeId),
     /// Start a slave's calibration probe read.
     Calibrate(NodeId),
     /// Release the next batch of a job's tasks (container grant round).

@@ -35,7 +35,7 @@ pub mod driver;
 pub mod events;
 pub mod result;
 
-pub use config::{FailureEvent, FileSpec, SimConfig};
+pub use config::{FailureEvent, FileSpec, GrayFault, SimConfig};
 pub use driver::Simulation;
 pub use result::{BlockReadRecord, NodeReport, SimResult};
 
@@ -51,7 +51,7 @@ pub use result::{BlockReadRecord, NodeReport, SimResult};
 /// assert_eq!(result.jobs.len(), 1);
 /// ```
 pub mod prelude {
-    pub use crate::{FailureEvent, FileSpec, SimConfig, SimResult, Simulation};
+    pub use crate::{FailureEvent, FileSpec, GrayFault, SimConfig, SimResult, Simulation};
     pub use dyrs::{DyrsConfig, MigrationOrder, MigrationPolicy};
     pub use dyrs_cluster::{ClusterSpec, InterferenceSchedule, NodeId, NodeSpec};
     pub use dyrs_dfs::JobId;

@@ -7,7 +7,7 @@ use dyrs::{MigrationOrder, MigrationPolicy};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{JobId, Medium};
 use dyrs_engine::JobSpec;
-use dyrs_sim::{FailureEvent, FileSpec, SimConfig, SimResult, Simulation};
+use dyrs_sim::{FailureEvent, FileSpec, GrayFault, SimConfig, SimResult, Simulation};
 use simkit::{Rng, SimDuration, SimTime};
 
 const MB: u64 = 1 << 20;
@@ -444,6 +444,71 @@ fn master_server_failure_vs_live_backup() {
         backup_during.memory_read_fraction
     );
     assert!(backup_during.duration < slow_during.duration);
+}
+
+/// Gray failure A/B: one node's disk drops to 1/10th bandwidth while the
+/// migration wave is in flight. With the failure detector on, stuck
+/// migrations are re-bound to healthy replicas and the crawling node is
+/// quarantined, so the batch keeps its memory coverage and finishes
+/// measurably faster than the paper's detector-free protocol, which lets
+/// the bound queue crawl at 1/10th speed.
+#[test]
+fn detector_rebinds_around_a_crawling_disk() {
+    let run = |enabled: bool| {
+        let mut cfg = SimConfig::paper_default(MigrationPolicy::Dyrs, 41);
+        cfg.dyrs.failure_detector.enabled = enabled;
+        // deep bound queues: the master hands each slave several blocks
+        // ahead, so a mid-wave degrade traps real bound work
+        cfg.dyrs.queue_slack = 6;
+        cfg.files.push(FileSpec::new("in", 56 * BLOCK));
+        // mid-batch: node 3's queue was filled under a healthy estimate
+        // when its disk drops to 1/10th speed, and it never recovers. The
+        // EWMA estimator steers *new* targeting away on its own; only the
+        // detector can take back what is already bound.
+        cfg.gray_faults.push(GrayFault::DiskDegrade {
+            at: SimTime::from_secs(6),
+            node: NodeId(3),
+            factor_milli: 100,
+        });
+        let jobs = vec![JobSpec::map_only(
+            JobId(0),
+            "job",
+            SimTime::ZERO,
+            vec!["in".into()],
+        )];
+        Simulation::new(cfg, jobs).run()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.jobs.len(), 1);
+    assert_eq!(without.jobs.len(), 1);
+    let d_with = with.jobs[0].duration.as_secs_f64();
+    let d_without = without.jobs[0].duration.as_secs_f64();
+    assert!(
+        d_with < d_without * 0.95,
+        "re-binding should beat crawling measurably: with detector {d_with:.1}s, \
+         without {d_without:.1}s"
+    );
+    if with.obs.enabled {
+        assert!(
+            with.obs.counter("detector.retries") > 0,
+            "the win must come from re-binding, not luck"
+        );
+        let missed = |r: &SimResult| {
+            r.obs
+                .events
+                .iter()
+                .filter(|e| e.cause == dyrs::obs::cause::MISSED_READ)
+                .count()
+        };
+        assert!(
+            missed(&with) < missed(&without),
+            "re-binding should land blocks in memory before their reads: \
+             {} vs {} missed",
+            missed(&with),
+            missed(&without)
+        );
+    }
 }
 
 /// Rack-aware clusters: when the spec spans racks, placement follows

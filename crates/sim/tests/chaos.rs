@@ -6,10 +6,22 @@ use dyrs::MigrationPolicy;
 use dyrs_cluster::NodeId;
 use dyrs_dfs::JobId;
 use dyrs_engine::JobSpec;
-use dyrs_sim::{FailureEvent, FileSpec, SimConfig, Simulation};
-use simkit::{Rng, SimTime};
+use dyrs_sim::{FailureEvent, FileSpec, GrayFault, SimConfig, Simulation};
+use simkit::{Rng, SimDuration, SimTime};
 
 const BLOCK: u64 = 256 << 20;
+
+/// Base seed for a storm test: `DYRS_CHAOS_SEED` overrides the built-in
+/// default, so CI can sweep seeds and a failure reproduces locally with
+/// `DYRS_CHAOS_SEED=<seed> cargo test -p dyrs-sim --test chaos`.
+fn base_seed(default: u64) -> u64 {
+    match std::env::var("DYRS_CHAOS_SEED") {
+        Ok(s) => s
+            .parse()
+            .expect("DYRS_CHAOS_SEED must be an unsigned integer"),
+        Err(_) => default,
+    }
+}
 
 /// Build a random failure schedule that never takes down more than one
 /// node at a time for long (3x replication tolerates it) and always ends
@@ -21,7 +33,7 @@ fn random_failures(rng: &mut Rng) -> Vec<FailureEvent> {
     for _ in 0..rng.range_u64(2, 10) {
         t += rng.range_u64(2, 12);
         let at = SimTime::from_secs(t);
-        match rng.below(5) {
+        match rng.below(6) {
             0 => failures.push(FailureEvent::MasterRestart { at }),
             1 => failures.push(FailureEvent::SlaveRestart {
                 at,
@@ -40,6 +52,10 @@ fn random_failures(rng: &mut Rng) -> Vec<FailureEvent> {
                 at,
                 job: JobId(rng.below(3)),
             }),
+            4 => failures.push(FailureEvent::MasterServerFailure {
+                at,
+                reroute: SimDuration::from_secs(rng.range_u64(0, 6)),
+            }),
             _ => {}
         }
     }
@@ -52,9 +68,96 @@ fn random_failures(rng: &mut Rng) -> Vec<FailureEvent> {
     failures
 }
 
+/// Build a random gray-fault schedule. Disk degradations stay above
+/// 1/10th bandwidth and are always restored; at most one node flaps (so
+/// that, combined with the fail-stop storm's one-node-down discipline, no
+/// more than two nodes are ever down at once — 3x replication holds).
+fn random_gray_faults(rng: &mut Rng) -> Vec<GrayFault> {
+    let mut faults = Vec::new();
+    let mut t = 2u64;
+    let mut flap_node: Option<NodeId> = None;
+    for _ in 0..rng.range_u64(2, 8) {
+        t += rng.range_u64(2, 10);
+        let at = SimTime::from_secs(t);
+        let node = NodeId(rng.below(7) as u32);
+        match rng.below(4) {
+            0 => {
+                faults.push(GrayFault::DiskDegrade {
+                    at,
+                    node,
+                    factor_milli: rng.range_u64(100, 500),
+                });
+                faults.push(GrayFault::DiskRestore {
+                    at: SimTime::from_secs(t + rng.range_u64(5, 30)),
+                    node,
+                });
+            }
+            1 => faults.push(GrayFault::HeartbeatLoss {
+                at,
+                node,
+                until: SimTime::from_secs(t + rng.range_u64(2, 15)),
+            }),
+            2 => faults.push(GrayFault::StuckStreams {
+                at,
+                node,
+                until: SimTime::from_secs(t + rng.range_u64(2, 15)),
+            }),
+            _ => {
+                let node = *flap_node.get_or_insert(node);
+                faults.push(GrayFault::Flap {
+                    at,
+                    node,
+                    downtime: simkit::SimDuration::from_secs(rng.range_u64(2, 6)),
+                    times: rng.range_u64(1, 3) as u32,
+                    period: simkit::SimDuration::from_secs(rng.range_u64(8, 15)),
+                });
+            }
+        }
+    }
+    faults
+}
+
+/// Span well-formedness under chaos: every span opens pending, moves
+/// forward, and — thanks to the driver's end-of-run flush — ends in
+/// exactly one terminal event, which is the last.
+fn assert_spans_closed(report: &dyrs_obs::ObsReport, ctx: &str) {
+    use dyrs_obs::SpanState;
+    let order = |s: SpanState| match s {
+        SpanState::Pending => 0,
+        SpanState::Targeted => 1,
+        SpanState::Bound => 2,
+        SpanState::Started => 3,
+        SpanState::Finished | SpanState::Aborted | SpanState::Evicted => 4,
+    };
+    for (id, events) in report.spans() {
+        assert_eq!(
+            events[0].state,
+            SpanState::Pending,
+            "{ctx}: span {id} must open pending"
+        );
+        for w in events.windows(2) {
+            assert!(
+                order(w[1].state) >= order(w[0].state),
+                "{ctx}: span {id} illegal transition {:?} -> {:?}",
+                w[0].state,
+                w[1].state
+            );
+        }
+        assert_eq!(
+            events.iter().filter(|e| e.state.is_terminal()).count(),
+            1,
+            "{ctx}: span {id} must end in exactly one terminal event"
+        );
+        assert!(
+            events.last().expect("nonempty").state.is_terminal(),
+            "{ctx}: span {id} terminal event must be last"
+        );
+    }
+}
+
 #[test]
 fn random_failure_storms_never_hang() {
-    let mut rng = Rng::new(0xC0FFEE);
+    let mut rng = Rng::new(base_seed(0xC0FFEE));
     for round in 0..20 {
         let seed = rng.next_u64();
         let policy = *rng.pick(&[
@@ -90,6 +193,12 @@ fn random_failure_storms_never_hang() {
                 _ => None,
             })
             .collect();
+        // captured by the harness; printed only if the test fails, which
+        // hands CI the offending schedule alongside the repro seed
+        println!(
+            "round {round}: seed={seed} policy={policy:?} failures={:?}",
+            cfg.failures
+        );
         let r = Simulation::new(cfg, jobs).run();
         // every job is accounted for exactly once
         assert_eq!(
@@ -118,5 +227,83 @@ fn random_failure_storms_never_hang() {
             r.jobs.len(),
             "round {round}: duplicate completion"
         );
+    }
+}
+
+#[test]
+fn gray_fault_storms_never_hang() {
+    let mut rng = Rng::new(base_seed(0x6AEF_FA17));
+    for round in 0..20 {
+        let seed = rng.next_u64();
+        let policy = *rng.pick(&[
+            MigrationPolicy::Dyrs,
+            MigrationPolicy::Ignem,
+            MigrationPolicy::Naive,
+            MigrationPolicy::Disabled,
+        ]);
+        let mut cfg = SimConfig::paper_default(policy, seed);
+        cfg.dyrs.migration_order = *rng.pick(&dyrs::MigrationOrder::all());
+        cfg.dyrs.max_concurrent_migrations = rng.range_u64(1, 4) as usize;
+        cfg.re_replication_delay = SimDuration::from_secs(rng.range_u64(5, 25));
+        cfg.horizon = SimTime::from_secs(1200); // hang detector
+        let njobs = rng.range_u64(2, 5);
+        let mut jobs = Vec::new();
+        for j in 0..njobs {
+            let blocks = rng.range_u64(1, 10);
+            cfg.files
+                .push(FileSpec::new(format!("f{j}"), blocks * BLOCK));
+            jobs.push(JobSpec::map_only(
+                JobId(j),
+                format!("j{j}"),
+                SimTime::from_secs(rng.range_u64(0, 8)),
+                vec![format!("f{j}")],
+            ));
+        }
+        // gray faults on top of a fail-stop storm: the detector must keep
+        // making progress while nodes crawl, flap, lose heartbeats, and
+        // wedge their streams.
+        cfg.failures = random_failures(&mut rng);
+        cfg.gray_faults = random_gray_faults(&mut rng);
+        let kill_targets: Vec<JobId> = cfg
+            .failures
+            .iter()
+            .filter_map(|f| match f {
+                FailureEvent::KillJob { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        // captured by the harness; printed only if the test fails, which
+        // hands CI the offending schedule alongside the repro seed
+        println!(
+            "round {round}: seed={seed} policy={policy:?} failures={:?} gray={:?}",
+            cfg.failures, cfg.gray_faults
+        );
+        let r = Simulation::new(cfg, jobs).run();
+        assert_eq!(
+            r.jobs.len() + r.failed_jobs.len(),
+            njobs as usize,
+            "round {round} (seed {seed}, {policy:?}): lost a job"
+        );
+        assert!(
+            r.end_time < SimTime::from_secs(1200),
+            "round {round} (seed {seed}, {policy:?}): hit the hang-detector horizon"
+        );
+        for f in &r.failed_jobs {
+            assert!(
+                kill_targets.contains(f),
+                "round {round} (seed {seed}, {policy:?}): job {f:?} failed without being killed"
+            );
+        }
+        let mut ids: Vec<JobId> = r.jobs.iter().map(|j| j.job).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            r.jobs.len(),
+            "round {round}: duplicate completion"
+        );
+        if r.obs.enabled {
+            assert_spans_closed(&r.obs, &format!("round {round} seed {seed} {policy:?}"));
+        }
     }
 }

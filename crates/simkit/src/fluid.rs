@@ -316,6 +316,35 @@ impl FluidResource {
         StreamId { slot, stamp }
     }
 
+    /// Change the resource's single-stream capacity in place (a gray
+    /// failure degrading a disk, or its later restoration). The resource
+    /// must already be advanced to `now` so in-flight streams are charged
+    /// at the old rate up to the change instant; the generation bumps so
+    /// completion events predicted at the old rate are discarded.
+    pub fn set_base_capacity(&mut self, now: SimTime, cap: f64) {
+        debug_assert_eq!(self.last_advance, now, "set_base_capacity without advance");
+        assert!(cap > 0.0 && cap.is_finite(), "invalid capacity {cap}");
+        self.base_capacity = cap;
+        self.generation += 1;
+    }
+
+    /// Change one stream's rate cap in place (freezing a stuck stream to a
+    /// trickle, or unfreezing it back to `INFINITY`). Returns `false` if
+    /// the stream no longer exists. The resource must already be advanced
+    /// to `now`; the generation bumps to invalidate stale completions.
+    pub fn set_stream_cap(&mut self, now: SimTime, id: StreamId, cap: f64) -> bool {
+        debug_assert_eq!(self.last_advance, now, "set_stream_cap without advance");
+        assert!(cap > 0.0, "invalid cap {cap}");
+        match self.slots.get_mut(id.slot as usize) {
+            Some(Some(s)) if s.stamp == id.stamp => {
+                s.cap = cap;
+                self.generation += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Remove a stream before completion (e.g. a cancelled migration or a
     /// toggled-off interference source). Returns its remaining bytes, or
     /// `None` if the stream no longer exists.
@@ -546,6 +575,35 @@ mod tests {
         assert_eq!(r.stream_rate(a), Some(5.0));
         assert_eq!(r.stream_rate(b), Some(20.0));
         assert_eq!(r.stream_rate(c), Some(75.0));
+    }
+
+    #[test]
+    fn set_base_capacity_reschedules_in_flight_streams() {
+        let mut r = FluidResource::new(100.0, 0.0);
+        r.add_stream(SimTime::ZERO, 200.0, 1.0, 0);
+        let g = r.generation();
+        r.advance(t(1.0)); // 100 bytes moved, 100 left
+        r.set_base_capacity(t(1.0), 10.0); // disk degraded 10x
+        assert!(r.generation() > g, "stale completions must be invalidated");
+        let fin = r.next_completion().unwrap();
+        assert_eq!(fin, t(11.0)); // 100 bytes at 10 B/s
+        r.set_base_capacity(t(1.0), 100.0); // restored
+        assert_eq!(r.next_completion().unwrap(), t(2.0));
+    }
+
+    #[test]
+    fn set_stream_cap_freezes_and_unfreezes() {
+        let mut r = FluidResource::new(100.0, 0.0);
+        let id = r.add_stream(SimTime::ZERO, 100.0, 1.0, 0);
+        assert!(r.set_stream_cap(SimTime::ZERO, id, 1e-3));
+        r.advance(t(1.0)); // effectively stuck: ~1e-3 bytes moved
+        assert!(r.stream_remaining(id).unwrap() > 99.0);
+        assert!(r.set_stream_cap(t(1.0), id, f64::INFINITY));
+        let fin = r.next_completion().unwrap();
+        assert!(fin <= t(2.1), "unfrozen stream resumes at full rate");
+        // stale ids are rejected
+        r.advance(fin);
+        assert!(!r.set_stream_cap(fin, id, 1.0));
     }
 
     #[test]

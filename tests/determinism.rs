@@ -7,7 +7,7 @@ use dyrs_cluster::NodeId;
 use dyrs_experiments::runner::{run_all, SimTask};
 use dyrs_experiments::scenarios::{hetero_config, homogeneous_config, with_workload};
 use dyrs_experiments::table1;
-use dyrs_sim::FailureEvent;
+use dyrs_sim::{FailureEvent, GrayFault};
 use dyrs_workloads::{sort, swim};
 use simkit::{SimDuration, SimTime};
 
@@ -93,11 +93,50 @@ fn event_traces_are_bit_stable_across_reruns() {
             let (cfg, jobs) = with_workload(cfg, w);
             SimTask::new("drill", cfg, jobs)
         };
+        let gray_drill = {
+            // Every gray-fault flavor at once: the failure detector's
+            // suspect/strike/quarantine bookkeeping, the stuck-stream
+            // freeze/unfreeze, and flap expansion must all replay
+            // identically under a seed.
+            let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+            cfg.gray_faults = vec![
+                GrayFault::DiskDegrade {
+                    at: SimTime::from_secs(2),
+                    node: NodeId(3),
+                    factor_milli: 100,
+                },
+                GrayFault::HeartbeatLoss {
+                    at: SimTime::from_secs(4),
+                    node: NodeId(1),
+                    until: SimTime::from_secs(12),
+                },
+                GrayFault::StuckStreams {
+                    at: SimTime::from_secs(5),
+                    node: NodeId(4),
+                    until: SimTime::from_secs(40),
+                },
+                GrayFault::Flap {
+                    at: SimTime::from_secs(8),
+                    node: NodeId(5),
+                    downtime: SimDuration::from_secs(3),
+                    times: 2,
+                    period: SimDuration::from_secs(10),
+                },
+                GrayFault::DiskRestore {
+                    at: SimTime::from_secs(30),
+                    node: NodeId(3),
+                },
+            ];
+            let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            SimTask::new("gray-drill", cfg, jobs)
+        };
         vec![
             plain("dyrs-hetero", MigrationPolicy::Dyrs, true),
             plain("dyrs-homog", MigrationPolicy::Dyrs, false),
             plain("disabled", MigrationPolicy::Disabled, true),
             drill,
+            gray_drill,
         ]
     };
     let first = run_all(mk(), 1);
@@ -134,6 +173,18 @@ fn trace_exports_are_byte_identical_across_reruns() {
             FailureEvent::SlaveRestart {
                 at: SimTime::from_secs(14),
                 node: NodeId(1),
+            },
+        ];
+        cfg.gray_faults = vec![
+            GrayFault::HeartbeatLoss {
+                at: SimTime::from_secs(3),
+                node: NodeId(2),
+                until: SimTime::from_secs(10),
+            },
+            GrayFault::StuckStreams {
+                at: SimTime::from_secs(4),
+                node: NodeId(5),
+                until: SimTime::from_secs(35),
             },
         ];
         let w = sort::sort_workload(2 << 30, SimDuration::from_secs(10), 0);
