@@ -1,0 +1,218 @@
+//! `bench-snapshot` — a fast, CI-friendly performance snapshot.
+//!
+//! Criterion's statistical runs take minutes; CI wants a coarse number
+//! per commit to spot order-of-magnitude regressions and a JSON artifact
+//! to diff across commits. This binary times a handful of representative
+//! hot paths (Algorithm 1 retargeting, one end-to-end simulation, the
+//! wire codec, the loopback transport) with plain `Instant` sampling and
+//! writes `BENCH_<sha>.json`:
+//!
+//! ```text
+//! bench-snapshot [--sha SHA] [--out DIR]
+//! ```
+//!
+//! `SHA` defaults to `$GITHUB_SHA`, then `"local"`. The numbers are
+//! medians over fixed iteration counts — noisy by Criterion's standards,
+//! deliberately so: this is a smoke gauge, not a microbenchmark suite.
+
+use dyrs::master::{BlockRequest, Master};
+use dyrs::types::EvictionMode;
+use dyrs::MigrationPolicy;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_experiments::scenarios::{hetero_config, with_workload};
+use dyrs_net::frame::{decode_frame, encode_frame, supported_versions};
+use dyrs_net::{LoopbackHub, Message, Peer, Transport, PROTOCOL_VERSION};
+use dyrs_sim::Simulation;
+use dyrs_workloads::sort;
+use simkit::{Rng, SimDuration};
+use std::time::Instant;
+
+const MB: u64 = 1 << 20;
+const BLOCK: u64 = 256 * MB;
+
+/// Time `f` for `iters` iterations and return per-iteration samples (ns).
+fn sample(iters: usize, mut f: impl FnMut()) -> Vec<u64> {
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        out.push(t.elapsed().as_nanos() as u64);
+    }
+    out
+}
+
+struct Snapshot {
+    name: &'static str,
+    iters: usize,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+fn summarize(name: &'static str, mut samples: Vec<u64>) -> Snapshot {
+    samples.sort_unstable();
+    Snapshot {
+        name,
+        iters: samples.len(),
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    }
+}
+
+/// A master with `blocks` pending 256 MB migrations over 7 slaves.
+fn loaded_master(blocks: u64) -> Master {
+    let mut m = Master::new(MigrationPolicy::Dyrs, 7, 140.0 * MB as f64, Rng::new(1));
+    let mut rng = Rng::new(2);
+    for n in 0..7 {
+        m.on_heartbeat(
+            NodeId(n),
+            rng.range_f64(0.8, 4.0) / (140.0 * MB as f64),
+            rng.range_u64(0, 4) * BLOCK,
+        );
+    }
+    let reqs: Vec<BlockRequest> = (0..blocks)
+        .map(|i| {
+            let mut nodes: Vec<u32> = (0..7).collect();
+            rng.shuffle(&mut nodes);
+            BlockRequest {
+                block: BlockId(i),
+                bytes: BLOCK,
+                replicas: nodes[..3].iter().map(|&x| NodeId(x)).collect(),
+            }
+        })
+        .collect();
+    m.request_migration(JobId(1), reqs, EvictionMode::Implicit);
+    m
+}
+
+fn bench_retarget() -> Snapshot {
+    // The paper's §III-D scalability bar: 50 GB pending = 200 blocks.
+    let mut m = loaded_master(200);
+    summarize(
+        "algo1/retarget_50GB_pending",
+        sample(50, || {
+            m.retarget();
+            std::hint::black_box(m.pending_len());
+        }),
+    )
+}
+
+fn bench_end_to_end() -> Snapshot {
+    summarize(
+        "sim/hetero_sort_2GB",
+        sample(5, || {
+            let cfg = hetero_config(MigrationPolicy::Dyrs, 7);
+            let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            std::hint::black_box(Simulation::new(cfg, jobs).run().end_time);
+        }),
+    )
+}
+
+fn bench_codec() -> Snapshot {
+    // A realistic Bind: 16 migrations with reference lists and replicas.
+    let msg = Message::Bind {
+        migrations: (0..16)
+            .map(|i| dyrs::types::Migration {
+                id: dyrs::types::MigrationId(i),
+                block: BlockId(i),
+                bytes: BLOCK,
+                jobs: vec![dyrs::types::JobRef {
+                    job: JobId(1),
+                    eviction: EvictionMode::Implicit,
+                }],
+                replicas: vec![NodeId(i as u32 % 7), NodeId((i as u32 + 1) % 7)],
+                attempt: 0,
+            })
+            .collect(),
+    };
+    summarize(
+        "net/codec_bind16_roundtrip",
+        sample(2_000, || {
+            let bytes = encode_frame(PROTOCOL_VERSION, &msg);
+            let back = decode_frame(&bytes, supported_versions()).expect("roundtrip");
+            std::hint::black_box(back.0);
+        }),
+    )
+}
+
+fn bench_loopback() -> Snapshot {
+    let hub = LoopbackHub::new();
+    let master = hub.endpoint(Peer::Master);
+    let slave = hub.endpoint(Peer::Slave(0));
+    let msg = Message::MigrationComplete {
+        node: NodeId(0),
+        block: BlockId(1),
+    };
+    summarize(
+        "net/loopback_send_recv",
+        sample(2_000, || {
+            slave.send(Peer::Master, &msg).expect("routed");
+            let got = master.try_recv().expect("decodes").expect("queued");
+            std::hint::black_box(got.0);
+        }),
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let sha = flag("--sha")
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "local".into());
+    let out_dir = flag("--out").unwrap_or_else(|| ".".into());
+
+    let snapshots = [
+        bench_retarget(),
+        bench_end_to_end(),
+        bench_codec(),
+        bench_loopback(),
+    ];
+
+    // Hand-rolled JSON: the vendored serde stack is a no-op stub, and the
+    // shape here is flat enough that a formatter would be overkill.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"sha\": \"{}\",\n", json_escape(&sha)));
+    json.push_str("  \"benches\": [\n");
+    for (i, s) in snapshots.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"median_ns\": {}, \
+             \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            s.name,
+            s.iters,
+            s.median_ns,
+            s.min_ns,
+            s.max_ns,
+            if i + 1 < snapshots.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = format!("{out_dir}/BENCH_{sha}.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    for s in &snapshots {
+        println!(
+            "{:32} median {:>12} ns  (min {}, max {}, n={})",
+            s.name, s.median_ns, s.min_ns, s.max_ns, s.iters
+        );
+    }
+    println!("wrote {path}");
+}

@@ -47,8 +47,8 @@ pub use dyrs_obs::ObsHandle;
 pub use estimator::MigrationEstimator;
 pub use master::JobHint;
 pub use master::Master;
-pub use master::{HealthReport, NodeHealth};
+pub use master::{BlockRequest, HealthReport, NodeHealth, RequestOutcome};
 pub use policy::{MigrationOrder, MigrationPolicy};
 pub use refs::ReferenceLists;
-pub use slave::Slave;
-pub use types::{EvictionMode, Migration, MigrationId};
+pub use slave::{HeartbeatReport, Slave};
+pub use types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};

@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// Scheduling hints about the requesting job, used by the non-FIFO
 /// migration orders (future-work policies, see
 /// [`MigrationOrder`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct JobHint {
     /// When the job is expected to start reading (submission + platform
     /// overhead + any artificial lead-time).
@@ -46,7 +46,11 @@ impl Default for JobHint {
 }
 
 /// A client's request to migrate one block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Wire payload (`dyrs-net`'s `Message::RequestMigration` carries a list
+/// of these). `replicas` keeps submission order — a `Vec`, not a hash
+/// set — so the encoded bytes are identical across runs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockRequest {
     /// Block to migrate.
     pub block: BlockId,

@@ -56,7 +56,11 @@ pub struct Eviction {
 }
 
 /// What the slave tells the master each heartbeat (§III-D).
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// This is a wire payload ([`dyrs-net`'s] `Message::Heartbeat` carries
+/// it): scalar fields only, so its encoding is trivially byte-stable —
+/// any roll-up added later must use `BTreeMap`/sorted collections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HeartbeatReport {
     /// Estimated migration cost, seconds per byte.
     pub secs_per_byte: f64,

@@ -1,0 +1,598 @@
+//! The `dyrs-node` daemon loops: the existing [`Master`]/[`Slave`] state
+//! machines from `crates/core`, driven by protocol messages off a
+//! [`Transport`] instead of by the simulator's event loop.
+//!
+//! ## Time
+//!
+//! The state machines consume [`SimTime`], never a wall clock: each
+//! daemon advances a private virtual clock by [`tick`](MasterConfig::tick)
+//! per poll iteration. EWMA smoothing, the failure detector and
+//! Algorithm 1 only ever compare these timestamps against each other, so
+//! a tick that drifts from real time changes nothing about correctness.
+//!
+//! ## Orderly shutdown, and how "zero lost messages" is proven
+//!
+//! Both sides count every post-handshake frame they send. Shutdown is a
+//! two-way barrier over the (ordered, reliable) transport:
+//!
+//! 1. the master sends each slave `Shutdown { sent }` as its *last*
+//!    frame, where `sent` includes the shutdown frame itself;
+//! 2. the slave, having received `Shutdown`, has by ordering received
+//!    every master frame — it checks its receive count against `sent`,
+//!    answers with its *last* frame `Bye { sent }`, and exits;
+//! 3. the master drains until every slave's `Bye` arrives and checks
+//!    each against its per-slave receive count.
+//!
+//! A mismatch on either side is a lost (or phantom) message and fails
+//! the run report's `zero_loss()`.
+
+use crate::proto::Message;
+use crate::transport::{Peer, Transport, TransportError};
+use dyrs::config::DyrsConfig;
+use dyrs::slave::Revoked;
+use dyrs::{Master, MigrationPolicy, Slave};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::BlockId;
+use simkit::{Rng, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default virtual time advanced per poll iteration.
+pub const DEFAULT_TICK: SimDuration = SimDuration::from_millis(100);
+
+/// Default real-time poll interval (how long a daemon blocks on the
+/// transport per iteration).
+pub const DEFAULT_POLL: Duration = Duration::from_millis(2);
+
+/// How many poll windows the master waits for outstanding `Bye`s before
+/// giving up during shutdown.
+const BYE_DRAIN_WINDOWS: u32 = 2_000;
+
+/// Master daemon tuning.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Targeting policy (DYRS for real deployments).
+    pub policy: MigrationPolicy,
+    /// Cluster size the master plans for.
+    pub num_nodes: usize,
+    /// Prior disk bandwidth (bytes/s) before first heartbeats arrive.
+    pub default_disk_bw: f64,
+    /// Seed for the master's (deterministic) tie-break randomness.
+    pub seed: u64,
+    /// DYRS tunables (retarget cadence is read from here).
+    pub dyrs: DyrsConfig,
+    /// Virtual time per poll iteration.
+    pub tick: SimDuration,
+    /// Real blocking time per poll iteration.
+    pub poll: Duration,
+}
+
+impl MasterConfig {
+    /// A DYRS master for `num_nodes` slaves with paper-default tunables.
+    pub fn new(num_nodes: usize) -> Self {
+        MasterConfig {
+            policy: MigrationPolicy::Dyrs,
+            num_nodes,
+            default_disk_bw: 100.0 * (1 << 20) as f64,
+            seed: 1,
+            dyrs: DyrsConfig::default(),
+            tick: DEFAULT_TICK,
+            poll: DEFAULT_POLL,
+        }
+    }
+}
+
+/// Live progress counters a supervisor (or test) can watch while
+/// [`run_master`] owns the thread.
+#[derive(Debug, Clone, Default)]
+pub struct MasterProgress {
+    /// Migrations that reported complete.
+    pub completed: Arc<AtomicU64>,
+    /// Evictions that reported back.
+    pub evicted: Arc<AtomicU64>,
+    /// Heartbeats processed.
+    pub heartbeats: Arc<AtomicU64>,
+}
+
+/// What a finished master run observed.
+#[derive(Debug)]
+pub struct MasterReport {
+    /// Post-handshake frames sent per slave (including `Shutdown`).
+    pub sent: BTreeMap<u32, u64>,
+    /// Post-handshake frames received per slave (including `Bye`).
+    pub received: BTreeMap<u32, u64>,
+    /// Each slave's advertised send count from its `Bye`.
+    pub byes: BTreeMap<u32, u64>,
+    /// `(node, block)` pairs that completed migration.
+    pub completed: Vec<(u32, u64)>,
+    /// Protocol-level violations observed (empty on a healthy run).
+    pub errors: Vec<String>,
+    /// The master's observability report (spans, counters); empty when
+    /// the `obs` feature is off.
+    pub obs: dyrs_obs::ObsReport,
+}
+
+impl MasterReport {
+    /// True when every slave said `Bye` and every advertised count
+    /// matches what actually arrived — no frame lost in either
+    /// direction, for any peer.
+    pub fn zero_loss(&self) -> bool {
+        !self.byes.is_empty()
+            && self.sent.keys().all(|n| self.byes.contains_key(n))
+            && self
+                .byes
+                .iter()
+                .all(|(n, advertised)| self.received.get(n) == Some(advertised))
+    }
+}
+
+/// Run a master daemon over `transport` until `stop` is set, then
+/// perform the orderly shutdown barrier and return the run report.
+pub fn run_master<T: Transport>(
+    transport: &T,
+    cfg: &MasterConfig,
+    stop: &AtomicBool,
+    progress: &MasterProgress,
+) -> MasterReport {
+    let mut master = Master::new(
+        cfg.policy,
+        cfg.num_nodes,
+        cfg.default_disk_bw,
+        Rng::new(cfg.seed),
+    );
+    let obs = dyrs_obs::ObsHandle::new();
+    master.attach_obs(obs.clone());
+
+    let mut now = SimTime::from_micros(0);
+    let mut last_retarget = now;
+    let mut known: BTreeSet<u32> = BTreeSet::new();
+    let mut sent: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut received: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut byes: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut completed: Vec<(u32, u64)> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+
+    let send = |transport: &T, sent: &mut BTreeMap<u32, u64>, node: u32, msg: Message| {
+        match transport.send(Peer::Slave(node), &msg) {
+            Ok(()) => *sent.entry(node).or_insert(0) += 1,
+            Err(e) => {
+                // Counted sends only cover frames actually queued; a
+                // failed send is visible as a count mismatch at Bye time.
+                let _ = e;
+            }
+        }
+    };
+
+    loop {
+        match transport.recv_timeout(cfg.poll) {
+            Ok((peer, msg)) => {
+                if let Peer::Slave(n) = peer {
+                    *received.entry(n).or_insert(0) += 1;
+                }
+                match (peer, msg) {
+                    (Peer::Slave(_), Message::Heartbeat { node, report, .. }) => {
+                        known.insert(node.0);
+                        progress.heartbeats.fetch_add(1, Ordering::SeqCst);
+                        master.on_heartbeat_at(
+                            node,
+                            report.secs_per_byte,
+                            report.queued_bytes,
+                            now,
+                        );
+                        let pulled = master.on_slave_pull(node, report.queue_space);
+                        if !pulled.is_empty() {
+                            send(
+                                transport,
+                                &mut sent,
+                                node.0,
+                                Message::Bind { migrations: pulled },
+                            );
+                        }
+                    }
+                    (Peer::Slave(_), Message::MigrationComplete { node, block }) => {
+                        master.on_migration_complete(node, block);
+                        completed.push((node.0, block.0));
+                        progress.completed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    (Peer::Slave(_), Message::Evicted { block, .. }) => {
+                        master.on_evicted(block);
+                        progress.evicted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    (Peer::Slave(n), Message::Bye { sent }) => {
+                        byes.insert(n, sent);
+                    }
+                    (
+                        Peer::Client(_),
+                        Message::RequestMigration {
+                            job,
+                            blocks,
+                            eviction,
+                            hint,
+                        },
+                    ) => {
+                        let outcome = master.request_migration_hinted(job, blocks, eviction, hint);
+                        for (node, block, jref) in outcome.add_refs {
+                            send(
+                                transport,
+                                &mut sent,
+                                node.0,
+                                Message::AddRef { block, job: jref },
+                            );
+                        }
+                        // Ignem-style immediate bindings, grouped per node.
+                        let mut by_node: BTreeMap<u32, Vec<dyrs::Migration>> = BTreeMap::new();
+                        for b in outcome.immediate {
+                            by_node.entry(b.node.0).or_default().push(b.migration);
+                        }
+                        for (node, migrations) in by_node {
+                            send(transport, &mut sent, node, Message::Bind { migrations });
+                        }
+                    }
+                    (Peer::Client(_), Message::ReadNotify { block, job }) => {
+                        let _cancelled = master.on_block_read(block);
+                        // Forward the read to the slave buffering the
+                        // block so implicit eviction can run (§IV-A1).
+                        if let Some(host) = master.memory_location(block) {
+                            send(
+                                transport,
+                                &mut sent,
+                                host.0,
+                                Message::ReadNotify { block, job },
+                            );
+                        }
+                    }
+                    (Peer::Client(_), Message::EvictJobRequest { job }) => {
+                        for node in master.evict_job(job) {
+                            send(transport, &mut sent, node.0, Message::EvictJob { job });
+                        }
+                    }
+                    (peer, other) => {
+                        errors.push(format!("unexpected {} from {peer}", other.name()));
+                    }
+                }
+            }
+            Err(TransportError::Timeout) => {}
+            Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+            Err(e) => {
+                errors.push(format!("transport: {e}"));
+                break;
+            }
+        }
+
+        now += cfg.tick;
+        obs.set_now(now);
+        if now.saturating_since(last_retarget) >= cfg.dyrs.retarget_interval {
+            master.retarget();
+            last_retarget = now;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    // Shutdown barrier: last frame to each slave advertises the final
+    // per-peer send count (including the Shutdown itself).
+    for node in known.clone() {
+        let total = sent.get(&node).copied().unwrap_or(0) + 1;
+        send(
+            transport,
+            &mut sent,
+            node,
+            Message::Shutdown { sent: total },
+        );
+    }
+    let mut windows = 0;
+    while byes.len() < known.len() && windows < BYE_DRAIN_WINDOWS {
+        match transport.recv_timeout(cfg.poll) {
+            Ok((Peer::Slave(n), Message::Bye { sent })) => {
+                *received.entry(n).or_insert(0) += 1;
+                byes.insert(n, sent);
+            }
+            Ok((Peer::Slave(n), other)) => {
+                // Late in-flight traffic (completions racing shutdown)
+                // still counts toward the frame accounting.
+                *received.entry(n).or_insert(0) += 1;
+                if let Message::MigrationComplete { node, block } = other {
+                    master.on_migration_complete(node, block);
+                    completed.push((node.0, block.0));
+                    progress.completed.fetch_add(1, Ordering::SeqCst);
+                } else if let Message::Evicted { block, .. } = other {
+                    master.on_evicted(block);
+                    progress.evicted.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            Ok(_) => {}
+            Err(TransportError::Timeout) => windows += 1,
+            Err(_) => break,
+        }
+    }
+
+    obs.close_dangling(dyrs_obs::cause::RUN_END);
+    MasterReport {
+        sent,
+        received,
+        byes,
+        completed,
+        errors,
+        obs: obs.take_report(),
+    }
+}
+
+/// Slave daemon tuning.
+#[derive(Debug, Clone)]
+pub struct SlaveConfig {
+    /// This slave's NodeId.
+    pub node: NodeId,
+    /// DYRS tunables (heartbeat cadence is read from here).
+    pub dyrs: DyrsConfig,
+    /// Synthetic disk bandwidth (bytes per *virtual* second) used to
+    /// pace migration execution.
+    pub disk_bw: f64,
+    /// Memory buffer capacity in bytes.
+    pub mem_capacity: u64,
+    /// Reference block size (queue sizing).
+    pub reference_block: u64,
+    /// Virtual time per poll iteration.
+    pub tick: SimDuration,
+    /// Real blocking time per poll iteration.
+    pub poll: Duration,
+}
+
+impl SlaveConfig {
+    /// A slave with paper-default tunables and a fast synthetic disk
+    /// (sized so smoke-test blocks complete within a few ticks).
+    pub fn new(node: NodeId) -> Self {
+        SlaveConfig {
+            node,
+            dyrs: DyrsConfig::default(),
+            disk_bw: 100.0 * (1 << 20) as f64,
+            mem_capacity: 4 << 30,
+            reference_block: 256 << 20,
+            tick: DEFAULT_TICK,
+            poll: DEFAULT_POLL,
+        }
+    }
+}
+
+/// What a finished slave run observed.
+#[derive(Debug)]
+pub struct SlaveReport {
+    /// Post-handshake frames sent (including `Bye`).
+    pub sent: u64,
+    /// Post-handshake frames received (including `Shutdown`).
+    pub received: u64,
+    /// The master's advertised send count from `Shutdown`.
+    pub advertised: Option<u64>,
+    /// Migrations executed to completion.
+    pub completed: u64,
+    /// Blocks evicted.
+    pub evicted: u64,
+    /// Protocol-level violations observed (empty on a healthy run).
+    pub errors: Vec<String>,
+}
+
+impl SlaveReport {
+    /// True when the master's advertised frame count matches what this
+    /// slave actually received.
+    pub fn zero_loss(&self) -> bool {
+        self.advertised == Some(self.received)
+    }
+}
+
+/// Size of the synthetic startup calibration read.
+const CALIBRATION_BYTES: u64 = 8 << 20;
+
+/// Run a slave daemon over `transport` until the master's `Shutdown`
+/// arrives (or `stop` is set locally), then answer `Bye` and return the
+/// run report.
+pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBool) -> SlaveReport {
+    let mut slave = Slave::new(
+        cfg.node,
+        cfg.dyrs.clone(),
+        cfg.disk_bw,
+        cfg.mem_capacity,
+        cfg.reference_block,
+    );
+    // Startup probe (§IV-A): seed the estimator so the first heartbeat
+    // advertises real queue space instead of the uncalibrated refusal.
+    slave.calibrate(
+        CALIBRATION_BYTES,
+        SimDuration::from_secs_f64(CALIBRATION_BYTES as f64 / cfg.disk_bw),
+    );
+
+    let mut now = SimTime::from_micros(0);
+    let mut next_hb = now; // heartbeat immediately on startup
+    let mut active: Vec<(BlockId, SimTime)> = Vec::new();
+    let mut sent: u64 = 0;
+    let mut received: u64 = 0;
+    let mut advertised: Option<u64> = None;
+    let mut completed: u64 = 0;
+    let mut evicted: u64 = 0;
+    let mut errors: Vec<String> = Vec::new();
+
+    let send = |transport: &T, sent: &mut u64, msg: Message| {
+        if transport.send(Peer::Master, &msg).is_ok() {
+            *sent += 1;
+        }
+    };
+
+    'outer: loop {
+        // Drain everything already queued before advancing time.
+        loop {
+            match transport.try_recv() {
+                Ok(Some((_, msg))) => {
+                    received += 1;
+                    match msg {
+                        Message::Bind { migrations } => slave.on_bind(migrations),
+                        Message::AddRef { block, job } => slave.add_ref(block, job),
+                        Message::Revoke { block } => {
+                            if let Revoked::Active = slave.revoke(block) {
+                                active.retain(|(b, _)| *b != block);
+                            }
+                        }
+                        Message::EvictJob { job } => {
+                            for ev in slave.evict_job(job) {
+                                evicted += 1;
+                                send(
+                                    transport,
+                                    &mut sent,
+                                    Message::Evicted {
+                                        node: cfg.node,
+                                        block: ev.block,
+                                    },
+                                );
+                            }
+                        }
+                        Message::ReadNotify { block, job } => {
+                            for ev in slave.on_read(block, job) {
+                                evicted += 1;
+                                send(
+                                    transport,
+                                    &mut sent,
+                                    Message::Evicted {
+                                        node: cfg.node,
+                                        block: ev.block,
+                                    },
+                                );
+                            }
+                        }
+                        Message::Shutdown { sent: master_sent } => {
+                            advertised = Some(master_sent);
+                            break 'outer;
+                        }
+                        other => {
+                            errors.push(format!("unexpected {}", other.name()));
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+                Err(_) => break 'outer,
+            }
+        }
+
+        // Finish any synthetic disk stream whose deadline passed.
+        let done: Vec<BlockId> = active
+            .iter()
+            .filter(|(_, finish)| now >= *finish)
+            .map(|(b, _)| *b)
+            .collect();
+        for block in done {
+            active.retain(|(b, _)| *b != block);
+            let outcome = slave.on_migration_complete_block(now, block);
+            completed += 1;
+            if outcome.evicted_immediately {
+                evicted += 1;
+                send(
+                    transport,
+                    &mut sent,
+                    Message::Evicted {
+                        node: cfg.node,
+                        block,
+                    },
+                );
+            } else {
+                send(
+                    transport,
+                    &mut sent,
+                    Message::MigrationComplete {
+                        node: cfg.node,
+                        block,
+                    },
+                );
+            }
+        }
+
+        // Start queued migrations (strictly serialized by default).
+        while let Some(start) = slave.try_start(now) {
+            let takes = SimDuration::from_secs_f64(start.bytes as f64 / cfg.disk_bw);
+            active.push((start.block, now + takes));
+        }
+
+        if now >= next_hb {
+            let report = slave.on_heartbeat(now);
+            send(
+                transport,
+                &mut sent,
+                Message::Heartbeat {
+                    node: cfg.node,
+                    report,
+                    at: now,
+                },
+            );
+            next_hb = now + cfg.dyrs.heartbeat_interval;
+        }
+
+        // Block briefly for new traffic, then advance the virtual clock.
+        match transport.recv_timeout(cfg.poll) {
+            Ok((_, msg)) => {
+                received += 1;
+                // Re-queue through the same handling next iteration is
+                // not possible without an inbox; handle inline instead.
+                match msg {
+                    Message::Bind { migrations } => slave.on_bind(migrations),
+                    Message::AddRef { block, job } => slave.add_ref(block, job),
+                    Message::Revoke { block } => {
+                        if let Revoked::Active = slave.revoke(block) {
+                            active.retain(|(b, _)| *b != block);
+                        }
+                    }
+                    Message::EvictJob { job } => {
+                        for ev in slave.evict_job(job) {
+                            evicted += 1;
+                            send(
+                                transport,
+                                &mut sent,
+                                Message::Evicted {
+                                    node: cfg.node,
+                                    block: ev.block,
+                                },
+                            );
+                        }
+                    }
+                    Message::ReadNotify { block, job } => {
+                        for ev in slave.on_read(block, job) {
+                            evicted += 1;
+                            send(
+                                transport,
+                                &mut sent,
+                                Message::Evicted {
+                                    node: cfg.node,
+                                    block: ev.block,
+                                },
+                            );
+                        }
+                    }
+                    Message::Shutdown { sent: master_sent } => {
+                        advertised = Some(master_sent);
+                        break 'outer;
+                    }
+                    other => errors.push(format!("unexpected {}", other.name())),
+                }
+            }
+            Err(TransportError::Timeout) => {}
+            Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+            Err(_) => break 'outer,
+        }
+        now += cfg.tick;
+        if stop.load(Ordering::SeqCst) {
+            break 'outer;
+        }
+    }
+
+    // Orderly goodbye: last frame advertises the final send count,
+    // including the Bye itself.
+    let advertising = sent + 1;
+    send(transport, &mut sent, Message::Bye { sent: advertising });
+
+    SlaveReport {
+        sent,
+        received,
+        advertised,
+        completed,
+        evicted,
+        errors,
+    }
+}

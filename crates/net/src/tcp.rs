@@ -1,0 +1,578 @@
+//! Real-socket transport: `std::net::TcpStream`, one thread per
+//! connection direction.
+//!
+//! * **Handshake / version negotiation** — the connector opens with
+//!   [`Message::Hello`] carrying its role, id and accepted version
+//!   range; the acceptor answers [`Message::Welcome`] with the highest
+//!   mutually-supported version, or [`Message::Reject`] and closes.
+//! * **Timeouts** — every socket gets read and write timeouts, so a
+//!   wedged peer can never hang a daemon thread forever; reader threads
+//!   treat a timeout as "check the shutdown flag, then keep listening".
+//! * **Backpressure** — each peer has a *bounded* outbound queue drained
+//!   by a dedicated writer thread. A producer that outruns the socket
+//!   blocks in `send` instead of growing an unbounded buffer.
+//!
+//! This module is the only place in the workspace allowed to touch
+//! `std::net` or spawn threads — the `net-fence` lint rule
+//! (`dyrs-verify -- lint`) keeps that nondeterminism fenced in here.
+
+use crate::frame::{self, FrameError};
+use crate::proto::{Message, Role, PROTOCOL_VERSION};
+use crate::transport::{Peer, Transport, TransportError};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Socket and queue tuning for a TCP endpoint.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Per-read socket timeout (reader threads poll the shutdown flag at
+    /// this cadence).
+    pub read_timeout: Duration,
+    /// Per-write socket timeout (a peer that stops draining fails the
+    /// write instead of wedging the writer thread).
+    pub write_timeout: Duration,
+    /// Outbound queue depth per peer; `send` blocks when full.
+    pub outbound_queue: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(5),
+            outbound_queue: 256,
+        }
+    }
+}
+
+/// Incoming item: decoded message, or the protocol error that poisoned
+/// the connection.
+type Incoming = (Peer, Result<Message, FrameError>);
+
+struct Shared {
+    incoming_tx: Sender<Incoming>,
+    outbound: Mutex<BTreeMap<Peer, Sender<Message>>>,
+    /// Frames enqueued per peer — the writer thread drains the queue to
+    /// zero before closing, so after an orderly shutdown this equals
+    /// frames actually written.
+    sent_per_peer: Mutex<BTreeMap<Peer, u64>>,
+    received_per_peer: Mutex<BTreeMap<Peer, u64>>,
+    sent: AtomicU64,
+    received: AtomicU64,
+    shutdown: AtomicBool,
+    cfg: TcpConfig,
+}
+
+impl Shared {
+    fn new(cfg: TcpConfig, incoming_tx: Sender<Incoming>) -> Self {
+        Shared {
+            incoming_tx,
+            outbound: Mutex::new(BTreeMap::new()),
+            sent_per_peer: Mutex::new(BTreeMap::new()),
+            received_per_peer: Mutex::new(BTreeMap::new()),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Register `peer`'s outbound queue and spawn its writer thread.
+    fn attach_writer(
+        self: &Arc<Self>,
+        peer: Peer,
+        stream: TcpStream,
+        version: u16,
+    ) -> thread::JoinHandle<()> {
+        let (tx, rx) = channel::bounded::<Message>(self.cfg.outbound_queue);
+        Self::lock(&self.outbound).insert(peer, tx);
+        let shared = Arc::clone(self);
+        thread::spawn(move || shared.writer_loop(peer, stream, version, rx))
+    }
+
+    fn writer_loop(&self, peer: Peer, mut stream: TcpStream, version: u16, rx: Receiver<Message>) {
+        loop {
+            // Wake regularly so shutdown is noticed even when idle; the
+            // channel disconnects (and is empty) once the transport drops
+            // the peer's Sender, which is the drain-complete signal.
+            match rx.recv_timeout(self.cfg.read_timeout) {
+                Ok(msg) => {
+                    if frame::write_frame(&mut stream, version, &msg).is_err() {
+                        // A dead socket: abandon the queue. The loss is
+                        // visible to the shutdown accounting (sent count
+                        // stops matching), never silent.
+                        break;
+                    }
+                    self.sent.fetch_add(1, Ordering::SeqCst);
+                    *Self::lock(&self.sent_per_peer).entry(peer).or_insert(0) += 1;
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                        break;
+                    }
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+
+    fn reader_loop(&self, peer: Peer, mut stream: TcpStream, version: u16) {
+        loop {
+            match frame::read_frame(&mut stream, version..=version) {
+                Ok(Ok((_, msg))) => {
+                    self.received.fetch_add(1, Ordering::SeqCst);
+                    *Self::lock(&self.received_per_peer).entry(peer).or_insert(0) += 1;
+                    if self.incoming_tx.send((peer, Ok(msg))).is_err() {
+                        break;
+                    }
+                }
+                Ok(Err(frame_err)) => {
+                    // Protocol violation: surface it to the consumer and
+                    // poison the connection.
+                    let _ = self.incoming_tx.send((peer, Err(frame_err)));
+                    break;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(_) => break, // closed or reset
+            }
+        }
+        Self::lock(&self.outbound).remove(&peer);
+    }
+}
+
+/// Common `Transport` mechanics shared by both endpoint kinds.
+struct TcpCore {
+    shared: Arc<Shared>,
+    incoming_rx: Receiver<Incoming>,
+    threads: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl TcpCore {
+    fn new(cfg: TcpConfig) -> (Self, Sender<Incoming>) {
+        let (incoming_tx, incoming_rx) = channel::unbounded();
+        let shared = Arc::new(Shared::new(cfg, incoming_tx.clone()));
+        (
+            TcpCore {
+                shared,
+                incoming_rx,
+                threads: Mutex::new(Vec::new()),
+            },
+            incoming_tx,
+        )
+    }
+
+    fn track(&self, handle: thread::JoinHandle<()>) {
+        Shared::lock(&self.threads).push(handle);
+    }
+
+    fn send(&self, to: Peer, msg: &Message) -> Result<(), TransportError> {
+        let tx = Shared::lock(&self.shared.outbound)
+            .get(&to)
+            .cloned()
+            .ok_or(TransportError::Disconnected(to))?;
+        tx.send(msg.clone())
+            .map_err(|_| TransportError::Disconnected(to))
+    }
+
+    fn map_incoming(item: Incoming) -> Result<(Peer, Message), TransportError> {
+        match item {
+            (peer, Ok(msg)) => Ok((peer, msg)),
+            (_, Err(frame_err)) => Err(TransportError::Protocol(frame_err)),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<(Peer, Message)>, TransportError> {
+        match self.incoming_rx.try_recv() {
+            Ok(item) => Self::map_incoming(item).map(Some),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Io("closed".into())),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(Peer, Message), TransportError> {
+        match self.incoming_rx.recv_timeout(timeout) {
+            Ok(item) => Self::map_incoming(item),
+            Err(channel::RecvTimeoutError::Timeout) => Err(TransportError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Io("closed".into()))
+            }
+        }
+    }
+
+    /// Begin orderly shutdown: drop outbound queues (writers drain and
+    /// exit), flag readers, then join every connection thread.
+    fn shutdown(&self) {
+        Shared::lock(&self.shared.outbound).clear();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let handles: Vec<_> = Shared::lock(&self.threads).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn configure(stream: &TcpStream, cfg: &TcpConfig) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor (master side)
+// ---------------------------------------------------------------------------
+
+/// The master's endpoint: accepts slave and client connections.
+pub struct TcpAcceptor {
+    core: TcpCore,
+    local_addr: SocketAddr,
+}
+
+impl TcpAcceptor {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start
+    /// accepting connections in a background thread.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: TcpConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (core, _incoming_tx) = TcpCore::new(cfg);
+        let shared = Arc::clone(&core.shared);
+        let accept_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_threads_in = Arc::clone(&accept_threads);
+        let acceptor = thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    let handle = thread::spawn(move || accept_one(shared, stream));
+                    Shared::lock(&accept_threads_in).push(handle);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        // Join the per-connection handshake/reader threads
+                        // spawned so far before exiting.
+                        let handles: Vec<_> = Shared::lock(&accept_threads_in).drain(..).collect();
+                        for h in handles {
+                            let _ = h.join();
+                        }
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        });
+        core.track(acceptor);
+        Ok(TcpAcceptor { core, local_addr })
+    }
+
+    /// The bound address (the assigned port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Peers that completed a handshake and are still connected.
+    pub fn connected_peers(&self) -> Vec<Peer> {
+        Shared::lock(&self.core.shared.outbound)
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Block until at least `n` peers are connected or `timeout` passes.
+    pub fn wait_for_peers(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.connected_peers().len() < n {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Frames written to `peer`, total (orderly-shutdown accounting).
+    pub fn sent_to(&self, peer: Peer) -> u64 {
+        Shared::lock(&self.core.shared.sent_per_peer)
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Frames received from `peer`, total.
+    pub fn received_from(&self, peer: Peer) -> u64 {
+        Shared::lock(&self.core.shared.received_per_peer)
+            .get(&peer)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Orderly shutdown: drain writers, stop readers, join threads.
+    pub fn shutdown(&self) {
+        self.core.shutdown();
+    }
+}
+
+/// Handshake one inbound connection, then run its reader loop inline.
+fn accept_one(shared: Arc<Shared>, stream: TcpStream) {
+    if configure(&stream, &shared.cfg).is_err() {
+        return;
+    }
+    let mut hs = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // The Hello may legitimately take a few read-timeout windows to
+    // arrive; poll a bounded number of them.
+    let hello = {
+        let mut result = None;
+        for _ in 0..100 {
+            match frame::read_frame(&mut hs, frame::supported_versions()) {
+                Ok(parsed) => {
+                    result = Some(parsed);
+                    break;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        match result {
+            Some(r) => r,
+            None => return,
+        }
+    };
+    let (peer, version) = match hello {
+        Ok((
+            _,
+            Message::Hello {
+                role,
+                node,
+                min_version,
+                max_version,
+            },
+        )) => {
+            if min_version > PROTOCOL_VERSION || max_version < PROTOCOL_VERSION {
+                let _ = frame::write_frame(
+                    &mut hs,
+                    PROTOCOL_VERSION,
+                    &Message::Reject {
+                        reason: format!(
+                            "no common protocol version: peer speaks {min_version}..={max_version}, \
+                             this build speaks {PROTOCOL_VERSION}"
+                        ),
+                    },
+                );
+                return;
+            }
+            let peer = match role {
+                Role::Slave => Peer::Slave(node),
+                Role::Client => Peer::Client(node),
+            };
+            (peer, PROTOCOL_VERSION)
+        }
+        _ => {
+            let _ = frame::write_frame(
+                &mut hs,
+                PROTOCOL_VERSION,
+                &Message::Reject {
+                    reason: "handshake must open with Hello".into(),
+                },
+            );
+            return;
+        }
+    };
+    if frame::write_frame(&mut hs, version, &Message::Welcome { version }).is_err() {
+        return;
+    }
+    let writer = shared.attach_writer(peer, hs, version);
+    shared.reader_loop(peer, stream, version);
+    let _ = writer.join();
+}
+
+impl Transport for TcpAcceptor {
+    fn send(&self, to: Peer, msg: &Message) -> Result<(), TransportError> {
+        self.core.send(to, msg)
+    }
+    fn try_recv(&self) -> Result<Option<(Peer, Message)>, TransportError> {
+        self.core.try_recv()
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Result<(Peer, Message), TransportError> {
+        self.core.recv_timeout(timeout)
+    }
+    fn frames_sent(&self) -> u64 {
+        self.core.shared.sent.load(Ordering::SeqCst)
+    }
+    fn frames_received(&self) -> u64 {
+        self.core.shared.received.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connector (slave / client side)
+// ---------------------------------------------------------------------------
+
+/// Why a connect attempt failed.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The acceptor sent [`Message::Reject`].
+    Rejected(String),
+    /// The acceptor answered with something other than `Welcome`.
+    BadHandshake,
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::Io(e) => write!(f, "connect failed: {e}"),
+            ConnectError::Rejected(r) => write!(f, "handshake rejected: {r}"),
+            ConnectError::BadHandshake => write!(f, "malformed handshake response"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+impl From<io::Error> for ConnectError {
+    fn from(e: io::Error) -> Self {
+        ConnectError::Io(e)
+    }
+}
+
+/// A slave's or client's connection to the master.
+pub struct TcpConnector {
+    core: TcpCore,
+    /// Version agreed during the handshake.
+    version: u16,
+}
+
+impl TcpConnector {
+    /// Connect to the master at `addr` as `role`/`node` and complete the
+    /// handshake.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        role: Role,
+        node: u32,
+        cfg: TcpConfig,
+    ) -> Result<Self, ConnectError> {
+        let stream = TcpStream::connect(addr)?;
+        configure(&stream, &cfg)?;
+        let mut hs = stream.try_clone()?;
+        frame::write_frame(
+            &mut hs,
+            PROTOCOL_VERSION,
+            &Message::Hello {
+                role,
+                node,
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
+            },
+        )?;
+        // Bounded wait for the Welcome: ~100 read-timeout windows, so a
+        // silent acceptor fails the connect instead of hanging it.
+        let mut version = None;
+        for _ in 0..100 {
+            match frame::read_frame(&mut hs, frame::supported_versions()) {
+                Ok(Ok((_, Message::Welcome { version: v }))) => {
+                    version = Some(v);
+                    break;
+                }
+                Ok(Ok((_, Message::Reject { reason }))) => {
+                    return Err(ConnectError::Rejected(reason))
+                }
+                Ok(_) => return Err(ConnectError::BadHandshake),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(ConnectError::Io(e)),
+            }
+        }
+        let version = version.ok_or(ConnectError::BadHandshake)?;
+        let (core, _incoming_tx) = TcpCore::new(cfg);
+        let writer = core.shared.attach_writer(Peer::Master, hs, version);
+        core.track(writer);
+        let shared = Arc::clone(&core.shared);
+        let reader = thread::spawn(move || shared.reader_loop(Peer::Master, stream, version));
+        core.track(reader);
+        Ok(TcpConnector { core, version })
+    }
+
+    /// The protocol version agreed with the master.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Frames written to the master, total.
+    pub fn sent_to_master(&self) -> u64 {
+        Shared::lock(&self.core.shared.sent_per_peer)
+            .get(&Peer::Master)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Frames received from the master, total.
+    pub fn received_from_master(&self) -> u64 {
+        Shared::lock(&self.core.shared.received_per_peer)
+            .get(&Peer::Master)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Orderly shutdown: drain the writer, stop the reader, join.
+    pub fn shutdown(&self) {
+        self.core.shutdown();
+    }
+}
+
+impl Transport for TcpConnector {
+    fn send(&self, to: Peer, msg: &Message) -> Result<(), TransportError> {
+        if to != Peer::Master {
+            return Err(TransportError::Disconnected(to));
+        }
+        self.core.send(to, msg)
+    }
+    fn try_recv(&self) -> Result<Option<(Peer, Message)>, TransportError> {
+        self.core.try_recv()
+    }
+    fn recv_timeout(&self, timeout: Duration) -> Result<(Peer, Message), TransportError> {
+        self.core.recv_timeout(timeout)
+    }
+    fn frames_sent(&self) -> u64 {
+        self.core.shared.sent.load(Ordering::SeqCst)
+    }
+    fn frames_received(&self) -> u64 {
+        self.core.shared.received.load(Ordering::SeqCst)
+    }
+}

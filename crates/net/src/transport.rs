@@ -1,0 +1,81 @@
+//! The [`Transport`] abstraction: how an endpoint sends and receives
+//! framed [`Message`]s, independent of whether the bytes cross a
+//! crossbeam channel ([`crate::loopback`]) or a TCP socket
+//! ([`crate::tcp`]).
+//!
+//! Both implementations move *encoded frames*, never in-memory values:
+//! every message pays the full encode → frame → decode round trip, so a
+//! codec bug cannot hide behind an in-process shortcut. That is what
+//! makes the loopback ↔ in-process trace-digest equivalence test a real
+//! statement about the codec.
+
+use crate::frame::FrameError;
+use crate::proto::Message;
+use std::fmt;
+use std::time::Duration;
+
+/// A protocol endpoint's address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Peer {
+    /// The single master.
+    Master,
+    /// Slave `n` (its NodeId).
+    Slave(u32),
+    /// Client `n` (an arbitrary connector-chosen id).
+    Client(u32),
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Master => write!(f, "master"),
+            Peer::Slave(n) => write!(f, "slave_{n}"),
+            Peer::Client(n) => write!(f, "client_{n}"),
+        }
+    }
+}
+
+/// Why a send or receive failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is not connected (never was, or already hung up).
+    Disconnected(Peer),
+    /// No message arrived within the requested timeout.
+    Timeout,
+    /// The peer delivered bytes that failed framing or decoding.
+    Protocol(FrameError),
+    /// An I/O failure on the underlying socket (TCP only).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected(p) => write!(f, "peer {p} disconnected"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One endpoint's view of the messaging fabric.
+pub trait Transport {
+    /// Queue `msg` for delivery to `to`. May block for backpressure
+    /// (bounded outbound queues); never drops silently.
+    fn send(&self, to: Peer, msg: &Message) -> Result<(), TransportError>;
+
+    /// Pop the next delivered message, if one is already waiting.
+    fn try_recv(&self) -> Result<Option<(Peer, Message)>, TransportError>;
+
+    /// Block up to `timeout` for the next delivered message.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(Peer, Message), TransportError>;
+
+    /// Frames this endpoint has sent, total.
+    fn frames_sent(&self) -> u64;
+
+    /// Frames this endpoint has received, total.
+    fn frames_received(&self) -> u64;
+}

@@ -1,0 +1,322 @@
+//! Codec properties: every [`Message`] variant roundtrips through the
+//! framed wire format byte-exactly, encoding is deterministic, and the
+//! decoder rejects malformed input (truncation, bad magic, oversized
+//! lengths, unknown versions, trailing bytes) instead of misparsing it.
+
+use dyrs::master::{BlockRequest, JobHint};
+use dyrs::slave::HeartbeatReport;
+use dyrs::types::{JobRef, Migration, MigrationId};
+use dyrs::EvictionMode;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_net::frame::{
+    self, decode_frame, encode_frame, supported_versions, FrameError, MAX_FRAME,
+};
+use dyrs_net::wire::{from_bytes, to_bytes, DecodeError};
+use dyrs_net::{Message, Role, PROTOCOL_VERSION};
+use proptest::prelude::*;
+use proptest::{Strategy, TestRng};
+use simkit::SimTime;
+
+// ---------------------------------------------------------------------------
+// Generators: one arbitrary value per payload type, then an arbitrary
+// Message covering ALL fifteen variants (the tag is drawn uniformly).
+// ---------------------------------------------------------------------------
+
+fn arb_f64(rng: &mut TestRng) -> f64 {
+    // Finite and positive: the wire moves any bit pattern, but Message's
+    // PartialEq (and the daemons) never deal in NaN, and NaN != NaN would
+    // fail the roundtrip equality check for the wrong reason.
+    rng.unit_f64() * 1e6
+}
+
+fn arb_string(rng: &mut TestRng) -> String {
+    let len = rng.below(24) as usize;
+    (0..len)
+        .map(|_| char::from(b' ' + rng.below(95) as u8))
+        .collect()
+}
+
+fn arb_job_ref(rng: &mut TestRng) -> JobRef {
+    JobRef {
+        job: JobId(rng.next_u64()),
+        eviction: if rng.below(2) == 0 {
+            EvictionMode::Explicit
+        } else {
+            EvictionMode::Implicit
+        },
+    }
+}
+
+fn arb_migration(rng: &mut TestRng) -> Migration {
+    Migration {
+        id: MigrationId(rng.next_u64()),
+        block: BlockId(rng.next_u64()),
+        bytes: rng.next_u64(),
+        jobs: (0..rng.below(4)).map(|_| arb_job_ref(rng)).collect(),
+        replicas: (0..rng.below(4))
+            .map(|_| NodeId(rng.below(64) as u32))
+            .collect(),
+        attempt: rng.below(5) as u32,
+    }
+}
+
+fn arb_block_request(rng: &mut TestRng) -> BlockRequest {
+    BlockRequest {
+        block: BlockId(rng.next_u64()),
+        bytes: rng.next_u64(),
+        replicas: (0..rng.below(4))
+            .map(|_| NodeId(rng.below(64) as u32))
+            .collect(),
+    }
+}
+
+fn arb_message(rng: &mut TestRng) -> Message {
+    match rng.below(15) {
+        0 => Message::Hello {
+            role: if rng.below(2) == 0 {
+                Role::Slave
+            } else {
+                Role::Client
+            },
+            node: rng.below(1 << 16) as u32,
+            min_version: rng.below(8) as u16,
+            max_version: rng.below(8) as u16,
+        },
+        1 => Message::Welcome {
+            version: rng.below(8) as u16,
+        },
+        2 => Message::Reject {
+            reason: arb_string(rng),
+        },
+        3 => Message::Heartbeat {
+            node: NodeId(rng.below(64) as u32),
+            report: HeartbeatReport {
+                secs_per_byte: arb_f64(rng),
+                queued_bytes: rng.next_u64(),
+                queue_space: rng.below(1 << 20) as usize,
+            },
+            at: SimTime::from_micros(rng.next_u64() >> 16),
+        },
+        4 => Message::MigrationComplete {
+            node: NodeId(rng.below(64) as u32),
+            block: BlockId(rng.next_u64()),
+        },
+        5 => Message::Evicted {
+            node: NodeId(rng.below(64) as u32),
+            block: BlockId(rng.next_u64()),
+        },
+        6 => Message::Bye {
+            sent: rng.next_u64(),
+        },
+        7 => Message::Bind {
+            migrations: (0..rng.below(5)).map(|_| arb_migration(rng)).collect(),
+        },
+        8 => Message::AddRef {
+            block: BlockId(rng.next_u64()),
+            job: arb_job_ref(rng),
+        },
+        9 => Message::Revoke {
+            block: BlockId(rng.next_u64()),
+        },
+        10 => Message::EvictJob {
+            job: JobId(rng.next_u64()),
+        },
+        11 => Message::Shutdown {
+            sent: rng.next_u64(),
+        },
+        12 => Message::RequestMigration {
+            job: JobId(rng.next_u64()),
+            blocks: (0..rng.below(5)).map(|_| arb_block_request(rng)).collect(),
+            eviction: if rng.below(2) == 0 {
+                EvictionMode::Explicit
+            } else {
+                EvictionMode::Implicit
+            },
+            hint: JobHint {
+                expected_launch: SimTime::from_micros(rng.next_u64() >> 16),
+                total_bytes: rng.next_u64(),
+            },
+        },
+        13 => Message::ReadNotify {
+            block: BlockId(rng.next_u64()),
+            job: JobId(rng.next_u64()),
+        },
+        _ => Message::EvictJobRequest {
+            job: JobId(rng.next_u64()),
+        },
+    }
+}
+
+/// Strategy wrapper so `proptest!` can draw whole messages.
+#[derive(Debug)]
+struct ArbMessage;
+
+impl Strategy for ArbMessage {
+    type Value = Message;
+    fn generate(&self, rng: &mut TestRng) -> Message {
+        arb_message(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrip + determinism properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Payload codec: encode → decode is the identity for every variant,
+    /// and `from_bytes` consumes every byte it was given.
+    #[test]
+    fn payload_roundtrips(msg in ArbMessage) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(bytes[0], msg.tag(), "first byte is the variant tag");
+        let back = from_bytes::<Message>(&bytes);
+        prop_assert_eq!(back.as_ref(), Ok(&msg));
+    }
+
+    /// Frame codec: header + payload roundtrips at the negotiated
+    /// version and reports the version it decoded.
+    #[test]
+    fn frame_roundtrips(msg in ArbMessage) {
+        let bytes = encode_frame(PROTOCOL_VERSION, &msg);
+        prop_assert_eq!(&bytes[0..4], &frame::MAGIC);
+        let (ver, back) = match decode_frame(&bytes, supported_versions()) {
+            Ok(v) => v,
+            Err(e) => return Err(TestCaseError::fail(format!("decode failed: {e}"))),
+        };
+        prop_assert_eq!(ver, PROTOCOL_VERSION);
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Encoding is a pure function of the value: two encodes of the same
+    /// message are byte-identical (the sorted-collection satellite —
+    /// nothing on the wire depends on hash order or ambient state).
+    #[test]
+    fn encoding_is_deterministic(msg in ArbMessage) {
+        prop_assert_eq!(to_bytes(&msg), to_bytes(&msg.clone()));
+        prop_assert_eq!(
+            encode_frame(PROTOCOL_VERSION, &msg),
+            encode_frame(PROTOCOL_VERSION, &msg)
+        );
+    }
+
+    /// Every strict prefix of a valid frame is rejected, never misread:
+    /// header cuts yield `Truncated`, payload cuts yield `Truncated` or a
+    /// payload error — but no prefix ever decodes successfully.
+    #[test]
+    fn truncated_frames_rejected(msg in ArbMessage) {
+        let bytes = encode_frame(PROTOCOL_VERSION, &msg);
+        for cut in 0..bytes.len() {
+            let r = decode_frame(&bytes[..cut], supported_versions());
+            prop_assert!(r.is_err(), "prefix of length {cut} decoded: {r:?}");
+        }
+    }
+
+    /// A frame followed by trailing bytes is a protocol violation, not a
+    /// silently-ignored suffix.
+    #[test]
+    fn trailing_bytes_rejected(msg in ArbMessage) {
+        let mut bytes = encode_frame(PROTOCOL_VERSION, &msg);
+        bytes.push(0);
+        let r = decode_frame(&bytes, supported_versions());
+        prop_assert!(r.is_err(), "frame with trailing byte decoded: {r:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted rejection tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bad_magic_rejected() {
+    let mut bytes = encode_frame(PROTOCOL_VERSION, &Message::Bye { sent: 1 });
+    bytes[0] = b'X';
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::BadMagic([b'X', b'Y', b'R', b'S']))
+    );
+}
+
+#[test]
+fn unknown_version_rejected() {
+    // A frame from a hypothetical future build: valid magic and payload,
+    // version outside the supported range.
+    let bytes = encode_frame(PROTOCOL_VERSION + 1, &Message::Bye { sent: 1 });
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+    );
+    // ...and version 0, predating the protocol.
+    let bytes = encode_frame(0, &Message::Bye { sent: 1 });
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::UnsupportedVersion(0))
+    );
+}
+
+#[test]
+fn oversized_length_rejected() {
+    // Forge a header whose length field exceeds the cap; the decoder must
+    // reject on the header alone without trusting the length.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&frame::MAGIC);
+    bytes.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::Oversized(MAX_FRAME + 1))
+    );
+}
+
+#[test]
+fn oversized_sequence_inside_payload_rejected() {
+    // A Bind whose vec length prefix claims 2^20 + 1 migrations: the
+    // payload decoder must refuse before allocating.
+    let mut payload = vec![7u8]; // Bind tag
+    payload.extend_from_slice(&(dyrs_net::wire::MAX_SEQ_LEN + 1).to_be_bytes());
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&frame::MAGIC);
+    bytes.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&payload);
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::Payload(DecodeError::OversizedSeq(
+            dyrs_net::wire::MAX_SEQ_LEN + 1
+        )))
+    );
+}
+
+#[test]
+fn unknown_message_tag_rejected() {
+    let payload = vec![0xEEu8];
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&frame::MAGIC);
+    bytes.extend_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&payload);
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::Payload(DecodeError::BadTag {
+            what: "Message",
+            tag: 0xEE
+        }))
+    );
+}
+
+#[test]
+fn every_tag_is_covered_by_the_generator() {
+    // The roundtrip property is only as strong as its generator: check it
+    // actually reaches all fifteen variants.
+    let mut rng = TestRng::from_seed(7);
+    let mut seen = [false; 15];
+    for _ in 0..2_000 {
+        seen[arb_message(&mut rng).tag() as usize] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "generator missed a variant: {seen:?}"
+    );
+}

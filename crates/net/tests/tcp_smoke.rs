@@ -1,0 +1,217 @@
+//! Localhost cluster smoke test: one master, three slaves and a client
+//! over real TCP sockets on 127.0.0.1. The client submits a mini
+//! workload (six 16 MiB blocks), reads every block back and evicts the
+//! job; the test then runs the orderly-shutdown barrier and asserts
+//!
+//! * every migration reached a terminal state (all obs spans closed),
+//! * the frame accounting proves zero lost messages in both directions
+//!   on every connection,
+//! * no peer observed a protocol violation.
+//!
+//! Everything runs on an OS-assigned port, so the test is safe to run
+//! concurrently with itself; end-to-end it takes a few seconds, well
+//! under the 60 s CI budget.
+
+use dyrs::master::{BlockRequest, JobHint};
+use dyrs::EvictionMode;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_net::node::{run_master, run_slave, MasterConfig, MasterProgress, SlaveConfig};
+use dyrs_net::tcp::{TcpAcceptor, TcpConfig, TcpConnector};
+use dyrs_net::{Message, Peer, Role, Transport};
+use simkit::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SLAVES: u32 = 3;
+const BLOCKS: u64 = 6;
+const BLOCK_BYTES: u64 = 16 << 20;
+
+/// Spin until `cond` holds or `deadline` passes; true on success.
+fn wait_until(deadline: Instant, mut cond: impl FnMut() -> bool) -> bool {
+    while !cond() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}
+
+fn reached(counter: &Arc<AtomicU64>, n: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let counter = Arc::clone(counter);
+    assert!(
+        wait_until(deadline, || counter.load(Ordering::SeqCst) >= n),
+        "timed out waiting for {n} {what} (got {})",
+        counter.load(Ordering::SeqCst)
+    );
+}
+
+#[test]
+fn localhost_cluster_completes_mini_workload_with_zero_loss() {
+    // Master endpoint on an OS-assigned port.
+    let acceptor =
+        TcpAcceptor::bind("127.0.0.1:0", TcpConfig::default()).expect("bind 127.0.0.1:0");
+    let addr = acceptor.local_addr().to_string();
+
+    // Three slave daemons, each on its own connection and thread.
+    let slave_stop = Arc::new(AtomicBool::new(false));
+    let slaves: Vec<_> = (0..SLAVES)
+        .map(|n| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&slave_stop);
+            std::thread::spawn(move || {
+                let conn = TcpConnector::connect(&addr, Role::Slave, n, TcpConfig::default())
+                    .unwrap_or_else(|e| panic!("slave {n} connect: {e:?}"));
+                let report = run_slave(&conn, &SlaveConfig::new(NodeId(n)), &stop);
+                conn.shutdown();
+                report
+            })
+        })
+        .collect();
+
+    // Master daemon, once all three slaves finished their handshakes.
+    assert!(
+        acceptor.wait_for_peers(SLAVES as usize, Duration::from_secs(20)),
+        "slaves did not all connect: {:?}",
+        acceptor.connected_peers()
+    );
+    let master_stop = Arc::new(AtomicBool::new(false));
+    let progress = MasterProgress::default();
+    let master = {
+        let stop = Arc::clone(&master_stop);
+        let progress = progress.clone();
+        let acceptor = acceptor; // moved into the thread, shut down there
+        std::thread::spawn(move || {
+            let report = run_master(
+                &acceptor,
+                &MasterConfig::new(SLAVES as usize),
+                &stop,
+                &progress,
+            );
+            acceptor.shutdown();
+            report
+        })
+    };
+
+    // The client: submit the workload, read it back, release it.
+    let client = TcpConnector::connect(&addr, Role::Client, 0, TcpConfig::default())
+        .expect("client connect");
+    let job = JobId(1);
+    let requests: Vec<BlockRequest> = (0..BLOCKS)
+        .map(|i| BlockRequest {
+            block: BlockId(i),
+            bytes: BLOCK_BYTES,
+            replicas: (0..SLAVES.min(3))
+                .map(|r| NodeId((i as u32 + r) % SLAVES))
+                .collect(),
+        })
+        .collect();
+    client
+        .send(
+            Peer::Master,
+            &Message::RequestMigration {
+                job,
+                blocks: requests,
+                eviction: EvictionMode::Explicit,
+                hint: JobHint {
+                    expected_launch: SimTime::from_micros(0),
+                    total_bytes: BLOCKS * BLOCK_BYTES,
+                },
+            },
+        )
+        .expect("submit job");
+
+    // All six blocks must land in memory via heartbeat-pulled bindings.
+    reached(&progress.completed, BLOCKS, "migration completions");
+
+    // The job reads its input, then finishes: explicit eviction releases
+    // every buffer.
+    for i in 0..BLOCKS {
+        client
+            .send(
+                Peer::Master,
+                &Message::ReadNotify {
+                    block: BlockId(i),
+                    job,
+                },
+            )
+            .expect("read notify");
+    }
+    client
+        .send(Peer::Master, &Message::EvictJobRequest { job })
+        .expect("evict job");
+    reached(&progress.evicted, BLOCKS, "evictions");
+    client.shutdown();
+
+    // Orderly shutdown: the master runs the two-way counting barrier.
+    master_stop.store(true, Ordering::SeqCst);
+    let master_report = master.join().expect("master thread");
+    slave_stop.store(true, Ordering::SeqCst);
+    let slave_reports: Vec<_> = slaves
+        .into_iter()
+        .map(|h| h.join().expect("slave thread"))
+        .collect();
+
+    // -- no protocol violations anywhere -------------------------------
+    assert!(
+        master_report.errors.is_empty(),
+        "master errors: {:?}",
+        master_report.errors
+    );
+    for (n, r) in slave_reports.iter().enumerate() {
+        assert!(r.errors.is_empty(), "slave {n} errors: {:?}", r.errors);
+    }
+
+    // -- the workload actually ran -------------------------------------
+    assert_eq!(master_report.completed.len() as u64, BLOCKS);
+    let slave_completed: u64 = slave_reports.iter().map(|r| r.completed).sum();
+    let slave_evicted: u64 = slave_reports.iter().map(|r| r.evicted).sum();
+    assert_eq!(slave_completed, BLOCKS, "every block migrated exactly once");
+    assert_eq!(slave_evicted, BLOCKS, "every buffer released");
+
+    // -- zero lost messages, proven by the counting barrier ------------
+    assert!(
+        master_report.zero_loss(),
+        "master accounting mismatch: sent {:?} received {:?} byes {:?}",
+        master_report.sent,
+        master_report.received,
+        master_report.byes
+    );
+    for (n, r) in slave_reports.iter().enumerate() {
+        assert!(
+            r.zero_loss(),
+            "slave {n} accounting mismatch: advertised {:?}, received {}",
+            r.advertised,
+            r.received
+        );
+        // Cross-check the two ledgers: what the slave counted must match
+        // what the master counted for that connection.
+        assert_eq!(
+            master_report.sent.get(&(n as u32)),
+            r.advertised.as_ref(),
+            "slave {n}: master sent-count vs Shutdown advertisement"
+        );
+        assert_eq!(
+            master_report.received.get(&(n as u32)),
+            Some(&r.sent),
+            "slave {n}: master received-count vs slave sent-count"
+        );
+    }
+
+    // -- every migration span closed -----------------------------------
+    let obs = &master_report.obs;
+    assert!(obs.enabled, "daemons run with observability on by default");
+    let spans = obs.spans();
+    assert_eq!(spans.len() as u64, BLOCKS, "one span per block");
+    for (mig, events) in spans {
+        let last = events.last().expect("span has events");
+        assert!(
+            last.state.is_terminal(),
+            "migration {mig} ended in non-terminal state {:?}",
+            last.state
+        );
+    }
+}

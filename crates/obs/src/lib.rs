@@ -39,6 +39,7 @@
 
 mod export;
 mod report;
+pub mod rpc;
 mod span;
 
 pub use report::ObsReport;

@@ -1,0 +1,17 @@
+//! Counter names for the wire/RPC layer (`dyrs-net` and the simulator's
+//! loopback seam), kept here so every recorder and every report consumer
+//! agrees on the spelling.
+
+/// Protocol frames moved through the wire codec this run.
+pub const WIRE_FRAMES: &str = "wire.frames";
+
+/// Encoded protocol bytes (frame headers included) moved this run.
+pub const WIRE_BYTES: &str = "wire.bytes";
+
+/// Frames a daemon dropped because the peer's socket died mid-write.
+/// Nonzero means the shutdown accounting will (correctly) report loss.
+pub const WIRE_SEND_FAILURES: &str = "wire.send_failures";
+
+/// Protocol violations observed (bad magic, unknown version, truncated
+/// or oversized frames, payloads that fail to decode).
+pub const WIRE_PROTOCOL_ERRORS: &str = "wire.protocol_errors";

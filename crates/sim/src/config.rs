@@ -164,6 +164,22 @@ impl GrayFault {
     }
 }
 
+/// How master↔slave (and client↔master) interactions travel inside the
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireMode {
+    /// Direct method calls on the in-process state machines — the
+    /// historical fast path.
+    #[default]
+    InProcess,
+    /// Every interaction is encoded to wire bytes, routed through the
+    /// deterministic loopback transport (`dyrs-net`), and decoded on the
+    /// far side before touching the state machine. Same virtual clock,
+    /// same event order — a run must produce an identical trace digest
+    /// in either mode, which is the codec-correctness headline test.
+    Loopback,
+}
+
 /// Everything needed to build a [`crate::Simulation`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -205,6 +221,10 @@ pub struct SimConfig {
     /// (HDFS waits ~10 min by default; shortened to simulation timescales).
     #[serde(default = "default_re_replication_delay")]
     pub re_replication_delay: simkit::SimDuration,
+    /// Whether protocol interactions go through the wire codec
+    /// ([`WireMode::Loopback`]) or direct calls ([`WireMode::InProcess`]).
+    #[serde(default)]
+    pub wire: WireMode,
 }
 
 fn default_re_replication() -> bool {
@@ -235,6 +255,7 @@ impl SimConfig {
             mem_limit: None,
             re_replication: default_re_replication(),
             re_replication_delay: default_re_replication_delay(),
+            wire: WireMode::default(),
         }
     }
 }

@@ -65,12 +65,17 @@ impl Simulation {
         // A migration request to an unreachable master is simply lost —
         // the job proceeds cold (the §III-C1 degradation).
         let outcome = if self.master_reachable() {
+            // The submitter's request crosses the wire seam before the
+            // master sees it (the paper's job-submitter RPC, §IV-B).
+            let (id, requests, eviction, hint) =
+                self.wire.request_migration(id, requests, eviction, hint);
             self.master
                 .request_migration_hinted(id, requests, eviction, hint)
         } else {
             dyrs::master::RequestOutcome::default()
         };
         for (node, block, jref) in outcome.add_refs {
+            let (block, jref) = self.wire.add_ref(node, block, jref);
             self.slaves[node.index()].add_ref(block, jref);
         }
         if !outcome.immediate.is_empty() {
@@ -82,6 +87,7 @@ impl Simulation {
             for (i, migs) in by_node.into_iter().enumerate() {
                 if !migs.is_empty() {
                     let node = NodeId(i as u32);
+                    let migs = self.wire.bind(node, migs);
                     self.slaves[i].on_bind(migs);
                     self.try_start_migrations(node);
                 }
@@ -385,6 +391,7 @@ impl Simulation {
         // -pending migration (missed read); the serving slave and any slave
         // holding the bound migration see the read for implicit eviction /
         // queued-cancellation.
+        let (block, job_id) = self.wire.read_notify_to_master(block, job_id);
         self.master.on_block_read(block);
         self.notify_read(block, job_id, served_by);
 
@@ -515,9 +522,11 @@ impl Simulation {
 
         // Explicit eviction through the master (also a safety net for
         // implicit jobs whose blocks were migrated after their read).
-        let nodes = self.master.evict_job(id);
+        let evict_id = self.wire.evict_job_request(id);
+        let nodes = self.master.evict_job(evict_id);
         for node in nodes {
-            let evictions = self.slaves[node.index()].evict_job(id);
+            let job = self.wire.evict_job(node, evict_id);
+            let evictions = self.slaves[node.index()].evict_job(job);
             self.apply_evictions(node, evictions);
         }
         self.resolve_dependents(id);

@@ -40,6 +40,9 @@ impl Simulation {
         self.namenode.heartbeat(node, now);
         let hb_lost = now < self.hb_lost_until[node.index()];
         if self.master_reachable() && !hb_lost {
+            // The wire seam: under `WireMode::Loopback` the report the
+            // master sees is the one that survived encode→frame→decode.
+            let report = self.wire.heartbeat(node, report, now);
             self.master
                 .on_heartbeat_at(node, report.secs_per_byte, report.queued_bytes, now);
 
@@ -55,6 +58,7 @@ impl Simulation {
             // busy until the next heartbeat (§III-A1).
             let pulled = self.master.on_slave_pull(node, report.queue_space);
             if !pulled.is_empty() {
+                let pulled = self.wire.bind(node, pulled);
                 self.slaves[node.index()].on_bind(pulled);
                 self.try_start_migrations(node);
             }
@@ -145,6 +149,7 @@ impl Simulation {
             // stuck detector — they may well complete.
             let queued: Vec<BlockId> = self.slaves[node.index()].queued_blocks().collect();
             for block in queued {
+                let block = self.wire.revoke(node, block);
                 self.slaves[node.index()].revoke(block);
                 self.master
                     .on_unbound(node, block, dyrs::obs::cause::NODE_SUSPECT);
@@ -154,6 +159,7 @@ impl Simulation {
             // Confirm against the slave before punishing: the completion
             // may simply not have reached the master yet.
             if self.slaves[node.index()].has_pending(block) {
+                let block = self.wire.revoke(node, block);
                 if let dyrs::slave::Revoked::Active = self.slaves[node.index()].revoke(block) {
                     if let Some(sid) = self.active_migration_stream[node.index()].remove(&block) {
                         self.cancel_stream(node, ResourceKind::Disk, sid);
@@ -247,6 +253,7 @@ impl Simulation {
         if !done.evicted_immediately {
             self.datanodes[node.index()].add_memory_replica(block);
             self.namenode.register_memory_replica(block, node);
+            let (node, block) = self.wire.migration_complete(node, block);
             self.master.on_migration_complete(node, block);
         }
         self.buffer_series[node.index()]
@@ -260,25 +267,33 @@ impl Simulation {
     /// slave it bound the block's migration to.
     pub(crate) fn notify_read(&mut self, block: BlockId, job: JobId, served_by: NodeId) {
         let mut notified = [false; 64];
-        let mut notify = |sim: &mut Simulation, n: NodeId| {
+        // `forwarded` marks master-relayed notifications, which travel the
+        // wire under `WireMode::Loopback`; the serving slave sees the read
+        // directly on its own data path, so that one never hits the wire.
+        let mut notify = |sim: &mut Simulation, n: NodeId, forwarded: bool| {
             if !notified[n.index()] {
                 notified[n.index()] = true;
+                let (block, job) = if forwarded {
+                    sim.wire.read_notify_to_slave(n, block, job)
+                } else {
+                    (block, job)
+                };
                 let evictions = sim.slaves[n.index()].on_read(block, job);
                 sim.apply_evictions(n, evictions);
             }
         };
-        notify(self, served_by);
+        notify(self, served_by, false);
         // Slaves holding the block queued or active (bound migrations).
         let holders: Vec<NodeId> = (0..self.cluster.len() as u32)
             .map(NodeId)
             .filter(|&n| self.slaves[n.index()].has_pending(block))
             .collect();
         for n in holders {
-            notify(self, n);
+            notify(self, n, true);
         }
         // The slave buffering the block (implicit eviction on remote reads).
         if let Some(host) = self.master.memory_location(block) {
-            notify(self, host);
+            notify(self, host, true);
         }
     }
 
@@ -291,7 +306,8 @@ impl Simulation {
         for ev in evictions {
             self.datanodes[node.index()].drop_memory_replica(ev.block);
             self.namenode.unregister_memory_replica(ev.block, node);
-            self.master.on_evicted(ev.block);
+            let block = self.wire.evicted(node, ev.block);
+            self.master.on_evicted(block);
         }
         self.buffer_series[node.index()]
             .record(self.now, self.slaves[node.index()].buffered_bytes() as f64);

@@ -17,6 +17,7 @@ mod jobs;
 mod migration;
 mod repair;
 mod streams;
+mod wirelink;
 
 use crate::config::SimConfig;
 use crate::events::{Ev, ResourceKind, StreamMeta};
@@ -128,6 +129,9 @@ pub struct Simulation {
     /// (lifecycle spans, metrics registry, Algorithm 1 provenance). A
     /// zero-sized no-op without the `obs` feature.
     pub(crate) obs: dyrs_obs::ObsHandle,
+    /// Seam between the state machines and the wire: direct calls under
+    /// `WireMode::InProcess`, encode→loopback→decode under `Loopback`.
+    pub(crate) wire: wirelink::WireLink,
     #[allow(dead_code)]
     pub(crate) rng: Rng,
 }
@@ -255,6 +259,7 @@ impl Simulation {
             calib_inflight: vec![false; n],
             last_estimate_signal: vec![SimTime::ZERO; n],
             obs,
+            wire: wirelink::WireLink::new(cfg.wire, n),
             rng: rng.derive(3),
             cfg,
         };
@@ -419,6 +424,13 @@ impl Simulation {
         // Whatever cut the run short (last job done, horizon), no span is
         // left dangling: open migrations get a terminal `run-end` abort.
         self.obs.close_dangling(dyrs_obs::cause::RUN_END);
+        let wire_frames = self.wire.frames();
+        let wire_bytes = self.wire.bytes();
+        if wire_frames > 0 {
+            self.obs
+                .counter_add(dyrs_obs::rpc::WIRE_FRAMES, wire_frames);
+            self.obs.counter_add(dyrs_obs::rpc::WIRE_BYTES, wire_bytes);
+        }
         let nodes = (0..self.cluster.len())
             .map(|i| {
                 let dn = &self.datanodes[i];
@@ -451,6 +463,8 @@ impl Simulation {
             events_processed: self.events_processed,
             trace_digest: self.trace_digest.value(),
             end_time: self.now,
+            wire_frames,
+            wire_bytes,
             obs: self.obs.take_report(),
         }
     }

@@ -1,0 +1,332 @@
+//! The simulator's seam between the state machines and the wire.
+//!
+//! Under [`WireMode::InProcess`] every protocol interaction is the
+//! direct method call it always was — zero overhead, the historical
+//! fast path. Under [`WireMode::Loopback`] the *same* interaction is
+//! first packed into a [`Message`], encoded to wire bytes, routed
+//! through `dyrs-net`'s deterministic loopback transport, decoded on
+//! the far side, and only then applied to the state machine — exactly
+//! the bytes the TCP daemons put on a socket.
+//!
+//! Because the event loop, the virtual clock and the state machines are
+//! untouched, a scenario must produce an **identical trace digest** in
+//! both modes; `tests/transport.rs` pins that equivalence. Any codec
+//! asymmetry (a field dropped, a reordered map, a lossy float) shows up
+//! as digest divergence rather than silent corruption.
+
+use crate::config::WireMode;
+use dyrs::master::BlockRequest;
+use dyrs::types::{EvictionMode, JobRef, Migration};
+use dyrs::{HeartbeatReport, JobHint};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_net::loopback::{LoopbackEndpoint, LoopbackHub};
+use dyrs_net::proto::Message;
+use dyrs_net::transport::{Peer, Transport};
+use simkit::SimTime;
+
+/// Routes protocol interactions either directly or through the codec.
+pub(crate) enum WireLink {
+    /// Direct calls; messages are never materialized.
+    InProcess,
+    /// Encode → loopback channel → decode for every interaction.
+    Loopback {
+        hub: LoopbackHub,
+        master: LoopbackEndpoint,
+        slaves: Vec<LoopbackEndpoint>,
+        /// Stand-in for the job-submitter client (migration requests,
+        /// read notifications, job-finished evictions).
+        client: LoopbackEndpoint,
+    },
+}
+
+impl WireLink {
+    pub(crate) fn new(mode: WireMode, nodes: usize) -> Self {
+        match mode {
+            WireMode::InProcess => WireLink::InProcess,
+            WireMode::Loopback => {
+                let hub = LoopbackHub::new();
+                let master = hub.endpoint(Peer::Master);
+                let slaves = (0..nodes as u32)
+                    .map(|n| hub.endpoint(Peer::Slave(n)))
+                    .collect();
+                let client = hub.endpoint(Peer::Client(0));
+                WireLink::Loopback {
+                    hub,
+                    master,
+                    slaves,
+                    client,
+                }
+            }
+        }
+    }
+
+    /// Total frames moved through the codec (0 in `InProcess` mode).
+    pub(crate) fn frames(&self) -> u64 {
+        match self {
+            WireLink::InProcess => 0,
+            WireLink::Loopback { hub, .. } => hub.frames_delivered(),
+        }
+    }
+
+    /// Total encoded bytes moved (0 in `InProcess` mode).
+    pub(crate) fn bytes(&self) -> u64 {
+        match self {
+            WireLink::InProcess => 0,
+            WireLink::Loopback { hub, .. } => hub.bytes_moved(),
+        }
+    }
+
+    /// Push `msg` from `from`'s endpoint to `to`, then pop and decode it
+    /// at the destination. The driver is single-threaded and every send
+    /// is immediately received, so the destination inbox holds exactly
+    /// this one frame.
+    fn route(&self, from: Peer, to: Peer, msg: Message) -> Message {
+        let (src, dst) = match self {
+            WireLink::InProcess => unreachable!("route is only called in Loopback mode"),
+            WireLink::Loopback {
+                master,
+                slaves,
+                client,
+                ..
+            } => {
+                let pick = |p: Peer| -> &LoopbackEndpoint {
+                    match p {
+                        Peer::Master => master,
+                        Peer::Slave(n) => &slaves[n as usize],
+                        Peer::Client(_) => client,
+                    }
+                };
+                (pick(from), pick(to))
+            }
+        };
+        src.send(to, &msg).expect("loopback peer is registered");
+        let (got_from, decoded) = dst
+            .try_recv()
+            .expect("loopback frame decodes")
+            .expect("frame was just sent");
+        debug_assert_eq!(got_from, from);
+        decoded
+    }
+
+    /// Slave → master heartbeat.
+    pub(crate) fn heartbeat(
+        &self,
+        node: NodeId,
+        report: HeartbeatReport,
+        at: SimTime,
+    ) -> HeartbeatReport {
+        match self {
+            WireLink::InProcess => report,
+            link => {
+                let msg = link.route(
+                    Peer::Slave(node.0),
+                    Peer::Master,
+                    Message::Heartbeat { node, report, at },
+                );
+                let Message::Heartbeat { report, .. } = msg else {
+                    unreachable!("heartbeat decodes as heartbeat")
+                };
+                report
+            }
+        }
+    }
+
+    /// Master → slave binding (delayed-binding pull response, or Ignem's
+    /// immediate submission-time binding).
+    pub(crate) fn bind(&self, node: NodeId, migrations: Vec<Migration>) -> Vec<Migration> {
+        match self {
+            WireLink::InProcess => migrations,
+            link => {
+                let msg = link.route(
+                    Peer::Master,
+                    Peer::Slave(node.0),
+                    Message::Bind { migrations },
+                );
+                let Message::Bind { migrations } = msg else {
+                    unreachable!("bind decodes as bind")
+                };
+                migrations
+            }
+        }
+    }
+
+    /// Master → slave revocation of a bound migration.
+    pub(crate) fn revoke(&self, node: NodeId, block: BlockId) -> BlockId {
+        match self {
+            WireLink::InProcess => block,
+            link => {
+                let msg = link.route(Peer::Master, Peer::Slave(node.0), Message::Revoke { block });
+                let Message::Revoke { block } = msg else {
+                    unreachable!("revoke decodes as revoke")
+                };
+                block
+            }
+        }
+    }
+
+    /// Slave → master migration-complete report.
+    pub(crate) fn migration_complete(&self, node: NodeId, block: BlockId) -> (NodeId, BlockId) {
+        match self {
+            WireLink::InProcess => (node, block),
+            link => {
+                let msg = link.route(
+                    Peer::Slave(node.0),
+                    Peer::Master,
+                    Message::MigrationComplete { node, block },
+                );
+                let Message::MigrationComplete { node, block } = msg else {
+                    unreachable!("completion decodes as completion")
+                };
+                (node, block)
+            }
+        }
+    }
+
+    /// Slave → master eviction report.
+    pub(crate) fn evicted(&self, node: NodeId, block: BlockId) -> BlockId {
+        match self {
+            WireLink::InProcess => block,
+            link => {
+                let msg = link.route(
+                    Peer::Slave(node.0),
+                    Peer::Master,
+                    Message::Evicted { node, block },
+                );
+                let Message::Evicted { block, .. } = msg else {
+                    unreachable!("eviction decodes as eviction")
+                };
+                block
+            }
+        }
+    }
+
+    /// Client → master read notification (drives missed-read migration
+    /// cancellation on the master).
+    pub(crate) fn read_notify_to_master(&self, block: BlockId, job: JobId) -> (BlockId, JobId) {
+        match self {
+            WireLink::InProcess => (block, job),
+            link => {
+                let msg = link.route(
+                    Peer::Client(0),
+                    Peer::Master,
+                    Message::ReadNotify { block, job },
+                );
+                let Message::ReadNotify { block, job } = msg else {
+                    unreachable!("read notify decodes as read notify")
+                };
+                (block, job)
+            }
+        }
+    }
+
+    /// Master → slave forwarded read notification (drives implicit
+    /// eviction and queued-migration cancellation on the slave).
+    pub(crate) fn read_notify_to_slave(
+        &self,
+        node: NodeId,
+        block: BlockId,
+        job: JobId,
+    ) -> (BlockId, JobId) {
+        match self {
+            WireLink::InProcess => (block, job),
+            link => {
+                let msg = link.route(
+                    Peer::Master,
+                    Peer::Slave(node.0),
+                    Message::ReadNotify { block, job },
+                );
+                let Message::ReadNotify { block, job } = msg else {
+                    unreachable!("read notify decodes as read notify")
+                };
+                (block, job)
+            }
+        }
+    }
+
+    /// Client → master migration request at job submission.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn request_migration(
+        &self,
+        job: JobId,
+        blocks: Vec<BlockRequest>,
+        eviction: EvictionMode,
+        hint: JobHint,
+    ) -> (JobId, Vec<BlockRequest>, EvictionMode, JobHint) {
+        match self {
+            WireLink::InProcess => (job, blocks, eviction, hint),
+            link => {
+                let msg = link.route(
+                    Peer::Client(0),
+                    Peer::Master,
+                    Message::RequestMigration {
+                        job,
+                        blocks,
+                        eviction,
+                        hint,
+                    },
+                );
+                let Message::RequestMigration {
+                    job,
+                    blocks,
+                    eviction,
+                    hint,
+                } = msg
+                else {
+                    unreachable!("request decodes as request")
+                };
+                (job, blocks, eviction, hint)
+            }
+        }
+    }
+
+    /// Master → slave reference registration (implicit-eviction lists).
+    pub(crate) fn add_ref(&self, node: NodeId, block: BlockId, job: JobRef) -> (BlockId, JobRef) {
+        match self {
+            WireLink::InProcess => (block, job),
+            link => {
+                let msg = link.route(
+                    Peer::Master,
+                    Peer::Slave(node.0),
+                    Message::AddRef { block, job },
+                );
+                let Message::AddRef { block, job } = msg else {
+                    unreachable!("add-ref decodes as add-ref")
+                };
+                (block, job)
+            }
+        }
+    }
+
+    /// Client → master explicit eviction when a job finishes.
+    pub(crate) fn evict_job_request(&self, job: JobId) -> JobId {
+        match self {
+            WireLink::InProcess => job,
+            link => {
+                let msg = link.route(
+                    Peer::Client(0),
+                    Peer::Master,
+                    Message::EvictJobRequest { job },
+                );
+                let Message::EvictJobRequest { job } = msg else {
+                    unreachable!("evict request decodes as evict request")
+                };
+                job
+            }
+        }
+    }
+
+    /// Master → slave job-eviction fan-out.
+    pub(crate) fn evict_job(&self, node: NodeId, job: JobId) -> JobId {
+        match self {
+            WireLink::InProcess => job,
+            link => {
+                let msg = link.route(Peer::Master, Peer::Slave(node.0), Message::EvictJob { job });
+                let Message::EvictJob { job } = msg else {
+                    unreachable!("evict decodes as evict")
+                };
+                job
+            }
+        }
+    }
+}

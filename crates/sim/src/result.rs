@@ -83,6 +83,16 @@ pub struct SimResult {
     pub trace_digest: u64,
     /// Simulated instant the last event fired.
     pub end_time: SimTime,
+    /// Protocol frames moved through the wire codec. Zero under
+    /// [`WireMode::InProcess`](crate::config::WireMode::InProcess); under
+    /// `Loopback` every master↔slave interaction pays the full
+    /// encode→frame→decode round trip and is counted here.
+    #[serde(default)]
+    pub wire_frames: u64,
+    /// Encoded protocol bytes (headers included) moved through the wire
+    /// codec; zero in `InProcess` mode.
+    #[serde(default)]
+    pub wire_bytes: u64,
     /// Observability report: migration lifecycle spans, metric registry,
     /// and Algorithm 1 decision provenance. Empty (with `enabled: false`)
     /// when the `obs` feature is off. Export with
@@ -182,6 +192,8 @@ mod tests {
             events_processed: 0,
             trace_digest: 0,
             end_time: SimTime::ZERO,
+            wire_frames: 0,
+            wire_bytes: 0,
             obs: Default::default(),
         }
     }

@@ -20,6 +20,9 @@ pub enum Rule {
     NanCompare,
     /// `unwrap()` / `panic!` / empty `expect("")` in library code.
     LibUnwrap,
+    /// Raw sockets or thread spawns outside `crates/net` — the one crate
+    /// allowed to host real-I/O nondeterminism.
+    NetFence,
 }
 
 impl Rule {
@@ -31,6 +34,7 @@ impl Rule {
             Rule::AmbientRng => "ambient-rng",
             Rule::NanCompare => "nan-compare",
             Rule::LibUnwrap => "lib-unwrap",
+            Rule::NetFence => "net-fence",
         }
     }
 
@@ -42,6 +46,7 @@ impl Rule {
             "ambient-rng" => Rule::AmbientRng,
             "nan-compare" => Rule::NanCompare,
             "lib-unwrap" => Rule::LibUnwrap,
+            "net-fence" => Rule::NetFence,
             _ => return None,
         })
     }
@@ -91,6 +96,8 @@ pub struct RuleSet {
     pub nan_compare: bool,
     /// Flag unwrap/panic in library code.
     pub lib_unwrap: bool,
+    /// Flag raw sockets / thread spawns (everywhere except `crates/net`).
+    pub net_fence: bool,
 }
 
 impl RuleSet {
@@ -102,6 +109,7 @@ impl RuleSet {
             ambient_rng: true,
             nan_compare: true,
             lib_unwrap: true,
+            net_fence: true,
         }
     }
 }
@@ -237,6 +245,31 @@ pub fn check(
                     excerpt: excerpt(n),
                     message: format!(
                         "`{tok}` in library code; state the violated invariant via `expect(..)` or return a Result"
+                    ),
+                });
+            }
+        }
+
+        if rules.net_fence && !in_test {
+            if let Some(tok) = [
+                "std::net",
+                "TcpListener",
+                "TcpStream",
+                "UdpSocket",
+                "thread::spawn",
+                "crossbeam::scope",
+            ]
+            .iter()
+            .find(|t| has_token(line, t))
+            {
+                findings.push(Finding {
+                    rule: Rule::NetFence,
+                    path: path.to_owned(),
+                    line: n,
+                    excerpt: excerpt(n),
+                    message: format!(
+                        "real-I/O primitive `{tok}` outside crates/net; sockets and thread \
+                         spawns live behind the dyrs-net Transport trait"
                     ),
                 });
             }

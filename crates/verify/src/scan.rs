@@ -30,14 +30,23 @@ impl ScanContext {
             .and_then(|r| r.split('/').next())
             .unwrap_or("");
         let in_src = rel.contains("/src/");
+        // crates/net is the workspace's real-I/O fence: its TCP transport
+        // legitimately reads the wall clock (socket deadlines) and spawns
+        // threads, and it is the one crate allowed to touch std::net. The
+        // daemons' *decisions* still run on SimTime ticks.
+        let is_net = crate_name == "net";
+        // crates/bench measures wall time by definition; its clock reads
+        // are the product, not a hazard.
+        let is_bench = crate_name == "bench";
         RuleSet {
             nondet_iter: in_src && DECISION_CRATES.contains(&crate_name),
             // The sim only advances SimTime; wall-clock reads and ambient
-            // entropy are hazards everywhere in library code.
-            wall_clock: in_src,
+            // entropy are hazards everywhere else in library code.
+            wall_clock: in_src && !is_net && !is_bench,
             ambient_rng: in_src && rel != "crates/simkit/src/rng.rs",
             nan_compare: in_src,
             lib_unwrap: in_src && STRICT_LIB_CRATES.contains(&crate_name),
+            net_fence: in_src && !is_net,
         }
     }
 }

@@ -34,6 +34,7 @@ fn fixtures_trigger_every_rule() {
             Rule::AmbientRng,
             Rule::NanCompare,
             Rule::LibUnwrap,
+            Rule::NetFence,
         ],
         "every rule must fire on the fixtures; findings: {findings:#?}"
     );

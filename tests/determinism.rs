@@ -236,3 +236,124 @@ fn policies_share_identical_placement() {
     };
     assert_eq!(blocks(&out[0].1), blocks(&out[1].1));
 }
+
+#[test]
+fn wire_frames_are_byte_pinned() {
+    // The wire format is part of the determinism contract: the exact
+    // bytes of every protocol frame are pinned here, so any codec change
+    // — field order, width, endianness, a new default — fails this test
+    // instead of silently breaking cross-version interop. Bumping the
+    // pinned values is the explicit act of changing the protocol.
+    use dyrs::master::{BlockRequest, JobHint};
+    use dyrs::slave::HeartbeatReport;
+    use dyrs::types::{JobRef, Migration, MigrationId};
+    use dyrs::EvictionMode;
+    use dyrs_dfs::{BlockId, JobId};
+    use dyrs_net::frame::encode_frame;
+    use dyrs_net::{Message, Role, PROTOCOL_VERSION};
+
+    // One canonical message per wire tag, with fixed payloads.
+    let canonical: Vec<Message> = vec![
+        Message::Hello {
+            role: Role::Slave,
+            node: 3,
+            min_version: 1,
+            max_version: 1,
+        },
+        Message::Welcome { version: 1 },
+        Message::Reject {
+            reason: "no".into(),
+        },
+        Message::Heartbeat {
+            node: NodeId(2),
+            report: HeartbeatReport {
+                secs_per_byte: 1.5e-8,
+                queued_bytes: 512 << 20,
+                queue_space: 4,
+            },
+            at: SimTime::from_secs(30),
+        },
+        Message::MigrationComplete {
+            node: NodeId(2),
+            block: BlockId(9),
+        },
+        Message::Evicted {
+            node: NodeId(2),
+            block: BlockId(9),
+        },
+        Message::Bye { sent: 17 },
+        Message::Bind {
+            migrations: vec![Migration {
+                id: MigrationId(5),
+                block: BlockId(9),
+                bytes: 256 << 20,
+                jobs: vec![JobRef {
+                    job: JobId(1),
+                    eviction: EvictionMode::Explicit,
+                }],
+                replicas: vec![NodeId(2), NodeId(4)],
+                attempt: 0,
+            }],
+        },
+        Message::AddRef {
+            block: BlockId(9),
+            job: JobRef {
+                job: JobId(1),
+                eviction: EvictionMode::Implicit,
+            },
+        },
+        Message::Revoke { block: BlockId(7) },
+        Message::EvictJob { job: JobId(1) },
+        Message::Shutdown { sent: 23 },
+        Message::RequestMigration {
+            job: JobId(1),
+            blocks: vec![BlockRequest {
+                block: BlockId(9),
+                bytes: 256 << 20,
+                replicas: vec![NodeId(2)],
+            }],
+            eviction: EvictionMode::Explicit,
+            hint: JobHint {
+                expected_launch: SimTime::from_secs(10),
+                total_bytes: 1 << 30,
+            },
+        },
+        Message::ReadNotify {
+            block: BlockId(9),
+            job: JobId(1),
+        },
+        Message::EvictJobRequest { job: JobId(1) },
+    ];
+    let tags: Vec<u8> = canonical.iter().map(Message::tag).collect();
+    assert_eq!(tags, (0..15).collect::<Vec<u8>>(), "one message per tag");
+
+    // Two frames pinned byte-for-byte (header: magic "DYRS", version
+    // u16 BE, payload length u32 BE; payload: tag byte + fields BE).
+    assert_eq!(
+        encode_frame(PROTOCOL_VERSION, &Message::Welcome { version: 1 }),
+        [b'D', b'Y', b'R', b'S', 0, 1, 0, 0, 0, 3, 1, 0, 1],
+    );
+    assert_eq!(
+        encode_frame(PROTOCOL_VERSION, &Message::Revoke { block: BlockId(7) }),
+        [b'D', b'Y', b'R', b'S', 0, 1, 0, 0, 0, 9, 9, 0, 0, 0, 0, 0, 0, 0, 7],
+    );
+
+    // And the whole catalog pinned through one digest: FNV-1a over the
+    // concatenation of all fifteen canonical frames.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut total_len = 0usize;
+    for msg in &canonical {
+        let frame = encode_frame(PROTOCOL_VERSION, msg);
+        total_len += frame.len();
+        for b in frame {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    assert_eq!(
+        (total_len, h),
+        (425, 0x0B77_2E85_40C5_8514),
+        "pinned wire bytes changed: this is a protocol break, bump \
+         PROTOCOL_VERSION and re-pin"
+    );
+}

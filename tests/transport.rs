@@ -1,0 +1,122 @@
+//! The tentpole claim of the `dyrs-net` subsystem: routing every master ↔
+//! slave ↔ client interaction through the loopback transport — encode,
+//! frame, move the bytes through a real channel, decode — produces the
+//! **identical event-trace digest** as the in-process driver.
+//!
+//! The digest folds every dispatched `(time, event)` pair into an
+//! order-sensitive hash, so equality here means the codec is lossless
+//! and side-effect-free for every message the protocol exchanges: no
+//! field dropped, no precision lost, no reordering introduced. Combined
+//! with `crates/net/tests/tcp_smoke.rs` (same codec over real sockets)
+//! this is the loopback-vs-TCP equivalence argument in ARCHITECTURE.md.
+
+use dyrs::MigrationPolicy;
+use dyrs_experiments::runner::{run_all, SimTask};
+use dyrs_experiments::scenarios::{hetero_config, homogeneous_config, with_workload};
+use dyrs_sim::config::WireMode;
+use dyrs_sim::{FailureEvent, SimResult};
+use dyrs_workloads::sort;
+use simkit::{SimDuration, SimTime};
+
+const SEED: u64 = 47;
+
+/// Run one scenario under the given wire mode and return its result.
+fn run(label: &str, policy: MigrationPolicy, wire: WireMode, drill: bool) -> SimResult {
+    let mut cfg = if drill {
+        hetero_config(policy, SEED)
+    } else {
+        homogeneous_config(policy, SEED)
+    };
+    cfg.wire = wire;
+    if drill {
+        // Restarts exercise the revoke / re-request paths, which only
+        // cross the wire when something goes wrong.
+        cfg.failures = vec![
+            FailureEvent::MasterRestart {
+                at: SimTime::from_secs(6),
+            },
+            FailureEvent::SlaveRestart {
+                at: SimTime::from_secs(14),
+                node: dyrs_cluster::NodeId(2),
+            },
+        ];
+    }
+    let w = sort::sort_workload(2 << 30, SimDuration::from_secs(20), 0);
+    let (cfg, jobs) = with_workload(cfg, w);
+    let mut out = run_all(vec![SimTask::new(label, cfg, jobs)], 1);
+    out.pop().expect("one task in, one result out").1
+}
+
+/// Assert in-process and loopback runs of `policy` are trace-identical.
+fn assert_equivalent(policy: MigrationPolicy, drill: bool) {
+    let name = format!("{policy:?}/drill={drill}");
+    let direct = run(&name, policy, WireMode::InProcess, drill);
+    let looped = run(&name, policy, WireMode::Loopback, drill);
+
+    assert_eq!(
+        direct.trace_digest, looped.trace_digest,
+        "{name}: event-trace digest diverged between in-process and loopback"
+    );
+    assert_eq!(direct.end_time, looped.end_time, "{name}: end time");
+    assert_eq!(direct.master, looped.master, "{name}: master stats");
+    assert_eq!(
+        direct.reads.len(),
+        looped.reads.len(),
+        "{name}: read records"
+    );
+
+    // The in-process run moved nothing through the hub; the loopback run
+    // framed real bytes for every interaction.
+    assert_eq!(direct.wire_frames, 0, "{name}: in-process moves no frames");
+    assert!(
+        looped.wire_frames > 0,
+        "{name}: loopback must actually exercise the codec"
+    );
+    assert!(
+        looped.wire_bytes > looped.wire_frames * dyrs_net::frame::HEADER_LEN as u64,
+        "{name}: every frame carries a header plus payload"
+    );
+}
+
+#[test]
+fn dyrs_trace_is_identical_over_loopback() {
+    // The paper's policy: heartbeats, pulls, binds, completions and
+    // implicit evictions all cross the wire.
+    assert_equivalent(MigrationPolicy::Dyrs, false);
+}
+
+#[test]
+fn ignem_trace_is_identical_over_loopback() {
+    // Ignem binds at submission time, exercising the immediate-bind
+    // (client → master → slave) path the pull-based flow never takes.
+    assert_equivalent(MigrationPolicy::Ignem, false);
+}
+
+#[test]
+fn failure_drill_trace_is_identical_over_loopback() {
+    // Master and slave restarts: revocations and re-requests cross the
+    // wire, plus the detector's health traffic.
+    assert_equivalent(MigrationPolicy::Dyrs, true);
+}
+
+#[test]
+fn loopback_runs_are_bit_stable() {
+    // The loopback transport itself must not introduce nondeterminism:
+    // two runs under the same seed produce the same digest and the same
+    // frame count.
+    let a = run(
+        "stability",
+        MigrationPolicy::Dyrs,
+        WireMode::Loopback,
+        false,
+    );
+    let b = run(
+        "stability",
+        MigrationPolicy::Dyrs,
+        WireMode::Loopback,
+        false,
+    );
+    assert_eq!(a.trace_digest, b.trace_digest);
+    assert_eq!(a.wire_frames, b.wire_frames);
+    assert_eq!(a.wire_bytes, b.wire_bytes);
+}

@@ -1,4 +1,4 @@
-//! Offline stand-in for `crossbeam` (the `scope` API only).
+//! Offline stand-in for `crossbeam` (the `scope` and `channel` APIs only).
 //!
 //! `crossbeam::scope` predates `std::thread::scope`; the std version now
 //! provides the same structured-concurrency guarantee, so this stub adapts
@@ -6,6 +6,8 @@
 //! `Result`) onto it. Panics in spawned threads propagate when the scope
 //! closes (std re-raises them), so the `Err` arm of the returned `Result`
 //! is unreachable here — callers' `.expect(...)` never fires spuriously.
+
+pub mod channel;
 
 use std::thread;
 
