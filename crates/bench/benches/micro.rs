@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dyrs::master::{BlockRequest, Master};
 use dyrs::types::EvictionMode;
-use dyrs::{MigrationEstimator, MigrationPolicy};
+use dyrs::{MigrationEstimator, MigrationPolicy, SchedEngine, SchedulerConfig};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use simkit::{EventQueue, FluidResource, Rng, SimDuration, SimTime};
@@ -18,6 +18,12 @@ const BLOCK: u64 = 256 * MB;
 /// Build a master with `blocks` pending 256 MB migrations over 7 nodes.
 fn loaded_master(blocks: u64) -> Master {
     let mut m = Master::new(MigrationPolicy::Dyrs, 7, 140.0 * MB as f64, Rng::new(1));
+    // Pin the reference engine: the incremental pass skips clean entries,
+    // so warm iterations of a retarget loop would measure nothing.
+    m.set_sched_config(SchedulerConfig {
+        engine: SchedEngine::Reference,
+        spb_epsilon: 0.0,
+    });
     let mut rng = Rng::new(2);
     for n in 0..7 {
         m.on_heartbeat(

@@ -17,7 +17,7 @@
 
 use dyrs::master::{BlockRequest, Master};
 use dyrs::types::EvictionMode;
-use dyrs::MigrationPolicy;
+use dyrs::{MigrationPolicy, SchedEngine, SchedulerConfig};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use dyrs_experiments::scenarios::{hetero_config, with_workload};
@@ -61,11 +61,21 @@ fn summarize(name: &'static str, mut samples: Vec<u64>) -> Snapshot {
     }
 }
 
-/// A master with `blocks` pending 256 MB migrations over 7 slaves.
-fn loaded_master(blocks: u64) -> Master {
-    let mut m = Master::new(MigrationPolicy::Dyrs, 7, 140.0 * MB as f64, Rng::new(1));
+/// A master with `blocks` pending 256 MB migrations spread over `nodes`
+/// slaves (3 replicas each), running the requested Algorithm 1 engine.
+fn loaded_master(blocks: u64, nodes: u32, engine: SchedEngine) -> Master {
+    let mut m = Master::new(
+        MigrationPolicy::Dyrs,
+        nodes as usize,
+        140.0 * MB as f64,
+        Rng::new(1),
+    );
+    m.set_sched_config(SchedulerConfig {
+        engine,
+        spb_epsilon: 0.0,
+    });
     let mut rng = Rng::new(2);
-    for n in 0..7 {
+    for n in 0..nodes {
         m.on_heartbeat(
             NodeId(n),
             rng.range_f64(0.8, 4.0) / (140.0 * MB as f64),
@@ -74,12 +84,12 @@ fn loaded_master(blocks: u64) -> Master {
     }
     let reqs: Vec<BlockRequest> = (0..blocks)
         .map(|i| {
-            let mut nodes: Vec<u32> = (0..7).collect();
-            rng.shuffle(&mut nodes);
+            let mut picks: Vec<u32> = (0..nodes).collect();
+            rng.shuffle(&mut picks);
             BlockRequest {
                 block: BlockId(i),
                 bytes: BLOCK,
-                replicas: nodes[..3].iter().map(|&x| NodeId(x)).collect(),
+                replicas: picks[..3].iter().map(|&x| NodeId(x)).collect(),
             }
         })
         .collect();
@@ -89,13 +99,75 @@ fn loaded_master(blocks: u64) -> Master {
 
 fn bench_retarget() -> Snapshot {
     // The paper's §III-D scalability bar: 50 GB pending = 200 blocks.
-    let mut m = loaded_master(200);
+    // Pinned to the reference engine: with the incremental one, every
+    // warm iteration hits the empty-dirty skip and times nothing.
+    let mut m = loaded_master(200, 7, SchedEngine::Reference);
     summarize(
         "algo1/retarget_50GB_pending",
         sample(50, || {
             m.retarget();
             std::hint::black_box(m.pending_len());
         }),
+    )
+}
+
+/// The 100k-pending scheduler pair: full rescan vs the incremental pass
+/// with exactly one dirty node per iteration. The acceptance bar is the
+/// incremental median ≥10× below the full-rescan median.
+fn bench_algo1_scaling() -> (Snapshot, Snapshot) {
+    const PENDING: u64 = 100_000;
+    const NODES: u32 = 100;
+    let full = {
+        let mut m = loaded_master(PENDING, NODES, SchedEngine::Reference);
+        summarize(
+            "algo1/full_rescan_100k",
+            sample(12, || {
+                std::hint::black_box(m.retarget().rescored);
+            }),
+        )
+    };
+    let incremental = {
+        let mut m = loaded_master(PENDING, NODES, SchedEngine::Incremental);
+        let spb = 1.0 / (140.0 * MB as f64);
+        m.on_heartbeat(NodeId(0), spb, BLOCK);
+        m.retarget(); // warm: first pass scores everything
+        let mut tick = 0u64;
+        summarize(
+            "algo1/incremental_100k_1dirty",
+            sample(24, || {
+                // One node's measured cost jitters between heartbeats —
+                // the steady-state shape: only the dirty node's replica
+                // holders (3/NODES of entries) need rescoring, and
+                // winners barely move.
+                tick += 1;
+                let drift = spb * (1.0 + tick as f64 * 1e-12);
+                m.on_heartbeat(NodeId(0), drift, BLOCK);
+                std::hint::black_box(m.retarget().rescored);
+            }),
+        )
+    };
+    (full, incremental)
+}
+
+/// `on_slave_pull` against small and huge pending stores: with the
+/// per-node bind queues the cost must not scale with total pending size.
+fn bench_pull_bind() -> (Snapshot, Snapshot) {
+    const NODES: u32 = 40;
+    let run = |name: &'static str, pending: u64| -> Snapshot {
+        let mut m = loaded_master(pending, NODES, SchedEngine::Incremental);
+        m.retarget();
+        let mut node = 0u32;
+        summarize(
+            name,
+            sample(200, || {
+                node = (node + 1) % NODES;
+                std::hint::black_box(m.on_slave_pull(NodeId(node), 4).len());
+            }),
+        )
+    };
+    (
+        run("sched/pull_bind_1k_pending", 1_000),
+        run("sched/pull_bind_100k_pending", 100_000),
     )
 }
 
@@ -180,8 +252,14 @@ fn main() {
         .unwrap_or_else(|| "local".into());
     let out_dir = flag("--out").unwrap_or_else(|| ".".into());
 
+    let (full_rescan, incremental) = bench_algo1_scaling();
+    let (pull_1k, pull_100k) = bench_pull_bind();
     let snapshots = [
         bench_retarget(),
+        full_rescan,
+        incremental,
+        pull_1k,
+        pull_100k,
         bench_end_to_end(),
         bench_codec(),
         bench_loopback(),

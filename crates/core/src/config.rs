@@ -48,6 +48,49 @@ pub struct DyrsConfig {
     /// per-node quarantine.
     #[serde(default)]
     pub failure_detector: FailureDetectorConfig,
+    /// Pending-migration scheduler: which Algorithm 1 engine runs and how
+    /// eagerly estimate drift dirties nodes.
+    #[serde(default)]
+    pub scheduler: SchedulerConfig,
+}
+
+/// Which Algorithm 1 implementation the master's scheduler runs. Both are
+/// decision-identical (asserted by the `sched_equivalence` proptests);
+/// the reference pass exists for differential testing and as the
+/// executable form of the paper's pseudocode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedEngine {
+    /// Dirty-set incremental pass: only entries whose candidate set or
+    /// node trajectories changed since the last pass are rescored.
+    #[default]
+    Incremental,
+    /// The paper's full rescan: every pending entry rescored every pass.
+    Reference,
+}
+
+/// Scheduler engine selection and dirty-set thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Which retarget engine runs.
+    #[serde(default)]
+    pub engine: SchedEngine,
+    /// Relative threshold below which a node's seconds-per-byte drift is
+    /// ignored by the scoring snapshot (the node is not dirtied and keeps
+    /// its old estimate). `0.0` — the default — mirrors every heartbeat
+    /// exactly, keeping decisions identical to the paper's master;
+    /// positive values trade estimate freshness for fewer rescores under
+    /// EWMA jitter. Queued-bytes and candidacy changes always apply.
+    #[serde(default)]
+    pub spb_epsilon: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            engine: SchedEngine::default(),
+            spb_epsilon: 0.0,
+        }
+    }
 }
 
 /// Master-side gray-failure detector knobs.
@@ -165,6 +208,7 @@ impl Default for DyrsConfig {
             max_concurrent_migrations: default_max_concurrent(),
             in_progress_refresh: default_true(),
             failure_detector: FailureDetectorConfig::default(),
+            scheduler: SchedulerConfig::default(),
         }
     }
 }
@@ -215,6 +259,13 @@ mod tests {
     fn queue_depth_zero_block_is_minimal() {
         let c = DyrsConfig::default();
         assert_eq!(c.queue_depth(0, 1e8), 1 + c.queue_slack);
+    }
+
+    #[test]
+    fn scheduler_defaults_are_exact_incremental() {
+        let s = DyrsConfig::default().scheduler;
+        assert_eq!(s.engine, SchedEngine::Incremental);
+        assert_eq!(s.spb_epsilon, 0.0, "default snapshot is an exact mirror");
     }
 
     #[test]

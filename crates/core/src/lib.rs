@@ -38,10 +38,11 @@ pub mod estimator;
 pub mod master;
 pub mod policy;
 pub mod refs;
+pub mod sched;
 pub mod slave;
 pub mod types;
 
-pub use config::{DyrsConfig, FailureDetectorConfig};
+pub use config::{DyrsConfig, FailureDetectorConfig, SchedEngine, SchedulerConfig};
 pub use dyrs_obs as obs;
 pub use dyrs_obs::ObsHandle;
 pub use estimator::MigrationEstimator;
@@ -50,5 +51,6 @@ pub use master::Master;
 pub use master::{BlockRequest, HealthReport, NodeHealth, RequestOutcome};
 pub use policy::{MigrationOrder, MigrationPolicy};
 pub use refs::ReferenceLists;
+pub use sched::RetargetStats;
 pub use slave::{HeartbeatReport, Slave};
 pub use types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};

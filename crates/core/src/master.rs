@@ -14,15 +14,16 @@
 //! All state is soft (§III-C): [`Master::restart`] drops everything and
 //! the system degrades to plain HDFS until slaves repopulate it.
 
-use crate::config::FailureDetectorConfig;
+use crate::config::{FailureDetectorConfig, SchedulerConfig};
 use crate::policy::{MigrationOrder, MigrationPolicy};
+use crate::sched::{RetargetStats, Scheduler};
 use crate::types::{BoundMigration, EvictionMode, JobRef, Migration, MigrationId};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
-use dyrs_obs::{cause, CandidateScore, ObsHandle, ProvenanceRecord};
+use dyrs_obs::{cause, ObsHandle};
 use serde::{Deserialize, Serialize};
 use simkit::{Rng, SimTime};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Scheduling hints about the requesting job, used by the non-FIFO
 /// migration orders (future-work policies, see
@@ -98,17 +99,6 @@ pub struct MasterStats {
     pub missed_reads: u64,
     /// Retargeting passes executed.
     pub retarget_passes: u64,
-}
-
-struct PendingEntry {
-    migration: Migration,
-    target: Option<NodeId>,
-    /// Arrival sequence (FIFO key and stable tie-break).
-    seq: u64,
-    /// Requesting job's scheduling hint.
-    hint: JobHint,
-    /// Retry backoff: the entry may not bind before this instant.
-    not_before: SimTime,
 }
 
 /// A node's health as classified by the gray-failure detector. Only
@@ -252,9 +242,9 @@ pub struct HealthReport {
 pub struct Master {
     policy: MigrationPolicy,
     nodes: Vec<NodeState>,
-    pending: VecDeque<PendingEntry>,
-    /// Blocks currently in `pending` (dedup / O(1) membership).
-    pending_blocks: BTreeSet<BlockId>,
+    /// The indexed pending-migration store and Algorithm 1 engine. All
+    /// pending bookkeeping goes through its API (`pending-fence` lint).
+    sched: Scheduler,
     /// block → node currently buffering it.
     migrated: BTreeMap<BlockId, NodeId>,
     /// Ignem only: block → the replica chosen at submission time. Ignem's
@@ -269,9 +259,6 @@ pub struct Master {
     stats: MasterStats,
     /// Prior for a node we have not heard a heartbeat from yet.
     default_spb: f64,
-    /// Pending-list discipline (FIFO in the paper; SJF/EDF implemented
-    /// as the paper's future-work exploration).
-    order: MigrationOrder,
     /// Lifecycle span + provenance recorder; disconnected unless the
     /// driver attached one.
     obs: ObsHandle,
@@ -306,8 +293,7 @@ impl Master {
                 };
                 num_nodes
             ],
-            pending: VecDeque::new(),
-            pending_blocks: BTreeSet::new(),
+            sched: Scheduler::new(num_nodes, 1.0 / default_disk_bw),
             migrated: BTreeMap::new(),
             ignem_bindings: BTreeMap::new(),
             job_blocks: BTreeMap::new(),
@@ -315,7 +301,6 @@ impl Master {
             next_id: 0,
             stats: MasterStats::default(),
             default_spb: 1.0 / default_disk_bw,
-            order: MigrationOrder::Fifo,
             obs: ObsHandle::default(),
             detector: None,
             det: vec![DetectorState::default(); num_nodes],
@@ -332,6 +317,33 @@ impl Master {
             self.detector = Some(cfg);
         } else {
             self.detector = None;
+        }
+        // Toggling the detector changes every node's candidacy rule.
+        self.sync_all_nodes();
+    }
+
+    /// Select the scheduler engine and dirty-set thresholds (default:
+    /// the incremental engine with an exact snapshot mirror).
+    pub fn set_sched_config(&mut self, cfg: SchedulerConfig) {
+        self.sched.set_config(cfg);
+    }
+
+    /// Push the master's live view of `node` — cost estimate, queued
+    /// backlog, and candidacy (liveness ∧ detector health) — into the
+    /// scheduler's scoring snapshot. Every mutation site calls this, so
+    /// the snapshot trails the live view by at most the configured
+    /// `spb_epsilon` (exact mirror at the default 0).
+    fn sync_node(&mut self, node: NodeId) {
+        let i = node.index();
+        let s = self.nodes[i];
+        self.sched.set_node_load(i, s.spb, s.queued_bytes);
+        let candidate = s.up && self.targetable(node);
+        self.sched.set_node_candidacy(i, candidate);
+    }
+
+    fn sync_all_nodes(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.sync_node(NodeId(i as u32));
         }
     }
 
@@ -359,31 +371,12 @@ impl Master {
 
     /// Select the pending-list discipline (default FIFO).
     pub fn set_order(&mut self, order: MigrationOrder) {
-        self.order = order;
+        self.sched.set_order(order);
     }
 
     /// The active pending-list discipline.
     pub fn order(&self) -> MigrationOrder {
-        self.order
-    }
-
-    /// Re-sort the pending list per the configured order. Stable, with
-    /// arrival sequence as the final tie-break, so FIFO is exactly the
-    /// identity and the other orders are deterministic.
-    fn sort_pending(&mut self) {
-        match self.order {
-            MigrationOrder::Fifo => {} // arrival order is maintained
-            MigrationOrder::SmallestJobFirst => {
-                let mut v: Vec<PendingEntry> = self.pending.drain(..).collect();
-                v.sort_by_key(|e| (e.hint.total_bytes, e.seq));
-                self.pending = v.into();
-            }
-            MigrationOrder::EarliestDeadlineFirst => {
-                let mut v: Vec<PendingEntry> = self.pending.drain(..).collect();
-                v.sort_by_key(|e| (e.hint.expected_launch, e.seq));
-                self.pending = v.into();
-            }
-        }
+        self.sched.order()
     }
 
     /// The active policy.
@@ -398,20 +391,17 @@ impl Master {
 
     /// Number of migrations waiting to be bound.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.sched.len()
     }
 
     /// Total bytes waiting to be bound.
     pub fn pending_bytes(&self) -> u64 {
-        self.pending.iter().map(|e| e.migration.bytes).sum()
+        self.sched.bytes()
     }
 
     /// The node a pending block is currently targeted at, if any.
     pub fn target_of(&self, block: BlockId) -> Option<NodeId> {
-        self.pending
-            .iter()
-            .find(|e| e.migration.block == block)
-            .and_then(|e| e.target)
+        self.sched.target_of(block)
     }
 
     /// Where a block is buffered, if anywhere.
@@ -422,7 +412,7 @@ impl Master {
     /// Blocks awaiting binding, in ascending id order (exposed for
     /// auditing).
     pub fn pending_block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.pending_blocks.iter().copied()
+        self.sched.block_ids()
     }
 
     /// Every (block, hosting node) buffering record, in ascending block
@@ -496,16 +486,8 @@ impl Master {
                 out.add_refs.push((node, req.block, jref));
                 continue;
             }
-            if self.pending_blocks.contains(&req.block) {
-                if let Some(entry) = self
-                    .pending
-                    .iter_mut()
-                    .find(|e| e.migration.block == req.block)
-                {
-                    if !entry.migration.jobs.iter().any(|r| r.job == job) {
-                        entry.migration.jobs.push(jref);
-                    }
-                }
+            if self.sched.contains_block(req.block) {
+                self.sched.add_job_ref(req.block, jref);
                 continue;
             }
             self.stats.requested_blocks += 1;
@@ -537,23 +519,16 @@ impl Master {
                     self.obs
                         .migration_bound(migration.id.0, node, cause::IGNEM_IMMEDIATE);
                     out.immediate.push(BoundMigration { migration, node });
+                    self.sync_node(node);
                 } else {
                     self.obs
                         .migration_aborted(migration.id.0, None, cause::NO_LIVE_REPLICA);
                 }
             } else {
-                self.pending_blocks.insert(migration.block);
                 let seq = self.next_id; // ids are monotone → arrival order
-                self.pending.push_back(PendingEntry {
-                    migration,
-                    target: None,
-                    seq,
-                    hint,
-                    not_before: SimTime::ZERO,
-                });
+                self.sched.insert(migration, seq, hint, SimTime::ZERO);
             }
         }
-        self.sort_pending();
         out
     }
 
@@ -593,6 +568,7 @@ impl Master {
                 d.health = NodeHealth::Healthy;
             }
         }
+        self.sync_node(node);
     }
 
     /// Mark a slave up or down (mirrors the file system's liveness view).
@@ -624,6 +600,7 @@ impl Master {
             // inheriting the pre-crash one.
             self.det[node.index()].last_heartbeat = None;
         }
+        self.sync_node(node);
     }
 
     /// One failure-detector pass at simulated time `now`: classify nodes
@@ -681,6 +658,8 @@ impl Master {
                 report.stuck.push((rec.node, block));
             }
         }
+        // Health transitions above change candidacy; push the new view.
+        self.sync_all_nodes();
         report
     }
 
@@ -728,6 +707,7 @@ impl Master {
         let s = &mut self.nodes[node.index()];
         s.queued_bytes = (s.queued_bytes - rec.migration.bytes as f64).max(0.0);
         self.strike(node, &cfg, self.clock);
+        self.sync_node(node);
         let old = rec.migration;
         let attempt = old.attempt + 1;
         if attempt >= cfg.max_attempts {
@@ -738,7 +718,7 @@ impl Master {
             return;
         }
         self.obs.migration_aborted(old.id.0, Some(node), why);
-        if self.pending_blocks.contains(&block) {
+        if self.sched.contains_block(block) {
             // A newer request already re-pended the block; no successor.
             return;
         }
@@ -774,8 +754,9 @@ impl Master {
         if strike {
             self.strike(rec.node, &cfg, self.clock);
         }
+        self.sync_node(rec.node);
         let attempt = rec.migration.attempt + 1;
-        if attempt >= cfg.max_attempts || self.pending_blocks.contains(&block) {
+        if attempt >= cfg.max_attempts || self.sched.contains_block(block) {
             return;
         }
         self.spawn_successor(rec.migration, attempt, rec.hint, true);
@@ -809,16 +790,8 @@ impl Master {
         self.obs
             .migration_pending_why(id.0, old.block, old.bytes, None, cause::RETRY);
         self.obs.counter_add("detector.retries", 1);
-        self.pending_blocks.insert(old.block);
         let seq = self.next_id;
-        self.pending.push_back(PendingEntry {
-            migration,
-            target: None,
-            seq,
-            hint,
-            not_before,
-        });
-        self.sort_pending();
+        self.sched.insert(migration, seq, hint, not_before);
     }
 
     // ------------------------------------------------------------------
@@ -844,92 +817,21 @@ impl Master {
     /// own `spb[n] × bytes` evaluated per candidate, which reduces to the
     /// paper's formula when all blocks are the same size.
     ///
-    /// Runs in O(pending × replication); the master's scalability claim
-    /// (§III-D: 50 GB of pending migrations retargeted in under a
-    /// millisecond) is validated by `bench/algo1_pass`.
-    pub fn retarget(&mut self) {
+    /// The heavy lifting lives in [`crate::sched`]: the default
+    /// incremental engine rescoring only entries whose candidate set
+    /// changed since the last pass, with the full-rescan reference engine
+    /// selectable via [`crate::config::SchedulerConfig`]. Both produce
+    /// bit-identical decisions; `bench/algo1_*` validates the §III-D
+    /// scalability claim (50 GB of pending migrations retargeted in under
+    /// a millisecond) for both.
+    ///
+    /// Returns how many pending entries the pass rescored vs skipped.
+    pub fn retarget(&mut self) -> RetargetStats {
         if !self.policy.uses_targeting() {
-            return;
+            return RetargetStats::default();
         }
         self.stats.retarget_passes += 1;
-        let mut finish: Vec<f64> = self.nodes.iter().map(|s| s.spb * s.queued_bytes).collect();
-        let mut candidates: Vec<(NodeId, usize)> = Vec::new();
-        // Decision provenance is recording-only; skip all of it (including
-        // the per-entry score vectors) when nothing is listening — this
-        // loop is the `bench/algo1_pass` hot path.
-        let recording = self.obs.is_enabled();
-        let mut provenance: Vec<ProvenanceRecord> = Vec::new();
-        // Health gating is hoisted out of the candidate filter: the pending
-        // list is borrowed mutably below, so `targetable` cannot be called
-        // on `self` inside the loop.
-        let healthy: Vec<bool> = (0..self.nodes.len())
-            .map(|i| self.targetable(NodeId(i as u32)))
-            .collect();
-        for entry in &mut self.pending {
-            let bytes = entry.migration.bytes as f64;
-            // Candidates are scanned in NodeId order, but equal finish
-            // times tie-break on *placement rank* (the replica's position
-            // in the namenode's placement order): the first replica is the
-            // likeliest data-local reader, so binding there keeps the
-            // migrated copy next to the map task that wants it. The winner
-            // is a pure minimum over (finish, rank), so the result cannot
-            // depend on the order this loop happens to visit candidates.
-            candidates.clear();
-            candidates.extend(
-                entry
-                    .migration
-                    .replicas
-                    .iter()
-                    .copied()
-                    .enumerate()
-                    .filter(|&(_, loc)| self.nodes[loc.index()].up && healthy[loc.index()])
-                    .map(|(rank, loc)| (loc, rank)),
-            );
-            candidates.sort_unstable();
-            let mut best: Option<(f64, usize, NodeId)> = None;
-            let mut scores: Vec<CandidateScore> = Vec::new();
-            for &(loc, rank) in &candidates {
-                let s = &self.nodes[loc.index()];
-                let candidate = finish[loc.index()] + s.spb * bytes;
-                if recording {
-                    scores.push(CandidateScore {
-                        node: loc.0,
-                        rank: rank as u32,
-                        est_finish_secs: candidate,
-                    });
-                }
-                let better =
-                    best.is_none_or(|(bf, br, _)| candidate < bf || (candidate == bf && rank < br));
-                if better {
-                    best = Some((candidate, rank, loc));
-                }
-            }
-            let old_target = entry.target;
-            match best {
-                Some((f, _, node)) => {
-                    entry.target = Some(node);
-                    finish[node.index()] = f;
-                    if old_target != Some(node) {
-                        self.obs.migration_targeted(entry.migration.id.0, node);
-                    }
-                }
-                None => entry.target = None, // all replicas down right now
-            }
-            if recording {
-                provenance.push(ProvenanceRecord {
-                    at: simkit::SimTime::ZERO, // recorder stamps time + pass
-                    pass: 0,
-                    migration: entry.migration.id.0,
-                    block: entry.migration.block.0,
-                    bytes: entry.migration.bytes,
-                    candidates: scores,
-                    winner: entry.target.map(|n| n.0),
-                });
-            }
-        }
-        if recording {
-            self.obs.retarget_pass(provenance);
-        }
+        self.sched.retarget(&self.obs)
     }
 
     // ------------------------------------------------------------------
@@ -965,45 +867,35 @@ impl Master {
         }
         let targeted = self.policy.uses_targeting();
         let now = self.clock;
-        let mut taken = Vec::new();
-        let mut kept = VecDeque::with_capacity(self.pending.len());
-        while let Some(entry) = self.pending.pop_front() {
-            // retry-backoff entries (`not_before`) are not yet eligible
-            let eligible = if taken.len() >= space.min(allow) || entry.not_before > now {
-                false
-            } else if targeted {
-                entry.target == Some(node)
-            } else {
-                entry.migration.replicas.contains(&node)
-            };
-            if eligible {
-                self.pending_blocks.remove(&entry.migration.block);
-                self.nodes[node.index()].queued_bytes += entry.migration.bytes as f64;
-                self.stats.bound += 1;
-                self.obs
-                    .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
-                if detector_on {
-                    if self.det[node.index()].health == NodeHealth::Probation {
-                        self.det[node.index()].probation_block = Some(entry.migration.block);
-                    }
-                    self.bound_records.insert(
-                        entry.migration.block,
-                        BoundRecord {
-                            node,
-                            bound_at: now,
-                            est_secs_at_bind: self.nodes[node.index()].spb
-                                * entry.migration.bytes as f64,
-                            hint: entry.hint,
-                            migration: entry.migration.clone(),
-                        },
-                    );
+        // The per-node index pops exactly the eligible entries in
+        // admission order — no scan over unrelated pending work, and no
+        // popping past the `space.min(allow)` budget.
+        let picked = self.sched.pull(node, targeted, now, space.min(allow));
+        let mut taken = Vec::with_capacity(picked.len());
+        for entry in picked {
+            self.nodes[node.index()].queued_bytes += entry.migration.bytes as f64;
+            self.stats.bound += 1;
+            self.obs
+                .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
+            if detector_on {
+                if self.det[node.index()].health == NodeHealth::Probation {
+                    self.det[node.index()].probation_block = Some(entry.migration.block);
                 }
-                taken.push(entry.migration);
-            } else {
-                kept.push_back(entry);
+                self.bound_records.insert(
+                    entry.migration.block,
+                    BoundRecord {
+                        node,
+                        bound_at: now,
+                        est_secs_at_bind: self.nodes[node.index()].spb
+                            * entry.migration.bytes as f64,
+                        hint: entry.hint,
+                        migration: entry.migration.clone(),
+                    },
+                );
             }
+            taken.push(entry.migration);
         }
-        self.pending = kept;
+        self.sync_node(node);
         taken
     }
 
@@ -1028,6 +920,7 @@ impl Master {
                 self.obs.counter_add("detector.probations_passed", 1);
             }
         }
+        self.sync_node(node);
     }
 
     /// A slave evicted `block` from its memory.
@@ -1039,16 +932,16 @@ impl Master {
     /// migration (a *missed read* — migrating it now would be wasted work).
     /// Returns `true` if a pending migration was cancelled.
     pub fn on_block_read(&mut self, block: BlockId) -> bool {
-        if self.pending_blocks.remove(&block) {
-            if let Some(e) = self.pending.iter().find(|e| e.migration.block == block) {
+        // One O(log n) index lookup replaces the old double scan (find for
+        // the obs event, then retain to drop the entry).
+        match self.sched.remove_block(block) {
+            Some(entry) => {
                 self.obs
-                    .migration_aborted(e.migration.id.0, None, cause::MISSED_READ);
+                    .migration_aborted(entry.migration.id.0, None, cause::MISSED_READ);
+                self.stats.missed_reads += 1;
+                true
             }
-            self.pending.retain(|e| e.migration.block != block);
-            self.stats.missed_reads += 1;
-            true
-        } else {
-            false
+            None => false,
         }
     }
 
@@ -1057,26 +950,18 @@ impl Master {
     /// nobody else wants) and returns the set of nodes that must drop the
     /// job's references.
     pub fn evict_job(&mut self, job: JobId) -> Vec<NodeId> {
-        // Drop the job from pending migrations.
-        let mut removed = Vec::new();
-        for entry in &mut self.pending {
-            entry.migration.jobs.retain(|r| r.job != job);
-            if entry.migration.jobs.is_empty() {
-                removed.push((entry.migration.block, entry.migration.id));
-            }
-        }
-        if !removed.is_empty() {
-            self.pending.retain(|e| !e.migration.jobs.is_empty());
-            for (b, id) in &removed {
-                self.pending_blocks.remove(b);
+        // Drop the job from pending migrations. `job_blocks` records every
+        // block the job ever requested (every pending job-ref was added
+        // alongside a `job_blocks` push), so this visits only the job's
+        // own blocks instead of scanning the whole pending list.
+        let blocks = self.job_blocks.remove(&job).unwrap_or_default();
+        for &block in &blocks {
+            if let Some(id) = self.sched.drop_job_ref(block, job) {
                 self.obs.migration_aborted(id.0, None, cause::JOB_EVICTED);
             }
         }
         // Tell every slave buffering one of the job's blocks.
-        let mut nodes: Vec<NodeId> = self
-            .job_blocks
-            .remove(&job)
-            .unwrap_or_default()
+        let mut nodes: Vec<NodeId> = blocks
             .iter()
             .filter_map(|b| self.migrated.get(b).copied())
             .collect();
@@ -1090,12 +975,11 @@ impl Master {
     /// the only cost is that reads cannot be redirected to memory until
     /// state is repopulated.
     pub fn restart(&mut self) {
-        for entry in &self.pending {
+        for entry in self.sched.entries() {
             self.obs
                 .migration_aborted(entry.migration.id.0, None, cause::MASTER_RESTART);
         }
-        self.pending.clear();
-        self.pending_blocks.clear();
+        self.sched.reset(self.default_spb);
         self.migrated.clear();
         self.ignem_bindings.clear();
         self.job_blocks.clear();
@@ -1109,38 +993,31 @@ impl Master {
         for d in &mut self.det {
             *d = DetectorState::default();
         }
+        // Nodes that were down stay down across a *master* restart; push
+        // the post-reset load and candidacy view into the scheduler.
+        self.sync_all_nodes();
     }
 }
 
 impl simkit::audit::Audit for Master {
     /// Master-side invariants:
     ///
-    /// * the pending list holds at most one migration per block and
-    ///   `pending_blocks` is its exact mirror (the dedup set and the list
-    ///   must never drift — §III-A1's "bind once" hinges on it);
-    /// * every pending migration carries at least one interested job and a
-    ///   positive size;
+    /// * every pending migration carries at least one interested job, a
+    ///   positive size, and an in-range target (§III-A1's "bind once"
+    ///   per-block uniqueness is structural now: the scheduler's block
+    ///   index cannot hold two entries for one block, and
+    ///   [`crate::sched`]'s own audit cross-checks every index);
+    /// * the scheduler's per-node snapshot mirrors the master's live view
+    ///   (exact when `spb_epsilon` is 0 — with a dampening epsilon the
+    ///   snapshot is allowed to lag by design);
     /// * per-node state from heartbeats is sane: cost estimates finite and
     ///   positive (§IV-A), queued-byte views finite and non-negative;
     /// * buffering records point at nodes that are up (§III-C2: a dead
     ///   node's records are dropped with it).
     fn audit(&self, report: &mut simkit::audit::AuditReport) {
         let c = "master";
-        let mut seen = std::collections::BTreeSet::new();
-        for e in &self.pending {
+        for e in self.sched.entries() {
             let block = e.migration.block;
-            report.check(
-                seen.insert(block),
-                c,
-                "§III-A1: at most one pending migration per block",
-                || format!("{block} is pending twice"),
-            );
-            report.check(
-                self.pending_blocks.contains(&block),
-                c,
-                "pending_blocks mirrors the pending list",
-                || format!("{block} is pending but not in pending_blocks"),
-            );
             report.check(
                 !e.migration.jobs.is_empty(),
                 c,
@@ -1162,18 +1039,30 @@ impl simkit::audit::Audit for Master {
                 );
             }
         }
-        report.check(
-            seen.len() == self.pending_blocks.len(),
-            c,
-            "pending_blocks mirrors the pending list",
-            || {
-                format!(
-                    "pending_blocks has {} entries, pending list {}",
-                    self.pending_blocks.len(),
-                    seen.len()
-                )
-            },
-        );
+        if self.sched.config().spb_epsilon == 0.0 {
+            for (i, s) in self.nodes.iter().enumerate() {
+                let node = NodeId(i as u32);
+                let (spb, queued, candidate) = self.sched.node_snapshot(i);
+                report.check(
+                    spb == s.spb && queued == s.queued_bytes,
+                    c,
+                    "scheduler load snapshot mirrors the master's live view",
+                    || {
+                        format!(
+                            "node {i}: snapshot ({spb}, {queued}) vs live ({}, {})",
+                            s.spb, s.queued_bytes
+                        )
+                    },
+                );
+                report.check(
+                    candidate == (s.up && self.targetable(node)),
+                    c,
+                    "scheduler candidacy snapshot mirrors health gating",
+                    || format!("node {i}: snapshot candidate = {candidate}"),
+                );
+            }
+        }
+        self.sched.audit(report);
         for (i, s) in self.nodes.iter().enumerate() {
             report.check(
                 s.spb.is_finite() && s.spb > 0.0,

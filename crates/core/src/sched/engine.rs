@@ -1,0 +1,334 @@
+//! The two Algorithm 1 engines: the paper-shaped full rescan
+//! ([`SchedEngine::Reference`]) and the dirty-set incremental pass
+//! ([`SchedEngine::Incremental`]).
+//!
+//! Both score exclusively from the scheduler's per-node snapshot
+//! (`snap_spb` / `snap_queued` / `snap_candidate`) with the same winner
+//! rule — the strict minimum over `(est_finish, rank)` with `<` on the
+//! float score — so their decisions are bit-identical, not merely close.
+//!
+//! # Equivalence argument
+//!
+//! The reference pass walks the queue in admission order carrying a
+//! per-node finish-time trajectory `finish[n]`, initialized to
+//! `spb[n]·queued[n]` and advanced to the winner's score whenever an
+//! entry picks `n`. An entry's candidate score on `n` therefore depends
+//! only on (a) the snapshot values of `n` and (b) the set of *earlier*
+//! queue entries targeted at `n`. The incremental pass exploits the
+//! contrapositive: if neither changed since the last pass, the cached
+//! score is still exact.
+//!
+//! * Every entry whose decision *could* change is in the visit set: a
+//!   snapshot change dirties the node, and `replica_idx[node]` contains
+//!   every entry that can see it; new admissions enter via
+//!   `dirty_entries`; a removal of a targeted entry dirties its node.
+//! * Visits happen in ascending queue order, so when entry `e` is scored
+//!   every dirty node's trajectory is live-correct up to `e`'s position,
+//!   and every clean candidate's cached score is exact by induction.
+//! * When a visited entry's winner moves between *clean* nodes, those
+//!   nodes' trajectories change downstream of `e`: the engine
+//!   materializes the node's live trajectory from the `targeted` index
+//!   (the previous targeted entry's cached winner score — an exact cached
+//!   value, never re-derived arithmetic, because `a + b − b ≠ a` in
+//!   floating point) and extends the visit set with the node's replica
+//!   holders after `e`'s position. This is the cascade that keeps the
+//!   greedy chain identical to the reference walk.
+
+use super::{Entry, OrderKey, RetargetStats, SchedEngine, Scheduler};
+use dyrs_cluster::NodeId;
+use dyrs_obs::{CandidateScore, ObsHandle, ProvenanceRecord};
+use simkit::SimTime;
+use std::collections::BTreeSet;
+
+/// The winner rule shared by both engines: strictly better score, or an
+/// exact score tie broken by placement rank.
+#[inline]
+fn better(candidate: f64, rank: usize, best: Option<(f64, usize, NodeId)>) -> bool {
+    best.is_none_or(|(bf, br, _)| candidate < bf || (candidate == bf && rank < br))
+}
+
+impl Scheduler {
+    /// One Algorithm 1 pass with the configured engine. Emits
+    /// `migration_targeted` span events for every entry whose winner
+    /// changed and a provenance batch covering the rescored entries.
+    pub(crate) fn retarget(&mut self, obs: &ObsHandle) -> RetargetStats {
+        match self.cfg.engine {
+            SchedEngine::Reference => self.pass_reference(obs),
+            SchedEngine::Incremental => self.pass_incremental(obs),
+        }
+    }
+
+    /// A candidate node's finish-time trajectory just *before* queue
+    /// position `pos`: the cached winner score of the last earlier entry
+    /// targeted at the node, or the snapshot base when none is. Reading
+    /// the cached value back (rather than recomputing) is what keeps the
+    /// incremental cascade bit-identical to the reference walk.
+    fn finish_before(&self, node: usize, pos: (OrderKey, usize)) -> f64 {
+        match self.targeted[node].range(..pos).next_back() {
+            Some(&(_, idx)) => {
+                self.raw_pending[idx]
+                    .as_ref()
+                    .expect("targeted slots are live")
+                    .winner_score
+            }
+            None => self.snap_spb[node] * self.snap_queued[node],
+        }
+    }
+
+    /// The paper's full rescan (§III-A2 / Algorithm 1): greedily set each
+    /// pending block's target to the replica expected to finish earliest
+    /// given snapshot cost and backlog, walking the queue in admission
+    /// order and charging each winner's score to its node's trajectory.
+    fn pass_reference(&mut self, obs: &ObsHandle) -> RetargetStats {
+        let mut finish: Vec<f64> = (0..self.snap_spb.len())
+            .map(|i| self.snap_spb[i] * self.snap_queued[i])
+            .collect();
+        let order: Vec<(OrderKey, usize)> = self.queue.iter().copied().collect();
+        let total = order.len() as u64;
+        // Decision provenance is recording-only; skip all of it (including
+        // the per-entry score vectors) when nothing is listening — this
+        // loop is the `bench/algo1` hot path.
+        let recording = obs.is_enabled();
+        let mut provenance: Vec<ProvenanceRecord> = Vec::new();
+        let mut candidates: Vec<(NodeId, usize)> = Vec::new();
+        for (key, idx) in order {
+            let mut entry = self.raw_pending[idx].take().expect("queued slots are live");
+            // Candidates are scanned in NodeId order, but equal finish
+            // times tie-break on *placement rank* (the replica's position
+            // in the namenode's placement order): the first replica is the
+            // likeliest data-local reader, so binding there keeps the
+            // migrated copy next to the map task that wants it. The winner
+            // is a pure minimum over (finish, rank), so the result cannot
+            // depend on the order this loop happens to visit candidates.
+            candidates.clear();
+            candidates.extend(
+                entry
+                    .migration
+                    .replicas
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|&(_, loc)| self.snap_candidate[loc.index()])
+                    .map(|(rank, loc)| (loc, rank)),
+            );
+            candidates.sort_unstable();
+            let bytes = entry.migration.bytes as f64;
+            let mut best: Option<(f64, usize, NodeId)> = None;
+            let mut scores: Vec<CandidateScore> = Vec::new();
+            let mut cache = vec![f64::INFINITY; entry.migration.replicas.len()];
+            for &(loc, rank) in &candidates {
+                let candidate = finish[loc.index()] + self.snap_spb[loc.index()] * bytes;
+                cache[rank] = candidate;
+                if recording {
+                    scores.push(CandidateScore {
+                        node: loc.0,
+                        rank: rank as u32,
+                        est_finish_secs: candidate,
+                    });
+                }
+                if better(candidate, rank, best) {
+                    best = Some((candidate, rank, loc));
+                }
+            }
+            self.apply_winner(&mut entry, key, idx, best, obs);
+            // Charge the winner to its node's trajectory: later entries
+            // queue behind it.
+            if let Some((f, _, w)) = best {
+                finish[w.index()] = f;
+            }
+            entry.scores = cache;
+            entry.cache_valid = true;
+            if recording {
+                provenance.push(provenance_record(&entry));
+            }
+            self.raw_pending[idx] = Some(entry);
+        }
+        // A full pass leaves nothing stale.
+        self.dirty_nodes.clear();
+        self.dirty_entries.clear();
+        if recording {
+            obs.retarget_pass(provenance, total, 0);
+        }
+        RetargetStats {
+            rescored: total,
+            skipped: 0,
+        }
+    }
+
+    /// The incremental pass: rescore only entries whose decision inputs
+    /// changed since the last pass (dirty nodes' replica holders, new
+    /// admissions, and cascade-affected entries), in admission order.
+    fn pass_incremental(&mut self, obs: &ObsHandle) -> RetargetStats {
+        let total = self.queue.len() as u64;
+        let recording = obs.is_enabled();
+        if self.dirty_nodes.is_empty() && self.dirty_entries.is_empty() {
+            // Steady state: nothing moved, every cached decision stands.
+            if recording {
+                obs.retarget_pass(Vec::new(), 0, total);
+            }
+            return RetargetStats {
+                rescored: 0,
+                skipped: total,
+            };
+        }
+        // Live finish-time trajectories, maintained only for nodes whose
+        // downstream scores are in motion; `None` means the node's cached
+        // trajectory is still exact and entries read their cached scores.
+        let mut finish: Vec<Option<f64>> = vec![None; self.snap_spb.len()];
+        let mut visit: BTreeSet<(OrderKey, usize)> = self.dirty_entries.clone();
+        for &d in &self.dirty_nodes {
+            finish[d] = Some(self.snap_spb[d] * self.snap_queued[d]);
+            visit.extend(self.replica_idx[d].iter().copied());
+        }
+        let mut rescored = 0u64;
+        let mut provenance: Vec<ProvenanceRecord> = Vec::new();
+        while let Some((key, idx)) = visit.pop_first() {
+            rescored += 1;
+            let mut entry = self.raw_pending[idx]
+                .take()
+                .expect("visited slots are live");
+            let bytes = entry.migration.bytes as f64;
+            let had_cache = entry.cache_valid;
+            let mut cache = vec![f64::INFINITY; entry.migration.replicas.len()];
+            let mut best: Option<(f64, usize, NodeId)> = None;
+            for (rank, &loc) in entry.migration.replicas.iter().enumerate() {
+                let i = loc.index();
+                if !self.snap_candidate[i] {
+                    continue;
+                }
+                let score = match finish[i] {
+                    // Node in motion: live trajectory, like the reference.
+                    Some(f) => f + self.snap_spb[i] * bytes,
+                    None => {
+                        if had_cache && entry.scores[rank].is_finite() {
+                            // Clean node: the cached score is exact.
+                            entry.scores[rank]
+                        } else {
+                            // Never scored here (new admission, or a
+                            // candidacy flip that dirtied the node in any
+                            // case): materialize from the targeted index.
+                            self.finish_before(i, (key, idx)) + self.snap_spb[i] * bytes
+                        }
+                    }
+                };
+                cache[rank] = score;
+                if better(score, rank, best) {
+                    best = Some((score, rank, loc));
+                }
+            }
+            let old_target = entry.target;
+            let new_target = best.map(|(_, _, n)| n);
+            // A winner moving on or off a *clean* node changes that node's
+            // trajectory for every later queue position: switch the node to
+            // live accounting (seeded from the exact cached state just
+            // before this position) and cascade to its later replica
+            // holders.
+            if old_target != new_target {
+                for moved in [old_target, new_target].into_iter().flatten() {
+                    let i = moved.index();
+                    if finish[i].is_none() {
+                        finish[i] = Some(self.finish_before(i, (key, idx)));
+                        let after: Vec<(OrderKey, usize)> = self.replica_idx[i]
+                            .range((
+                                std::ops::Bound::Excluded((key, idx)),
+                                std::ops::Bound::Unbounded,
+                            ))
+                            .copied()
+                            .collect();
+                        visit.extend(after);
+                    }
+                }
+            }
+            self.apply_winner(&mut entry, key, idx, best, obs);
+            // Charge the winner to its node's live trajectory (the clean
+            // same-winner case needs no update: the cached chain already
+            // carries this exact score forward).
+            if let Some((f, _, w)) = best {
+                if finish[w.index()].is_some() {
+                    finish[w.index()] = Some(f);
+                }
+            }
+            entry.scores = cache;
+            entry.cache_valid = true;
+            if recording {
+                provenance.push(provenance_record(&entry));
+            }
+            self.raw_pending[idx] = Some(entry);
+        }
+        self.dirty_nodes.clear();
+        self.dirty_entries.clear();
+        let skipped = total - rescored;
+        if recording {
+            obs.retarget_pass(provenance, rescored, skipped);
+        }
+        RetargetStats { rescored, skipped }
+    }
+
+    /// Commit a scored entry's winner: update the target, maintain the
+    /// per-node bind queues, cache the winner score, and emit the span
+    /// event when the target changed.
+    fn apply_winner(
+        &mut self,
+        entry: &mut Entry,
+        key: OrderKey,
+        idx: usize,
+        best: Option<(f64, usize, NodeId)>,
+        obs: &ObsHandle,
+    ) {
+        let old_target = entry.target;
+        match best {
+            Some((f, _, node)) => {
+                entry.target = Some(node);
+                entry.winner_score = f;
+                if old_target != Some(node) {
+                    obs.migration_targeted(entry.migration.id.0, node);
+                }
+            }
+            None => {
+                entry.target = None; // all replicas down right now
+                entry.winner_score = f64::INFINITY;
+            }
+        }
+        if entry.target != old_target {
+            if let Some(t) = old_target {
+                self.targeted[t.index()].remove(&(key, idx));
+            }
+            if let Some(t) = entry.target {
+                self.targeted[t.index()].insert((key, idx));
+            }
+        }
+    }
+}
+
+/// A provenance record for one scored entry, with candidates in
+/// `(node, rank)` order. Pass index, timestamps, and the pass-level
+/// rescored/skipped counts are stamped by the recorder.
+fn provenance_record(entry: &Entry) -> ProvenanceRecord {
+    let mut cands: Vec<(u32, usize)> = entry
+        .migration
+        .replicas
+        .iter()
+        .enumerate()
+        .filter(|&(rank, _)| entry.scores[rank].is_finite())
+        .map(|(rank, loc)| (loc.0, rank))
+        .collect();
+    cands.sort_unstable();
+    ProvenanceRecord {
+        at: SimTime::ZERO, // recorder stamps time + pass
+        pass: 0,
+        migration: entry.migration.id.0,
+        block: entry.migration.block.0,
+        bytes: entry.migration.bytes,
+        candidates: cands
+            .into_iter()
+            .map(|(node, rank)| CandidateScore {
+                node,
+                rank: rank as u32,
+                est_finish_secs: entry.scores[rank],
+            })
+            .collect(),
+        winner: entry.target.map(|n| n.0),
+        rescored: 0,
+        skipped: 0,
+    }
+}

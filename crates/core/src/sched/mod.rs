@@ -1,0 +1,652 @@
+//! Indexed pending-migration scheduler (paper §III-D, scaled up).
+//!
+//! The paper's master keeps "a list of pending migrations" and rescans it
+//! wholesale: every Algorithm 1 pass rescores every entry, and every
+//! slave pull walks the whole list. That is fine for the paper's 50 GB
+//! bar but it is the hottest path in the system, so this module replaces
+//! the flat list with an indexed store:
+//!
+//! * a **slab** of entries plus a block → slot [`BTreeMap`], making
+//!   cancel-on-read, evict-job and duplicate-request lookups O(log n);
+//! * a global **admission queue** ordered by the configured
+//!   [`MigrationOrder`] (encoded as an [`OrderKey`] so the BTree *is* the
+//!   sort — no re-sorting on insert);
+//! * per-node **bind queues** (`targeted`, and `replica_idx` for the
+//!   untargeted Naive policy) so a pull pops exactly the eligible entries
+//!   for that node;
+//! * an **incremental Algorithm 1** engine (see [`engine`]) driven by
+//!   per-node scoring snapshots and dirty sets, with the full-rescan pass
+//!   kept as a reference implementation behind [`SchedEngine::Reference`].
+//!
+//! Everything is deterministic: slots are reused LIFO, all indexes are
+//! BTree-ordered, and the incremental engine is bit-identical to the
+//! reference pass (asserted by `crates/core/tests/sched_equivalence.rs`).
+//!
+//! The raw store (`raw_pending`) must not be iterated outside this
+//! module — `dyrs-verify`'s `pending-fence` lint enforces that the rest
+//! of the workspace goes through the index API.
+
+mod engine;
+
+use crate::config::{SchedEngine, SchedulerConfig};
+use crate::master::JobHint;
+use crate::policy::MigrationOrder;
+use crate::types::{JobRef, Migration, MigrationId};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use simkit::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Position of an entry in the admission order, independent of the
+/// discipline: the BTree indexes sort by `(OrderKey, slot)` and binding /
+/// retargeting walk that order directly.
+///
+/// `primary` encodes the discipline's sort key (`0` for FIFO,
+/// `hint.total_bytes` for SJF, `hint.expected_launch` in microseconds for
+/// EDF — lossless, since `SimTime` is microseconds internally) and `seq`
+/// is the arrival sequence, so ties break exactly like the old stable
+/// sort over `(key, seq)` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct OrderKey {
+    primary: u64,
+    seq: u64,
+}
+
+impl OrderKey {
+    fn new(order: MigrationOrder, hint: &JobHint, seq: u64) -> Self {
+        let primary = match order {
+            MigrationOrder::Fifo => 0,
+            MigrationOrder::SmallestJobFirst => hint.total_bytes,
+            MigrationOrder::EarliestDeadlineFirst => hint.expected_launch.as_micros(),
+        };
+        OrderKey { primary, seq }
+    }
+}
+
+/// One pending migration plus the scheduler's cached scoring state.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    /// The migration being scheduled.
+    pub(crate) migration: Migration,
+    /// Algorithm 1's current choice of source node, if any.
+    pub(crate) target: Option<NodeId>,
+    /// Arrival sequence (FIFO key and stable tie-break).
+    pub(crate) seq: u64,
+    /// Requesting job's scheduling hint.
+    pub(crate) hint: JobHint,
+    /// Retry backoff: the entry may not bind before this instant.
+    pub(crate) not_before: SimTime,
+    /// Cached per-replica finish-time scores from the last pass that
+    /// visited this entry, aligned with `migration.replicas` (∞ for
+    /// non-candidates). Valid only while `cache_valid`.
+    scores: Vec<f64>,
+    /// The winner's cached score (∞ when untargeted); this is the node's
+    /// finish-time trajectory *at this queue position*, which is what the
+    /// incremental engine reads back via the `targeted` index.
+    winner_score: f64,
+    /// False until the first pass scores the entry (new admissions).
+    cache_valid: bool,
+}
+
+/// What one retarget pass did — how many pending entries it rescored and
+/// how many it proved untouched and skipped. A full reference pass always
+/// reports `skipped == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetargetStats {
+    /// Entries whose candidate scores were recomputed this pass.
+    pub rescored: u64,
+    /// Entries left untouched (their decision provably cannot change).
+    pub skipped: u64,
+}
+
+/// The indexed pending store. Owned by the master; every read or write of
+/// pending-migration state goes through this API.
+pub(crate) struct Scheduler {
+    /// Entry slab; `None` slots are free (LIFO reuse via `free`). The only
+    /// raw iteration over this lives in this module (`pending-fence`).
+    raw_pending: Vec<Option<Entry>>,
+    /// Free slots in `raw_pending`.
+    free: Vec<usize>,
+    /// block → slot (dedup and O(log n) cancel/evict/merge lookups).
+    by_block: BTreeMap<BlockId, usize>,
+    /// Global admission order.
+    queue: BTreeSet<(OrderKey, usize)>,
+    /// Per-node bind queues: entries currently targeted at the node.
+    targeted: Vec<BTreeSet<(OrderKey, usize)>>,
+    /// Per-node replica membership: entries with a replica on the node
+    /// (Naive-policy bind queue, and the incremental engine's dirty-node
+    /// walk set).
+    replica_idx: Vec<BTreeSet<(OrderKey, usize)>>,
+    /// Running total of pending bytes.
+    pending_bytes: u64,
+    /// Active admission discipline.
+    order: MigrationOrder,
+    /// Engine selection and dirty-set thresholds.
+    cfg: SchedulerConfig,
+    /// Per-node scoring snapshot: seconds-per-byte estimate. Both engines
+    /// score exclusively from the snapshot, so reference and incremental
+    /// passes see identical inputs at any `spb_epsilon`.
+    snap_spb: Vec<f64>,
+    /// Per-node scoring snapshot: queued bytes.
+    snap_queued: Vec<f64>,
+    /// Per-node scoring snapshot: Algorithm 1 candidacy (up && targetable).
+    snap_candidate: Vec<bool>,
+    /// Nodes whose snapshot changed since the last pass.
+    dirty_nodes: BTreeSet<usize>,
+    /// Entries admitted (or re-admitted) since the last pass.
+    dirty_entries: BTreeSet<(OrderKey, usize)>,
+}
+
+impl Scheduler {
+    /// An empty scheduler for `num_nodes` slaves with a uniform
+    /// seconds-per-byte prior of `default_spb`.
+    pub(crate) fn new(num_nodes: usize, default_spb: f64) -> Self {
+        Scheduler {
+            raw_pending: Vec::new(),
+            free: Vec::new(),
+            by_block: BTreeMap::new(),
+            queue: BTreeSet::new(),
+            targeted: vec![BTreeSet::new(); num_nodes],
+            replica_idx: vec![BTreeSet::new(); num_nodes],
+            pending_bytes: 0,
+            order: MigrationOrder::Fifo,
+            cfg: SchedulerConfig::default(),
+            snap_spb: vec![default_spb; num_nodes],
+            snap_queued: vec![0.0; num_nodes],
+            snap_candidate: vec![true; num_nodes],
+            dirty_nodes: BTreeSet::new(),
+            dirty_entries: BTreeSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // configuration
+    // ------------------------------------------------------------------
+
+    /// Select the retarget engine and dirty thresholds.
+    pub(crate) fn set_config(&mut self, cfg: SchedulerConfig) {
+        self.cfg = cfg;
+    }
+
+    /// The active scheduler configuration.
+    pub(crate) fn config(&self) -> SchedulerConfig {
+        self.cfg
+    }
+
+    /// Select the admission discipline. Must be called before entries are
+    /// admitted (the master configures order at startup, like the old
+    /// `sort_pending` path assumed stable input).
+    pub(crate) fn set_order(&mut self, order: MigrationOrder) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "order change with entries enqueued would not re-key them"
+        );
+        self.order = order;
+    }
+
+    /// The active admission discipline.
+    pub(crate) fn order(&self) -> MigrationOrder {
+        self.order
+    }
+
+    // ------------------------------------------------------------------
+    // node snapshot — the engines' only scoring input
+    // ------------------------------------------------------------------
+
+    /// Update a node's scoring snapshot from the master's heartbeat view.
+    /// Queued-byte changes always take effect; the spb estimate is gated
+    /// by `spb_epsilon` (relative) so a jittering estimator does not dirty
+    /// the node every heartbeat. `spb_epsilon = 0` keeps the snapshot an
+    /// exact mirror.
+    pub(crate) fn set_node_load(&mut self, node: usize, spb: f64, queued_bytes: f64) {
+        let eps = self.cfg.spb_epsilon;
+        let cur = self.snap_spb[node];
+        if spb != cur && (eps <= 0.0 || (spb - cur).abs() > eps * cur.abs()) {
+            self.snap_spb[node] = spb;
+            self.dirty_nodes.insert(node);
+        }
+        if self.snap_queued[node] != queued_bytes {
+            self.snap_queued[node] = queued_bytes;
+            self.dirty_nodes.insert(node);
+        }
+    }
+
+    /// Update a node's Algorithm 1 candidacy (liveness ∧ detector health).
+    pub(crate) fn set_node_candidacy(&mut self, node: usize, candidate: bool) {
+        if self.snap_candidate[node] != candidate {
+            self.snap_candidate[node] = candidate;
+            self.dirty_nodes.insert(node);
+        }
+    }
+
+    /// The node's scoring snapshot, `(spb, queued_bytes, candidate)`
+    /// (exposed for auditing).
+    pub(crate) fn node_snapshot(&self, node: usize) -> (f64, f64, bool) {
+        (
+            self.snap_spb[node],
+            self.snap_queued[node],
+            self.snap_candidate[node],
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // admission / removal
+    // ------------------------------------------------------------------
+
+    /// Admit a migration. The caller guarantees the block is not already
+    /// pending (checked by `contains_block`).
+    pub(crate) fn insert(
+        &mut self,
+        migration: Migration,
+        seq: u64,
+        hint: JobHint,
+        not_before: SimTime,
+    ) {
+        debug_assert!(!self.by_block.contains_key(&migration.block));
+        let key = OrderKey::new(self.order, &hint, seq);
+        let scores = vec![f64::INFINITY; migration.replicas.len()];
+        let entry = Entry {
+            migration,
+            target: None,
+            seq,
+            hint,
+            not_before,
+            scores,
+            winner_score: f64::INFINITY,
+            cache_valid: false,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.raw_pending[i] = Some(entry);
+                i
+            }
+            None => {
+                self.raw_pending.push(Some(entry));
+                self.raw_pending.len() - 1
+            }
+        };
+        let e = self.raw_pending[idx].as_ref().expect("just inserted");
+        self.pending_bytes += e.migration.bytes;
+        self.by_block.insert(e.migration.block, idx);
+        for &r in &e.migration.replicas {
+            self.replica_idx[r.index()].insert((key, idx));
+        }
+        self.queue.insert((key, idx));
+        self.dirty_entries.insert((key, idx));
+    }
+
+    /// Whether `block` is pending.
+    pub(crate) fn contains_block(&self, block: BlockId) -> bool {
+        self.by_block.contains_key(&block)
+    }
+
+    /// Add a job reference to the pending entry for `block` (no-op if the
+    /// job is already referenced). Job references do not affect scoring.
+    pub(crate) fn add_job_ref(&mut self, block: BlockId, jref: JobRef) {
+        if let Some(&idx) = self.by_block.get(&block) {
+            let e = self.raw_pending[idx].as_mut().expect("indexed slot live");
+            if !e.migration.jobs.iter().any(|r| r.job == jref.job) {
+                e.migration.jobs.push(jref);
+            }
+        }
+    }
+
+    /// Drop `job`'s reference from the pending entry for `block`. If that
+    /// leaves the entry with no interested job it is removed; the removed
+    /// migration's id is returned so the caller can close its span.
+    pub(crate) fn drop_job_ref(&mut self, block: BlockId, job: JobId) -> Option<MigrationId> {
+        let &idx = self.by_block.get(&block)?;
+        let e = self.raw_pending[idx].as_mut().expect("indexed slot live");
+        e.migration.jobs.retain(|r| r.job != job);
+        if e.migration.jobs.is_empty() {
+            let entry = self.remove_idx(idx);
+            Some(entry.migration.id)
+        } else {
+            None
+        }
+    }
+
+    /// Cancel the pending migration for `block` (missed read), returning
+    /// the removed entry if one was pending.
+    pub(crate) fn remove_block(&mut self, block: BlockId) -> Option<Entry> {
+        let idx = self.by_block.get(&block).copied()?;
+        Some(self.remove_idx(idx))
+    }
+
+    /// Unlink slot `idx` from every index and free it.
+    fn remove_idx(&mut self, idx: usize) -> Entry {
+        let entry = self.raw_pending[idx].take().expect("removing a live entry");
+        let key = OrderKey::new(self.order, &entry.hint, entry.seq);
+        self.queue.remove(&(key, idx));
+        self.dirty_entries.remove(&(key, idx));
+        self.by_block.remove(&entry.migration.block);
+        for &r in &entry.migration.replicas {
+            self.replica_idx[r.index()].remove(&(key, idx));
+        }
+        if let Some(t) = entry.target {
+            self.targeted[t.index()].remove(&(key, idx));
+            // The node's downstream finish-time trajectory shrinks; every
+            // entry scored after this position must be revisited.
+            self.dirty_nodes.insert(t.index());
+        }
+        self.pending_bytes -= entry.migration.bytes;
+        self.free.push(idx);
+        entry
+    }
+
+    /// Drop all pending state (master restart). Snapshots return to the
+    /// prior; nothing is left to rescore.
+    pub(crate) fn reset(&mut self, default_spb: f64) {
+        self.raw_pending.clear();
+        self.free.clear();
+        self.by_block.clear();
+        self.queue.clear();
+        for t in &mut self.targeted {
+            t.clear();
+        }
+        for r in &mut self.replica_idx {
+            r.clear();
+        }
+        self.pending_bytes = 0;
+        for s in &mut self.snap_spb {
+            *s = default_spb;
+        }
+        for q in &mut self.snap_queued {
+            *q = 0.0;
+        }
+        // Candidacy resets with the detector state (everyone healthy); the
+        // master re-syncs liveness right after.
+        for c in &mut self.snap_candidate {
+            *c = true;
+        }
+        self.dirty_nodes.clear();
+        self.dirty_entries.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // binding — the pull path
+    // ------------------------------------------------------------------
+
+    /// Pop up to `limit` entries eligible to bind on `node` right now, in
+    /// admission order: entries targeted at the node (`targeted = true`,
+    /// Dyrs) or entries with any replica on it (Naive), skipping entries
+    /// still inside their retry backoff. Skipped and unpicked entries stay
+    /// queued in their original positions.
+    pub(crate) fn pull(
+        &mut self,
+        node: NodeId,
+        targeted: bool,
+        now: SimTime,
+        limit: usize,
+    ) -> Vec<Entry> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let index = if targeted {
+            &self.targeted[node.index()]
+        } else {
+            &self.replica_idx[node.index()]
+        };
+        let mut picked: Vec<usize> = Vec::new();
+        for &(_, idx) in index.iter() {
+            if picked.len() == limit {
+                break;
+            }
+            let e = self.raw_pending[idx].as_ref().expect("indexed slot live");
+            // retry-backoff entries (`not_before`) are not yet eligible
+            if e.not_before <= now {
+                picked.push(idx);
+            }
+        }
+        picked.into_iter().map(|idx| self.remove_idx(idx)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // read-only views
+    // ------------------------------------------------------------------
+
+    /// Number of pending entries.
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total pending bytes.
+    pub(crate) fn bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
+    /// The node `block` is currently targeted at, if pending and targeted.
+    pub(crate) fn target_of(&self, block: BlockId) -> Option<NodeId> {
+        let &idx = self.by_block.get(&block)?;
+        self.raw_pending[idx]
+            .as_ref()
+            .expect("indexed slot live")
+            .target
+    }
+
+    /// Pending block ids in ascending order.
+    pub(crate) fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.by_block.keys().copied()
+    }
+
+    /// Pending entries in admission order.
+    pub(crate) fn entries(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.queue
+            .iter()
+            .map(|&(_, idx)| self.raw_pending[idx].as_ref().expect("queued slot live"))
+    }
+
+    // ------------------------------------------------------------------
+    // audit
+    // ------------------------------------------------------------------
+
+    /// Index invariants: every index agrees with the slab, bytes and free
+    /// slots balance, and dirty entries reference live slots.
+    pub(crate) fn audit(&self, report: &mut simkit::audit::AuditReport) {
+        let c = "sched";
+        let live = self.raw_pending.iter().flatten().count();
+        report.check(
+            self.queue.len() == live && self.by_block.len() == live,
+            c,
+            "queue and block index cover exactly the live slots",
+            || {
+                format!(
+                    "live {live}, queue {}, by_block {}",
+                    self.queue.len(),
+                    self.by_block.len()
+                )
+            },
+        );
+        report.check(
+            self.free.len() + live == self.raw_pending.len(),
+            c,
+            "free list and live slots partition the slab",
+            || {
+                format!(
+                    "free {} + live {live} != slab {}",
+                    self.free.len(),
+                    self.raw_pending.len()
+                )
+            },
+        );
+        let mut bytes = 0u64;
+        for &(key, idx) in &self.queue {
+            let Some(e) = self.raw_pending.get(idx).and_then(|s| s.as_ref()) else {
+                report.check(false, c, "queued slots are live", || {
+                    format!("queue references freed slot {idx}")
+                });
+                continue;
+            };
+            bytes += e.migration.bytes;
+            report.check(
+                OrderKey::new(self.order, &e.hint, e.seq) == key,
+                c,
+                "queue keys match their entries",
+                || format!("{} queued under a stale key", e.migration.block),
+            );
+            report.check(
+                self.by_block.get(&e.migration.block) == Some(&idx),
+                c,
+                "block index points back at the slot",
+                || format!("{} not indexed at slot {idx}", e.migration.block),
+            );
+            for &r in &e.migration.replicas {
+                report.check(
+                    self.replica_idx[r.index()].contains(&(key, idx)),
+                    c,
+                    "replica index covers every replica holder",
+                    || format!("{} missing from replica index of {r}", e.migration.block),
+                );
+            }
+            match e.target {
+                Some(t) => report.check(
+                    self.targeted[t.index()].contains(&(key, idx)),
+                    c,
+                    "targeted entries sit in their node's bind queue",
+                    || format!("{} targeted at {t} but not in its queue", e.migration.block),
+                ),
+                None => report.check(
+                    !e.cache_valid || e.winner_score.is_infinite(),
+                    c,
+                    "untargeted entries carry no finite winner score",
+                    || format!("{} untargeted with a winner score", e.migration.block),
+                ),
+            }
+        }
+        report.check(
+            bytes == self.pending_bytes,
+            c,
+            "pending byte total matches the entries",
+            || format!("counted {bytes}, cached {}", self.pending_bytes),
+        );
+        let targeted_total: usize = self.targeted.iter().map(BTreeSet::len).sum();
+        report.check(
+            targeted_total
+                == self
+                    .queue
+                    .iter()
+                    .filter(|&&(_, i)| {
+                        self.raw_pending[i]
+                            .as_ref()
+                            .is_some_and(|e| e.target.is_some())
+                    })
+                    .count(),
+            c,
+            "bind queues hold exactly the targeted entries",
+            || format!("{targeted_total} bind-queue entries"),
+        );
+        for d in &self.dirty_entries {
+            report.check(
+                self.queue.contains(d),
+                c,
+                "dirty entries reference queued work",
+                || format!("stale dirty entry at slot {}", d.1),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EvictionMode;
+    use simkit::audit::AuditReport;
+
+    fn mig(id: u64, block: u64, replicas: &[u32]) -> Migration {
+        Migration {
+            id: MigrationId(id),
+            block: BlockId(block),
+            bytes: 256 << 20,
+            jobs: vec![JobRef {
+                job: JobId(1),
+                eviction: EvictionMode::Implicit,
+            }],
+            replicas: replicas.iter().map(|&n| NodeId(n)).collect(),
+            attempt: 0,
+        }
+    }
+
+    fn sched() -> Scheduler {
+        Scheduler::new(4, 1.0 / (140.0 * (1u64 << 20) as f64))
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_keeps_indexes_clean() {
+        let mut s = sched();
+        s.insert(mig(0, 1, &[0, 1]), 1, JobHint::default(), SimTime::ZERO);
+        s.insert(mig(1, 2, &[1, 2]), 2, JobHint::default(), SimTime::ZERO);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bytes(), 512 << 20);
+        assert!(s.contains_block(BlockId(1)));
+        let e = s.remove_block(BlockId(1)).expect("pending");
+        assert_eq!(e.migration.id, MigrationId(0));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains_block(BlockId(1)));
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut s = sched();
+        s.insert(mig(0, 1, &[0]), 1, JobHint::default(), SimTime::ZERO);
+        s.insert(mig(1, 2, &[0]), 2, JobHint::default(), SimTime::ZERO);
+        s.remove_block(BlockId(1));
+        s.insert(mig(2, 3, &[0]), 3, JobHint::default(), SimTime::ZERO);
+        // the freed slot 0 is reused, and the slab did not grow
+        assert_eq!(s.raw_pending.len(), 2);
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn job_ref_drop_removes_orphaned_entries() {
+        let mut s = sched();
+        s.insert(mig(0, 1, &[0]), 1, JobHint::default(), SimTime::ZERO);
+        s.add_job_ref(
+            BlockId(1),
+            JobRef {
+                job: JobId(2),
+                eviction: EvictionMode::Implicit,
+            },
+        );
+        assert_eq!(s.drop_job_ref(BlockId(1), JobId(1)), None);
+        assert_eq!(s.drop_job_ref(BlockId(1), JobId(2)), Some(MigrationId(0)));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn pull_respects_limit_and_backoff() {
+        let mut s = sched();
+        for i in 0..5 {
+            s.insert(mig(i, i, &[0, 1]), i + 1, JobHint::default(), SimTime::ZERO);
+        }
+        // entry 0 is still backing off
+        let e = s.remove_block(BlockId(0)).expect("pending");
+        s.insert(e.migration, 1, e.hint, SimTime::from_secs(100));
+        let picked = s.pull(NodeId(0), false, SimTime::ZERO, 2);
+        let blocks: Vec<u64> = picked.iter().map(|e| e.migration.block.0).collect();
+        assert_eq!(blocks, vec![1, 2], "backoff skipped, limit enforced");
+        assert_eq!(s.len(), 3, "unpicked entries stay queued");
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn order_keys_reproduce_the_disciplines() {
+        let hint = |launch: u64, bytes: u64| JobHint {
+            expected_launch: SimTime::from_secs(launch),
+            total_bytes: bytes,
+        };
+        let fifo = |seq| OrderKey::new(MigrationOrder::Fifo, &hint(9, 9), seq);
+        assert!(fifo(1) < fifo(2));
+        let sjf = |b, seq| OrderKey::new(MigrationOrder::SmallestJobFirst, &hint(0, b), seq);
+        assert!(sjf(1, 9) < sjf(2, 1));
+        assert!(sjf(1, 1) < sjf(1, 2), "stable tie-break on arrival");
+        let edf = |l, seq| OrderKey::new(MigrationOrder::EarliestDeadlineFirst, &hint(l, 0), seq);
+        assert!(edf(10, 9) < edf(20, 1));
+    }
+}

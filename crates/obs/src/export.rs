@@ -128,9 +128,11 @@ impl ObsReport {
             }
             let _ = writeln!(
                 out,
-                "],\"winner\":{}}}",
+                "],\"winner\":{},\"rescored\":{},\"skipped\":{}}}",
                 rec.winner
                     .map_or_else(|| "null".to_owned(), |w| w.to_string()),
+                rec.rescored,
+                rec.skipped,
             );
         }
         out
@@ -278,6 +280,8 @@ mod tests {
                 },
             ],
             winner: Some(2),
+            rescored: 1,
+            skipped: 3,
         });
         r
     }
@@ -312,6 +316,7 @@ mod tests {
         let s = r.provenance_jsonl();
         assert!(s.contains("\"winner\":2"));
         assert!(s.contains("{\"node\":2,\"rank\":0,\"est_finish_secs\":1.5}"));
+        assert!(s.contains("\"rescored\":1,\"skipped\":3"));
     }
 
     #[test]

@@ -194,8 +194,11 @@ impl ObsHandle {
     }
 
     /// Record one Algorithm 1 retarget pass. The recorder assigns the
-    /// monotone pass index and timestamps; callers fill everything else.
-    pub fn retarget_pass(&self, mut records: Vec<ProvenanceRecord>) {
+    /// monotone pass index, timestamps, and the pass-level rescored /
+    /// skipped counts; callers fill everything else. `records` covers the
+    /// rescored entries only — the incremental engine proves skipped
+    /// entries unchanged, so their previous records remain authoritative.
+    pub fn retarget_pass(&self, mut records: Vec<ProvenanceRecord>, rescored: u64, skipped: u64) {
         if let Some(inner) = &self.0 {
             let mut inner = inner.borrow_mut();
             let pass = inner.passes;
@@ -204,8 +207,12 @@ impl ObsHandle {
             for rec in &mut records {
                 rec.pass = pass;
                 rec.at = at;
+                rec.rescored = rescored;
+                rec.skipped = skipped;
             }
             inner.report.provenance.append(&mut records);
+            *inner.report.counters.entry("sched.rescored").or_insert(0) += rescored;
+            *inner.report.counters.entry("sched.skipped").or_insert(0) += skipped;
         }
     }
 
@@ -362,16 +369,25 @@ mod tests {
             bytes: 8,
             candidates: Vec::new(),
             winner: None,
+            rescored: 0,
+            skipped: 0,
         };
-        h.retarget_pass(vec![rec(1), rec(2)]);
+        h.retarget_pass(vec![rec(1), rec(2)], 2, 5);
         h.set_now(SimTime::from_secs(2));
-        h.retarget_pass(vec![rec(1)]);
+        h.retarget_pass(vec![rec(1)], 1, 6);
         let r = h.take_report();
         assert_eq!(r.provenance.len(), 3);
         assert_eq!(r.provenance[0].pass, 0);
         assert_eq!(r.provenance[1].pass, 0);
         assert_eq!(r.provenance[2].pass, 1);
         assert_eq!(r.provenance[2].at, SimTime::from_secs(2));
+        // Pass-level work counts are stamped on every record and summed
+        // into counters.
+        assert_eq!(r.provenance[0].rescored, 2);
+        assert_eq!(r.provenance[0].skipped, 5);
+        assert_eq!(r.provenance[2].rescored, 1);
+        assert_eq!(r.counter("sched.rescored"), 3);
+        assert_eq!(r.counter("sched.skipped"), 11);
     }
 
     #[test]

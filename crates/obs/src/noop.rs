@@ -84,7 +84,7 @@ impl ObsHandle {
 
     /// No-op (callers guard on `is_enabled()` and never build the records).
     #[inline]
-    pub fn retarget_pass(&self, _records: Vec<ProvenanceRecord>) {}
+    pub fn retarget_pass(&self, _records: Vec<ProvenanceRecord>, _rescored: u64, _skipped: u64) {}
 
     /// No-op.
     #[inline]

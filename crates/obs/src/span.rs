@@ -167,6 +167,12 @@ pub struct ProvenanceRecord {
     pub candidates: Vec<CandidateScore>,
     /// The chosen node, if any candidate was live.
     pub winner: Option<u32>,
+    /// How many pending entries the pass containing this record rescored
+    /// (stamped by the recorder, identical across one pass's records).
+    pub rescored: u64,
+    /// How many pending entries the pass skipped as provably unchanged
+    /// (always 0 for the reference full-rescan engine).
+    pub skipped: u64,
 }
 
 #[cfg(test)]

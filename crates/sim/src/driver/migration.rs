@@ -204,7 +204,13 @@ impl Simulation {
 
     /// Periodic Algorithm 1 pass.
     pub(crate) fn on_retarget(&mut self) {
-        self.master.retarget();
+        let stats = self.master.retarget();
+        // Scheduler health gauges: how much of the pass the incremental
+        // engine actually rescored, and the depth it was working against.
+        self.obs
+            .gauge("sched.dirty_entries", 0, stats.rescored as f64);
+        self.obs
+            .gauge("sched.pending_depth", 0, self.master.pending_len() as f64);
         self.queue
             .schedule(self.now + self.cfg.dyrs.retarget_interval, Ev::Retarget);
     }

@@ -23,6 +23,10 @@ pub enum Rule {
     /// Raw sockets or thread spawns outside `crates/net` — the one crate
     /// allowed to host real-I/O nondeterminism.
     NetFence,
+    /// Direct access to the scheduler's raw pending store outside
+    /// `crates/core/src/sched/` — everything else must go through the
+    /// scheduler API so its indexes and dirty-sets stay consistent.
+    PendingFence,
 }
 
 impl Rule {
@@ -35,6 +39,7 @@ impl Rule {
             Rule::NanCompare => "nan-compare",
             Rule::LibUnwrap => "lib-unwrap",
             Rule::NetFence => "net-fence",
+            Rule::PendingFence => "pending-fence",
         }
     }
 
@@ -47,6 +52,7 @@ impl Rule {
             "nan-compare" => Rule::NanCompare,
             "lib-unwrap" => Rule::LibUnwrap,
             "net-fence" => Rule::NetFence,
+            "pending-fence" => Rule::PendingFence,
             _ => return None,
         })
     }
@@ -98,6 +104,9 @@ pub struct RuleSet {
     pub lib_unwrap: bool,
     /// Flag raw sockets / thread spawns (everywhere except `crates/net`).
     pub net_fence: bool,
+    /// Flag raw pending-store access (everywhere except
+    /// `crates/core/src/sched/`).
+    pub pending_fence: bool,
 }
 
 impl RuleSet {
@@ -110,6 +119,7 @@ impl RuleSet {
             nan_compare: true,
             lib_unwrap: true,
             net_fence: true,
+            pending_fence: true,
         }
     }
 }
@@ -273,6 +283,18 @@ pub fn check(
                     ),
                 });
             }
+        }
+
+        if rules.pending_fence && !in_test && has_token(line, "raw_pending") {
+            findings.push(Finding {
+                rule: Rule::PendingFence,
+                path: path.to_owned(),
+                line: n,
+                excerpt: excerpt(n),
+                message: "raw pending-store access outside crates/core/src/sched; go through \
+                          the Scheduler API so its indexes and dirty-sets stay consistent"
+                    .to_owned(),
+            });
         }
 
         if rules.nondet_iter && !in_test {
@@ -490,6 +512,23 @@ mod tests {
             RuleSet::strict(),
         );
         assert!(f.iter().any(|f| f.rule == Rule::NanCompare));
+    }
+
+    #[test]
+    fn raw_pending_access_flagged_but_not_longer_identifiers() {
+        let f = run(
+            "fn f(s: &Scheduler) -> usize { s.raw_pending.len() }\n",
+            RuleSet::strict(),
+        );
+        assert!(f.iter().any(|f| f.rule == Rule::PendingFence), "{f:?}");
+        let f = run(
+            "fn f(raw_pending_depth: usize) -> usize { raw_pending_depth }\n",
+            RuleSet::strict(),
+        );
+        assert!(
+            !f.iter().any(|f| f.rule == Rule::PendingFence),
+            "identifier boundaries must hold: {f:?}"
+        );
     }
 
     #[test]

@@ -47,6 +47,10 @@ impl ScanContext {
             nan_compare: in_src,
             lib_unwrap: in_src && STRICT_LIB_CRATES.contains(&crate_name),
             net_fence: in_src && !is_net,
+            // crates/core/src/sched is the one place allowed to touch the
+            // scheduler's raw pending slab; everywhere else must go
+            // through its API (mirrors the net fence).
+            pending_fence: in_src && !rel.starts_with("crates/core/src/sched"),
         }
     }
 }

@@ -35,6 +35,7 @@ fn fixtures_trigger_every_rule() {
             Rule::NanCompare,
             Rule::LibUnwrap,
             Rule::NetFence,
+            Rule::PendingFence,
         ],
         "every rule must fire on the fixtures; findings: {findings:#?}"
     );

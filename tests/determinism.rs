@@ -157,6 +157,61 @@ fn event_traces_are_bit_stable_across_reruns() {
 }
 
 #[test]
+fn scheduler_engines_replay_identical_event_streams() {
+    // The incremental Algorithm 1 engine must be decision-identical to
+    // the reference full rescan — same winners, same bind order, same
+    // event stream — not merely similar outcomes. The failure drill is
+    // the hard case: restarts reset the dirty-set bookkeeping and
+    // fail-stop cycles flip candidacy mid-queue.
+    use dyrs::{SchedEngine, SchedulerConfig};
+    let mk = |engine: SchedEngine| -> Vec<SimTask> {
+        let sched = SchedulerConfig {
+            engine,
+            spb_epsilon: 0.0,
+        };
+        let plain = {
+            let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+            cfg.dyrs.scheduler = sched;
+            let w = sort::sort_workload(2 << 30, SimDuration::from_secs(20), 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            SimTask::new("plain", cfg, jobs)
+        };
+        let drill = {
+            let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+            cfg.dyrs.scheduler = sched;
+            cfg.failures = vec![
+                FailureEvent::MasterRestart {
+                    at: SimTime::from_secs(6),
+                },
+                FailureEvent::NodeDown {
+                    at: SimTime::from_secs(14),
+                    node: NodeId(2),
+                },
+                FailureEvent::NodeUp {
+                    at: SimTime::from_secs(40),
+                    node: NodeId(2),
+                },
+            ];
+            let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+            let (cfg, jobs) = with_workload(cfg, w);
+            SimTask::new("drill", cfg, jobs)
+        };
+        vec![plain, drill]
+    };
+    let inc = run_all(mk(SchedEngine::Incremental), 1);
+    let refr = run_all(mk(SchedEngine::Reference), 1);
+    for ((la, a), (lb, b)) in inc.iter().zip(&refr) {
+        assert_eq!(la, lb);
+        assert_eq!(
+            a.trace_digest, b.trace_digest,
+            "{la}: the incremental engine diverged from the reference pass"
+        );
+        assert_eq!(a.end_time, b.end_time, "{la}: end time");
+        assert_eq!(a.master, b.master, "{la}: master stats");
+    }
+}
+
+#[test]
 fn trace_exports_are_byte_identical_across_reruns() {
     // The observability exports are part of the determinism contract:
     // two same-seed runs must render byte-identical spans.jsonl,
