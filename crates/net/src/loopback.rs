@@ -90,11 +90,18 @@ impl LoopbackHub {
     }
 
     fn route(&self, from: Peer, to: Peer, frame_bytes: Vec<u8>) -> Result<(), TransportError> {
-        let inboxes = self
-            .inboxes
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let (tx, _) = inboxes.get(&to).ok_or(TransportError::Disconnected(to))?;
+        // Clone the sender inside a narrow guard scope: the channel send
+        // below can block on an unbounded-allocation stall, and holding
+        // `inboxes` across it would serialize every router through this
+        // peer's backpressure (flagged by `dyrs-verify -- locks`).
+        let tx = {
+            let inboxes = self
+                .inboxes
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let (tx, _) = inboxes.get(&to).ok_or(TransportError::Disconnected(to))?;
+            tx.clone()
+        };
         self.stats
             .bytes
             .fetch_add(frame_bytes.len() as u64, Ordering::SeqCst);

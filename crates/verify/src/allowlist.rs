@@ -107,6 +107,39 @@ impl Allowlist {
     pub fn format_entry(f: &Finding) -> String {
         format!("{} {} :: {}", f.rule, f.path, f.excerpt)
     }
+
+    /// Rewrite allowlist text with the entries at `stale_lines` (1-based
+    /// file line numbers, as reported in [`Entry::at`]) removed, along
+    /// with the comment/blank block immediately above each — the written
+    /// justification dies with the suppression it justified.
+    pub fn prune(text: &str, stale_lines: &std::collections::BTreeSet<usize>) -> String {
+        let mut out: Vec<&str> = Vec::new();
+        let mut pending: Vec<&str> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                pending.push(raw);
+                continue;
+            }
+            if stale_lines.contains(&(i + 1)) {
+                // Keep any leading blank separators but drop the comment
+                // block attached to the pruned entry.
+                while pending.last().is_some_and(|l| l.trim().starts_with('#')) {
+                    pending.pop();
+                }
+            } else {
+                out.append(&mut pending);
+                out.push(raw);
+            }
+            pending.clear();
+        }
+        out.append(&mut pending);
+        let mut s = out.join("\n");
+        if !s.is_empty() {
+            s.push('\n');
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +181,23 @@ mod tests {
     fn rejects_malformed_lines() {
         assert!(Allowlist::parse("nonsense-rule a.rs :: x\n").is_err());
         assert!(Allowlist::parse("nondet-iter missing-separator\n").is_err());
+    }
+
+    #[test]
+    fn prune_removes_stale_entries_and_their_justifications() {
+        let text = "# keep: live suppression\n\
+                    lib-unwrap crates/a/src/a.rs :: x.unwrap();\n\
+                    \n\
+                    # drop: the hazard was fixed\n\
+                    wall-clock crates/b/src/b.rs :: let t = Instant::now();\n";
+        let stale: std::collections::BTreeSet<usize> = [5].into_iter().collect();
+        let pruned = Allowlist::prune(text, &stale);
+        assert!(pruned.contains("keep: live suppression"));
+        assert!(pruned.contains("lib-unwrap"));
+        assert!(!pruned.contains("drop: the hazard was fixed"));
+        assert!(!pruned.contains("wall-clock"));
+        // The pruned text still parses and kept entries survive.
+        assert_eq!(Allowlist::parse(&pruned).expect("parses").len(), 1);
     }
 
     #[test]

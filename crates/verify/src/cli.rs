@@ -1,11 +1,25 @@
-//! Command-line entry: `dyrs-verify lint [--root DIR] [--allowlist FILE]
-//! [--emit-allowlist] [paths…]`.
+//! Command-line entry: `dyrs-verify <lint|locks|schema> [options]`.
 
 use crate::allowlist::Allowlist;
-use crate::scan;
-use std::path::PathBuf;
+use crate::rules::Finding;
+use crate::{locks, scan, schema};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
+usage: dyrs-verify <command> [options]
+
+commands:
+  lint     per-file nondeterminism & correctness lints
+  locks    cross-file lock analysis (cycles, blocking-under-guard,
+           hierarchy violations against locks.toml)
+  schema   wire-schema drift check against crates/net/schema.lock
+
+run `dyrs-verify <command> --help` for command options.
+
+exit status: 0 clean · 1 findings/drift · 2 usage";
+
+const LINT_USAGE: &str = "\
 usage: dyrs-verify lint [options] [paths…]
 
 Scans the workspace's crates/*/src for nondeterminism hazards. With
@@ -16,9 +30,49 @@ options:
   --root DIR          workspace root (default: current directory)
   --allowlist FILE    suppression file (default: ROOT/verify-allowlist.txt)
   --emit-allowlist    print findings as allowlist entries and exit 1
+  --prune             rewrite the allowlist with stale entries removed
+                      (still exits 1 when any were pruned)
   -h, --help          this text
 
 exit status: 0 clean · 1 findings (or stale allowlist entries) · 2 usage";
+
+const LOCKS_USAGE: &str = "\
+usage: dyrs-verify locks [options] [paths…]
+
+Workspace-wide lock analysis: tracks guard scopes per function, builds an
+approximate call graph, and reports lock-order cycles, blocking
+operations performed while a guard is live, and violations of the
+declared lock hierarchy. With explicit paths, analyzes only those
+files/directories (fixture mode; the allowlist is not applied).
+
+options:
+  --root DIR          workspace root (default: current directory)
+  --allowlist FILE    suppression file (default: ROOT/verify-allowlist.txt)
+  --manifest FILE     lock hierarchy manifest (default: ROOT/locks.toml
+                      when it exists; in fixture mode only when given)
+  -h, --help          this text
+
+exit status: 0 clean · 1 findings · 2 usage";
+
+const SCHEMA_USAGE: &str = "\
+usage: dyrs-verify schema [options]
+
+Parses the wire protocol (proto.rs + wire.rs) into a structural snapshot
+and diffs it against the committed schema lock. Any non-append-only
+change — tag reuse or renumbering, field removal/reorder/retype, payload
+shape change — fails the check. Append-only additions fail too until
+blessed; breaking changes can only be blessed together with a
+PROTOCOL_VERSION bump.
+
+options:
+  --root DIR          workspace root (default: current directory)
+  --proto FILE        protocol enum source (default: ROOT/crates/net/src/proto.rs)
+  --wire FILE         codec source (default: ROOT/crates/net/src/wire.rs)
+  --lock FILE         schema lock file (default: ROOT/crates/net/schema.lock)
+  --bless             regenerate the lock file from the current sources
+  -h, --help          this text
+
+exit status: 0 clean/blessed · 1 drift (or refused bless) · 2 usage";
 
 /// Run the CLI; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
@@ -26,43 +80,46 @@ pub fn run(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
-    if cmd == "-h" || cmd == "--help" {
-        println!("{USAGE}");
-        return 0;
+    match cmd.as_str() {
+        "-h" | "--help" => {
+            println!("{USAGE}");
+            0
+        }
+        "lint" => run_lint(rest),
+        "locks" => run_locks(rest),
+        "schema" => run_schema(rest),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            2
+        }
     }
-    if cmd != "lint" {
-        eprintln!("unknown command `{cmd}`\n{USAGE}");
-        return 2;
-    }
+}
 
+fn run_lint(rest: &[String]) -> i32 {
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
     let mut emit = false;
+    let mut prune = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
                 Some(v) => root = PathBuf::from(v),
-                None => {
-                    eprintln!("--root needs a value\n{USAGE}");
-                    return 2;
-                }
+                None => return missing_value("--root", LINT_USAGE),
             },
             "--allowlist" => match it.next() {
                 Some(v) => allowlist_path = Some(PathBuf::from(v)),
-                None => {
-                    eprintln!("--allowlist needs a value\n{USAGE}");
-                    return 2;
-                }
+                None => return missing_value("--allowlist", LINT_USAGE),
             },
             "--emit-allowlist" => emit = true,
+            "--prune" => prune = true,
             "-h" | "--help" => {
-                println!("{USAGE}");
+                println!("{LINT_USAGE}");
                 return 0;
             }
             other if other.starts_with('-') => {
-                eprintln!("unknown option `{other}`\n{USAGE}");
+                eprintln!("unknown option `{other}`\n{LINT_USAGE}");
                 return 2;
             }
             path => paths.push(PathBuf::from(path)),
@@ -105,7 +162,29 @@ pub fn run(args: &[String]) -> i32 {
             },
             Err(_) => Allowlist::default(), // absent file = empty allowlist
         };
-        allowlist.apply(findings)
+        let (kept, suppressed, stale) = allowlist.apply(findings);
+        if prune && !stale.is_empty() {
+            let stale_lines: BTreeSet<usize> = stale.iter().map(|e| e.at).collect();
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    let pruned = Allowlist::prune(&text, &stale_lines);
+                    if let Err(e) = std::fs::write(&path, pruned) {
+                        eprintln!("dyrs-verify: cannot rewrite {}: {e}", path.display());
+                        return 2;
+                    }
+                    eprintln!(
+                        "dyrs-verify: pruned {} stale entr(ies) from {}",
+                        stale.len(),
+                        path.display()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("dyrs-verify: cannot read {}: {e}", path.display());
+                    return 2;
+                }
+            }
+        }
+        (kept, suppressed, stale)
     };
 
     for f in &kept {
@@ -131,4 +210,248 @@ pub fn run(args: &[String]) -> i32 {
         println!("dyrs-verify: clean ({suppressed} suppressed by allowlist)");
         0
     }
+}
+
+fn run_locks(rest: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut manifest: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return missing_value("--root", LOCKS_USAGE),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => return missing_value("--allowlist", LOCKS_USAGE),
+            },
+            "--manifest" => match it.next() {
+                Some(v) => manifest = Some(PathBuf::from(v)),
+                None => return missing_value("--manifest", LOCKS_USAGE),
+            },
+            "-h" | "--help" => {
+                println!("{LOCKS_USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n{LOCKS_USAGE}");
+                return 2;
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let fixture_mode = !paths.is_empty();
+    let findings = if fixture_mode {
+        locks::analyze_paths(&root, &paths, manifest.as_deref())
+    } else {
+        // Workspace runs pick up the checked-in manifest by default.
+        let default_manifest = root.join("locks.toml");
+        let manifest = manifest.or_else(|| default_manifest.exists().then_some(default_manifest));
+        locks::analyze_workspace(&root, manifest.as_deref())
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dyrs-verify: {e}");
+            return 2;
+        }
+    };
+
+    let (kept, suppressed) = if fixture_mode {
+        (findings, 0)
+    } else {
+        let path = allowlist_path.unwrap_or_else(|| root.join("verify-allowlist.txt"));
+        let allowlist = match std::fs::read_to_string(&path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("dyrs-verify: {e}");
+                    return 2;
+                }
+            },
+            Err(_) => Allowlist::default(),
+        };
+        // Stale entries are `lint`'s concern (it sees every rule family);
+        // here they would double-report, so only suppression applies.
+        let (kept, suppressed, _stale) = allowlist.apply(findings);
+        (kept, suppressed)
+    };
+
+    report_findings("locks", &kept, suppressed)
+}
+
+fn run_schema(rest: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut proto: Option<PathBuf> = None;
+    let mut wire: Option<PathBuf> = None;
+    let mut lock: Option<PathBuf> = None;
+    let mut bless = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return missing_value("--root", SCHEMA_USAGE),
+            },
+            "--proto" => match it.next() {
+                Some(v) => proto = Some(PathBuf::from(v)),
+                None => return missing_value("--proto", SCHEMA_USAGE),
+            },
+            "--wire" => match it.next() {
+                Some(v) => wire = Some(PathBuf::from(v)),
+                None => return missing_value("--wire", SCHEMA_USAGE),
+            },
+            "--lock" => match it.next() {
+                Some(v) => lock = Some(PathBuf::from(v)),
+                None => return missing_value("--lock", SCHEMA_USAGE),
+            },
+            "--bless" => bless = true,
+            "-h" | "--help" => {
+                println!("{SCHEMA_USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n{SCHEMA_USAGE}");
+                return 2;
+            }
+        }
+    }
+    let proto = proto.unwrap_or_else(|| root.join("crates/net/src/proto.rs"));
+    let wire = wire.unwrap_or_else(|| root.join("crates/net/src/wire.rs"));
+    let lock = lock.unwrap_or_else(|| root.join("crates/net/schema.lock"));
+
+    let proto_text = match std::fs::read_to_string(&proto) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dyrs-verify: cannot read {}: {e}", proto.display());
+            return 2;
+        }
+    };
+    let wire_text = match std::fs::read_to_string(&wire) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dyrs-verify: cannot read {}: {e}", wire.display());
+            return 2;
+        }
+    };
+    let current = match schema::Snapshot::parse_sources(&proto_text, &wire_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dyrs-verify: {e}");
+            return 2;
+        }
+    };
+    let proto_rel = proto
+        .strip_prefix(&root)
+        .unwrap_or(&proto)
+        .to_string_lossy()
+        .replace('\\', "/");
+
+    let committed = match std::fs::read_to_string(&lock) {
+        Ok(text) => match schema::Snapshot::from_lock_text(&text) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("dyrs-verify: {e}");
+                return 2;
+            }
+        },
+        Err(_) => None,
+    };
+
+    let Some(committed) = committed else {
+        if bless {
+            return write_lock(&lock, &current);
+        }
+        eprintln!(
+            "dyrs-verify: no schema lock at {}; run `dyrs-verify -- schema --bless` to \
+             create it",
+            lock.display()
+        );
+        return 1;
+    };
+
+    let drift = schema::diff(&committed, &current, &proto_rel, &proto_text);
+    let breaking = drift.iter().filter(|d| d.breaking).count();
+
+    if bless {
+        if breaking > 0 && committed.version == current.version {
+            for d in drift.iter().filter(|d| d.breaking) {
+                println!("{}", d.finding);
+            }
+            eprintln!(
+                "dyrs-verify: refusing to bless {breaking} breaking change(s) without a \
+                 PROTOCOL_VERSION bump — existing tags and layouts are append-only"
+            );
+            return 1;
+        }
+        return write_lock(&lock, &current);
+    }
+
+    if drift.is_empty() {
+        println!(
+            "dyrs-verify: schema OK ({} messages, {} payloads, version {})",
+            current.messages.len(),
+            current.payloads.len(),
+            current.version.map_or("?".to_owned(), |v| v.to_string()),
+        );
+        return 0;
+    }
+    for d in &drift {
+        println!("{}", d.finding);
+    }
+    eprintln!(
+        "dyrs-verify: schema drift — {} breaking, {} append-only; {}",
+        breaking,
+        drift.len() - breaking,
+        if breaking > 0 {
+            "breaking changes require a PROTOCOL_VERSION bump before `--bless`"
+        } else {
+            "run `dyrs-verify -- schema --bless` if the additions are intended"
+        },
+    );
+    1
+}
+
+fn write_lock(lock: &Path, snap: &schema::Snapshot) -> i32 {
+    match std::fs::write(lock, snap.to_lock_text()) {
+        Ok(()) => {
+            println!(
+                "dyrs-verify: blessed {} ({} messages, {} payloads)",
+                lock.display(),
+                snap.messages.len(),
+                snap.payloads.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("dyrs-verify: cannot write {}: {e}", lock.display());
+            2
+        }
+    }
+}
+
+fn report_findings(pass: &str, kept: &[Finding], suppressed: usize) -> i32 {
+    for f in kept {
+        println!("{f}");
+    }
+    if kept.is_empty() {
+        println!("dyrs-verify: {pass} clean ({suppressed} suppressed by allowlist)");
+        0
+    } else {
+        eprintln!(
+            "dyrs-verify: {pass} — {} finding(s), {} suppressed",
+            kept.len(),
+            suppressed
+        );
+        1
+    }
+}
+
+fn missing_value(flag: &str, usage: &str) -> i32 {
+    eprintln!("{flag} needs a value\n{usage}");
+    2
 }

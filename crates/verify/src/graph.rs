@@ -1,0 +1,155 @@
+//! A small deterministic directed graph over string-keyed nodes.
+//!
+//! Backs both halves of the locks pass: the approximate call graph
+//! (function → functions it calls) and the lock-acquisition graph
+//! (lock A → lock B acquired while A is held). Everything is ordered —
+//! `BTreeMap`/`BTreeSet` storage, sorted iteration — so two runs over the
+//! same workspace report cycles and reachability in the same order, which
+//! keeps the CI output and allowlist keys stable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directed graph with deterministic iteration order.
+#[derive(Debug, Default, Clone)]
+pub struct Digraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Digraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Digraph::default()
+    }
+
+    /// Add the edge `from → to` (idempotent).
+    pub fn add_edge(&mut self, from: &str, to: &str) {
+        self.edges
+            .entry(from.to_owned())
+            .or_default()
+            .insert(to.to_owned());
+        // Materialize the target so `nodes()` sees sinks too.
+        self.edges.entry(to.to_owned()).or_default();
+    }
+
+    /// Whether the edge `from → to` exists.
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.edges.get(from).is_some_and(|s| s.contains(to))
+    }
+
+    /// All nodes, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.edges.keys().map(String::as_str)
+    }
+
+    /// Direct successors of `node`, sorted.
+    pub fn successors(&self, node: &str) -> impl Iterator<Item = &str> {
+        self.edges
+            .get(node)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Every node reachable from `start` (excluding `start` itself unless
+    /// it sits on a cycle back to itself), in sorted order.
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack: Vec<&str> = self.successors(start).collect();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.to_owned()) {
+                stack.extend(self.successors(n));
+            }
+        }
+        seen
+    }
+
+    /// Elementary cycles, canonicalized and deduplicated.
+    ///
+    /// Each cycle is reported once, rotated so its lexicographically
+    /// smallest node comes first (`[a, b]` means `a → b → a`). Uses an
+    /// iterative DFS per start node bounded by the graph size; workspaces
+    /// have tens of locks, not thousands, so simplicity beats Johnson's
+    /// algorithm here.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut found: BTreeSet<Vec<String>> = BTreeSet::new();
+        for start in self.nodes() {
+            // DFS from `start`, only visiting nodes >= start so each
+            // cycle is discovered exactly once from its smallest node.
+            let mut path: Vec<String> = vec![start.to_owned()];
+            let mut iters: Vec<Vec<String>> = vec![self
+                .successors(start)
+                .filter(|s| *s >= start)
+                .map(str::to_owned)
+                .collect()];
+            while let Some(frontier) = iters.last_mut() {
+                match frontier.pop() {
+                    None => {
+                        path.pop();
+                        iters.pop();
+                    }
+                    Some(next) => {
+                        if next == start {
+                            found.insert(path.clone());
+                        } else if !path.contains(&next) {
+                            path.push(next.clone());
+                            iters.push(
+                                self.successors(&next)
+                                    .filter(|s| *s >= start)
+                                    .map(str::to_owned)
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        found.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(&str, &str)]) -> Digraph {
+        let mut d = Digraph::new();
+        for (a, b) in edges {
+            d.add_edge(a, b);
+        }
+        d
+    }
+
+    #[test]
+    fn finds_two_node_cycle_once() {
+        let d = g(&[("a", "b"), ("b", "a"), ("b", "c")]);
+        assert_eq!(d.cycles(), vec![vec!["a".to_owned(), "b".to_owned()]]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let d = g(&[("x", "x")]);
+        assert_eq!(d.cycles(), vec![vec!["x".to_owned()]]);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let d = g(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        assert!(d.cycles().is_empty());
+    }
+
+    #[test]
+    fn three_node_cycle_canonicalized() {
+        let d = g(&[("b", "c"), ("c", "a"), ("a", "b")]);
+        assert_eq!(
+            d.cycles(),
+            vec![vec!["a".to_owned(), "b".to_owned(), "c".to_owned()]]
+        );
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let d = g(&[("a", "b"), ("b", "c")]);
+        let r = d.reachable_from("a");
+        assert!(r.contains("b") && r.contains("c"));
+        assert!(!r.contains("a"));
+    }
+}

@@ -19,6 +19,20 @@
 //! * **lib-unwrap** — `unwrap()`/`panic!`/empty `expect("")` in library
 //!   crates, which hide *which* invariant was violated.
 //!
+//! Beyond the per-file token rules, two **cross-file passes** analyze the
+//! workspace as a whole:
+//!
+//! * `dyrs-verify -- locks` ([`locks`]) — a symbol pass over every crate
+//!   that tracks lock-guard scopes, builds an approximate call graph, and
+//!   reports lock-order cycles (**lock-cycle**), blocking operations
+//!   under a live guard (**lock-blocking**), and violations of the
+//!   declared `locks.toml` hierarchy (**lock-hierarchy**);
+//! * `dyrs-verify -- schema` ([`schema`]) — parses the wire protocol in
+//!   `crates/net` into a structural snapshot and diffs it against the
+//!   committed `crates/net/schema.lock`, failing on any non-append-only
+//!   change (**schema-drift**) with a `--bless` flow for legitimate
+//!   additions.
+//!
 //! Findings are suppressed through a checked-in allowlist
 //! (`verify-allowlist.txt` at the workspace root) keyed on the rule, the
 //! file, and the exact source line — so CI failures are deterministic and
@@ -33,10 +47,17 @@
 
 pub mod allowlist;
 pub mod cli;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod rules;
 pub mod scan;
+pub mod schema;
+mod tokens;
 
 pub use allowlist::Allowlist;
+pub use graph::Digraph;
+pub use locks::{guard_scopes, GuardScope, Hierarchy};
 pub use rules::{Finding, Rule};
 pub use scan::{scan_file, scan_workspace, ScanContext};
+pub use schema::Snapshot;

@@ -1,0 +1,1393 @@
+//! Cross-file lock analysis: `dyrs-verify -- locks`.
+//!
+//! A workspace-wide symbol pass over the stripped sources (see
+//! [`crate::lexer`]) that records, per function, which *named locks* are
+//! acquired and what happens while each guard is live. Named locks are
+//! `Mutex`/`RwLock` struct fields, identified by `Type::field`; `let`
+//! locals bound to `Mutex::new(..)` and unresolved `.lock()` receivers
+//! participate in guard scoping too (so blocking-under-guard still
+//! fires) but stay out of the cross-function ordering graph, since they
+//! are per-instance.
+//!
+//! From the per-function facts and an approximate call graph (call sites
+//! resolve to a function only when its bare name is defined exactly once
+//! in the analyzed set — deterministic, and ambiguity simply narrows the
+//! analysis rather than polluting it), the pass computes the transitive
+//! lock-acquisition graph and reports:
+//!
+//! * **lock-cycle** — cycles in the acquisition graph: two code paths
+//!   that take the same locks in opposite orders can deadlock;
+//! * **lock-blocking** — a blocking operation (channel `send`/`recv`,
+//!   `write_all`/`read_exact`, `join`, `accept`, …) executed — directly
+//!   or via a call — while a guard is live;
+//! * **lock-hierarchy** — an acquisition edge that contradicts the
+//!   declared order in the workspace `locks.toml` manifest.
+//!
+//! ## Guard-scope model
+//!
+//! The tracker is lexical but mirrors Rust's temporary rules:
+//!
+//! * `let g = x.lock().unwrap();` — guard lives to the end of the
+//!   enclosing block (or an explicit `drop(g)`);
+//! * `x.lock().unwrap().push(1);` — a temporary: the guard dies at the
+//!   end of the statement;
+//! * `let v = x.lock().unwrap().get(k).cloned();` — also a temporary
+//!   (the binding holds the *clone*, not the guard), so a blocking call
+//!   on the next line is correctly not flagged;
+//! * `if let Ok(g) = x.lock() { … }` / `match x.lock() { … }` /
+//!   `for v in x.lock().unwrap().iter() { … }` — the guard spans the
+//!   attached block.
+//!
+//! `crates/verify/tests/locks_proptest.rs` checks the tracker stays
+//! balanced on arbitrary brace/guard nesting.
+
+use crate::graph::Digraph;
+use crate::lexer::{self, StrippedSource};
+use crate::rules::{Finding, Rule};
+use crate::tokens::{
+    has_token, is_ident_byte, is_ident_start, line_of, matching_brace, matching_paren, next_ident,
+    token_pos,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Operations that can block the calling thread. Matched as `.op(` /
+/// `::op(` method- or path-call tokens.
+const BLOCKING_OPS: [&str; 12] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "write_all",
+    "read_exact",
+    "join",
+    "accept",
+    "wait",
+    "wait_timeout",
+    "sleep",
+    "connect",
+    "flush",
+];
+
+/// Guard-result adapters that keep the expression a guard.
+const GUARD_ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+
+/// Identifiers that look like calls but are control flow or bindings.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "let", "mut", "move", "in", "as", "else", "loop",
+    "break", "continue",
+];
+
+// ---------------------------------------------------------------------------
+// Lock identities
+// ---------------------------------------------------------------------------
+
+/// A named lock.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockRef {
+    /// `Type::field` for struct fields, `fn::var` for locals/unresolved.
+    pub id: String,
+    /// Whether this is a shared (struct-field) lock that participates in
+    /// the cross-function ordering graph.
+    pub shared: bool,
+}
+
+/// One closed guard scope (exposed for the nesting proptest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardScope {
+    /// The lock held over the scope.
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub start_line: usize,
+    /// 1-based line where the guard dies (statement end, `drop`, or the
+    /// closing brace of its block).
+    pub end_line: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Per-function facts
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct BlockSite {
+    op: String,
+    path: String,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeSite {
+    from: String,
+    to: String,
+    path: String,
+    line: usize,
+    via: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct GuardedCall {
+    held: Vec<LockRef>,
+    callee: String,
+    /// Written as `recv.callee(..)` (vs a free/path call) — used to match
+    /// the call site against definitions with/without a `self` param.
+    method: bool,
+    line: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FnFacts {
+    path: String,
+    /// Whether the definition takes a `self` parameter — a `.call()`
+    /// site only resolves to a method, a free/path call only to a free
+    /// fn, which keeps std trait methods (`.collect()`, `.iter()`) from
+    /// resolving to unrelated workspace functions of the same name.
+    has_self: bool,
+    /// Shared locks acquired anywhere in the body.
+    acquired: BTreeSet<String>,
+    /// Blocking ops anywhere in the body.
+    blocking: Vec<BlockSite>,
+    /// Every call-looking token in the body: `(bare name, is_method)`.
+    calls: BTreeSet<(String, bool)>,
+    /// Direct acquisition-order edges observed under live guards.
+    edges: Vec<EdgeSite>,
+    /// Blocking ops observed under live guards (direct findings).
+    guarded_blocking: Vec<(Vec<LockRef>, BlockSite)>,
+    /// Calls made under live guards (resolved transitively later).
+    guarded_calls: Vec<GuardedCall>,
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchy manifest
+// ---------------------------------------------------------------------------
+
+/// The declared lock order from `locks.toml`: earlier entries must be
+/// acquired before later ones whenever both are held.
+#[derive(Debug, Default, Clone)]
+pub struct Hierarchy {
+    order: Vec<String>,
+}
+
+impl Hierarchy {
+    /// Parse the `order = [ "…", … ]` array from manifest text. Lines
+    /// starting with `#` are comments; unknown keys are ignored.
+    pub fn parse(text: &str) -> Result<Hierarchy, String> {
+        let mut in_order = false;
+        let mut done = false;
+        let mut order = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut rest = line;
+            if !in_order {
+                let Some(after) = line.strip_prefix("order") else {
+                    continue;
+                };
+                let after = after.trim_start();
+                let Some(after) = after.strip_prefix('=') else {
+                    continue;
+                };
+                rest = after.trim_start();
+                let Some(after) = rest.strip_prefix('[') else {
+                    return Err(format!("locks manifest line {}: expected `[`", i + 1));
+                };
+                in_order = true;
+                rest = after;
+            }
+            // Collect quoted names from this (possibly partial) line.
+            let mut s = rest;
+            loop {
+                s = s.trim_start().trim_start_matches(',').trim_start();
+                if let Some(tail) = s.strip_prefix(']') {
+                    let _ = tail;
+                    in_order = false;
+                    done = true;
+                    break;
+                }
+                let Some(open) = s.strip_prefix('"') else {
+                    break;
+                };
+                let Some(close) = open.find('"') else {
+                    return Err(format!(
+                        "locks manifest line {}: unterminated string",
+                        i + 1
+                    ));
+                };
+                order.push(open[..close].to_owned());
+                s = &open[close + 1..];
+            }
+            if done {
+                break;
+            }
+        }
+        if !done && !order.is_empty() {
+            return Err("locks manifest: `order = [...]` never closed".into());
+        }
+        Ok(Hierarchy { order })
+    }
+
+    /// Number of declared locks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no order is declared.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn index(&self, lock: &str) -> Option<usize> {
+        self.order.iter().position(|l| l == lock)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Analyze the whole workspace under `root` (all `crates/*/src/**/*.rs`),
+/// checking acquisition edges against `manifest` when provided.
+pub fn analyze_workspace(root: &Path, manifest: Option<&Path>) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    analyze_files(root, &files, manifest)
+}
+
+/// Analyze explicitly-listed files or directories (fixture mode).
+pub fn analyze_paths(
+    root: &Path,
+    paths: &[PathBuf],
+    manifest: Option<&Path>,
+) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    analyze_files(root, &files, manifest)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn analyze_files(
+    root: &Path,
+    files: &[PathBuf],
+    manifest: Option<&Path>,
+) -> Result<Vec<Finding>, String> {
+    let hierarchy = match manifest {
+        Some(p) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+            Some(Hierarchy::parse(&text)?)
+        }
+        None => None,
+    };
+    let mut files = files.to_vec();
+    files.sort();
+    let mut sources = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, text));
+    }
+    Ok(analyze_sources(&sources, hierarchy.as_ref()))
+}
+
+/// Analyze in-memory sources (`(workspace-relative path, text)` pairs) —
+/// the core of the pass, also used directly by tests.
+pub fn analyze_sources(
+    sources: &[(String, String)],
+    hierarchy: Option<&Hierarchy>,
+) -> Vec<Finding> {
+    // Phase 1: lock fields across every source, so acquiring a field
+    // declared in another file still resolves to its `Type::field` id.
+    let mut fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut stripped: Vec<(String, StrippedSource, String)> = Vec::new();
+    for (rel, text) in sources {
+        let s = lexer::strip(text);
+        collect_lock_fields(s.text(), &mut fields);
+        stripped.push((rel.clone(), s, text.clone()));
+    }
+
+    // Phase 2: per-function facts.
+    let mut fns: BTreeMap<String, Vec<FnFacts>> = BTreeMap::new();
+    for (rel, s, _) in &stripped {
+        for (name, facts) in analyze_file_fns(rel, s, &fields) {
+            fns.entry(name).or_default().push(facts);
+        }
+    }
+
+    // A call resolves only when its bare name has exactly one definition
+    // *and* the call style matches the definition: `.call()` sites only
+    // resolve to methods (a `self` param), free/path calls only to free
+    // fns — otherwise `.collect()` would resolve to any workspace fn
+    // that happens to be named `collect`.
+    let unique: BTreeMap<&str, &FnFacts> = fns
+        .iter()
+        .filter(|(_, v)| v.len() == 1)
+        .map(|(k, v)| (k.as_str(), &v[0]))
+        .collect();
+    let resolve = |callee: &str, method: bool| -> Option<&&FnFacts> {
+        unique.get(callee).filter(|f| f.has_self == method)
+    };
+
+    // Call graph over resolvable names, for transitive summaries.
+    let mut callg = Digraph::new();
+    for (name, list) in &fns {
+        for facts in list {
+            for (callee, method) in &facts.calls {
+                if resolve(callee, *method).is_some() {
+                    callg.add_edge(name, callee);
+                }
+            }
+        }
+    }
+    let trans_locks = |f: &str| -> BTreeSet<String> {
+        let mut out = unique
+            .get(f)
+            .map(|x| x.acquired.clone())
+            .unwrap_or_default();
+        for g in callg.reachable_from(f) {
+            if let Some(facts) = unique.get(g.as_str()) {
+                out.extend(facts.acquired.iter().cloned());
+            }
+        }
+        out
+    };
+    let trans_blocking = |f: &str| -> Option<BlockSite> {
+        let mut best: Option<BlockSite> = None;
+        let mut consider = |s: &BlockSite| {
+            let key = (s.path.clone(), s.line, s.op.clone());
+            if best
+                .as_ref()
+                .map(|b| key < (b.path.clone(), b.line, b.op.clone()))
+                .unwrap_or(true)
+            {
+                best = Some(s.clone());
+            }
+        };
+        if let Some(facts) = unique.get(f) {
+            facts.blocking.iter().for_each(&mut consider);
+        }
+        for g in callg.reachable_from(f) {
+            if let Some(facts) = unique.get(g.as_str()) {
+                facts.blocking.iter().for_each(&mut consider);
+            }
+        }
+        best
+    };
+
+    // Phase 3: assemble the lock graph and the findings.
+    let mut findings = Vec::new();
+    let mut lockg = Digraph::new();
+    let mut edge_sites: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    let record_edge = |lockg: &mut Digraph,
+                       edge_sites: &mut BTreeMap<(String, String), EdgeSite>,
+                       e: EdgeSite| {
+        lockg.add_edge(&e.from, &e.to);
+        edge_sites
+            .entry((e.from.clone(), e.to.clone()))
+            .or_insert(e);
+    };
+
+    let excerpt = |path: &str, line: usize| -> String {
+        stripped
+            .iter()
+            .find(|(rel, _, _)| rel == path)
+            .and_then(|(_, _, orig)| orig.lines().nth(line.saturating_sub(1)))
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+
+    for list in fns.values() {
+        for facts in list {
+            for e in &facts.edges {
+                record_edge(&mut lockg, &mut edge_sites, e.clone());
+            }
+            for (held, site) in &facts.guarded_blocking {
+                let held_names: Vec<&str> = held.iter().map(|l| l.id.as_str()).collect();
+                findings.push(Finding {
+                    rule: Rule::LockBlocking,
+                    path: site.path.clone(),
+                    line: site.line,
+                    excerpt: excerpt(&site.path, site.line),
+                    message: format!(
+                        "blocking `{}` while holding lock{} {}; narrow the guard so the lock \
+                         is released before blocking",
+                        site.op,
+                        if held_names.len() == 1 { "" } else { "s" },
+                        held_names.join(", "),
+                    ),
+                });
+            }
+            for call in &facts.guarded_calls {
+                if resolve(&call.callee, call.method).is_none() {
+                    continue;
+                }
+                let callee_locks = trans_locks(&call.callee);
+                for from in call.held.iter().filter(|l| l.shared) {
+                    for to in &callee_locks {
+                        if *to != from.id {
+                            record_edge(
+                                &mut lockg,
+                                &mut edge_sites,
+                                EdgeSite {
+                                    from: from.id.clone(),
+                                    to: to.clone(),
+                                    path: facts.path.clone(),
+                                    line: call.line,
+                                    via: Some(call.callee.clone()),
+                                },
+                            );
+                        }
+                    }
+                }
+                if let Some(site) = trans_blocking(&call.callee) {
+                    let held_names: Vec<&str> = call.held.iter().map(|l| l.id.as_str()).collect();
+                    findings.push(Finding {
+                        rule: Rule::LockBlocking,
+                        path: facts.path.clone(),
+                        line: call.line,
+                        excerpt: excerpt(&facts.path, call.line),
+                        message: format!(
+                            "call to `{}` blocks (`{}` at {}:{}) while holding lock{} {}",
+                            call.callee,
+                            site.op,
+                            site.path,
+                            site.line,
+                            if held_names.len() == 1 { "" } else { "s" },
+                            held_names.join(", "),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Cycles — potential deadlocks.
+    for cycle in lockg.cycles() {
+        let mut legs = Vec::new();
+        for i in 0..cycle.len() {
+            let from = &cycle[i];
+            let to = &cycle[(i + 1) % cycle.len()];
+            if let Some(site) = edge_sites.get(&(from.clone(), to.clone())) {
+                let via = site
+                    .via
+                    .as_ref()
+                    .map(|f| format!(" via {f}()"))
+                    .unwrap_or_default();
+                legs.push(format!(
+                    "{from} -> {to} at {}:{}{via}",
+                    site.path, site.line
+                ));
+            }
+        }
+        let anchor = edge_sites
+            .get(&(cycle[0].clone(), cycle[1 % cycle.len()].clone()))
+            .cloned();
+        let (path, line) = anchor
+            .map(|s| (s.path, s.line))
+            .unwrap_or_else(|| (String::new(), 1));
+        let mut ring = cycle.clone();
+        ring.push(cycle[0].clone());
+        findings.push(Finding {
+            rule: Rule::LockCycle,
+            path: path.clone(),
+            line,
+            excerpt: excerpt(&path, line),
+            message: format!(
+                "lock-order cycle {} — potential deadlock; pick one acquisition order \
+                 (legs: {})",
+                ring.join(" -> "),
+                legs.join("; "),
+            ),
+        });
+    }
+
+    // Hierarchy violations.
+    if let Some(h) = hierarchy {
+        for ((from, to), site) in &edge_sites {
+            if let (Some(fi), Some(ti)) = (h.index(from), h.index(to)) {
+                if fi > ti {
+                    let via = site
+                        .via
+                        .as_ref()
+                        .map(|f| format!(" (via call to {f}())"))
+                        .unwrap_or_default();
+                    findings.push(Finding {
+                        rule: Rule::LockHierarchy,
+                        path: site.path.clone(),
+                        line: site.line,
+                        excerpt: excerpt(&site.path, site.line),
+                        message: format!(
+                            "lock `{to}` acquired while holding `{from}`{via}, but the \
+                             locks.toml manifest orders `{to}` (#{}) before `{from}` (#{})",
+                            ti + 1,
+                            fi + 1,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Symbol pass: lock fields
+// ---------------------------------------------------------------------------
+
+/// Record `Type::field` for every struct field whose type mentions
+/// `Mutex<` or `RwLock<` (at any nesting depth — `Arc<Mutex<…>>` counts).
+fn collect_lock_fields(stripped: &str, out: &mut BTreeMap<String, BTreeSet<String>>) {
+    let bytes = stripped.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let Some((tok, start, end)) = next_ident(bytes, i) else {
+            break;
+        };
+        i = end;
+        if tok != "struct" {
+            continue;
+        }
+        // `struct` must start a declaration, not be part of a path.
+        if start > 0 && (bytes[start - 1] == b':' || is_ident_byte(bytes[start - 1])) {
+            continue;
+        }
+        let Some((name, _, after_name)) = next_ident(bytes, end) else {
+            continue;
+        };
+        // Walk to the body `{` (skipping generics) or a `;`/`(` (unit or
+        // tuple struct — no named fields).
+        let mut j = after_name;
+        let mut body_open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    body_open = Some(j);
+                    break;
+                }
+                b';' | b'(' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = body_open else { continue };
+        let close = matching_brace(bytes, open);
+        // Fields: `ident :` at depth 1, type runs to the `,` at depth 1.
+        let body = &stripped[open + 1..close];
+        let mut depth = 0i32;
+        let mut field_start = 0usize;
+        let b2 = body.as_bytes();
+        for (k, &c) in b2.iter().enumerate() {
+            match c {
+                b'{' | b'(' | b'[' | b'<' => depth += 1,
+                b'}' | b')' | b']' | b'>' => depth -= 1,
+                b',' if depth <= 0 => {
+                    record_lock_field(&body[field_start..k], name, out);
+                    field_start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        record_lock_field(&body[field_start..], name, out);
+        i = close;
+    }
+}
+
+fn record_lock_field(field_decl: &str, owner: &str, out: &mut BTreeMap<String, BTreeSet<String>>) {
+    let Some((fname, ftype)) = field_decl.split_once(':') else {
+        return;
+    };
+    if !(has_token(ftype, "Mutex") || has_token(ftype, "RwLock")) {
+        return;
+    }
+    let fname = fname
+        .trim()
+        .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .next()
+        .unwrap_or("")
+        .trim();
+    if fname.is_empty() {
+        return;
+    }
+    out.entry(fname.to_owned())
+        .or_default()
+        .insert(owner.to_owned());
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction and the guard-scope walker
+// ---------------------------------------------------------------------------
+
+struct FnSpan {
+    name: String,
+    line: usize,
+    has_self: bool,
+    body: std::ops::Range<usize>,
+}
+
+fn find_fns(stripped: &str) -> Vec<FnSpan> {
+    let bytes = stripped.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let Some((tok, start, end)) = next_ident(bytes, i) else {
+            break;
+        };
+        i = end;
+        if tok != "fn" || (start > 0 && is_ident_byte(bytes[start - 1])) {
+            continue;
+        }
+        let Some((name, _, after_name)) = next_ident(bytes, end) else {
+            continue;
+        };
+        // Signature runs to the body `{` or a trait-decl `;` at paren
+        // depth 0.
+        let mut j = after_name;
+        let mut paren = 0i32;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if paren == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = matching_brace(bytes, open);
+        let has_self = has_token(&stripped[after_name..open], "self");
+        out.push(FnSpan {
+            name: name.to_owned(),
+            line: line_of(bytes, start),
+            has_self,
+            body: open..close + 1,
+        });
+        // Continue *inside* the body so nested fns are found too; the
+        // walker skips nested bodies itself.
+        i = open + 1;
+    }
+    out
+}
+
+fn analyze_file_fns(
+    rel: &str,
+    stripped: &StrippedSource,
+    fields: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<(String, FnFacts)> {
+    let mut out = Vec::new();
+    for span in find_fns(stripped.text()) {
+        if stripped.in_test_region(span.line) {
+            continue;
+        }
+        let mut walker = Walker::new(rel, &span.name, stripped.text(), span.body.clone(), fields);
+        walker.run();
+        walker.facts.has_self = span.has_self;
+        out.push((span.name, walker.facts));
+    }
+    out
+}
+
+/// Run the guard-scope tracker over *every* function in `source` and
+/// return the closed scopes — the proptest hook.
+pub fn guard_scopes(source: &str) -> Vec<GuardScope> {
+    let stripped = lexer::strip(source);
+    let fields = {
+        let mut f = BTreeMap::new();
+        collect_lock_fields(stripped.text(), &mut f);
+        f
+    };
+    let mut scopes = Vec::new();
+    for span in find_fns(stripped.text()) {
+        let mut walker = Walker::new("<mem>", &span.name, stripped.text(), span.body, &fields);
+        walker.run();
+        scopes.extend(walker.scopes);
+    }
+    scopes.sort_by(|a, b| {
+        (a.start_line, a.end_line, &a.lock).cmp(&(b.start_line, b.end_line, &b.lock))
+    });
+    scopes
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Scope {
+    /// Dies when the block at this brace depth closes.
+    Block(usize),
+    /// Dies at the end of the statement (next `;` at this depth).
+    Stmt(usize),
+    /// Waiting for the `{` that starts its block (`if let` / `match`).
+    Pending,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: LockRef,
+    scope: Scope,
+    name: Option<String>,
+    start_line: usize,
+}
+
+struct Walker<'a> {
+    path: String,
+    fn_name: String,
+    text: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    end: usize,
+    fields: &'a BTreeMap<String, BTreeSet<String>>,
+    locals: BTreeSet<String>,
+    depth: usize,
+    paren: i32,
+    /// Paren depth at each enclosing block's entry — a `;` only ends a
+    /// statement when the paren depth is back to the current block's
+    /// baseline (closure bodies inside call arguments sit at baseline
+    /// ≥ 1, so their statements still terminate guards correctly).
+    paren_at_block: Vec<i32>,
+    guards: Vec<Guard>,
+    // Statement state.
+    stmt_has_let: bool,
+    let_name: Option<String>,
+    expect_let_name: bool,
+    stmt_keyword: Option<String>,
+    stmt_watermark: usize,
+    prev_ident: Option<String>,
+    facts: FnFacts,
+    scopes: Vec<GuardScope>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        rel: &str,
+        fn_name: &str,
+        text: &'a str,
+        body: std::ops::Range<usize>,
+        fields: &'a BTreeMap<String, BTreeSet<String>>,
+    ) -> Self {
+        Walker {
+            path: rel.to_owned(),
+            fn_name: fn_name.to_owned(),
+            text,
+            bytes: text.as_bytes(),
+            i: body.start + 1, // past the opening `{`
+            end: body.end.saturating_sub(1),
+            fields,
+            locals: BTreeSet::new(),
+            depth: 1,
+            paren: 0,
+            paren_at_block: vec![0],
+            guards: Vec::new(),
+            stmt_has_let: false,
+            let_name: None,
+            expect_let_name: false,
+            stmt_keyword: None,
+            stmt_watermark: 0,
+            prev_ident: None,
+            facts: FnFacts {
+                path: rel.to_owned(),
+                ..FnFacts::default()
+            },
+            scopes: Vec::new(),
+        }
+    }
+
+    fn line_at(&self, pos: usize) -> usize {
+        line_of(self.bytes, pos)
+    }
+
+    fn reset_stmt(&mut self) {
+        self.stmt_has_let = false;
+        self.let_name = None;
+        self.expect_let_name = false;
+        self.stmt_keyword = None;
+        self.stmt_watermark = self.guards.len();
+    }
+
+    fn close_guard(&mut self, idx: usize, line: usize) {
+        let g = self.guards.remove(idx);
+        self.scopes.push(GuardScope {
+            lock: g.lock.id,
+            start_line: g.start_line,
+            end_line: line,
+        });
+    }
+
+    fn close_where(&mut self, line: usize, pred: impl Fn(&Guard) -> bool) {
+        let mut i = 0;
+        while i < self.guards.len() {
+            if pred(&self.guards[i]) {
+                self.close_guard(i, line);
+            } else {
+                i += 1;
+            }
+        }
+        self.stmt_watermark = self.stmt_watermark.min(self.guards.len());
+    }
+
+    fn run(&mut self) {
+        while self.i < self.end {
+            let b = self.bytes[self.i];
+            match b {
+                b'{' => {
+                    self.depth += 1;
+                    // `if let`/`match`/`for`/`while` headers: their
+                    // guards span the attached block.
+                    let control = matches!(
+                        self.stmt_keyword.as_deref(),
+                        Some("if" | "while" | "for" | "match" | "loop")
+                    );
+                    let depth = self.depth;
+                    for g in &mut self.guards {
+                        if g.scope == Scope::Pending
+                            || (control && matches!(g.scope, Scope::Stmt(_)))
+                        {
+                            g.scope = Scope::Block(depth);
+                        }
+                    }
+                    self.paren_at_block.push(self.paren);
+                    self.reset_stmt();
+                    self.i += 1;
+                }
+                b'}' => {
+                    let line = self.line_at(self.i);
+                    let depth = self.depth;
+                    self.close_where(
+                        line,
+                        |g| matches!(g.scope, Scope::Block(d) | Scope::Stmt(d) if d == depth),
+                    );
+                    self.depth = self.depth.saturating_sub(1);
+                    if self.paren_at_block.len() > 1 {
+                        self.paren_at_block.pop();
+                    }
+                    self.reset_stmt();
+                    self.i += 1;
+                }
+                b'(' | b'[' => {
+                    self.paren += 1;
+                    self.i += 1;
+                }
+                b')' | b']' => {
+                    self.paren -= 1;
+                    self.i += 1;
+                }
+                b';' if self.paren == *self.paren_at_block.last().unwrap_or(&0) => {
+                    let line = self.line_at(self.i);
+                    let depth = self.depth;
+                    self.close_where(line, |g| matches!(g.scope, Scope::Stmt(d) if d == depth));
+                    self.reset_stmt();
+                    self.i += 1;
+                }
+                _ if is_ident_start(b) => {
+                    self.on_ident();
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+        // Function end: whatever is still open dies at the closing brace.
+        let line = self.line_at(self.end.min(self.bytes.len().saturating_sub(1)));
+        self.close_where(line, |_| true);
+    }
+
+    fn on_ident(&mut self) {
+        let start = self.i;
+        let mut j = start;
+        while j < self.end && is_ident_byte(self.bytes[j]) {
+            j += 1;
+        }
+        let ident = &self.text[start..j];
+        self.i = j;
+        let line = self.line_at(start);
+
+        // Nested fn: skip its body entirely (it gets its own walk).
+        if ident == "fn" && !self.preceded_by_ident(start) {
+            if let Some(open) = self.find_body_open(j) {
+                self.i = matching_brace(self.bytes, open) + 1;
+            }
+            return;
+        }
+
+        if self.stmt_keyword.is_none() {
+            self.stmt_keyword = Some(ident.to_owned());
+        }
+        if ident == "let" {
+            self.stmt_has_let = true;
+            self.expect_let_name = true;
+            self.prev_ident = Some(ident.to_owned());
+            return;
+        }
+        if self.expect_let_name && ident != "mut" {
+            self.let_name = Some(ident.to_owned());
+            self.expect_let_name = false;
+        }
+
+        let preceded_dot = start > 0 && self.bytes[start - 1] == b'.';
+        let preceded_colons =
+            start > 1 && self.bytes[start - 1] == b':' && self.bytes[start - 2] == b':';
+        let next = self.peek_nonspace(j);
+
+        // `let x = Mutex::new(..)` / `let x: Mutex<..> = ..`: a local lock.
+        if (ident == "Mutex" || ident == "RwLock") && self.stmt_has_let {
+            if let Some(name) = self.let_name.clone() {
+                self.locals.insert(name);
+            }
+        }
+
+        // drop(g) kills a named guard early.
+        if ident == "drop" && next == Some(b'(') {
+            let open = self.pos_nonspace(j);
+            let close = matching_paren(self.bytes, open);
+            let arg = self.text[open + 1..close].trim();
+            let arg = arg.trim_start_matches("&mut ").trim_start_matches('&');
+            if let Some(idx) = self
+                .guards
+                .iter()
+                .position(|g| g.name.as_deref() == Some(arg))
+            {
+                self.close_guard(idx, line);
+            }
+            self.prev_ident = Some(ident.to_owned());
+            return;
+        }
+
+        // Acquisitions.
+        if next == Some(b'(') {
+            let open = self.pos_nonspace(j);
+            let close = matching_paren(self.bytes, open);
+            if ident == "lock" && (preceded_dot || preceded_colons) {
+                let lock = if preceded_dot {
+                    self.resolve_receiver()
+                } else {
+                    self.resolve_lock_arg(open, close)
+                };
+                if let Some(lock) = lock {
+                    self.acquire(lock, line, close);
+                    self.prev_ident = Some(ident.to_owned());
+                    return;
+                }
+            }
+            if (ident == "read" || ident == "write")
+                && preceded_dot
+                && self.text[open + 1..close].trim().is_empty()
+            {
+                // Zero-arg `.read()`/`.write()` on a known lock only —
+                // everything else is I/O, not an RwLock.
+                if let Some(lock) = self.resolve_receiver().filter(|l| l.shared) {
+                    self.acquire(lock, line, close);
+                    self.prev_ident = Some(ident.to_owned());
+                    return;
+                }
+            }
+            // Blocking operations.
+            if BLOCKING_OPS.contains(&ident) && (preceded_dot || preceded_colons) {
+                let site = BlockSite {
+                    op: ident.to_owned(),
+                    path: self.path.clone(),
+                    line,
+                };
+                if !self.guards.is_empty() {
+                    self.facts
+                        .guarded_blocking
+                        .push((self.held(), site.clone()));
+                }
+                self.facts.blocking.push(site);
+                self.prev_ident = Some(ident.to_owned());
+                return;
+            }
+            // A plain call (possibly resolvable to a workspace fn).
+            let is_macro = self.bytes.get(j).copied() == Some(b'!');
+            if !is_macro && !NON_CALL_KEYWORDS.contains(&ident) && !GUARD_ADAPTERS.contains(&ident)
+            {
+                self.facts.calls.insert((ident.to_owned(), preceded_dot));
+                if !self.guards.is_empty() {
+                    self.facts.guarded_calls.push(GuardedCall {
+                        held: self.held(),
+                        callee: ident.to_owned(),
+                        method: preceded_dot,
+                        line,
+                    });
+                }
+            }
+        }
+
+        self.prev_ident = Some(ident.to_owned());
+    }
+
+    fn held(&self) -> Vec<LockRef> {
+        self.guards.iter().map(|g| g.lock.clone()).collect()
+    }
+
+    /// Push a new guard for `lock` acquired at `line`; `close` is the
+    /// byte offset of the acquisition call's closing paren.
+    fn acquire(&mut self, lock: LockRef, line: usize, close: usize) {
+        // Order edges: every held shared lock precedes the new one.
+        for g in &self.guards {
+            if g.lock.shared && lock.shared && g.lock.id != lock.id {
+                self.facts.edges.push(EdgeSite {
+                    from: g.lock.id.clone(),
+                    to: lock.id.clone(),
+                    path: self.path.clone(),
+                    line,
+                    via: None,
+                });
+            }
+        }
+        if lock.shared {
+            self.facts.acquired.insert(lock.id.clone());
+        }
+        let scope = self.classify_scope(close + 1);
+        let name = if matches!(scope, Scope::Block(_)) {
+            self.let_name.clone()
+        } else {
+            None
+        };
+        self.guards.push(Guard {
+            lock,
+            scope,
+            name,
+            start_line: line,
+        });
+    }
+
+    /// Decide the guard's lifetime from what follows the acquisition.
+    fn classify_scope(&self, mut j: usize) -> Scope {
+        loop {
+            j = self.pos_nonspace(j);
+            if j >= self.end {
+                return Scope::Stmt(self.depth);
+            }
+            match self.bytes[j] {
+                b'.' => {
+                    // A chained adapter keeps the guard; any other method
+                    // means the binding holds a derived value, so the
+                    // guard is a statement temporary.
+                    let Some((ident, _, after)) = next_ident(self.bytes, j + 1) else {
+                        return Scope::Stmt(self.depth);
+                    };
+                    if GUARD_ADAPTERS.contains(&ident) {
+                        let open = self.pos_nonspace(after);
+                        if self.bytes.get(open).copied() == Some(b'(') {
+                            j = matching_paren(self.bytes, open) + 1;
+                            continue;
+                        }
+                    }
+                    return Scope::Stmt(self.depth);
+                }
+                b';' => {
+                    return if self.stmt_has_let {
+                        Scope::Block(self.depth)
+                    } else {
+                        Scope::Stmt(self.depth)
+                    };
+                }
+                b'{' => return Scope::Pending,
+                b'?' => {
+                    j += 1;
+                }
+                _ => return Scope::Stmt(self.depth),
+            }
+        }
+    }
+
+    /// `recv.lock()` — resolve the receiver identifier to a lock.
+    fn resolve_receiver(&self) -> Option<LockRef> {
+        let recv = self.prev_ident.as_deref()?;
+        self.lock_ref_for(recv)
+    }
+
+    /// `Helper::lock(&self.outbound)` — resolve a lock named in the args.
+    fn resolve_lock_arg(&self, open: usize, close: usize) -> Option<LockRef> {
+        let args = &self.text[open + 1..close];
+        // Leftmost known lock field wins; fall back to the last path
+        // segment of the first `&`-prefixed argument.
+        let mut best: Option<(usize, LockRef)> = None;
+        for name in self.fields.keys() {
+            if let Some(pos) = token_pos(args, name) {
+                let r = self.lock_ref_for(name).filter(|l| l.shared);
+                if let Some(r) = r {
+                    if best.as_ref().map(|(p, _)| pos < *p).unwrap_or(true) {
+                        best = Some((pos, r));
+                    }
+                }
+            }
+        }
+        if let Some((_, r)) = best {
+            return Some(r);
+        }
+        let arg = args.split(',').next()?.trim();
+        let arg = arg.trim_start_matches("&mut ").trim_start_matches('&');
+        let last = arg
+            .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .find(|s| !s.is_empty())?;
+        self.lock_ref_for(last)
+    }
+
+    fn lock_ref_for(&self, name: &str) -> Option<LockRef> {
+        if let Some(owners) = self.fields.get(name) {
+            let id = if owners.len() == 1 {
+                format!("{}::{}", owners.first().expect("non-empty owner set"), name)
+            } else {
+                format!("?::{name}")
+            };
+            return Some(LockRef { id, shared: true });
+        }
+        if name.is_empty() || name == "self" {
+            return None;
+        }
+        // A local or unresolved receiver: participates in guard scoping
+        // (blocking-under-guard) but not in the shared ordering graph.
+        Some(LockRef {
+            id: format!("{}::{}::{}", self.fn_name, "local", name),
+            shared: false,
+        })
+    }
+
+    fn preceded_by_ident(&self, start: usize) -> bool {
+        start > 0 && is_ident_byte(self.bytes[start - 1])
+    }
+
+    fn peek_nonspace(&self, from: usize) -> Option<u8> {
+        self.bytes.get(self.pos_nonspace(from)).copied()
+    }
+
+    fn pos_nonspace(&self, mut j: usize) -> usize {
+        while j < self.bytes.len() && (self.bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        j
+    }
+
+    fn find_body_open(&self, mut j: usize) -> Option<usize> {
+        let mut paren = 0i32;
+        while j < self.end {
+            match self.bytes[j] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if paren == 0 => return Some(j),
+                b';' if paren == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, manifest: Option<&str>) -> Vec<Finding> {
+        let h = manifest.map(|m| Hierarchy::parse(m).expect("manifest parses"));
+        analyze_sources(&[("mem.rs".to_owned(), src.to_owned())], h.as_ref())
+    }
+
+    #[test]
+    fn blocking_send_under_let_guard_flagged() {
+        let src = "struct S { q: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       let g = s.q.lock().unwrap();\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::LockBlocking && f.line == 4),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn temporary_guard_does_not_cover_next_statement() {
+        let src = "struct S { q: Mutex<Vec<u8>> }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       s.q.lock().unwrap().push(1);\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn cloned_binding_is_not_a_guard() {
+        // The binding holds the clone, not the guard (Rust drops the
+        // temporary at the end of the statement).
+        let src = "struct S { q: Mutex<Vec<Sender<u8>>> }\n\
+                   fn f(s: &S) {\n\
+                       let tx = s.q.lock().unwrap().first().cloned().unwrap();\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn drop_releases_the_guard_early() {
+        let src = "struct S { q: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       let g = s.q.lock().unwrap();\n\
+                       drop(g);\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn helper_style_acquisition_resolves_the_field() {
+        let src = "struct S { outbound: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       let g = Shared::lock(&s.outbound);\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::LockBlocking && f.message.contains("S::outbound")),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn opposite_order_is_a_cycle() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn ab(s: &S) { let x = s.a.lock().unwrap(); let y = s.b.lock().unwrap(); }\n\
+                   fn ba(s: &S) { let y = s.b.lock().unwrap(); let x = s.a.lock().unwrap(); }\n";
+        let f = run(src, None);
+        assert!(f.iter().any(|f| f.rule == Rule::LockCycle), "{f:#?}");
+    }
+
+    #[test]
+    fn transitive_cycle_via_call_graph() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   fn take_b(s: &S) { let y = s.b.lock().unwrap(); }\n\
+                   fn ab(s: &S) { let x = s.a.lock().unwrap(); take_b(s); }\n\
+                   fn ba(s: &S) { let y = s.b.lock().unwrap(); let x = s.a.lock().unwrap(); }\n";
+        let f = run(src, None);
+        assert!(f.iter().any(|f| f.rule == Rule::LockCycle), "{f:#?}");
+    }
+
+    #[test]
+    fn hierarchy_violation_flagged() {
+        let src = "struct S { low: Mutex<u32>, high: Mutex<u32> }\n\
+                   fn f(s: &S) { let g = s.high.lock().unwrap(); let h = s.low.lock().unwrap(); }\n";
+        let manifest = "order = [\"S::low\", \"S::high\"]\n";
+        let f = run(src, Some(manifest));
+        assert!(f.iter().any(|f| f.rule == Rule::LockHierarchy), "{f:#?}");
+        let ok = "struct S { low: Mutex<u32>, high: Mutex<u32> }\n\
+                  fn f(s: &S) { let g = s.low.lock().unwrap(); let h = s.high.lock().unwrap(); }\n";
+        let f = run(ok, Some(manifest));
+        assert!(!f.iter().any(|f| f.rule == Rule::LockHierarchy), "{f:#?}");
+    }
+
+    #[test]
+    fn match_and_if_let_guards_span_their_block() {
+        let src = "struct S { q: Mutex<u32> }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       if let Ok(g) = s.q.lock() {\n\
+                           tx.send(1).ok();\n\
+                       }\n\
+                       tx.send(2).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        let lines: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == Rule::LockBlocking)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![4], "{f:#?}");
+    }
+
+    #[test]
+    fn call_into_blocking_fn_flagged_transitively() {
+        let src = "struct S { q: Mutex<u32> }\n\
+                   fn notify(tx: &Sender<u8>) { tx.send(1).ok(); }\n\
+                   fn f(s: &S, tx: &Sender<u8>) {\n\
+                       let g = s.q.lock().unwrap();\n\
+                       notify(tx);\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(
+            f.iter()
+                .any(|f| f.rule == Rule::LockBlocking && f.message.contains("notify")),
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "struct S { q: Mutex<u32> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn f(s: &S, tx: &Sender<u8>) {\n\
+                           let g = s.q.lock().unwrap();\n\
+                           tx.send(1).ok();\n\
+                       }\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn local_mutex_guards_still_catch_blocking() {
+        let src = "fn f(tx: &Sender<u8>) {\n\
+                       let m = Mutex::new(0u32);\n\
+                       let g = m.lock().unwrap();\n\
+                       tx.send(1).ok();\n\
+                   }\n";
+        let f = run(src, None);
+        assert!(f.iter().any(|f| f.rule == Rule::LockBlocking), "{f:#?}");
+    }
+
+    #[test]
+    fn hierarchy_manifest_parses_multiline() {
+        let h = Hierarchy::parse("# comment\norder = [\n  \"A::x\",  # trailing\n  \"B::y\",\n]\n")
+            .expect("parses");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.index("B::y"), Some(1));
+    }
+}

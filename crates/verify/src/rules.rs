@@ -27,6 +27,19 @@ pub enum Rule {
     /// `crates/core/src/sched/` — everything else must go through the
     /// scheduler API so its indexes and dirty-sets stay consistent.
     PendingFence,
+    /// A cycle in the transitive lock-acquisition graph — two code paths
+    /// take the same locks in opposite orders (emitted by the cross-file
+    /// `locks` pass, see [`crate::locks`]).
+    LockCycle,
+    /// A blocking operation (channel send/recv, `write_all`, `join`,
+    /// `accept`, …) executed while a lock guard is live.
+    LockBlocking,
+    /// A lock acquired out of the order declared in the workspace
+    /// `locks.toml` manifest.
+    LockHierarchy,
+    /// The wire protocol diverged from the committed `schema.lock`
+    /// (emitted by the `schema` pass, see [`crate::schema`]).
+    SchemaDrift,
 }
 
 impl Rule {
@@ -40,6 +53,10 @@ impl Rule {
             Rule::LibUnwrap => "lib-unwrap",
             Rule::NetFence => "net-fence",
             Rule::PendingFence => "pending-fence",
+            Rule::LockCycle => "lock-cycle",
+            Rule::LockBlocking => "lock-blocking",
+            Rule::LockHierarchy => "lock-hierarchy",
+            Rule::SchemaDrift => "schema-drift",
         }
     }
 
@@ -53,6 +70,10 @@ impl Rule {
             "lib-unwrap" => Rule::LibUnwrap,
             "net-fence" => Rule::NetFence,
             "pending-fence" => Rule::PendingFence,
+            "lock-cycle" => Rule::LockCycle,
+            "lock-blocking" => Rule::LockBlocking,
+            "lock-hierarchy" => Rule::LockHierarchy,
+            "schema-drift" => Rule::SchemaDrift,
             _ => return None,
         })
     }

@@ -1,0 +1,131 @@
+//! Byte-level token helpers shared by the cross-file passes
+//! ([`crate::locks`], [`crate::schema`]). All of them operate on
+//! *stripped* source (see [`crate::lexer`]) so string and comment bodies
+//! can't fake tokens or braces.
+
+pub(crate) fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Next identifier token at or after `from`: `(text, start, end)`.
+pub(crate) fn next_ident(bytes: &[u8], mut from: usize) -> Option<(&str, usize, usize)> {
+    while from < bytes.len() && !is_ident_start(bytes[from]) {
+        from += 1;
+    }
+    if from >= bytes.len() {
+        return None;
+    }
+    let start = from;
+    let mut end = start;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    let s = std::str::from_utf8(&bytes[start..end]).ok()?;
+    Some((s, start, end))
+}
+
+/// Offset of the `}` matching the `{` at `open` (or the last byte if the
+/// source is unbalanced — stripped input keeps literal braces out).
+pub(crate) fn matching_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// Offset of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// 1-based line number of byte offset `pos`.
+pub(crate) fn line_of(bytes: &[u8], pos: usize) -> usize {
+    1 + bytes[..pos.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// First identifier-boundary occurrence of `word` in `hay`.
+pub(crate) fn token_pos(hay: &str, word: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut start = 0;
+    while let Some(rel) = hay.get(start..)?.find(word) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+pub(crate) fn has_token(hay: &str, word: &str) -> bool {
+    token_pos(hay, word).is_some()
+}
+
+/// Collapse every whitespace run to a single space and trim — makes
+/// fingerprints and recorded types reformat-proof.
+pub(crate) fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace dropped
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// FNV-1a 64-bit — a stable, dependency-free content fingerprint.
+pub(crate) fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

@@ -1,0 +1,26 @@
+//! Locks-pass fixture: a channel send performed while a mutex guard is
+//! live. Expected: exactly one `lock-blocking` finding, on the `send`
+//! line.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub struct Outbox {
+    queue: Mutex<Vec<u64>>,
+}
+
+pub fn drain_under_guard(o: &Outbox, tx: &Sender<u64>) {
+    let q = o.queue.lock().unwrap();
+    for v in q.iter() {
+        tx.send(*v).ok();
+    }
+}
+
+pub fn drain_narrow(o: &Outbox, tx: &Sender<u64>) {
+    // The fixed shape: copy out under the guard, send after it drops.
+    // Must not fire.
+    let items: Vec<u64> = o.queue.lock().unwrap().clone();
+    for v in items {
+        tx.send(v).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! Locks-pass fixture: two functions acquire `a` and `b` in opposite
+//! orders — one of them *through a helper call*, proving the cycle is
+//! found transitively via the call graph, not just from direct
+//! acquisitions. Expected: exactly one `lock-cycle` finding.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+fn grab_b(p: &Pair) {
+    let b = p.b.lock().unwrap();
+    let _ = *b;
+}
+
+pub fn a_then_b(p: &Pair) {
+    let a = p.a.lock().unwrap();
+    grab_b(p);
+    let _ = *a;
+}
+
+pub fn b_then_a(p: &Pair) {
+    let b = p.b.lock().unwrap();
+    let a = p.a.lock().unwrap();
+    let _ = (*a, *b);
+}

@@ -1,0 +1,17 @@
+//! Locks-pass fixture: acquires `high` before `low`, contradicting the
+//! declared order in the sibling `locks.toml`. Expected: exactly one
+//! `lock-hierarchy` finding when analyzed with that manifest (and none
+//! without it — a single direction is not a cycle).
+
+use std::sync::Mutex;
+
+pub struct Tiers {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+}
+
+pub fn inverted(t: &Tiers) {
+    let h = t.high.lock().unwrap();
+    let l = t.low.lock().unwrap();
+    let _ = (*h, *l);
+}

@@ -1,0 +1,21 @@
+//! Mutation of `proto_ok.rs`: a new `Ping` variant with a fresh tag —
+//! the one legitimate kind of schema change. Expected: non-breaking
+//! `schema-drift` that `--bless` accepts without a version bump.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+    Ping { seq: u64 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+            Message::Ping { .. } => 2,
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Schema-pass fixture: a miniature protocol in the same shape as
+//! `crates/net/src/proto.rs`. `schema_ok.lock` is its blessed snapshot;
+//! the `proto_*.rs` siblings are mutations of this file that must each
+//! fail the drift check in a specific way.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Mutation of `proto_ok.rs`: `Hello`'s fields are swapped. The bytes a
+//! peer on the old layout decodes as `role` are now `node`'s. Expected:
+//! breaking `schema-drift` (field reorder).
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { node: u32, role: Role },
+    Welcome { version: u16 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Mutation of `proto_ok.rs`: `Hello.node` widened from u32 to u64 —
+//! same names, same order, different bytes. Expected: breaking
+//! `schema-drift` (field retype).
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u64 },
+    Welcome { version: u16 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Mutation of `proto_ok.rs`: the new `Ping` variant reuses wire tag 0,
+//! which belongs to `Hello`. Expected: breaking `schema-drift` (tag
+//! reuse).
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+    Ping { seq: u64 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+            Message::Ping { .. } => 0,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Schema-pass fixture codec: one enum-discriminant impl, one
+//! field-order impl, and a newtype macro invocation — the three payload
+//! shapes the snapshot records structurally.
+
+wire_newtype!(NodeId => u32, BlockId => u64);
+
+impl Wire for Role {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Role::Slave => 0,
+            Role::Client => 1,
+        });
+    }
+}
+
+impl Wire for Sample {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.bytes.encode(out);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property test for the guard-scope tracker in `dyrs_verify::locks`.
+//!
+//! The generator emits a random function body — nested plain blocks,
+//! `if let` guard blocks, block-scoped `let` guards, single-statement
+//! temporary guards, early `drop`s, and inert statements — while
+//! recording, from the construction itself, exactly which scopes the
+//! walker must report. The property is that [`guard_scopes`] returns
+//! precisely that set: every acquisition produces one scope, every scope
+//! closes (balanced), and each closes on the right line (the `;` for
+//! temporaries, the `drop` call, or the closing brace of its block).
+
+use dyrs_verify::{guard_scopes, GuardScope};
+use proptest::prelude::*;
+use proptest::{Strategy, TestRng};
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Program {
+    source: String,
+    expected: Vec<GuardScope>,
+}
+
+/// Append one randomly-shaped block body to `lines`, recording the guard
+/// scopes it creates. `open` ends are back-filled: `drop` closes a guard
+/// at the drop line, anything still open closes at the `}` the caller
+/// writes immediately after this returns.
+fn gen_block(
+    rng: &mut TestRng,
+    depth: usize,
+    lines: &mut Vec<String>,
+    expected: &mut Vec<GuardScope>,
+    counter: &mut usize,
+) {
+    let pad = "    ".repeat(depth);
+    // Block-scoped guards opened in THIS block: (index into expected, var).
+    let mut open: Vec<(usize, String)> = Vec::new();
+    let n = 1 + rng.below(4) as usize;
+    for _ in 0..n {
+        match rng.below(6) {
+            // Inert statement — must not open or close anything.
+            0 => lines.push(format!("{pad}p.tick();")),
+            // Block-scoped guard: lives until drop or the block's `}`.
+            1 => {
+                let k = rng.below(3);
+                let name = format!("g{counter}");
+                *counter += 1;
+                let start = lines.len() + 1;
+                lines.push(format!("{pad}let {name} = p.m{k}.lock().unwrap();"));
+                expected.push(GuardScope {
+                    lock: format!("P::m{k}"),
+                    start_line: start,
+                    end_line: 0,
+                });
+                open.push((expected.len() - 1, name));
+            }
+            // Temporary guard: dies at the `;` on the same line.
+            2 => {
+                let k = rng.below(3);
+                let line = lines.len() + 1;
+                lines.push(format!("{pad}p.m{k}.lock().unwrap().is_empty();"));
+                expected.push(GuardScope {
+                    lock: format!("P::m{k}"),
+                    start_line: line,
+                    end_line: line,
+                });
+            }
+            // Nested plain block.
+            3 if depth < 4 => {
+                lines.push(format!("{pad}{{"));
+                gen_block(rng, depth + 1, lines, expected, counter);
+                lines.push(format!("{pad}}}"));
+            }
+            // `if let` guard: spans exactly the attached block.
+            4 if depth < 4 => {
+                let k = rng.below(3);
+                let name = format!("g{counter}");
+                *counter += 1;
+                let start = lines.len() + 1;
+                lines.push(format!("{pad}if let Ok({name}) = p.m{k}.lock() {{"));
+                let idx = expected.len();
+                expected.push(GuardScope {
+                    lock: format!("P::m{k}"),
+                    start_line: start,
+                    end_line: 0,
+                });
+                gen_block(rng, depth + 1, lines, expected, counter);
+                lines.push(format!("{pad}}}"));
+                expected[idx].end_line = lines.len();
+            }
+            // Early drop of a same-block guard (inert if none is open).
+            5 => {
+                if open.is_empty() {
+                    lines.push(format!("{pad}let x{counter} = 1;"));
+                    *counter += 1;
+                } else {
+                    let pick = rng.below(open.len() as u64) as usize;
+                    let (idx, name) = open.remove(pick);
+                    let line = lines.len() + 1;
+                    lines.push(format!("{pad}drop({name});"));
+                    expected[idx].end_line = line;
+                }
+            }
+            _ => lines.push(format!("{pad}p.tick();")),
+        }
+    }
+    // Whatever survived dies at the closing brace the caller writes next.
+    let close = lines.len() + 1;
+    for (idx, _) in open {
+        expected[idx].end_line = close;
+    }
+}
+
+fn gen_program(rng: &mut TestRng) -> Program {
+    let mut lines: Vec<String> = vec![
+        "struct P {".into(),
+        "    m0: Mutex<u32>,".into(),
+        "    m1: Mutex<u32>,".into(),
+        "    m2: Mutex<u32>,".into(),
+        "}".into(),
+        String::new(),
+        "fn scramble(p: &P) {".into(),
+    ];
+    let mut expected = Vec::new();
+    let mut counter = 0usize;
+    gen_block(rng, 1, &mut lines, &mut expected, &mut counter);
+    lines.push("}".into());
+    expected.sort_by(|a, b| {
+        (a.start_line, a.end_line, &a.lock).cmp(&(b.start_line, b.end_line, &b.lock))
+    });
+    Program {
+        source: lines.join("\n") + "\n",
+        expected,
+    }
+}
+
+#[derive(Debug)]
+struct ArbProgram;
+
+impl Strategy for ArbProgram {
+    type Value = Program;
+    fn generate(&self, rng: &mut TestRng) -> Program {
+        gen_program(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The walker's scope tracking is balanced and exact on arbitrary
+    /// brace/guard nesting: one scope per acquisition, every scope
+    /// closed, start/end lines exactly as constructed.
+    #[test]
+    fn guard_scopes_match_construction(prog in ArbProgram) {
+        let scopes = guard_scopes(&prog.source);
+        let total_lines = prog.source.lines().count();
+        for s in &scopes {
+            prop_assert!(
+                s.start_line <= s.end_line && s.end_line <= total_lines,
+                "unbalanced scope {s:?} in:\n{}",
+                prog.source
+            );
+        }
+        prop_assert_eq!(
+            &scopes,
+            &prog.expected,
+            "scope set diverged from construction; source:\n{}",
+            prog.source
+        );
+    }
+}

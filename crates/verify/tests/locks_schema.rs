@@ -1,0 +1,227 @@
+//! End-to-end checks for the two cross-file passes. Each seeded fixture
+//! under `tests/fixtures_locks/` must produce exactly its one intended
+//! diagnostic (and nothing else), the schema mutants under
+//! `tests/fixtures_schema/` must each fail drift detection against the
+//! blessed `schema_ok.lock`, `--bless` must accept an append-only
+//! addition, and both passes must exit zero on the real workspace.
+
+use dyrs_verify::{cli, locks, Rule};
+use std::path::{Path, PathBuf};
+
+fn locks_fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures_locks")
+        .join(name)
+}
+
+fn schema_fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures_schema")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/verify sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// locks pass: one fixture per diagnostic, exact findings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cycle_fixture_reports_exactly_one_lock_cycle() {
+    let findings = locks::analyze_paths(&workspace_root(), &[locks_fixture("cycle.rs")], None)
+        .expect("analyze cycle fixture");
+    let rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec![Rule::LockCycle],
+        "cycle.rs must produce exactly one lock-cycle finding: {findings:#?}"
+    );
+    let msg = &findings[0].message;
+    assert!(
+        msg.contains("Pair::a") && msg.contains("Pair::b"),
+        "cycle message names both locks: {msg}"
+    );
+    assert!(
+        msg.contains("grab_b"),
+        "the a->b leg is call-mediated, so the cycle report must name the \
+         callee that closes it: {msg}"
+    );
+}
+
+#[test]
+fn blocking_fixture_fires_under_wide_guard_only() {
+    let findings = locks::analyze_paths(&workspace_root(), &[locks_fixture("blocking.rs")], None)
+        .expect("analyze blocking fixture");
+    let rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec![Rule::LockBlocking],
+        "blocking.rs must produce exactly one lock-blocking finding \
+         (drain_narrow releases before sending and must stay silent): {findings:#?}"
+    );
+    assert!(
+        findings[0].message.contains("send") && findings[0].message.contains("Outbox::queue"),
+        "finding names the op and the held lock: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn hierarchy_fixture_needs_the_manifest_to_fire() {
+    let root = workspace_root();
+    let fixture = locks_fixture("hierarchy.rs");
+    let manifest = locks_fixture("locks.toml");
+
+    let with = locks::analyze_paths(&root, &[fixture.clone()], Some(&manifest))
+        .expect("analyze with manifest");
+    let rules: Vec<Rule> = with.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec![Rule::LockHierarchy],
+        "with the manifest, inverted() is exactly one hierarchy violation: {with:#?}"
+    );
+    assert!(
+        with[0].message.contains("Tiers::low") && with[0].message.contains("Tiers::high"),
+        "violation names both ends of the bad edge: {}",
+        with[0].message
+    );
+
+    let without = locks::analyze_paths(&root, &[fixture], None).expect("analyze without manifest");
+    assert!(
+        without.is_empty(),
+        "hierarchy.rs has no cycle and no blocking op — without a declared \
+         order there is nothing to report: {without:#?}"
+    );
+}
+
+#[test]
+fn locks_cli_exits_nonzero_on_fixtures_and_zero_on_workspace() {
+    let root = workspace_root();
+    let root_s = root.to_string_lossy().into_owned();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures_locks")
+        .to_string_lossy()
+        .into_owned();
+    let manifest = locks_fixture("locks.toml").to_string_lossy().into_owned();
+
+    let code = cli::run(&args(&[
+        "locks",
+        "--root",
+        &root_s,
+        "--manifest",
+        &manifest,
+        &dir,
+    ]));
+    assert_eq!(code, 1, "seeded lock fixtures must fail the locks pass");
+
+    let code = cli::run(&args(&["locks", "--root", &root_s]));
+    assert_eq!(
+        code, 0,
+        "the real workspace must be clean — a genuine finding means either \
+         new code needs its guard narrowed or the finding belongs in the allowlist"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// schema pass: blessed lock accepts the base, rejects every mutant
+// ---------------------------------------------------------------------------
+
+fn schema_exit(proto: &str, wire: &str, lock: &str, bless: bool) -> i32 {
+    let mut a = vec![
+        "schema".to_string(),
+        "--proto".to_string(),
+        proto.to_string(),
+        "--wire".to_string(),
+        wire.to_string(),
+        "--lock".to_string(),
+        lock.to_string(),
+    ];
+    if bless {
+        a.push("--bless".to_string());
+    }
+    cli::run(&a)
+}
+
+#[test]
+fn schema_clean_fixture_passes_and_mutants_fail() {
+    let wire = schema_fixture("wire_ok.rs");
+    let lock = schema_fixture("schema_ok.lock");
+
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_ok.rs"), &wire, &lock, false),
+        0,
+        "unchanged protocol matches its blessed lock"
+    );
+    for mutant in ["proto_tag_reuse.rs", "proto_reorder.rs", "proto_retype.rs"] {
+        assert_eq!(
+            schema_exit(&schema_fixture(mutant), &wire, &lock, false),
+            1,
+            "{mutant} is a wire break and must fail the drift check"
+        );
+    }
+    // Append-only drift still fails a plain check — it needs an explicit
+    // bless — but is not a breaking change.
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_append.rs"), &wire, &lock, false),
+        1,
+        "unblessed append still fails (the lock is stale)"
+    );
+}
+
+#[test]
+fn schema_bless_accepts_append_only_and_refuses_breaking() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("schema_bless");
+    std::fs::create_dir_all(&tmp).expect("mk tmpdir");
+    let lock = tmp.join("schema.lock").to_string_lossy().into_owned();
+    std::fs::copy(schema_fixture("schema_ok.lock"), &lock).expect("copy blessed lock");
+    let wire = schema_fixture("wire_ok.rs");
+
+    // Breaking mutants cannot be blessed without a PROTOCOL_VERSION bump.
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_reorder.rs"), &wire, &lock, true),
+        1,
+        "--bless must refuse a field reorder at the same protocol version"
+    );
+
+    // Appending a fresh-tag variant blesses cleanly...
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_append.rs"), &wire, &lock, true),
+        0,
+        "--bless accepts an append-only addition"
+    );
+    let blessed = std::fs::read_to_string(&lock).expect("read blessed lock");
+    assert!(
+        blessed.contains("message Ping tag=2"),
+        "blessed lock records the new variant: {blessed}"
+    );
+
+    // ...and a re-check against the regenerated lock is clean.
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_append.rs"), &wire, &lock, false),
+        0,
+        "post-bless the appended protocol matches its lock"
+    );
+}
+
+#[test]
+fn schema_cli_is_clean_on_the_real_protocol() {
+    let root = workspace_root().to_string_lossy().into_owned();
+    let code = cli::run(&args(&["schema", "--root", &root]));
+    assert_eq!(
+        code, 0,
+        "crates/net/src/proto.rs must match the committed crates/net/schema.lock; \
+         if you changed the protocol intentionally, run `dyrs-verify -- schema --bless`"
+    );
+}
