@@ -688,6 +688,9 @@ impl Master {
         d.probation_block = None;
         d.strikes.clear();
         self.obs.counter_add("detector.quarantines", 1);
+        // Crash flight recorder: a quarantine is exactly the moment an
+        // operator wants the recent span history, dumped and named.
+        self.obs.flight_auto_dump("node-quarantined", Some(node));
     }
 
     /// A confirmed unbind: the caller revoked `block` from `node`'s queue
@@ -1662,6 +1665,46 @@ mod tests {
         assert_eq!(m.node_health(n(0)), NodeHealth::Healthy);
         m.on_heartbeat_at(n(0), 1.0 / (140.0 * MB as f64), 0, t(13));
         assert!(!m.on_slave_pull(n(0), 8).is_empty(), "healthy again");
+    }
+
+    #[test]
+    fn quarantine_auto_dumps_the_flight_recorder_naming_the_node() {
+        let obs = ObsHandle::new();
+        let mut m = detector_master();
+        m.attach_obs(obs.clone());
+        // Three stuck-stream strikes inside the window force a quarantine
+        // — the crash the flight recorder exists to explain.
+        for i in 0..3 {
+            let tgt = bind_one(&mut m, i, &[0]);
+            assert_eq!(tgt, n(0));
+            m.on_unbound(n(0), b(i), cause::STUCK_STREAM);
+        }
+        assert_eq!(m.node_health(n(0)), NodeHealth::Quarantined);
+        let dumps = obs.auto_flight_dumps();
+        if !obs.is_enabled() {
+            assert!(dumps.is_empty(), "no-op handles never dump");
+            return;
+        }
+        assert_eq!(dumps.len(), 1, "exactly one quarantine, one dump");
+        let d = &dumps[0];
+        assert_eq!(d.reason, "node-quarantined");
+        assert_eq!(d.node, Some(0), "the dump names the quarantined node");
+        // The ring holds the span history that led here: the striking
+        // aborts on node 0, then the marker entry stamped at dump time.
+        assert!(
+            d.entries
+                .iter()
+                .any(|e| e.node == Some(0) && e.cause == cause::STUCK_STREAM),
+            "recent transitions explain the strikes: {:?}",
+            d.entries
+        );
+        let marker = d.entries.last().expect("ring is not empty");
+        assert_eq!(marker.cause, "node-quarantined");
+        assert_eq!(
+            d.entries_for(0).count(),
+            d.entries.iter().filter(|e| e.node == Some(0)).count(),
+            "per-node filter matches a manual scan"
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! dyrs-node master --listen 127.0.0.1:7430 --slaves 3 --duration-secs 10
 //! dyrs-node slave  --connect 127.0.0.1:7430 --node 0
 //! dyrs-node client --connect 127.0.0.1:7430 --blocks 8
+//! dyrs-node stat   --connect 127.0.0.1:7430 --slaves 3 [--json] [--flight]
+//! dyrs-node watch  --connect 127.0.0.1:7430 --slaves 3 --interval-ms 500
 //! ```
 //!
 //! The master waits for `--slaves` handshakes, serves the protocol for
@@ -11,12 +13,23 @@
 //! barrier and prints the zero-loss verdict. The client submits one
 //! demo job (`--blocks` blocks spread over the slaves), reads each
 //! block back, then asks for the job's buffers to be evicted.
+//!
+//! `stat` is the admin plane: a one-shot scrape of the live master (and,
+//! via master relay, each slave) rendered as a Prometheus-style text
+//! exposition or `--json`; `--flight` additionally dumps the master's
+//! flight recorder. `watch` repeats the scrape every `--interval-ms`
+//! and renders a backlog/health table until `--count` refreshes (0 =
+//! forever) have been printed.
 
 use dyrs::{BlockRequest, JobHint};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use dyrs_net::node::{run_master, run_slave, MasterConfig, MasterProgress, SlaveConfig};
-use dyrs_net::proto::{Message, Role};
+use dyrs_net::proto::{Message, Role, StatsScope};
+use dyrs_net::stats::{
+    render_flight, render_json, render_prometheus, render_watch_table, scrape_flight, scrape_stats,
+    Scrape,
+};
 use dyrs_net::tcp::{TcpAcceptor, TcpConfig, TcpConnector};
 use dyrs_net::transport::{Peer, Transport};
 use dyrs_net::PROTOCOL_VERSION;
@@ -29,12 +42,14 @@ use std::time::Duration;
 const USAGE: &str = "usage:
   dyrs-node master --listen ADDR [--slaves N] [--duration-secs S]
   dyrs-node slave  --connect ADDR --node N
-  dyrs-node client --connect ADDR [--blocks N] [--slaves N]";
+  dyrs-node client --connect ADDR [--blocks N] [--slaves N]
+  dyrs-node stat   --connect ADDR [--slaves N] [--json] [--flight]
+  dyrs-node watch  --connect ADDR [--slaves N] [--interval-ms M] [--count K]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = match args.first().map(String::as_str) {
-        Some(m @ ("master" | "slave" | "client")) => m.to_owned(),
+        Some(m @ ("master" | "slave" | "client" | "stat" | "watch")) => m.to_owned(),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -72,6 +87,27 @@ fn main() -> ExitCode {
                     eprintln!("slave mode requires --connect ADDR --node N\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
+            }
+        }
+        "stat" | "watch" => {
+            let addr = match flag("--connect") {
+                Some(a) => a,
+                None => {
+                    eprintln!("{mode} mode requires --connect ADDR\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let slaves: u32 = flag("--slaves").and_then(|s| s.parse().ok()).unwrap_or(3);
+            if mode == "stat" {
+                let json = args.iter().any(|a| a == "--json");
+                let flight = args.iter().any(|a| a == "--flight");
+                run_stat_mode(&addr, slaves, json, flight)
+            } else {
+                let interval: u64 = flag("--interval-ms")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1000);
+                let count: u64 = flag("--count").and_then(|s| s.parse().ok()).unwrap_or(0);
+                run_watch_mode(&addr, slaves, interval, count)
             }
         }
         _ => {
@@ -218,5 +254,84 @@ fn run_client_mode(addr: &str, blocks: u64, slaves: u32) -> Result<(), String> {
     std::thread::sleep(Duration::from_millis(200));
     conn.shutdown();
     println!("client: job read + eviction requested, done");
+    Ok(())
+}
+
+/// Per-scope reply deadline for the admin-plane scrape modes.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Client id used by `stat`/`watch` so they never collide with the demo
+/// client (id 0) on the master's peer table.
+const ADMIN_CLIENT_ID: u32 = 99;
+
+/// Scrape the master and, via master relay, each slave. Daemons that do
+/// not answer (e.g. a slave that never connected) are reported on
+/// stderr and skipped rather than failing the whole scrape.
+fn collect_scrapes<T: Transport>(conn: &T, slaves: u32) -> Vec<Scrape> {
+    let mut out = Vec::new();
+    match scrape_stats(conn, Peer::Master, StatsScope::Local, SCRAPE_TIMEOUT) {
+        Ok(snapshot) => out.push(Scrape {
+            label: "master".into(),
+            snapshot,
+        }),
+        Err(e) => eprintln!("scrape: master did not answer: {e}"),
+    }
+    for n in 0..slaves {
+        match scrape_stats(conn, Peer::Master, StatsScope::Node(n), SCRAPE_TIMEOUT) {
+            Ok(snapshot) => out.push(Scrape {
+                label: format!("slave-{n}"),
+                snapshot,
+            }),
+            Err(e) => eprintln!("scrape: slave {n} did not answer: {e}"),
+        }
+    }
+    out
+}
+
+fn run_stat_mode(addr: &str, slaves: u32, json: bool, flight: bool) -> Result<(), String> {
+    let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let scrapes = collect_scrapes(&conn, slaves);
+    if scrapes.is_empty() {
+        conn.shutdown();
+        return Err("no daemon answered the scrape".into());
+    }
+    if json {
+        println!("{}", render_json(&scrapes));
+    } else {
+        print!("{}", render_prometheus(&scrapes));
+    }
+    if flight {
+        match scrape_flight(&conn, Peer::Master, StatsScope::LocalFlight, SCRAPE_TIMEOUT) {
+            Ok(record) => print!("{}", render_flight(&record)),
+            Err(e) => {
+                conn.shutdown();
+                return Err(format!("flight dump failed: {e}"));
+            }
+        }
+    }
+    conn.shutdown();
+    Ok(())
+}
+
+fn run_watch_mode(addr: &str, slaves: u32, interval_ms: u64, count: u64) -> Result<(), String> {
+    let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let mut printed = 0u64;
+    loop {
+        let scrapes = collect_scrapes(&conn, slaves);
+        if scrapes.is_empty() {
+            conn.shutdown();
+            return Err("no daemon answered the scrape".into());
+        }
+        print!("{}", render_watch_table(&scrapes));
+        println!();
+        printed += 1;
+        if count != 0 && printed >= count {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+    conn.shutdown();
     Ok(())
 }

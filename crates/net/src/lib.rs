@@ -38,6 +38,7 @@ pub mod frame;
 pub mod loopback;
 pub mod node;
 pub mod proto;
+pub mod stats;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
@@ -47,7 +48,8 @@ pub use loopback::{LoopbackEndpoint, LoopbackHub};
 pub use node::{
     run_master, run_slave, MasterConfig, MasterProgress, MasterReport, SlaveConfig, SlaveReport,
 };
-pub use proto::{Message, Role, PROTOCOL_VERSION};
+pub use proto::{Message, Role, StatsScope, PROTOCOL_VERSION};
+pub use stats::{scrape_flight, scrape_stats, Scrape};
 pub use tcp::{TcpAcceptor, TcpConfig, TcpConnector};
 pub use transport::{Peer, Transport, TransportError};
 pub use wire::{DecodeError, Wire};

@@ -26,15 +26,16 @@
 //! A mismatch on either side is a lost (or phantom) message and fails
 //! the run report's `zero_loss()`.
 
-use crate::proto::Message;
+use crate::proto::{Message, StatsScope};
 use crate::transport::{Peer, Transport, TransportError};
-use dyrs::config::DyrsConfig;
+use dyrs::config::{DyrsConfig, FailureDetectorConfig};
 use dyrs::slave::Revoked;
 use dyrs::{Master, MigrationPolicy, Slave};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::BlockId;
+use dyrs_obs::FlightRecord;
 use simkit::{Rng, SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,6 +68,12 @@ pub struct MasterConfig {
     pub tick: SimDuration,
     /// Real blocking time per poll iteration.
     pub poll: Duration,
+    /// Gray-failure detector for the daemon master. `None` (the default)
+    /// keeps it off: the daemons advance virtual time per *poll*, so
+    /// heartbeat deadlines measure wall-clock scheduling jitter rather
+    /// than simulated silence — only enable this with deadlines sized
+    /// for that. Quarantines fire the flight recorder automatically.
+    pub detector: Option<FailureDetectorConfig>,
 }
 
 impl MasterConfig {
@@ -80,6 +87,7 @@ impl MasterConfig {
             dyrs: DyrsConfig::default(),
             tick: DEFAULT_TICK,
             poll: DEFAULT_POLL,
+            detector: None,
         }
     }
 }
@@ -112,6 +120,9 @@ pub struct MasterReport {
     /// The master's observability report (spans, counters); empty when
     /// the `obs` feature is off.
     pub obs: dyrs_obs::ObsReport,
+    /// Automatic flight-recorder dumps taken during the run (node
+    /// quarantines, protocol violations), oldest first.
+    pub flight: Vec<FlightRecord>,
 }
 
 impl MasterReport {
@@ -144,6 +155,9 @@ pub fn run_master<T: Transport>(
     );
     let obs = dyrs_obs::ObsHandle::new();
     master.attach_obs(obs.clone());
+    if let Some(det) = cfg.detector.clone() {
+        master.configure_detector(det);
+    }
 
     let mut now = SimTime::from_micros(0);
     let mut last_retarget = now;
@@ -153,6 +167,10 @@ pub fn run_master<T: Transport>(
     let mut byes: BTreeMap<u32, u64> = BTreeMap::new();
     let mut completed: Vec<(u32, u64)> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
+    // Relay bookkeeping for Node-scoped scrapes: per-slave FIFO of
+    // requesters awaiting that slave's reply. The transport is ordered
+    // per connection, so replies pair with requests front-to-back.
+    let mut pending_scrapes: BTreeMap<u32, VecDeque<Peer>> = BTreeMap::new();
 
     let send = |transport: &T, sent: &mut BTreeMap<u32, u64>, node: u32, msg: Message| {
         match transport.send(Peer::Slave(node), &msg) {
@@ -162,6 +180,14 @@ pub fn run_master<T: Transport>(
                 // failed send is visible as a count mismatch at Bye time.
                 let _ = e;
             }
+        }
+    };
+    // Reply to whichever peer asked: frames to slaves join the per-slave
+    // ledger, frames to clients ride outside the shutdown barrier.
+    let reply_to = |transport: &T, sent: &mut BTreeMap<u32, u64>, to: Peer, msg: Message| match to {
+        Peer::Slave(n) => send(transport, sent, n, msg),
+        other => {
+            let _ = transport.send(other, &msg);
         }
     };
 
@@ -190,6 +216,29 @@ pub fn run_master<T: Transport>(
                                 Message::Bind { migrations: pulled },
                             );
                         }
+                        if master.detector_enabled() {
+                            // The daemon cannot query slave queues
+                            // synchronously, so suspect nodes are left to
+                            // the stuck detector; confirmed-stuck bindings
+                            // are revoked over the wire (a slave ignores
+                            // blocks it no longer holds). Quarantines
+                            // inside check_health auto-dump the flight
+                            // recorder.
+                            let health = master.check_health(now);
+                            for (snode, block) in health.stuck {
+                                send(transport, &mut sent, snode.0, Message::Revoke { block });
+                                master.on_unbound(snode, block, dyrs_obs::cause::STUCK_STREAM);
+                            }
+                            obs.gauge(
+                                "node.health",
+                                node.0 as u64,
+                                master.node_health(node).as_gauge(),
+                            );
+                        }
+                        // Scheduler gauges sampled on every heartbeat
+                        // batch, so a mid-run scrape sees the live
+                        // backlog.
+                        obs.gauge("sched.pending_depth", 0, master.pending_len() as f64);
                     }
                     (Peer::Slave(_), Message::MigrationComplete { node, block }) => {
                         master.on_migration_complete(node, block);
@@ -248,13 +297,90 @@ pub fn run_master<T: Transport>(
                             send(transport, &mut sent, node.0, Message::EvictJob { job });
                         }
                     }
+                    (requester, Message::StatsRequest { scope }) => match scope {
+                        StatsScope::Local => {
+                            // Sample the scheduler gauges at scrape time
+                            // too, so depth is current even before the
+                            // first heartbeat batch.
+                            obs.gauge("sched.pending_depth", 0, master.pending_len() as f64);
+                            if master.detector_enabled() {
+                                for &n in &known {
+                                    obs.gauge(
+                                        "node.health",
+                                        u64::from(n),
+                                        master.node_health(NodeId(n)).as_gauge(),
+                                    );
+                                }
+                            }
+                            let reply = Message::StatsReply {
+                                scope: StatsScope::Local,
+                                snapshot: obs.snapshot(),
+                            };
+                            reply_to(transport, &mut sent, requester, reply);
+                        }
+                        StatsScope::LocalFlight => {
+                            let reply = Message::FlightDump {
+                                scope: StatsScope::LocalFlight,
+                                record: obs.flight_dump("on-demand", None),
+                            };
+                            reply_to(transport, &mut sent, requester, reply);
+                        }
+                        // Relay to the slave; if it is not connected the
+                        // send fails silently and the requester times out.
+                        StatsScope::Node(n) => {
+                            send(
+                                transport,
+                                &mut sent,
+                                n,
+                                Message::StatsRequest {
+                                    scope: StatsScope::Local,
+                                },
+                            );
+                            pending_scrapes.entry(n).or_default().push_back(requester);
+                        }
+                        StatsScope::NodeFlight(n) => {
+                            send(
+                                transport,
+                                &mut sent,
+                                n,
+                                Message::StatsRequest {
+                                    scope: StatsScope::LocalFlight,
+                                },
+                            );
+                            pending_scrapes.entry(n).or_default().push_back(requester);
+                        }
+                    },
+                    (Peer::Slave(n), Message::StatsReply { snapshot, .. }) => {
+                        if let Some(req) = pending_scrapes.get_mut(&n).and_then(VecDeque::pop_front)
+                        {
+                            let reply = Message::StatsReply {
+                                scope: StatsScope::Node(n),
+                                snapshot,
+                            };
+                            reply_to(transport, &mut sent, req, reply);
+                        }
+                    }
+                    (Peer::Slave(n), Message::FlightDump { record, .. }) => {
+                        if let Some(req) = pending_scrapes.get_mut(&n).and_then(VecDeque::pop_front)
+                        {
+                            let reply = Message::FlightDump {
+                                scope: StatsScope::NodeFlight(n),
+                                record,
+                            };
+                            reply_to(transport, &mut sent, req, reply);
+                        }
+                    }
                     (peer, other) => {
                         errors.push(format!("unexpected {} from {peer}", other.name()));
+                        obs.flight_auto_dump("protocol-violation", None);
                     }
                 }
             }
             Err(TransportError::Timeout) => {}
-            Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+            Err(TransportError::Protocol(e)) => {
+                errors.push(format!("protocol: {e}"));
+                obs.flight_auto_dump("protocol-violation", None);
+            }
             Err(e) => {
                 errors.push(format!("transport: {e}"));
                 break;
@@ -264,7 +390,9 @@ pub fn run_master<T: Transport>(
         now += cfg.tick;
         obs.set_now(now);
         if now.saturating_since(last_retarget) >= cfg.dyrs.retarget_interval {
-            master.retarget();
+            let stats = master.retarget();
+            obs.gauge("sched.dirty_entries", 0, stats.rescored as f64);
+            obs.gauge("sched.pending_depth", 0, master.pending_len() as f64);
             last_retarget = now;
         }
         if stop.load(Ordering::SeqCst) {
@@ -316,6 +444,7 @@ pub fn run_master<T: Transport>(
         byes,
         completed,
         errors,
+        flight: obs.auto_flight_dumps(),
         obs: obs.take_report(),
     }
 }
@@ -371,6 +500,9 @@ pub struct SlaveReport {
     pub evicted: u64,
     /// Protocol-level violations observed (empty on a healthy run).
     pub errors: Vec<String>,
+    /// The slave's observability report (spans, counters); empty when
+    /// the `obs` feature is off.
+    pub obs: dyrs_obs::ObsReport,
 }
 
 impl SlaveReport {
@@ -401,6 +533,8 @@ pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBo
         CALIBRATION_BYTES,
         SimDuration::from_secs_f64(CALIBRATION_BYTES as f64 / cfg.disk_bw),
     );
+    let obs = dyrs_obs::ObsHandle::new();
+    slave.attach_obs(obs.clone());
 
     let mut now = SimTime::from_micros(0);
     let mut next_hb = now; // heartbeat immediately on startup
@@ -462,13 +596,39 @@ pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBo
                             advertised = Some(master_sent);
                             break 'outer;
                         }
+                        Message::StatsRequest { scope } => match scope {
+                            StatsScope::Local => send(
+                                transport,
+                                &mut sent,
+                                Message::StatsReply {
+                                    scope: StatsScope::Local,
+                                    snapshot: obs.snapshot(),
+                                },
+                            ),
+                            StatsScope::LocalFlight => send(
+                                transport,
+                                &mut sent,
+                                Message::FlightDump {
+                                    scope: StatsScope::LocalFlight,
+                                    record: obs.flight_dump("on-demand", Some(cfg.node)),
+                                },
+                            ),
+                            other => {
+                                errors.push(format!("unexpected stats scope {other:?}"));
+                                obs.flight_auto_dump("protocol-violation", Some(cfg.node));
+                            }
+                        },
                         other => {
                             errors.push(format!("unexpected {}", other.name()));
+                            obs.flight_auto_dump("protocol-violation", Some(cfg.node));
                         }
                     }
                 }
                 Ok(None) => break,
-                Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+                Err(TransportError::Protocol(e)) => {
+                    errors.push(format!("protocol: {e}"));
+                    obs.flight_auto_dump("protocol-violation", Some(cfg.node));
+                }
                 Err(_) => break 'outer,
             }
         }
@@ -569,14 +729,43 @@ pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBo
                         advertised = Some(master_sent);
                         break 'outer;
                     }
-                    other => errors.push(format!("unexpected {}", other.name())),
+                    Message::StatsRequest { scope } => match scope {
+                        StatsScope::Local => send(
+                            transport,
+                            &mut sent,
+                            Message::StatsReply {
+                                scope: StatsScope::Local,
+                                snapshot: obs.snapshot(),
+                            },
+                        ),
+                        StatsScope::LocalFlight => send(
+                            transport,
+                            &mut sent,
+                            Message::FlightDump {
+                                scope: StatsScope::LocalFlight,
+                                record: obs.flight_dump("on-demand", Some(cfg.node)),
+                            },
+                        ),
+                        other => {
+                            errors.push(format!("unexpected stats scope {other:?}"));
+                            obs.flight_auto_dump("protocol-violation", Some(cfg.node));
+                        }
+                    },
+                    other => {
+                        errors.push(format!("unexpected {}", other.name()));
+                        obs.flight_auto_dump("protocol-violation", Some(cfg.node));
+                    }
                 }
             }
             Err(TransportError::Timeout) => {}
-            Err(TransportError::Protocol(e)) => errors.push(format!("protocol: {e}")),
+            Err(TransportError::Protocol(e)) => {
+                errors.push(format!("protocol: {e}"));
+                obs.flight_auto_dump("protocol-violation", Some(cfg.node));
+            }
             Err(_) => break 'outer,
         }
         now += cfg.tick;
+        obs.set_now(now);
         if stop.load(Ordering::SeqCst) {
             break 'outer;
         }
@@ -587,6 +776,7 @@ pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBo
     let advertising = sent + 1;
     send(transport, &mut sent, Message::Bye { sent: advertising });
 
+    obs.close_dangling(dyrs_obs::cause::RUN_END);
     SlaveReport {
         sent,
         received,
@@ -594,5 +784,6 @@ pub fn run_slave<T: Transport>(transport: &T, cfg: &SlaveConfig, stop: &AtomicBo
         completed,
         evicted,
         errors,
+        obs: obs.take_report(),
     }
 }

@@ -18,6 +18,7 @@ use dyrs::types::{JobRef, Migration};
 use dyrs::EvictionMode;
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
+use dyrs_obs::{FlightRecord, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 
@@ -32,6 +33,23 @@ pub enum Role {
     Slave,
     /// A job submitter / scheduler client.
     Client,
+}
+
+/// What a [`Message::StatsRequest`] is asking for (admin/telemetry
+/// plane). The master answers `Local*` scopes from its own recorder and
+/// relays `Node*` scopes to the named slave, rewriting the scope on the
+/// reply so the requester can tell whose data arrived. A slave only
+/// answers `Local*` scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsScope {
+    /// The receiving daemon's own stats snapshot.
+    Local,
+    /// The stats snapshot of slave `node`, relayed by the master.
+    Node(u32),
+    /// The receiving daemon's own flight-recorder dump.
+    LocalFlight,
+    /// The flight-recorder dump of slave `node`, relayed by the master.
+    NodeFlight(u32),
 }
 
 /// One protocol message. Direction is part of the contract and noted on
@@ -162,6 +180,33 @@ pub enum Message {
         /// The finished job.
         job: JobId,
     },
+
+    // -- admin plane (any peer → master, master → slave) -------------------
+    /// Scrape request: ask the receiver for a live stats snapshot or a
+    /// flight-recorder dump. Any connected peer may send this to the
+    /// master mid-run; the master relays `Node*` scopes to slaves.
+    StatsRequest {
+        /// Whose data, and which kind.
+        scope: StatsScope,
+    },
+    /// Scrape reply carrying a snapshot. `scope` names whose data this is
+    /// (the master rewrites `Local` → `Node(n)` when relaying a slave's
+    /// answer back to the requester).
+    StatsReply {
+        /// Whose snapshot this is.
+        scope: StatsScope,
+        /// The point-in-time telemetry view.
+        snapshot: StatsSnapshot,
+    },
+    /// A flight-recorder dump: the reply to a `*Flight` scrape, and also
+    /// pushed unsolicited by a daemon that auto-dumped on a quarantine or
+    /// protocol violation.
+    FlightDump {
+        /// Whose recorder this is.
+        scope: StatsScope,
+        /// The dump itself.
+        record: FlightRecord,
+    },
 }
 
 impl Message {
@@ -183,6 +228,9 @@ impl Message {
             Message::RequestMigration { .. } => 12,
             Message::ReadNotify { .. } => 13,
             Message::EvictJobRequest { .. } => 14,
+            Message::StatsRequest { .. } => 15,
+            Message::StatsReply { .. } => 16,
+            Message::FlightDump { .. } => 17,
         }
     }
 
@@ -204,6 +252,9 @@ impl Message {
             Message::RequestMigration { .. } => "request_migration",
             Message::ReadNotify { .. } => "read_notify",
             Message::EvictJobRequest { .. } => "evict_job_request",
+            Message::StatsRequest { .. } => "stats_request",
+            Message::StatsReply { .. } => "stats_reply",
+            Message::FlightDump { .. } => "flight_dump",
         }
     }
 }
@@ -220,6 +271,35 @@ impl Wire for Role {
             0 => Ok(Role::Slave),
             1 => Ok(Role::Client),
             tag => Err(DecodeError::BadTag { what: "Role", tag }),
+        }
+    }
+}
+
+impl Wire for StatsScope {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StatsScope::Local => out.push(0),
+            StatsScope::Node(node) => {
+                out.push(1);
+                node.encode(out);
+            }
+            StatsScope::LocalFlight => out.push(2),
+            StatsScope::NodeFlight(node) => {
+                out.push(3);
+                node.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(StatsScope::Local),
+            1 => Ok(StatsScope::Node(u32::decode(r)?)),
+            2 => Ok(StatsScope::LocalFlight),
+            3 => Ok(StatsScope::NodeFlight(u32::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "StatsScope",
+                tag,
+            }),
         }
     }
 }
@@ -272,6 +352,15 @@ impl Wire for Message {
             Message::ReadNotify { block, job } => {
                 block.encode(out);
                 job.encode(out);
+            }
+            Message::StatsRequest { scope } => scope.encode(out),
+            Message::StatsReply { scope, snapshot } => {
+                scope.encode(out);
+                snapshot.encode(out);
+            }
+            Message::FlightDump { scope, record } => {
+                scope.encode(out);
+                record.encode(out);
             }
         }
     }
@@ -335,6 +424,17 @@ impl Wire for Message {
             },
             14 => Message::EvictJobRequest {
                 job: JobId::decode(r)?,
+            },
+            15 => Message::StatsRequest {
+                scope: StatsScope::decode(r)?,
+            },
+            16 => Message::StatsReply {
+                scope: StatsScope::decode(r)?,
+                snapshot: StatsSnapshot::decode(r)?,
+            },
+            17 => Message::FlightDump {
+                scope: StatsScope::decode(r)?,
+                record: FlightRecord::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {

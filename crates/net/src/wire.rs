@@ -18,6 +18,7 @@ use dyrs::types::{BoundMigration, JobRef, Migration, MigrationId};
 use dyrs::EvictionMode;
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, FileId, JobId};
+use dyrs_obs::{FlightEntry, FlightRecord, GaugeSample, StatsSnapshot};
 use simkit::{SimDuration, SimTime};
 use std::fmt;
 
@@ -367,6 +368,84 @@ impl Wire for JobHint {
         Ok(JobHint {
             expected_launch: SimTime::decode(r)?,
             total_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for GaugeSample {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.key.encode(out);
+        self.value.encode(out);
+        self.at.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(GaugeSample {
+            name: String::decode(r)?,
+            key: u64::decode(r)?,
+            value: f64::decode(r)?,
+            at: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Wire for StatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.enabled.encode(out);
+        self.counters.encode(out);
+        self.gauges.encode(out);
+        self.open_spans.encode(out);
+        self.top_winners.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(StatsSnapshot {
+            at: SimTime::decode(r)?,
+            enabled: bool::decode(r)?,
+            counters: Vec::decode(r)?,
+            gauges: Vec::decode(r)?,
+            open_spans: Vec::decode(r)?,
+            top_winners: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FlightEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.migration.encode(out);
+        self.block.encode(out);
+        self.state.encode(out);
+        self.node.encode(out);
+        self.cause.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FlightEntry {
+            at: SimTime::decode(r)?,
+            migration: u64::decode(r)?,
+            block: u64::decode(r)?,
+            state: String::decode(r)?,
+            node: Option::decode(r)?,
+            cause: String::decode(r)?,
+        })
+    }
+}
+
+impl Wire for FlightRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.reason.encode(out);
+        self.node.encode(out);
+        self.at.encode(out);
+        self.dropped.encode(out);
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(FlightRecord {
+            reason: String::decode(r)?,
+            node: Option::decode(r)?,
+            at: SimTime::decode(r)?,
+            dropped: u64::decode(r)?,
+            entries: Vec::decode(r)?,
         })
     }
 }

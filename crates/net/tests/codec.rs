@@ -13,14 +13,15 @@ use dyrs_net::frame::{
     self, decode_frame, encode_frame, supported_versions, FrameError, MAX_FRAME,
 };
 use dyrs_net::wire::{from_bytes, to_bytes, DecodeError};
-use dyrs_net::{Message, Role, PROTOCOL_VERSION};
+use dyrs_net::{Message, Role, StatsScope, PROTOCOL_VERSION};
+use dyrs_obs::{FlightEntry, FlightRecord, GaugeSample, StatsSnapshot};
 use proptest::prelude::*;
 use proptest::{Strategy, TestRng};
 use simkit::SimTime;
 
 // ---------------------------------------------------------------------------
 // Generators: one arbitrary value per payload type, then an arbitrary
-// Message covering ALL fifteen variants (the tag is drawn uniformly).
+// Message covering ALL eighteen variants (the tag is drawn uniformly).
 // ---------------------------------------------------------------------------
 
 fn arb_f64(rng: &mut TestRng) -> f64 {
@@ -71,8 +72,70 @@ fn arb_block_request(rng: &mut TestRng) -> BlockRequest {
     }
 }
 
+fn arb_stats_scope(rng: &mut TestRng) -> StatsScope {
+    match rng.below(4) {
+        0 => StatsScope::Local,
+        1 => StatsScope::Node(rng.below(64) as u32),
+        2 => StatsScope::LocalFlight,
+        _ => StatsScope::NodeFlight(rng.below(64) as u32),
+    }
+}
+
+fn arb_gauge_sample(rng: &mut TestRng) -> GaugeSample {
+    GaugeSample {
+        name: arb_string(rng),
+        key: rng.next_u64(),
+        value: arb_f64(rng),
+        at: SimTime::from_micros(rng.next_u64() >> 16),
+    }
+}
+
+fn arb_snapshot(rng: &mut TestRng) -> StatsSnapshot {
+    StatsSnapshot {
+        at: SimTime::from_micros(rng.next_u64() >> 16),
+        enabled: rng.below(2) == 0,
+        counters: (0..rng.below(4))
+            .map(|_| (arb_string(rng), rng.next_u64()))
+            .collect(),
+        gauges: (0..rng.below(4)).map(|_| arb_gauge_sample(rng)).collect(),
+        open_spans: (0..rng.below(4))
+            .map(|_| (arb_string(rng), rng.next_u64()))
+            .collect(),
+        top_winners: (0..rng.below(4))
+            .map(|_| (rng.below(64) as u32, rng.next_u64()))
+            .collect(),
+    }
+}
+
+fn arb_flight_record(rng: &mut TestRng) -> FlightRecord {
+    FlightRecord {
+        reason: arb_string(rng),
+        node: if rng.below(2) == 0 {
+            Some(rng.below(64) as u32)
+        } else {
+            None
+        },
+        at: SimTime::from_micros(rng.next_u64() >> 16),
+        dropped: rng.next_u64(),
+        entries: (0..rng.below(4))
+            .map(|_| FlightEntry {
+                at: SimTime::from_micros(rng.next_u64() >> 16),
+                migration: rng.next_u64(),
+                block: rng.next_u64(),
+                state: arb_string(rng),
+                node: if rng.below(2) == 0 {
+                    Some(rng.below(64) as u32)
+                } else {
+                    None
+                },
+                cause: arb_string(rng),
+            })
+            .collect(),
+    }
+}
+
 fn arb_message(rng: &mut TestRng) -> Message {
-    match rng.below(15) {
+    match rng.below(18) {
         0 => Message::Hello {
             role: if rng.below(2) == 0 {
                 Role::Slave
@@ -142,8 +205,19 @@ fn arb_message(rng: &mut TestRng) -> Message {
             block: BlockId(rng.next_u64()),
             job: JobId(rng.next_u64()),
         },
-        _ => Message::EvictJobRequest {
+        14 => Message::EvictJobRequest {
             job: JobId(rng.next_u64()),
+        },
+        15 => Message::StatsRequest {
+            scope: arb_stats_scope(rng),
+        },
+        16 => Message::StatsReply {
+            scope: arb_stats_scope(rng),
+            snapshot: arb_snapshot(rng),
+        },
+        _ => Message::FlightDump {
+            scope: arb_stats_scope(rng),
+            record: arb_flight_record(rng),
         },
     }
 }
@@ -309,14 +383,43 @@ fn unknown_message_tag_rejected() {
 #[test]
 fn every_tag_is_covered_by_the_generator() {
     // The roundtrip property is only as strong as its generator: check it
-    // actually reaches all fifteen variants.
+    // actually reaches all eighteen variants.
     let mut rng = TestRng::from_seed(7);
-    let mut seen = [false; 15];
+    let mut seen = [false; 18];
     for _ in 0..2_000 {
         seen[arb_message(&mut rng).tag() as usize] = true;
     }
     assert!(
         seen.iter().all(|&s| s),
         "generator missed a variant: {seen:?}"
+    );
+}
+
+#[test]
+fn oversized_snapshot_reply_rejected_by_frame_cap() {
+    // A stats reply is operator traffic riding the same 16 MiB frame cap
+    // as the protocol: a pathological snapshot (say a runaway counter
+    // namespace) must be refused at the framing layer, not OOM the peer.
+    let big_name = "x".repeat(1 << 10);
+    let snapshot = StatsSnapshot {
+        at: SimTime::from_micros(1),
+        enabled: true,
+        counters: (0..(MAX_FRAME as u64 / 1024 + 16))
+            .map(|i| (big_name.clone(), i))
+            .collect(),
+        gauges: Vec::new(),
+        open_spans: Vec::new(),
+        top_winners: Vec::new(),
+    };
+    let msg = Message::StatsReply {
+        scope: StatsScope::Local,
+        snapshot,
+    };
+    let bytes = encode_frame(PROTOCOL_VERSION, &msg);
+    assert!(bytes.len() > MAX_FRAME as usize);
+    let len = u32::from_be_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]);
+    assert_eq!(
+        decode_frame(&bytes, supported_versions()),
+        Err(FrameError::Oversized(len))
     );
 }

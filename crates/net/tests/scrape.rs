@@ -1,0 +1,229 @@
+//! Admin-plane scrape over the deterministic loopback transport: a
+//! client scrapes a live master (and, via master relay, a slave) while
+//! the daemons run, without perturbing the protocol.
+//!
+//! * the master answers `StatsScope::Local` with the live scheduler
+//!   backlog (`sched.pending_depth`) and the open-span census,
+//! * `Node(n)`/`NodeFlight(n)` scopes relay through the master to the
+//!   slave and come back with the scope rewritten,
+//! * the detector's `node.health` gauges surface once heartbeats flow,
+//! * counters are monotone across successive scrapes, and the `watch`
+//!   table renders refresh after refresh.
+
+use dyrs::config::FailureDetectorConfig;
+use dyrs::master::{BlockRequest, JobHint};
+use dyrs::EvictionMode;
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_net::node::{run_master, run_slave, MasterConfig, MasterProgress, SlaveConfig};
+use dyrs_net::stats::{render_watch_table, scrape_flight, scrape_stats, Scrape};
+use dyrs_net::{LoopbackHub, Message, Peer, StatsScope, Transport};
+use simkit::{SimDuration, SimTime};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BLOCKS: u64 = 6;
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn submit(client: &impl Transport, blocks: u64, replicas: u32) {
+    let requests: Vec<BlockRequest> = (0..blocks)
+        .map(|i| BlockRequest {
+            block: BlockId(i),
+            bytes: 16 << 20,
+            replicas: (0..replicas.max(1))
+                .map(|r| NodeId((i as u32 + r) % replicas.max(1)))
+                .collect(),
+        })
+        .collect();
+    client
+        .send(
+            Peer::Master,
+            &Message::RequestMigration {
+                job: JobId(1),
+                blocks: requests,
+                eviction: EvictionMode::Explicit,
+                hint: JobHint {
+                    expected_launch: SimTime::from_micros(0),
+                    total_bytes: blocks * (16 << 20),
+                },
+            },
+        )
+        .expect("submit job");
+}
+
+/// A master with no slaves connected: nothing ever pulls work, so the
+/// backlog a scrape reports is exactly the submitted block count — a
+/// deterministic assertion, not a race against migration progress.
+#[test]
+fn master_scrape_reports_live_backlog() {
+    let hub = LoopbackHub::new();
+    let master_ep = hub.endpoint(Peer::Master);
+    let client = hub.endpoint(Peer::Client(9));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let master = {
+        let stop = Arc::clone(&stop);
+        let progress = MasterProgress::default();
+        std::thread::spawn(move || run_master(&master_ep, &MasterConfig::new(3), &stop, &progress))
+    };
+
+    submit(&client, BLOCKS, 3);
+    // The loopback inbox is ordered per sender, so this scrape is
+    // processed strictly after the submission above.
+    let first = scrape_stats(&client, Peer::Master, StatsScope::Local, SCRAPE_TIMEOUT)
+        .expect("master answers a Local scrape");
+    assert!(first.enabled, "daemons run with observability on");
+    assert_eq!(
+        first.gauge("sched.pending_depth", 0),
+        Some(BLOCKS as f64),
+        "scrape sees the live scheduler backlog"
+    );
+    assert_eq!(
+        first.open_total(),
+        BLOCKS,
+        "one open span per unfinished migration: {:?}",
+        first.open_spans
+    );
+    assert_eq!(first.counter("span.pending"), BLOCKS);
+
+    // Counters are monotone scrape-over-scrape, and each round renders a
+    // non-empty watch-table refresh.
+    let mut tables = Vec::new();
+    let mut prev = first;
+    for _ in 0..2 {
+        let snap = scrape_stats(&client, Peer::Master, StatsScope::Local, SCRAPE_TIMEOUT)
+            .expect("repeat scrape");
+        for (name, v) in &prev.counters {
+            assert!(
+                snap.counter(name) >= *v,
+                "counter {name} went backwards: {} < {v}",
+                snap.counter(name)
+            );
+        }
+        tables.push(render_watch_table(&[Scrape {
+            label: "master".into(),
+            snapshot: snap.clone(),
+        }]));
+        prev = snap;
+    }
+    assert_eq!(tables.len(), 2, "watch renders at least two refreshes");
+    for t in &tables {
+        assert!(t.contains("daemon") && t.contains("master"), "{t}");
+        assert!(t.contains('6'), "backlog visible in the table: {t}");
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let report = master.join().expect("master thread");
+    assert!(report.errors.is_empty(), "scrapes are not protocol errors");
+}
+
+/// A 1-master/1-slave loopback cluster: Node-scoped scrapes relay
+/// through the master, flight dumps come back naming the slave, and the
+/// detector's health gauges surface in the master's snapshot.
+#[test]
+fn node_scope_scrapes_relay_through_master() {
+    let hub = LoopbackHub::new();
+    let master_ep = hub.endpoint(Peer::Master);
+    let slave_ep = hub.endpoint(Peer::Slave(0));
+    let client = hub.endpoint(Peer::Client(9));
+
+    let master_stop = Arc::new(AtomicBool::new(false));
+    let slave_stop = Arc::new(AtomicBool::new(false));
+    let master = {
+        let stop = Arc::clone(&master_stop);
+        let progress = MasterProgress::default();
+        let mut cfg = MasterConfig::new(1);
+        // Generous deadlines: the daemons advance virtual time per poll,
+        // so these measure scheduling jitter — sized to never fire here.
+        cfg.detector = Some(FailureDetectorConfig {
+            suspect_after: SimDuration::from_secs(3600),
+            ..cfg.dyrs.failure_detector.clone()
+        });
+        std::thread::spawn(move || run_master(&master_ep, &cfg, &stop, &progress))
+    };
+    let slave = {
+        let stop = Arc::clone(&slave_stop);
+        std::thread::spawn(move || run_slave(&slave_ep, &SlaveConfig::new(NodeId(0)), &stop))
+    };
+
+    // Wait for heartbeats: once the master knows the slave, its Local
+    // snapshot carries the node.health gauge.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let healthy = loop {
+        let snap = scrape_stats(&client, Peer::Master, StatsScope::Local, SCRAPE_TIMEOUT)
+            .expect("master answers");
+        if let Some(h) = snap.gauge("node.health", 0) {
+            break h;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node.health never surfaced: {:?}",
+            snap.gauges
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(healthy, 0.0, "a heartbeating slave is healthy");
+
+    // Node scope: relayed to the slave, answered with the scope
+    // rewritten so the client can match its request.
+    let node_snap = scrape_stats(&client, Peer::Master, StatsScope::Node(0), SCRAPE_TIMEOUT)
+        .expect("slave answers through the master relay");
+    assert!(node_snap.enabled, "slave runs with observability on");
+
+    // NodeFlight scope: the slave's flight recorder, named after it.
+    let record = scrape_flight(
+        &client,
+        Peer::Master,
+        StatsScope::NodeFlight(0),
+        SCRAPE_TIMEOUT,
+    )
+    .expect("slave flight dump through the master relay");
+    assert_eq!(record.reason, "on-demand");
+    assert_eq!(record.node, Some(0), "the dump names the slave");
+
+    // LocalFlight on the master itself.
+    let record = scrape_flight(
+        &client,
+        Peer::Master,
+        StatsScope::LocalFlight,
+        SCRAPE_TIMEOUT,
+    )
+    .expect("master flight dump");
+    assert_eq!(record.reason, "on-demand");
+    assert_eq!(record.node, None);
+
+    // Stop the master first: its shutdown barrier advertises the final
+    // send count to the (still running) slave, which answers `Bye` and
+    // exits. Sharing one stop flag would race the slave out of its loop
+    // before `Shutdown` arrives, leaving `advertised` unset.
+    master_stop.store(true, Ordering::SeqCst);
+    let master_report = master.join().expect("master thread");
+    slave_stop.store(true, Ordering::SeqCst);
+    let slave_report = slave.join().expect("slave thread");
+    assert!(
+        master_report.errors.is_empty(),
+        "master errors: {:?}",
+        master_report.errors
+    );
+    assert!(
+        slave_report.errors.is_empty(),
+        "slave errors: {:?}",
+        slave_report.errors
+    );
+    // Scrape relays ride the counted per-slave ledgers: the barrier must
+    // still prove zero loss with admin traffic interleaved.
+    assert!(
+        master_report.zero_loss(),
+        "master accounting mismatch: sent {:?} received {:?} byes {:?}",
+        master_report.sent,
+        master_report.received,
+        master_report.byes
+    );
+    assert!(
+        slave_report.zero_loss(),
+        "slave accounting mismatch: advertised {:?}, received {}",
+        slave_report.advertised,
+        slave_report.received
+    );
+}

@@ -17,8 +17,9 @@ use dyrs::EvictionMode;
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use dyrs_net::node::{run_master, run_slave, MasterConfig, MasterProgress, SlaveConfig};
+use dyrs_net::stats::scrape_stats;
 use dyrs_net::tcp::{TcpAcceptor, TcpConfig, TcpConnector};
-use dyrs_net::{Message, Peer, Role, Transport};
+use dyrs_net::{Message, Peer, Role, StatsScope, Transport};
 use simkit::SimTime;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -126,6 +127,65 @@ fn localhost_cluster_completes_mini_workload_with_zero_loss() {
 
     // All six blocks must land in memory via heartbeat-pulled bindings.
     reached(&progress.completed, BLOCKS, "migration completions");
+
+    // -- live admin plane: scrape every daemon mid-run ------------------
+    // A second client connection (distinct id) plays `dyrs-node stat`:
+    // master first, then each slave through the master relay.
+    let admin = TcpConnector::connect(&addr, Role::Client, 99, TcpConfig::default())
+        .expect("admin connect");
+    let scrape_timeout = Duration::from_secs(10);
+    let scrape_all = || -> Vec<(String, dyrs_obs::StatsSnapshot)> {
+        let mut out = vec![(
+            "master".to_owned(),
+            scrape_stats(&admin, Peer::Master, StatsScope::Local, scrape_timeout)
+                .expect("master answers a mid-run scrape"),
+        )];
+        for n in 0..SLAVES {
+            out.push((
+                format!("slave-{n}"),
+                scrape_stats(&admin, Peer::Master, StatsScope::Node(n), scrape_timeout)
+                    .unwrap_or_else(|e| panic!("slave {n} scrape: {e:?}")),
+            ));
+        }
+        out
+    };
+    let first = scrape_all();
+    let master_snap = &first[0].1;
+    assert!(master_snap.enabled, "master scrape is live");
+    // The master's span lifecycle stops at `bound` (started/finished are
+    // the executing slave's transitions), so a fully-drained backlog
+    // scrapes as six bindings.
+    assert_eq!(
+        master_snap.counter("span.bound"),
+        BLOCKS,
+        "all bindings visible to the scrape: {:?}",
+        master_snap.counters
+    );
+    assert!(
+        master_snap.gauge("sched.pending_depth", 0).is_some(),
+        "scheduler depth gauge sampled: {:?}",
+        master_snap.gauges
+    );
+    for (label, snap) in &first[1..] {
+        assert!(snap.enabled, "{label} scrape is live");
+        assert!(
+            snap.counter("span.finished") > 0,
+            "{label} migrated at least one block: {:?}",
+            snap.counters
+        );
+    }
+    // Counters are monotone between successive scrapes, on every daemon.
+    let second = scrape_all();
+    for ((label, a), (_, b)) in first.iter().zip(&second) {
+        for (name, v) in &a.counters {
+            assert!(
+                b.counter(name) >= *v,
+                "{label}: counter {name} went backwards ({} < {v})",
+                b.counter(name)
+            );
+        }
+    }
+    admin.shutdown();
 
     // The job reads its input, then finishes: explicit eviction releases
     // every buffer.

@@ -1,13 +1,17 @@
 //! The live recording handle (`enabled` feature).
 
 use crate::report::ObsReport;
+use crate::snapshot::{
+    FlightEntry, FlightRecord, GaugeSample, StatsSnapshot, FLIGHT_CAPACITY, MAX_AUTO_DUMPS,
+    TOP_WINNERS,
+};
 use crate::span::{cause, ProvenanceRecord, SpanEvent, SpanState};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use simkit::stats::{Histogram, TimeSeries};
 use simkit::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Per-migration facts remembered at request time so that every later
@@ -19,12 +23,67 @@ struct Meta {
     bytes: u64,
 }
 
+/// One flight-recorder ring entry. Borrowed statics only, so feeding the
+/// ring on the span hot path never allocates; entries are converted to
+/// owned [`FlightEntry`]s at dump time.
+#[derive(Debug, Clone, Copy)]
+struct FlightNote {
+    at: SimTime,
+    migration: u64,
+    block: u64,
+    state: &'static str,
+    node: Option<u32>,
+    cause: &'static str,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     now: SimTime,
     report: ObsReport,
     meta: BTreeMap<u64, Meta>,
     passes: u64,
+    /// Current state of every span with no terminal event yet, maintained
+    /// incrementally by `record` so the snapshot census is O(open spans).
+    open: BTreeMap<u64, SpanState>,
+    /// Algorithm 1 winner roll-up: node → times chosen across all passes.
+    wins: BTreeMap<u32, u64>,
+    /// Flight recorder ring of the last `FLIGHT_CAPACITY` transitions.
+    flight: VecDeque<FlightNote>,
+    /// Transitions that fell out of the ring.
+    flight_dropped: u64,
+    /// Automatic dumps (quarantine, protocol violation), newest last.
+    auto_dumps: Vec<FlightRecord>,
+}
+
+impl Inner {
+    fn flight_push(&mut self, note: FlightNote) {
+        if self.flight.len() == FLIGHT_CAPACITY {
+            self.flight.pop_front();
+            self.flight_dropped += 1;
+        }
+        self.flight.push_back(note);
+    }
+
+    fn flight_record(&self, reason: &str, node: Option<u32>) -> FlightRecord {
+        FlightRecord {
+            reason: reason.to_owned(),
+            node,
+            at: self.now,
+            dropped: self.flight_dropped,
+            entries: self
+                .flight
+                .iter()
+                .map(|n| FlightEntry {
+                    at: n.at,
+                    migration: n.migration,
+                    block: n.block,
+                    state: n.state.to_owned(),
+                    node: n.node,
+                    cause: n.cause.to_owned(),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Recording handle threaded through master, slaves, and the sim driver.
@@ -104,6 +163,19 @@ impl ObsHandle {
                 SpanState::Evicted => "span.evicted",
             };
             *inner.report.counters.entry(counter).or_insert(0) += 1;
+            if state.is_terminal() {
+                inner.open.remove(&migration);
+            } else {
+                inner.open.insert(migration, state);
+            }
+            inner.flight_push(FlightNote {
+                at,
+                migration,
+                block,
+                state: state.name(),
+                node: node.map(|n| n.0),
+                cause: why,
+            });
         }
     }
 
@@ -209,6 +281,9 @@ impl ObsHandle {
                 rec.at = at;
                 rec.rescored = rescored;
                 rec.skipped = skipped;
+                if let Some(winner) = rec.winner {
+                    *inner.wins.entry(winner).or_insert(0) += 1;
+                }
             }
             inner.report.provenance.append(&mut records);
             *inner.report.counters.entry("sched.rescored").or_insert(0) += rescored;
@@ -288,6 +363,99 @@ impl ObsHandle {
                 report
             }
             None => ObsReport::default(),
+        }
+    }
+
+    /// Point-in-time view of the recorder: counters, latest gauge values,
+    /// open-span census, and the top-N provenance winners. **Read-only**
+    /// — a scrape never closes spans, never records anything, and never
+    /// perturbs the recorder, so interleaved scrapes leave same-seed
+    /// traces byte-identical.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let Some(inner) = &self.0 else {
+            return StatsSnapshot::default();
+        };
+        let inner = inner.borrow();
+        let counters = inner
+            .report
+            .counters
+            .iter()
+            .map(|(name, v)| ((*name).to_owned(), *v))
+            .collect();
+        let gauges = inner
+            .report
+            .gauges
+            .iter()
+            .filter_map(|((name, key), series)| {
+                series.points().last().map(|&(at, value)| GaugeSample {
+                    name: (*name).to_owned(),
+                    key: *key,
+                    value,
+                    at,
+                })
+            })
+            .collect();
+        let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for state in inner.open.values() {
+            *census.entry(state.name()).or_insert(0) += 1;
+        }
+        let open_spans = census
+            .into_iter()
+            .map(|(name, count)| (name.to_owned(), count))
+            .collect();
+        let mut top_winners: Vec<(u32, u64)> =
+            inner.wins.iter().map(|(&node, &won)| (node, won)).collect();
+        top_winners.sort_by_key(|&(node, won)| (std::cmp::Reverse(won), node));
+        top_winners.truncate(TOP_WINNERS);
+        StatsSnapshot {
+            at: inner.now,
+            enabled: true,
+            counters,
+            gauges,
+            open_spans,
+            top_winners,
+        }
+    }
+
+    /// Dump the flight recorder on demand. Read-only, like
+    /// [`ObsHandle::snapshot`].
+    pub fn flight_dump(&self, reason: &str, node: Option<NodeId>) -> FlightRecord {
+        match &self.0 {
+            Some(inner) => inner.borrow().flight_record(reason, node.map(|n| n.0)),
+            None => FlightRecord::default(),
+        }
+    }
+
+    /// Automatic dump: append an out-of-band marker to the ring (so the
+    /// triggering event itself is part of the story) and retain the dump
+    /// for later retrieval via [`ObsHandle::auto_flight_dumps`]. The
+    /// daemons call this on node quarantine and protocol violations.
+    pub fn flight_auto_dump(&self, reason: &'static str, node: Option<NodeId>) {
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let at = inner.now;
+            inner.flight_push(FlightNote {
+                at,
+                migration: 0,
+                block: 0,
+                state: "mark",
+                node: node.map(|n| n.0),
+                cause: reason,
+            });
+            let record = inner.flight_record(reason, node.map(|n| n.0));
+            if inner.auto_dumps.len() == MAX_AUTO_DUMPS {
+                inner.auto_dumps.remove(0);
+            }
+            inner.auto_dumps.push(record);
+        }
+    }
+
+    /// The automatic flight dumps taken so far (oldest first, capped at
+    /// [`MAX_AUTO_DUMPS`]). Non-destructive.
+    pub fn auto_flight_dumps(&self) -> Vec<FlightRecord> {
+        match &self.0 {
+            Some(inner) => inner.borrow().auto_dumps.clone(),
+            None => Vec::new(),
         }
     }
 }
@@ -388,6 +556,113 @@ mod tests {
         assert_eq!(r.provenance[2].rescored, 1);
         assert_eq!(r.counter("sched.rescored"), 3);
         assert_eq!(r.counter("sched.skipped"), 11);
+    }
+
+    #[test]
+    fn snapshot_is_read_only_and_reflects_live_state() {
+        let h = ObsHandle::new();
+        h.set_now(SimTime::from_secs(1));
+        h.migration_pending(1, BlockId(10), 64, Some(JobId(7)));
+        h.migration_pending(2, BlockId(11), 64, None);
+        h.migration_bound(1, NodeId(3), cause::HEARTBEAT_PULL);
+        h.gauge("sched.pending_depth", 0, 2.0);
+        h.set_now(SimTime::from_secs(2));
+        h.gauge("sched.pending_depth", 0, 1.0);
+
+        let snap = h.snapshot();
+        assert!(snap.enabled);
+        assert_eq!(snap.at, SimTime::from_secs(2));
+        assert_eq!(snap.counter("span.pending"), 2);
+        assert_eq!(snap.counter("span.bound"), 1);
+        // Latest gauge sample wins.
+        assert_eq!(snap.gauge("sched.pending_depth", 0), Some(1.0));
+        // Census: migration 1 is bound, migration 2 still pending.
+        assert_eq!(
+            snap.open_spans,
+            vec![("bound".into(), 1), ("pending".into(), 1)]
+        );
+        assert_eq!(snap.open_total(), 2);
+
+        // A scrape records nothing: the report is unchanged.
+        let again = h.snapshot();
+        assert_eq!(snap, again);
+        let r = h.take_report();
+        assert_eq!(r.events.len(), 3);
+
+        // Terminal events retire spans from the census.
+        h.migration_finished(1, NodeId(3), SimDuration::from_secs(1));
+        h.migration_aborted(2, None, cause::MISSED_READ);
+        assert_eq!(h.snapshot().open_total(), 0);
+    }
+
+    #[test]
+    fn snapshot_rolls_up_top_provenance_winners() {
+        let h = ObsHandle::new();
+        let rec = |mig, winner| ProvenanceRecord {
+            at: SimTime::ZERO,
+            pass: 0,
+            migration: mig,
+            block: mig,
+            bytes: 8,
+            candidates: Vec::new(),
+            winner,
+            rescored: 0,
+            skipped: 0,
+        };
+        h.retarget_pass(
+            vec![
+                rec(1, Some(4)),
+                rec(2, Some(4)),
+                rec(3, Some(1)),
+                rec(4, None),
+            ],
+            4,
+            0,
+        );
+        let snap = h.snapshot();
+        assert_eq!(snap.top_winners, vec![(4, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn flight_recorder_ring_bounds_and_auto_dump() {
+        let h = ObsHandle::new();
+        // Overfill the ring: capacity + 10 pending transitions.
+        for i in 0..(crate::FLIGHT_CAPACITY as u64 + 10) {
+            h.set_now(SimTime::from_secs(i));
+            h.migration_pending(i, BlockId(i), 64, None);
+        }
+        let dump = h.flight_dump("on-demand", None);
+        assert_eq!(dump.reason, "on-demand");
+        assert_eq!(dump.entries.len(), crate::FLIGHT_CAPACITY);
+        assert_eq!(dump.dropped, 10);
+        // Oldest retained entry is migration 10 (0..=9 fell out).
+        assert_eq!(dump.entries[0].migration, 10);
+
+        // Auto dump appends a marker naming the node and retains the
+        // record.
+        h.flight_auto_dump("node-quarantined", Some(NodeId(2)));
+        let dumps = h.auto_flight_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].reason, "node-quarantined");
+        assert_eq!(dumps[0].node, Some(2));
+        let last = dumps[0].entries.last().expect("nonempty");
+        assert_eq!(last.state, "mark");
+        assert_eq!(last.cause, "node-quarantined");
+        assert_eq!(last.node, Some(2));
+    }
+
+    #[test]
+    fn disconnected_handle_snapshot_is_empty() {
+        let h = ObsHandle::default();
+        let snap = h.snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.counters.is_empty());
+        assert_eq!(
+            h.flight_dump("on-demand", None),
+            crate::FlightRecord::default()
+        );
+        h.flight_auto_dump("node-quarantined", None);
+        assert!(h.auto_flight_dumps().is_empty());
     }
 
     #[test]

@@ -40,9 +40,14 @@
 mod export;
 mod report;
 pub mod rpc;
+mod snapshot;
 mod span;
 
 pub use report::ObsReport;
+pub use snapshot::{
+    FlightEntry, FlightRecord, GaugeSample, StatsSnapshot, FLIGHT_CAPACITY, MAX_AUTO_DUMPS,
+    TOP_WINNERS,
+};
 pub use span::{cause, CandidateScore, ProvenanceRecord, SpanEvent, SpanState};
 
 #[cfg(feature = "enabled")]

@@ -7,6 +7,7 @@
 //! to nothing, with no allocation and no branches.
 
 use crate::report::ObsReport;
+use crate::snapshot::{FlightRecord, StatsSnapshot};
 use crate::span::ProvenanceRecord;
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
@@ -106,6 +107,28 @@ impl ObsHandle {
     #[inline]
     pub fn take_report(&self) -> ObsReport {
         ObsReport::default()
+    }
+
+    /// Always the empty, `enabled: false` snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
+
+    /// Always the empty record.
+    #[inline]
+    pub fn flight_dump(&self, _reason: &str, _node: Option<NodeId>) -> FlightRecord {
+        FlightRecord::default()
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn flight_auto_dump(&self, _reason: &'static str, _node: Option<NodeId>) {}
+
+    /// Always empty.
+    #[inline]
+    pub fn auto_flight_dumps(&self) -> Vec<FlightRecord> {
+        Vec::new()
     }
 }
 

@@ -225,6 +225,15 @@ pub struct SimConfig {
     /// ([`WireMode::Loopback`]) or direct calls ([`WireMode::InProcess`]).
     #[serde(default)]
     pub wire: WireMode,
+    /// Admin-plane scrape cadence. Every `scrape_interval` of simulated
+    /// time the driver snapshots the live observability state and pushes
+    /// it through the full wire roundtrip (encode → frame → decode),
+    /// exactly what answering a `dyrs-node stat` client costs. A scrape
+    /// is a pure read: it must not change the trace digest, any exported
+    /// series, or the wire-frame accounting (tests/determinism.rs pins
+    /// this). `None` disables scraping.
+    #[serde(default)]
+    pub scrape_interval: Option<simkit::SimDuration>,
 }
 
 fn default_re_replication() -> bool {
@@ -256,6 +265,7 @@ impl SimConfig {
             re_replication: default_re_replication(),
             re_replication_delay: default_re_replication_delay(),
             wire: WireMode::default(),
+            scrape_interval: None,
         }
     }
 }

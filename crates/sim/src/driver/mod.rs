@@ -83,6 +83,9 @@ pub struct Simulation {
     pub(crate) repairs_completed: u64,
     /// Events dispatched by the run loop (throughput accounting).
     pub(crate) events_processed: u64,
+    /// Admin-plane scrapes performed by the run loop (see
+    /// [`SimConfig::scrape_interval`]).
+    pub(crate) scrapes: u64,
     /// FNV-1a digest over the dispatched event stream: same scenario +
     /// same seed must reproduce it bit-for-bit (tests/determinism.rs).
     pub(crate) trace_digest: simkit::audit::TraceDigest,
@@ -239,6 +242,7 @@ impl Simulation {
             repair_active: vec![false; n],
             repairs_completed: 0,
             events_processed: 0,
+            scrapes: 0,
             trace_digest: simkit::audit::TraceDigest::new(),
             soft_state_reset: false,
             master_down_until: None,
@@ -358,6 +362,11 @@ impl Simulation {
     /// The loop ends when every job has completed or failed (periodic
     /// events alone do not keep it alive), or at the configured horizon.
     pub fn run(mut self) -> SimResult {
+        // Admin-plane scrapes are an inline hook, NOT queue events: every
+        // dispatched event is folded into the trace digest, so a scrape
+        // that entered the queue would change the digest and break the
+        // "scraping is invisible" contract (tests/determinism.rs).
+        let mut next_scrape = self.cfg.scrape_interval.map(|iv| SimTime::ZERO + iv);
         while self.jobs_remaining > 0 {
             let Some((t, ev)) = self.queue.pop() else {
                 break;
@@ -367,6 +376,20 @@ impl Simulation {
             }
             self.now = t;
             self.obs.set_now(t);
+            if let Some(due) = next_scrape {
+                if t >= due {
+                    self.scrape();
+                    let iv = self
+                        .cfg
+                        .scrape_interval
+                        .expect("next_scrape implies interval");
+                    let mut d = due + iv;
+                    while d <= t {
+                        d += iv;
+                    }
+                    next_scrape = Some(d);
+                }
+            }
             self.events_processed += 1;
             {
                 use std::fmt::Write as _;
@@ -402,6 +425,45 @@ impl Simulation {
             }
             Ev::ReReplicate(node) => self.on_re_replicate(node),
         }
+    }
+
+    /// One admin-plane scrape: take a live snapshot (shared borrows only
+    /// — no span opened or closed, no counter or gauge written) and pay
+    /// the full wire roundtrip a `dyrs-node stat` client would: encode →
+    /// frame → decode for both the request and the reply.
+    ///
+    /// Deliberately bypasses [`WireLink`](wirelink::WireLink): the hub's
+    /// frame/byte counters are exported into the obs report, and a scrape
+    /// must leave every exported artifact byte-identical.
+    fn scrape(&mut self) {
+        let version = dyrs_net::PROTOCOL_VERSION;
+        let versions = dyrs_net::frame::supported_versions();
+        let req = dyrs_net::frame::encode_frame(
+            version,
+            &dyrs_net::proto::Message::StatsRequest {
+                scope: dyrs_net::proto::StatsScope::Local,
+            },
+        );
+        let (_, decoded) = dyrs_net::frame::decode_frame(&req, versions.clone())
+            .expect("scrape request frame roundtrips");
+        let scope = match decoded {
+            dyrs_net::proto::Message::StatsRequest { scope } => scope,
+            other => unreachable!("scrape request decodes as itself, got {other:?}"),
+        };
+        let reply = dyrs_net::frame::encode_frame(
+            version,
+            &dyrs_net::proto::Message::StatsReply {
+                scope,
+                snapshot: self.obs.snapshot(),
+            },
+        );
+        let (_, decoded) =
+            dyrs_net::frame::decode_frame(&reply, versions).expect("scrape reply frame roundtrips");
+        debug_assert!(matches!(
+            decoded,
+            dyrs_net::proto::Message::StatsReply { .. }
+        ));
+        self.scrapes += 1;
     }
 
     /// Debounced request for a scheduling pass at the current instant.
@@ -462,6 +524,7 @@ impl Simulation {
             speculations: self.speculations,
             repairs: self.repairs_completed,
             events_processed: self.events_processed,
+            scrapes: self.scrapes,
             trace_digest: self.trace_digest.value(),
             end_time: self.now,
             wire_frames,

@@ -76,6 +76,13 @@ pub struct SimResult {
     pub repairs: u64,
     /// Discrete events the run loop dispatched.
     pub events_processed: u64,
+    /// Admin-plane scrapes the run loop performed (see
+    /// `SimConfig::scrape_interval`). Scrapes are pure reads layered on
+    /// top of the event stream: any `scrapes > 0` run must produce the
+    /// same `trace_digest` and the same exported report as the
+    /// `scrapes == 0` run of the identical scenario.
+    #[serde(default)]
+    pub scrapes: u64,
     /// FNV-1a digest of the dispatched event stream (time + event, in
     /// order). Identical scenarios under identical seeds must reproduce
     /// this bit-for-bit; a mismatch means nondeterminism reached the
@@ -190,6 +197,7 @@ mod tests {
             speculations: 0,
             repairs: 0,
             events_processed: 0,
+            scrapes: 0,
             trace_digest: 0,
             end_time: SimTime::ZERO,
             wire_frames: 0,

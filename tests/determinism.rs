@@ -260,6 +260,54 @@ fn trace_exports_are_byte_identical_across_reruns() {
 }
 
 #[test]
+fn scraping_is_invisible_to_determinism() {
+    // Admin-plane scrapes are pure reads layered on top of the event
+    // stream: a run answering periodic StatsRequests must replay the
+    // exact same events, end at the same instant, and render
+    // byte-identical exports as the quiet run of the identical scenario.
+    // The failure drill makes this the hard case — a scrape that so much
+    // as bumps a counter or opens a span would diverge here.
+    let run = |scrape: Option<SimDuration>| {
+        let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+        cfg.scrape_interval = scrape;
+        cfg.failures = vec![
+            FailureEvent::MasterRestart {
+                at: SimTime::from_secs(6),
+            },
+            FailureEvent::SlaveRestart {
+                at: SimTime::from_secs(14),
+                node: NodeId(1),
+            },
+        ];
+        let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        dyrs_sim::Simulation::new(cfg, jobs).run()
+    };
+    let quiet = run(None);
+    let scraped = run(Some(SimDuration::from_secs(1)));
+    assert_eq!(quiet.scrapes, 0);
+    assert!(
+        scraped.scrapes > 0,
+        "the scraped run must actually have scraped"
+    );
+    assert_eq!(
+        quiet.trace_digest, scraped.trace_digest,
+        "interleaved scrapes changed the event stream"
+    );
+    assert_eq!(quiet.end_time, scraped.end_time);
+    assert_eq!(quiet.events_processed, scraped.events_processed);
+    assert_eq!(quiet.master, scraped.master);
+    assert_eq!(quiet.wire_frames, scraped.wire_frames);
+    assert_eq!(quiet.obs.spans_jsonl(), scraped.obs.spans_jsonl());
+    assert_eq!(quiet.obs.metrics_jsonl(), scraped.obs.metrics_jsonl());
+    assert_eq!(quiet.obs.provenance_jsonl(), scraped.obs.provenance_jsonl());
+    assert_eq!(
+        quiet.obs.chrome_trace_json(),
+        scraped.obs.chrome_trace_json()
+    );
+}
+
+#[test]
 fn workload_generation_is_stable() {
     let p = swim::SwimParams::default();
     let a = swim::generate(&p, SEED);
@@ -305,7 +353,8 @@ fn wire_frames_are_byte_pinned() {
     use dyrs::EvictionMode;
     use dyrs_dfs::{BlockId, JobId};
     use dyrs_net::frame::encode_frame;
-    use dyrs_net::{Message, Role, PROTOCOL_VERSION};
+    use dyrs_net::{Message, Role, StatsScope, PROTOCOL_VERSION};
+    use dyrs_obs::{FlightEntry, FlightRecord, GaugeSample, StatsSnapshot};
 
     // One canonical message per wire tag, with fixed payloads.
     let canonical: Vec<Message> = vec![
@@ -378,9 +427,45 @@ fn wire_frames_are_byte_pinned() {
             job: JobId(1),
         },
         Message::EvictJobRequest { job: JobId(1) },
+        Message::StatsRequest {
+            scope: StatsScope::Node(2),
+        },
+        Message::StatsReply {
+            scope: StatsScope::Local,
+            snapshot: StatsSnapshot {
+                at: SimTime::from_secs(30),
+                enabled: true,
+                counters: vec![("span.finished".into(), 4)],
+                gauges: vec![GaugeSample {
+                    name: "sched.pending_depth".into(),
+                    key: 0,
+                    value: 6.0,
+                    at: SimTime::from_secs(30),
+                }],
+                open_spans: vec![("pending".into(), 6)],
+                top_winners: vec![(2, 3)],
+            },
+        },
+        Message::FlightDump {
+            scope: StatsScope::LocalFlight,
+            record: FlightRecord {
+                reason: "node-quarantined".into(),
+                node: Some(2),
+                at: SimTime::from_secs(30),
+                dropped: 1,
+                entries: vec![FlightEntry {
+                    at: SimTime::from_secs(29),
+                    migration: 5,
+                    block: 9,
+                    state: "aborted".into(),
+                    node: Some(2),
+                    cause: "node-suspect".into(),
+                }],
+            },
+        },
     ];
     let tags: Vec<u8> = canonical.iter().map(Message::tag).collect();
-    assert_eq!(tags, (0..15).collect::<Vec<u8>>(), "one message per tag");
+    assert_eq!(tags, (0..18).collect::<Vec<u8>>(), "one message per tag");
 
     // Two frames pinned byte-for-byte (header: magic "DYRS", version
     // u16 BE, payload length u32 BE; payload: tag byte + fields BE).
@@ -394,7 +479,7 @@ fn wire_frames_are_byte_pinned() {
     );
 
     // And the whole catalog pinned through one digest: FNV-1a over the
-    // concatenation of all fifteen canonical frames.
+    // concatenation of all eighteen canonical frames.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     let mut total_len = 0usize;
     for msg in &canonical {
@@ -405,9 +490,13 @@ fn wire_frames_are_byte_pinned() {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
+    // Appending a fresh-tag variant extends the catalog and re-pins this
+    // digest (append-only, no version bump — old decoders never see the
+    // new tag); any other change to these bytes is a protocol break that
+    // must bump PROTOCOL_VERSION.
     assert_eq!(
         (total_len, h),
-        (425, 0x0B77_2E85_40C5_8514),
+        (694, 0x3089_8970_4B35_8C2F),
         "pinned wire bytes changed: this is a protocol break, bump \
          PROTOCOL_VERSION and re-pin"
     );
