@@ -138,6 +138,12 @@ pub struct FailureDetectorConfig {
     /// run a probation migration.
     #[serde(default = "default_quarantine_backoff")]
     pub quarantine_backoff: SimDuration,
+    /// Admission ramp for a `Joining` node: how many migrations it must
+    /// complete before it graduates to full `Healthy` candidacy. While
+    /// joining, a pull may bind at most `1 + completed` migrations, so a
+    /// cold node warms its estimator before absorbing a full queue.
+    #[serde(default = "default_join_ramp_target")]
+    pub join_ramp_target: u32,
 }
 
 fn default_suspect_after() -> SimDuration {
@@ -172,6 +178,10 @@ fn default_quarantine_backoff() -> SimDuration {
     SimDuration::from_secs(10)
 }
 
+fn default_join_ramp_target() -> u32 {
+    4
+}
+
 impl Default for FailureDetectorConfig {
     fn default() -> Self {
         FailureDetectorConfig {
@@ -184,6 +194,7 @@ impl Default for FailureDetectorConfig {
             quarantine_strikes: default_quarantine_strikes(),
             strike_window: default_strike_window(),
             quarantine_backoff: default_quarantine_backoff(),
+            join_ramp_target: default_join_ramp_target(),
         }
     }
 }

@@ -48,7 +48,10 @@ pub use dyrs_obs::ObsHandle;
 pub use estimator::MigrationEstimator;
 pub use master::JobHint;
 pub use master::Master;
-pub use master::{BlockRequest, HealthReport, NodeHealth, RequestOutcome};
+pub use master::{
+    BlockRequest, BoundCheckpoint, HealthReport, MasterCheckpoint, Membership, NodeCheckpoint,
+    NodeHealth, PendingCheckpoint, RequestOutcome, CHECKPOINT_VERSION,
+};
 pub use policy::{MigrationOrder, MigrationPolicy};
 pub use refs::ReferenceLists;
 pub use sched::RetargetStats;

@@ -101,8 +101,9 @@ pub struct MasterStats {
     pub retarget_passes: u64,
 }
 
-/// A node's health as classified by the gray-failure detector. Only
-/// `Healthy` and `Probation` nodes are Algorithm 1 candidates.
+/// A node's health as classified by the gray-failure detector and the
+/// membership plane. Only `Healthy`, `Probation` and `Joining` nodes are
+/// Algorithm 1 candidates (a joining node under a bounded pull ramp).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NodeHealth {
     /// Heartbeating on time; full candidacy.
@@ -116,6 +117,14 @@ pub enum NodeHealth {
     /// Quarantine backoff elapsed; allowed exactly one probation
     /// migration, whose completion restores `Healthy`.
     Probation,
+    /// Freshly (re-)admitted to the cluster; a candidate, but pulls are
+    /// capped by the admission ramp until `join_ramp_target` migrations
+    /// complete, so a cold estimator never absorbs a full queue.
+    Joining,
+    /// Being intentionally emptied: no new binds, bound-but-unstarted
+    /// work is re-targeted away, and the node is decommissioned once its
+    /// bind queues drain.
+    Draining,
 }
 
 impl NodeHealth {
@@ -126,18 +135,80 @@ impl NodeHealth {
             NodeHealth::Suspect => "suspect",
             NodeHealth::Quarantined => "quarantined",
             NodeHealth::Probation => "probation",
+            NodeHealth::Joining => "joining",
+            NodeHealth::Draining => "draining",
         }
     }
 
     /// Numeric encoding for the `node.health` gauge (0 = healthy,
     /// 1 = suspect, 2 = probation, 3 = quarantined — ordered by how far
-    /// the node is from full candidacy).
+    /// the node is from full candidacy; the membership states append at
+    /// 4 = joining, 5 = draining so the detector ordering stays stable).
     pub fn as_gauge(self) -> f64 {
         match self {
             NodeHealth::Healthy => 0.0,
             NodeHealth::Suspect => 1.0,
             NodeHealth::Probation => 2.0,
             NodeHealth::Quarantined => 3.0,
+            NodeHealth::Joining => 4.0,
+            NodeHealth::Draining => 5.0,
+        }
+    }
+}
+
+/// A node's coarse cluster-membership phase, derived from its health
+/// state plus the `removed` flag: `Joining → Active → Draining → Removed`
+/// (a removed node re-enters at `Joining` via [`Master::join_node`]).
+/// `Active` covers every detector state — a suspect or quarantined node
+/// is still a member, just not a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Membership {
+    /// Admitted but still inside the warm-up ramp.
+    Joining,
+    /// A full member (any detector health).
+    Active,
+    /// Emptying its bind queues ahead of removal.
+    Draining,
+    /// Decommissioned: never a candidate, never bound work.
+    Removed,
+}
+
+impl Membership {
+    /// Stable lowercase name used in exports and admin replies.
+    pub fn name(self) -> &'static str {
+        match self {
+            Membership::Joining => "joining",
+            Membership::Active => "active",
+            Membership::Draining => "draining",
+            Membership::Removed => "removed",
+        }
+    }
+
+    /// Numeric encoding for the `node.membership` gauge and the
+    /// `DecommissionAck` wire payload (0 = joining, 1 = active,
+    /// 2 = draining, 3 = removed — lifecycle order).
+    pub fn as_gauge(self) -> f64 {
+        f64::from(self.code())
+    }
+
+    /// The one-byte wire code (same ordering as [`Membership::as_gauge`]).
+    pub fn code(self) -> u8 {
+        match self {
+            Membership::Joining => 0,
+            Membership::Active => 1,
+            Membership::Draining => 2,
+            Membership::Removed => 3,
+        }
+    }
+
+    /// Decode a wire code (inverse of [`Membership::code`]).
+    pub fn from_code(code: u8) -> Option<Membership> {
+        match code {
+            0 => Some(Membership::Joining),
+            1 => Some(Membership::Active),
+            2 => Some(Membership::Draining),
+            3 => Some(Membership::Removed),
+            _ => None,
         }
     }
 }
@@ -156,6 +227,12 @@ struct DetectorState {
     quarantined_until: SimTime,
     /// The one in-flight probation migration, when on probation.
     probation_block: Option<BlockId>,
+    /// Decommissioned: the slot exists (node ids are stable) but the node
+    /// is never a candidate and never bound work until it re-joins.
+    removed: bool,
+    /// Migrations completed since the node started `Joining`; drives the
+    /// admission ramp (`1 + join_completed` pulls allowed per heartbeat).
+    join_completed: u32,
 }
 
 impl Default for DetectorState {
@@ -166,6 +243,8 @@ impl Default for DetectorState {
             strikes: VecDeque::new(),
             quarantined_until: SimTime::ZERO,
             probation_block: None,
+            removed: false,
+            join_completed: 0,
         }
     }
 }
@@ -183,6 +262,10 @@ struct BoundRecord {
     /// crawling queue keep its work forever.
     est_secs_at_bind: f64,
     hint: JobHint,
+    /// The entry's original admission stamp, carried through the binding
+    /// so a drain re-target can re-enqueue the successor at its original
+    /// FIFO position (SJF/EDF keys travel in `hint`).
+    seq: u64,
     migration: Migration,
 }
 
@@ -199,6 +282,97 @@ pub struct HealthReport {
     /// Bound migrations past their progress deadline, as (bound node,
     /// block) pairs.
     pub stuck: Vec<(NodeId, BlockId)>,
+}
+
+/// Checkpoint schema version. Bump on any layout change; a restarted
+/// master refuses snapshots from a different version rather than guessing.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// A deterministic, versioned snapshot of the master's soft state — the
+/// payload of the `Checkpoint` wire message and the unit `run_master`
+/// writes on demand and reloads on restart. Built by
+/// [`Master::checkpoint`], consumed by [`Master::restore_from`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterCheckpoint {
+    /// Layout version ([`CHECKPOINT_VERSION`]).
+    pub version: u16,
+    /// Policy the checkpointing master ran (restore refuses a mismatch).
+    pub policy: MigrationPolicy,
+    /// Active pending-list discipline.
+    pub order: MigrationOrder,
+    /// Next migration-id counter (monotone across restarts so successor
+    /// ids never collide with pre-checkpoint ones).
+    pub next_id: u64,
+    /// The detector clock at checkpoint time.
+    pub clock: SimTime,
+    /// Rolled-up counters.
+    pub stats: MasterStats,
+    /// Per-node view, indexed by node id.
+    pub nodes: Vec<NodeCheckpoint>,
+    /// Pending migrations in admission order (sorted by `seq`).
+    pub pending: Vec<PendingCheckpoint>,
+    /// block → node buffer map (memory-replica registry).
+    pub migrated: Vec<(BlockId, NodeId)>,
+    /// Ignem's submission-time bindings.
+    pub ignem_bindings: Vec<(BlockId, NodeId)>,
+    /// job → requested blocks (eviction routing).
+    pub job_blocks: Vec<(JobId, Vec<BlockId>)>,
+    /// Outstanding bindings awaiting completion.
+    pub bound: Vec<BoundCheckpoint>,
+}
+
+/// One node's estimate, liveness, and detector/membership state inside a
+/// [`MasterCheckpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCheckpoint {
+    /// Seconds-per-byte estimate at checkpoint time.
+    pub spb: f64,
+    /// The master's view of the node's queued backlog, in bytes.
+    pub queued_bytes: f64,
+    /// Liveness.
+    pub up: bool,
+    /// Detector/membership classification.
+    pub health: NodeHealth,
+    /// Strike instants inside the sliding window, oldest first.
+    pub strikes: Vec<SimTime>,
+    /// Quarantine expiry (meaningful while `health` is `Quarantined`).
+    pub quarantined_until: SimTime,
+    /// The in-flight probation migration, when on probation.
+    pub probation_block: Option<BlockId>,
+    /// Decommissioned flag.
+    pub removed: bool,
+    /// Admission-ramp progress, when joining.
+    pub join_completed: u32,
+}
+
+/// One pending migration inside a [`MasterCheckpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingCheckpoint {
+    /// The migration.
+    pub migration: Migration,
+    /// Original admission stamp (FIFO key and stable tie-break).
+    pub seq: u64,
+    /// Requesting job's scheduling hint.
+    pub hint: JobHint,
+    /// Retry backoff: may not bind before this instant.
+    pub not_before: SimTime,
+}
+
+/// One outstanding binding inside a [`MasterCheckpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCheckpoint {
+    /// The slave it is bound to.
+    pub node: NodeId,
+    /// When the binding was made.
+    pub bound_at: SimTime,
+    /// The node's estimated stream time when the binding was made.
+    pub est_secs_at_bind: f64,
+    /// Requesting job's scheduling hint.
+    pub hint: JobHint,
+    /// Original admission stamp.
+    pub seq: u64,
+    /// The bound migration.
+    pub migration: Migration,
 }
 
 /// The DYRS master state machine.
@@ -317,6 +491,17 @@ impl Master {
             self.detector = Some(cfg);
         } else {
             self.detector = None;
+            // Stale detector verdicts make no sense with the detector off;
+            // membership state (joining/draining/removed) survives.
+            for d in &mut self.det {
+                if matches!(
+                    d.health,
+                    NodeHealth::Suspect | NodeHealth::Quarantined | NodeHealth::Probation
+                ) {
+                    d.health = NodeHealth::Healthy;
+                    d.probation_block = None;
+                }
+            }
         }
         // Toggling the detector changes every node's candidacy rule.
         self.sync_all_nodes();
@@ -352,13 +537,26 @@ impl Master {
         self.detector.is_some()
     }
 
-    /// The detector's current classification of `node` (`Healthy` when
-    /// the detector is off).
+    /// The node's current health classification. With the detector off,
+    /// only the membership states (`Joining` / `Draining`) are reachable
+    /// besides `Healthy`, so this stays `Healthy` for the paper's exact
+    /// protocol until a membership operation runs.
     pub fn node_health(&self, node: NodeId) -> NodeHealth {
-        if self.detector.is_some() {
-            self.det[node.index()].health
+        self.det[node.index()].health
+    }
+
+    /// The node's cluster-membership phase
+    /// (`Joining → Active → Draining → Removed`).
+    pub fn membership(&self, node: NodeId) -> Membership {
+        let d = &self.det[node.index()];
+        if d.removed {
+            Membership::Removed
         } else {
-            NodeHealth::Healthy
+            match d.health {
+                NodeHealth::Joining => Membership::Joining,
+                NodeHealth::Draining => Membership::Draining,
+                _ => Membership::Active,
+            }
         }
     }
 
@@ -578,23 +776,36 @@ impl Master {
             // Blocks buffered there are gone; pending targets get fixed by
             // the next retarget pass.
             self.migrated.retain(|_, &mut n| n != node);
-            if self.detector.is_some() {
-                // Fail-stop: the slave aborts its own queue when it dies;
-                // the master re-pends successors so surviving replicas can
-                // cover the work (no strike — this is a detected crash,
-                // not a gray failure).
-                let lost: Vec<BlockId> = self
-                    .bound_records
-                    .iter()
-                    .filter(|(_, r)| r.node == node)
-                    .map(|(&b, _)| b)
-                    .collect();
-                for block in lost {
+            // Fail-stop: the slave aborts its own queue when it dies; the
+            // master re-pends successors so surviving replicas can cover
+            // the work (no strike — this is a detected crash, not a gray
+            // failure). With the detector off the records are simply
+            // forgotten, matching the paper's soft-state story.
+            let lost: Vec<BlockId> = self
+                .bound_records
+                .iter()
+                .filter(|(_, r)| r.node == node)
+                .map(|(&b, _)| b)
+                .collect();
+            for block in lost {
+                if self.detector.is_some() {
                     self.respawn_bound(block, false);
+                } else {
+                    self.bound_records.remove(&block);
                 }
-                let d = &mut self.det[node.index()];
-                *d = DetectorState::default();
             }
+            // Detector verdicts reset with the crash; membership survives
+            // it (a draining node that flaps is still draining).
+            let d = &mut self.det[node.index()];
+            let membership_health =
+                matches!(d.health, NodeHealth::Joining | NodeHealth::Draining).then_some(d.health);
+            let (removed, join_completed) = (d.removed, d.join_completed);
+            *d = DetectorState::default();
+            if let Some(h) = membership_health {
+                d.health = h;
+            }
+            d.removed = removed;
+            d.join_completed = join_completed;
         } else if self.detector.is_some() {
             // Re-arm the deadline at the next health check rather than
             // inheriting the pre-crash one.
@@ -617,7 +828,9 @@ impl Master {
         self.clock = self.clock.max(now);
         let now = self.clock;
         for i in 0..self.nodes.len() {
-            if !self.nodes[i].up {
+            // Removed nodes are out of the cluster: no heartbeat deadline,
+            // no verdicts, even if a stale peer keeps the socket open.
+            if !self.nodes[i].up || self.det[i].removed {
                 continue;
             }
             let node = NodeId(i as u32);
@@ -765,6 +978,22 @@ impl Master {
         self.spawn_successor(rec.migration, attempt, rec.hint, true);
     }
 
+    /// The configured join admission ramp, falling back to the default
+    /// when the detector is off (membership works either way).
+    fn join_ramp_target(&self) -> u32 {
+        self.detector.as_ref().map_or_else(
+            || FailureDetectorConfig::default().join_ramp_target,
+            |c| c.join_ramp_target,
+        )
+    }
+
+    /// Deterministic seeded jitter in `[0, backoff/2)`: successors minted
+    /// together (a drained node's whole queue, a crashed node's bindings)
+    /// spread out instead of re-binding in lockstep.
+    fn retry_jitter(&mut self, backoff: simkit::SimDuration) -> simkit::SimDuration {
+        backoff.mul_f64(self.rng.below(512) as f64 / 1024.0)
+    }
+
     /// Mint and enqueue the retry successor for an unbound migration.
     fn spawn_successor(&mut self, old: Migration, attempt: u32, hint: JobHint, backoff: bool) {
         let Some(cfg) = self.detector.clone() else {
@@ -773,12 +1002,13 @@ impl Master {
         let id = MigrationId(self.next_id);
         self.next_id += 1;
         let not_before = if backoff {
-            // retry_backoff · 2^(attempt−1), exponent capped well below
-            // overflow; attempt ≥ 1 here.
+            // retry_backoff · 2^(attempt−1) + jitter, exponent capped well
+            // below overflow; attempt ≥ 1 here.
             self.clock
                 + cfg
                     .retry_backoff
                     .mul_f64(f64::powi(2.0, (attempt - 1).min(16) as i32))
+                + self.retry_jitter(cfg.retry_backoff)
         } else {
             self.clock
         };
@@ -801,12 +1031,15 @@ impl Master {
     // Algorithm 1 — finish-time targeting
     // ------------------------------------------------------------------
 
-    /// Whether the detector admits `node` as an Algorithm 1 candidate.
+    /// Whether the detector and membership plane admit `node` as an
+    /// Algorithm 1 candidate. A joining node is a candidate (its pulls
+    /// are ramp-capped instead); draining and removed nodes are not.
     fn targetable(&self, node: NodeId) -> bool {
-        self.detector.is_none()
-            || matches!(
-                self.det[node.index()].health,
-                NodeHealth::Healthy | NodeHealth::Probation
+        let d = &self.det[node.index()];
+        !d.removed
+            && matches!(
+                d.health,
+                NodeHealth::Healthy | NodeHealth::Probation | NodeHealth::Joining
             )
     }
 
@@ -852,18 +1085,28 @@ impl Master {
         if !self.policy.delayed_binding() || space == 0 || !self.nodes[node.index()].up {
             return Vec::new();
         }
-        // Detector gating: suspect and quarantined nodes get no work; a
-        // probation node gets exactly one migration in flight.
+        // Detector and membership gating: suspect, quarantined, draining
+        // and removed nodes get no work; a probation node gets exactly one
+        // migration in flight; a joining node is capped by the admission
+        // ramp (`1 + completions` since it joined).
         let mut allow = usize::MAX;
-        let detector_on = self.detector.is_some();
-        if detector_on {
-            match self.det[node.index()].health {
-                NodeHealth::Suspect | NodeHealth::Quarantined => return Vec::new(),
+        {
+            let d = &self.det[node.index()];
+            if d.removed {
+                return Vec::new();
+            }
+            match d.health {
+                NodeHealth::Suspect | NodeHealth::Quarantined | NodeHealth::Draining => {
+                    return Vec::new()
+                }
                 NodeHealth::Probation => {
-                    if self.det[node.index()].probation_block.is_some() {
+                    if d.probation_block.is_some() {
                         return Vec::new();
                     }
                     allow = 1;
+                }
+                NodeHealth::Joining => {
+                    allow = 1 + d.join_completed as usize;
                 }
                 NodeHealth::Healthy => {}
             }
@@ -880,22 +1123,22 @@ impl Master {
             self.stats.bound += 1;
             self.obs
                 .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
-            if detector_on {
-                if self.det[node.index()].health == NodeHealth::Probation {
-                    self.det[node.index()].probation_block = Some(entry.migration.block);
-                }
-                self.bound_records.insert(
-                    entry.migration.block,
-                    BoundRecord {
-                        node,
-                        bound_at: now,
-                        est_secs_at_bind: self.nodes[node.index()].spb
-                            * entry.migration.bytes as f64,
-                        hint: entry.hint,
-                        migration: entry.migration.clone(),
-                    },
-                );
+            if self.det[node.index()].health == NodeHealth::Probation {
+                self.det[node.index()].probation_block = Some(entry.migration.block);
             }
+            // Tracked regardless of the detector: drain needs to know what
+            // is bound where even under the paper's exact protocol.
+            self.bound_records.insert(
+                entry.migration.block,
+                BoundRecord {
+                    node,
+                    bound_at: now,
+                    est_secs_at_bind: self.nodes[node.index()].spb * entry.migration.bytes as f64,
+                    hint: entry.hint,
+                    seq: entry.seq,
+                    migration: entry.migration.clone(),
+                },
+            );
             taken.push(entry.migration);
         }
         self.sync_node(node);
@@ -906,21 +1149,41 @@ impl Master {
     // completion / reads / eviction
     // ------------------------------------------------------------------
 
+    /// Migration id and bind time currently recorded for `block` on
+    /// `node`, if any. A wire daemon uses this to close its own span when
+    /// the completion frame arrives; in the simulator the slave model
+    /// shares the obs handle and owns the terminal event, so the master
+    /// never emits one itself.
+    pub fn bound_migration(&self, node: NodeId, block: BlockId) -> Option<(u64, SimTime)> {
+        self.bound_records
+            .get(&block)
+            .filter(|r| r.node == node)
+            .map(|r| (r.migration.id.0, r.bound_at))
+    }
+
     /// A slave finished migrating `block` into its memory.
     pub fn on_migration_complete(&mut self, node: NodeId, block: BlockId) {
         self.migrated.insert(block, node);
         self.stats.completed += 1;
-        if self.detector.is_some() {
-            if matches!(self.bound_records.get(&block), Some(rec) if rec.node == node) {
-                self.bound_records.remove(&block);
-            }
-            let d = &mut self.det[node.index()];
-            if d.health == NodeHealth::Probation && d.probation_block == Some(block) {
-                // The probation migration finished: the circuit closes.
+        if matches!(self.bound_records.get(&block), Some(rec) if rec.node == node) {
+            self.bound_records.remove(&block);
+        }
+        let ramp = self.join_ramp_target();
+        let d = &mut self.det[node.index()];
+        if d.health == NodeHealth::Probation && d.probation_block == Some(block) {
+            // The probation migration finished: the circuit closes.
+            d.health = NodeHealth::Healthy;
+            d.probation_block = None;
+            d.strikes.clear();
+            self.obs.counter_add("detector.probations_passed", 1);
+        } else if d.health == NodeHealth::Joining {
+            // Admission ramp: each completion widens the pull cap; after
+            // `join_ramp_target` completions the node is a full member.
+            d.join_completed += 1;
+            if d.join_completed >= ramp {
                 d.health = NodeHealth::Healthy;
-                d.probation_block = None;
-                d.strikes.clear();
-                self.obs.counter_add("detector.probations_passed", 1);
+                d.join_completed = 0;
+                self.obs.counter_add("membership.joins_completed", 1);
             }
         }
         self.sync_node(node);
@@ -999,6 +1262,304 @@ impl Master {
         // Nodes that were down stay down across a *master* restart; push
         // the post-reset load and candidacy view into the scheduler.
         self.sync_all_nodes();
+    }
+
+    // ------------------------------------------------------------------
+    // membership lifecycle — drain / decommission / join
+    // ------------------------------------------------------------------
+
+    /// Begin draining `node`: it stops receiving new binds immediately
+    /// (its pulls return empty) and leaves Algorithm 1 candidacy, but its
+    /// active streams run to completion. Returns the blocks currently
+    /// bound to it — the caller revokes the *not-yet-started* ones from
+    /// the slave's queue and feeds each confirmed revocation back through
+    /// [`Master::on_drain_unbound`]. Idempotent: re-draining a draining
+    /// node just returns its remaining bound blocks.
+    pub fn drain_node(&mut self, node: NodeId) -> Vec<BlockId> {
+        let d = &mut self.det[node.index()];
+        if d.removed {
+            return Vec::new();
+        }
+        if d.health != NodeHealth::Draining {
+            d.health = NodeHealth::Draining;
+            d.probation_block = None;
+            d.join_completed = 0;
+            self.obs.counter_add("membership.drains", 1);
+        }
+        self.sync_node(node);
+        self.bound_records
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    /// A confirmed drain revocation: the caller removed `block` from the
+    /// draining `node`'s local queue before the stream started. Unlike
+    /// [`Master::on_unbound`] this is intentional — no strike, no attempt
+    /// increment — and the successor re-enters the pending list at the
+    /// predecessor's original admission position, so FIFO/SJF/EDF order
+    /// is preserved for re-targeted work.
+    pub fn on_drain_unbound(&mut self, node: NodeId, block: BlockId) {
+        match self.bound_records.get(&block) {
+            Some(rec) if rec.node == node => {}
+            _ => return, // stale: completed or re-bound meanwhile
+        }
+        let rec = self.bound_records.remove(&block).expect("presence checked");
+        let s = &mut self.nodes[node.index()];
+        s.queued_bytes = (s.queued_bytes - rec.migration.bytes as f64).max(0.0);
+        self.sync_node(node);
+        let old = rec.migration;
+        self.obs
+            .migration_aborted(old.id.0, Some(node), cause::NODE_DRAINED);
+        if self.sched.contains_block(block) {
+            // A newer request already re-pended the block; no successor.
+            return;
+        }
+        let id = MigrationId(self.next_id);
+        self.next_id += 1;
+        // Jittered short hold-off so a whole drained queue doesn't slam
+        // back into one successor node in lockstep; attempt carries over
+        // unchanged (a drain is not a failure, so the retry budget is
+        // untouched and a quiet drain run sees zero retries-exhausted).
+        let backoff_unit = self.detector.as_ref().map_or_else(
+            || FailureDetectorConfig::default().retry_backoff,
+            |c| c.retry_backoff,
+        );
+        let not_before = self.clock + self.retry_jitter(backoff_unit);
+        let migration = Migration {
+            id,
+            block: old.block,
+            bytes: old.bytes,
+            jobs: old.jobs,
+            replicas: old.replicas,
+            attempt: old.attempt,
+        };
+        self.obs
+            .migration_pending_why(id.0, block, migration.bytes, None, cause::DRAIN_RETARGET);
+        self.obs.counter_add("membership.drain_retargets", 1);
+        self.sched.insert(migration, rec.seq, rec.hint, not_before);
+    }
+
+    /// Whether a draining `node` has fully emptied: nothing pending is
+    /// targeted at it and nothing bound to it awaits completion. Only
+    /// then is [`Master::decommission`] safe.
+    pub fn drain_complete(&self, node: NodeId) -> bool {
+        self.det[node.index()].health == NodeHealth::Draining
+            && self.sched.targeted_len(node) == 0
+            && !self.bound_records.values().any(|r| r.node == node)
+    }
+
+    /// Remove a fully drained node from the cluster. Returns `false` (and
+    /// does nothing) unless [`Master::drain_complete`] holds — callers
+    /// poll until the queues empty. The slot stays allocated (node ids
+    /// are stable) but the node is never a candidate and never bound work
+    /// until it re-joins.
+    pub fn decommission(&mut self, node: NodeId) -> bool {
+        if !self.drain_complete(node) {
+            return false;
+        }
+        // Its memory buffers leave the cluster with it.
+        self.migrated.retain(|_, &mut n| n != node);
+        self.ignem_bindings.retain(|_, &mut n| n != node);
+        let d = &mut self.det[node.index()];
+        *d = DetectorState::default();
+        d.removed = true;
+        self.obs.counter_add("membership.decommissions", 1);
+        self.sync_node(node);
+        true
+    }
+
+    /// (Re-)admit `node` to the cluster in the `Joining` state: cost
+    /// estimate reset to the prior, empty queue view, candidacy restored
+    /// under the admission ramp. Works both for a brand-new node and for
+    /// one previously decommissioned.
+    pub fn join_node(&mut self, node: NodeId) {
+        let i = node.index();
+        self.nodes[i] = NodeState {
+            spb: self.default_spb,
+            queued_bytes: 0.0,
+            up: true,
+        };
+        // Stale buffer records from a previous life must not route reads.
+        self.migrated.retain(|_, &mut n| n != node);
+        self.det[i] = DetectorState {
+            health: NodeHealth::Joining,
+            ..DetectorState::default() // last_heartbeat: None re-arms
+        };
+        self.obs.counter_add("membership.joins", 1);
+        self.sync_node(node);
+    }
+
+    // ------------------------------------------------------------------
+    // checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Capture a deterministic snapshot of the master's soft state:
+    /// scheduler entries in admission order, per-node estimates and
+    /// detector/membership state, the reference and buffer maps, and the
+    /// outstanding bindings. Two masters in the same state produce
+    /// byte-identical checkpoints once encoded (all maps are `BTreeMap`s
+    /// and the pending list is sorted by admission stamp).
+    pub fn checkpoint(&self) -> MasterCheckpoint {
+        let mut pending: Vec<PendingCheckpoint> = self
+            .sched
+            .entries()
+            .map(|e| PendingCheckpoint {
+                migration: e.migration.clone(),
+                seq: e.seq,
+                hint: e.hint,
+                not_before: e.not_before,
+            })
+            .collect();
+        pending.sort_by_key(|p| p.seq);
+        MasterCheckpoint {
+            version: CHECKPOINT_VERSION,
+            policy: self.policy,
+            order: self.sched.order(),
+            next_id: self.next_id,
+            clock: self.clock,
+            stats: self.stats,
+            nodes: self
+                .nodes
+                .iter()
+                .zip(&self.det)
+                .map(|(s, d)| NodeCheckpoint {
+                    spb: s.spb,
+                    queued_bytes: s.queued_bytes,
+                    up: s.up,
+                    health: d.health,
+                    strikes: d.strikes.iter().copied().collect(),
+                    quarantined_until: d.quarantined_until,
+                    probation_block: d.probation_block,
+                    removed: d.removed,
+                    join_completed: d.join_completed,
+                })
+                .collect(),
+            pending,
+            migrated: self.migrated.iter().map(|(&b, &n)| (b, n)).collect(),
+            ignem_bindings: self.ignem_bindings.iter().map(|(&b, &n)| (b, n)).collect(),
+            job_blocks: self
+                .job_blocks
+                .iter()
+                .map(|(&j, bs)| (j, bs.clone()))
+                .collect(),
+            bound: self
+                .bound_records
+                .values()
+                .map(|r| BoundCheckpoint {
+                    node: r.node,
+                    bound_at: r.bound_at,
+                    est_secs_at_bind: r.est_secs_at_bind,
+                    hint: r.hint,
+                    seq: r.seq,
+                    migration: r.migration.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the master's soft state from a checkpoint taken by a
+    /// same-shaped master (same policy, same node count). Heartbeat
+    /// deadlines restore *unarmed* — they re-arm at the first health
+    /// check after restart, so reloading a checkpoint never mass-suspects
+    /// a fleet that was merely unobserved during the outage. The RNG is
+    /// deliberately not part of the snapshot: it only drives Ignem's
+    /// random replica choice and the retry jitter, and the restarted
+    /// process seeds its own.
+    pub fn restore_from(&mut self, cp: &MasterCheckpoint) -> Result<(), String> {
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "checkpoint version {} (this master speaks {})",
+                cp.version, CHECKPOINT_VERSION
+            ));
+        }
+        if cp.policy != self.policy {
+            return Err(format!(
+                "checkpoint policy {:?} != master policy {:?}",
+                cp.policy, self.policy
+            ));
+        }
+        if cp.nodes.len() != self.nodes.len() {
+            return Err(format!(
+                "checkpoint has {} nodes, master has {}",
+                cp.nodes.len(),
+                self.nodes.len()
+            ));
+        }
+        let in_range = |n: NodeId| n.index() < self.nodes.len();
+        for p in &cp.pending {
+            if let Some(bad) = p.migration.replicas.iter().find(|&&n| !in_range(n)) {
+                return Err(format!(
+                    "pending {} replica {bad} out of range",
+                    p.migration.block
+                ));
+            }
+        }
+        for b in &cp.bound {
+            if !in_range(b.node) {
+                return Err(format!(
+                    "bound {} node {} out of range",
+                    b.migration.block, b.node
+                ));
+            }
+        }
+        self.sched.reset(self.default_spb);
+        self.sched.set_order(cp.order);
+        for (i, n) in cp.nodes.iter().enumerate() {
+            self.nodes[i] = NodeState {
+                spb: n.spb,
+                queued_bytes: n.queued_bytes,
+                up: n.up,
+            };
+            self.det[i] = DetectorState {
+                last_heartbeat: None, // re-arm: no mass-suspect after restart
+                health: n.health,
+                strikes: n.strikes.iter().copied().collect(),
+                quarantined_until: n.quarantined_until,
+                probation_block: n.probation_block,
+                removed: n.removed,
+                join_completed: n.join_completed,
+            };
+        }
+        self.migrated = cp.migrated.iter().copied().collect();
+        self.ignem_bindings = cp.ignem_bindings.iter().copied().collect();
+        self.job_blocks = cp.job_blocks.iter().cloned().collect();
+        self.bound_records.clear();
+        for b in &cp.bound {
+            if self
+                .bound_records
+                .insert(
+                    b.migration.block,
+                    BoundRecord {
+                        node: b.node,
+                        bound_at: b.bound_at,
+                        est_secs_at_bind: b.est_secs_at_bind,
+                        hint: b.hint,
+                        seq: b.seq,
+                        migration: b.migration.clone(),
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("duplicate bound block {}", b.migration.block));
+            }
+        }
+        // Re-insert pending silently: the spans were never closed (the
+        // checkpoint captured them mid-life), so re-opening them would
+        // double-count pending transitions.
+        for p in &cp.pending {
+            if self.sched.contains_block(p.migration.block) {
+                return Err(format!("duplicate pending block {}", p.migration.block));
+            }
+            self.sched
+                .insert(p.migration.clone(), p.seq, p.hint, p.not_before);
+        }
+        self.next_id = self.next_id.max(cp.next_id);
+        self.clock = self.clock.max(cp.clock);
+        self.stats = cp.stats;
+        self.sync_all_nodes();
+        Ok(())
     }
 }
 
@@ -1123,6 +1684,31 @@ impl simkit::audit::Audit for Master {
                     c,
                     "quarantines always carry a lift deadline",
                     || format!("node {i} quarantined with no deadline"),
+                );
+            }
+        }
+        for (i, d) in self.det.iter().enumerate() {
+            let node = NodeId(i as u32);
+            report.check(
+                !d.removed || d.health == NodeHealth::Healthy,
+                c,
+                "removed nodes carry no residual health verdict",
+                || format!("removed node {i} is {:?}", d.health),
+            );
+            if d.removed || d.health == NodeHealth::Draining {
+                report.check(
+                    self.sched.targeted_len(node) == 0 || d.health == NodeHealth::Draining,
+                    c,
+                    "nothing pending is targeted at a removed node",
+                    || format!("node {i} removed with targeted pending work"),
+                );
+            }
+            if d.removed {
+                report.check(
+                    !self.bound_records.values().any(|r| r.node == node),
+                    c,
+                    "nothing is bound to a removed node",
+                    || format!("node {i} removed with outstanding bindings"),
                 );
             }
         }
@@ -1777,6 +2363,135 @@ mod tests {
         m.on_unbound(tgt, b(1), cause::STUCK_STREAM);
         assert_eq!(m.pending_len(), 0);
         assert_eq!(m.node_health(tgt), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn drain_blocks_new_binds_and_retargets_queued_work() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        let bound = m.drain_node(tgt);
+        assert_eq!(bound, vec![b(1)]);
+        assert_eq!(m.node_health(tgt), NodeHealth::Draining);
+        assert_eq!(m.membership(tgt), Membership::Draining);
+        assert!(m.on_slave_pull(tgt, 4).is_empty(), "draining → no new work");
+        m.on_drain_unbound(tgt, b(1));
+        assert_eq!(m.pending_len(), 1, "successor re-pended");
+        m.retarget();
+        let successor = m.target_of(b(1)).expect("live replica");
+        assert_ne!(successor, tgt);
+        // The jittered hold-off (< 0.5 s) expires before the next beat.
+        m.on_heartbeat_at(successor, 1.0 / (140.0 * MB as f64), 0, t(1));
+        let taken = m.on_slave_pull(successor, 4);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(
+            taken[0].attempt, 0,
+            "a drain is not a failure: retry budget untouched"
+        );
+    }
+
+    #[test]
+    fn decommission_waits_for_queues_to_empty() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        let other = if tgt == n(0) { n(1) } else { n(0) };
+        m.drain_node(tgt);
+        assert!(!m.drain_complete(tgt), "binding still outstanding");
+        assert!(!m.decommission(tgt), "refused until queues empty");
+        m.on_migration_complete(tgt, b(1)); // in-flight stream finishes
+        assert!(m.drain_complete(tgt));
+        assert!(m.decommission(tgt));
+        assert_eq!(m.membership(tgt), Membership::Removed);
+        assert_eq!(
+            m.memory_location(b(1)),
+            None,
+            "buffers leave the cluster with the node"
+        );
+        // A removed node is never a candidate and never bound work.
+        m.request_migration(
+            j(2),
+            vec![req(2, &[tgt.0, other.0])],
+            EvictionMode::Implicit,
+        );
+        m.retarget();
+        assert_eq!(m.target_of(b(2)), Some(other));
+        assert!(m.on_slave_pull(tgt, 4).is_empty());
+    }
+
+    #[test]
+    fn join_ramp_caps_pulls_until_graduation() {
+        let mut m = detector_master();
+        m.join_node(n(0));
+        assert_eq!(m.membership(n(0)), Membership::Joining);
+        let blocks: Vec<BlockRequest> = (0..8).map(|i| req(i, &[0])).collect();
+        m.request_migration(j(1), blocks, EvictionMode::Implicit);
+        m.retarget();
+        let first = m.on_slave_pull(n(0), 8);
+        assert_eq!(first.len(), 1, "fresh joiner starts with one");
+        m.on_migration_complete(n(0), first[0].block);
+        let second = m.on_slave_pull(n(0), 8);
+        assert_eq!(second.len(), 2, "ramp widens with completions");
+        for mig in &second {
+            m.on_migration_complete(n(0), mig.block);
+        }
+        assert_eq!(m.node_health(n(0)), NodeHealth::Joining, "3 of 4 done");
+        let third = m.on_slave_pull(n(0), 8);
+        assert!(!third.is_empty());
+        m.on_migration_complete(n(0), third[0].block);
+        assert_eq!(m.node_health(n(0)), NodeHealth::Healthy, "ramp complete");
+        assert_eq!(m.membership(n(0)), Membership::Active);
+    }
+
+    #[test]
+    fn drain_retarget_jitter_is_seeded_and_bounded() {
+        let run = || {
+            let mut m = detector_master();
+            let tgt = bind_one(&mut m, 1, &[0, 1]);
+            m.drain_node(tgt);
+            m.on_drain_unbound(tgt, b(1));
+            m.checkpoint().pending[0].not_before
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed → same jitter");
+        assert!(
+            a < t(0) + simkit::SimDuration::from_millis(500),
+            "jitter bounded by half the retry backoff, got {a:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_preserves_membership_and_pending() {
+        let mut m = detector_master();
+        let tgt = bind_one(&mut m, 1, &[0, 1]);
+        m.drain_node(tgt);
+        m.on_drain_unbound(tgt, b(1));
+        m.join_node(n(3));
+        let cp = m.checkpoint();
+        let mut m2 = master(MigrationPolicy::Dyrs);
+        m2.configure_detector(FailureDetectorConfig::default());
+        m2.restore_from(&cp).expect("same-shape restore");
+        assert_eq!(m2.membership(tgt), Membership::Draining);
+        assert_eq!(m2.membership(n(3)), Membership::Joining);
+        assert_eq!(m2.pending_len(), 1);
+        assert_eq!(m2.checkpoint(), cp, "restore is lossless");
+    }
+
+    #[test]
+    fn restore_rearms_heartbeat_deadlines() {
+        let mut m = detector_master();
+        let cp = m.checkpoint();
+        let mut m2 = master(MigrationPolicy::Dyrs);
+        m2.configure_detector(FailureDetectorConfig::default());
+        m2.restore_from(&cp).expect("same-shape restore");
+        // Long after the checkpoint: deadlines re-arm, no mass-suspect.
+        assert!(
+            m2.check_health(t(1000)).newly_suspect.is_empty(),
+            "restored deadlines are unarmed"
+        );
+        // Once re-armed, silence counts again.
+        assert!(
+            !m2.check_health(t(2000)).newly_suspect.is_empty(),
+            "post-restart silence is still a fault"
+        );
     }
 
     #[test]

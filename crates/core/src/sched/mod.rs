@@ -415,6 +415,13 @@ impl Scheduler {
         self.pending_bytes
     }
 
+    /// Number of pending entries currently targeted at `node` — the depth
+    /// of its bind queue. A draining node may only be decommissioned once
+    /// this reaches zero (its pending work has been re-targeted away).
+    pub(crate) fn targeted_len(&self, node: NodeId) -> usize {
+        self.targeted[node.index()].len()
+    }
+
     /// The node `block` is currently targeted at, if pending and targeted.
     pub(crate) fn target_of(&self, block: BlockId) -> Option<NodeId> {
         let &idx = self.by_block.get(&block)?;

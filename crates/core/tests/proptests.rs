@@ -290,6 +290,156 @@ proptest! {
         }
     }
 
+    /// Random admit / bind / drain / complete / decommission / join churn:
+    /// Algorithm 1 never targets a draining or removed node, pulls from
+    /// such nodes bind nothing, and no block is stranded — every block
+    /// not yet buffered is either pending or bound to a live node.
+    #[test]
+    fn membership_churn_strands_nothing(
+        ops in proptest::collection::vec((0u8..6, 0u32..4), 1..120),
+    ) {
+        use dyrs::{FailureDetectorConfig, Membership};
+        let mut m = Master::new(MigrationPolicy::Dyrs, 4, BW, Rng::new(5));
+        m.configure_detector(FailureDetectorConfig::default());
+        let mut clock = SimTime::ZERO;
+        for n in 0..4 {
+            m.on_heartbeat_at(NodeId(n), 1.0 / BW, 0, clock);
+        }
+        let mut requested = std::collections::BTreeSet::new();
+        let mut completed = std::collections::BTreeSet::new();
+        let mut bound: std::collections::HashMap<BlockId, NodeId> = Default::default();
+        let mut next_block = 0u64;
+        for (op, node) in ops {
+            clock += SimDuration::from_secs(1);
+            let node = NodeId(node % 4);
+            match op {
+                // admit a fresh block replicated on two nodes
+                0 => {
+                    let blk = BlockId(next_block);
+                    next_block += 1;
+                    m.request_migration(
+                        JobId(blk.0),
+                        vec![BlockRequest {
+                            block: blk,
+                            bytes: BLOCK,
+                            replicas: vec![node, NodeId((node.0 + 1) % 4)],
+                        }],
+                        EvictionMode::Implicit,
+                    );
+                    requested.insert(blk);
+                }
+                // heartbeat + pull: the node binds up to two migrations
+                1 => {
+                    m.on_heartbeat_at(node, 1.0 / BW, 0, clock);
+                    m.retarget();
+                    for mig in m.on_slave_pull(node, 2) {
+                        bound.insert(mig.block, node);
+                    }
+                }
+                // drain: every bound-but-unstarted block is revoked (this
+                // model has no active streams, so that is all of them)
+                2 => {
+                    for blk in m.drain_node(node) {
+                        m.on_drain_unbound(node, blk);
+                        bound.remove(&blk);
+                    }
+                }
+                // one bound migration on the node completes
+                3 => {
+                    if let Some((&blk, _)) = bound.iter().find(|(_, &n2)| n2 == node) {
+                        m.on_migration_complete(node, blk);
+                        bound.remove(&blk);
+                        completed.insert(blk);
+                    }
+                }
+                // a removed node re-joins through the admission ramp
+                4 => {
+                    if m.membership(node) == Membership::Removed {
+                        m.join_node(node);
+                    }
+                }
+                // decommission once the drain has emptied
+                _ => {
+                    if m.drain_complete(node) {
+                        prop_assert!(m.decommission(node));
+                    }
+                }
+            }
+            m.retarget();
+            for blk in m.pending_block_ids().collect::<Vec<_>>() {
+                if let Some(t) = m.target_of(blk) {
+                    let mem = m.membership(t);
+                    prop_assert!(
+                        !matches!(mem, Membership::Draining | Membership::Removed),
+                        "pending {blk:?} targeted at {mem:?} node {t:?}"
+                    );
+                }
+            }
+            for n2 in 0..4u32 {
+                if matches!(
+                    m.membership(NodeId(n2)),
+                    Membership::Draining | Membership::Removed
+                ) {
+                    prop_assert!(
+                        m.on_slave_pull(NodeId(n2), 8).is_empty(),
+                        "draining/removed node {n2} bound work"
+                    );
+                }
+            }
+            // Conservation: a block that has not completed is pending or
+            // bound — drains re-target, they never drop. (Completed
+            // blocks may legitimately leave the buffer map when their
+            // host is decommissioned.)
+            for &blk in requested.difference(&completed) {
+                prop_assert!(
+                    m.pending_block_ids().any(|x| x == blk) || bound.contains_key(&blk),
+                    "block {blk:?} stranded by membership churn"
+                );
+            }
+        }
+    }
+
+    /// Work revoked off a draining node re-enters the queue at its
+    /// original admission position: a successor pull sees the drained
+    /// blocks in exactly the order they were first requested.
+    #[test]
+    fn drain_retarget_preserves_admission_order(
+        k in 2usize..12,
+        seed in 1u64..100,
+    ) {
+        let mut m = Master::new(MigrationPolicy::Dyrs, 2, BW, Rng::new(seed));
+        m.on_heartbeat_at(NodeId(0), 1.0 / BW, 0, SimTime::ZERO);
+        m.on_heartbeat_at(NodeId(1), 1000.0 / BW, 0, SimTime::ZERO); // much slower
+        let reqs: Vec<BlockRequest> = (0..k)
+            .map(|i| BlockRequest {
+                block: BlockId(i as u64),
+                bytes: BLOCK,
+                replicas: vec![NodeId(0), NodeId(1)],
+            })
+            .collect();
+        m.request_migration(JobId(1), reqs, EvictionMode::Implicit);
+        m.retarget();
+        let taken = m.on_slave_pull(NodeId(0), k);
+        prop_assert_eq!(taken.len(), k, "fast node binds the whole batch");
+        for blk in m.drain_node(NodeId(0)) {
+            m.on_drain_unbound(NodeId(0), blk);
+        }
+        prop_assert_eq!(m.pending_len(), k);
+        m.retarget();
+        // jittered hold-off (< 0.5 s) has expired one second later
+        m.on_heartbeat_at(NodeId(1), 1000.0 / BW, 0, SimTime::from_secs(1));
+        let retaken = m.on_slave_pull(NodeId(1), k);
+        prop_assert_eq!(retaken.len(), k, "successor rebinds the whole batch");
+        for (i, mig) in retaken.iter().enumerate() {
+            prop_assert_eq!(
+                mig.block,
+                BlockId(i as u64),
+                "FIFO admission order violated after drain re-target"
+            );
+            prop_assert_eq!(mig.attempt, 0, "drain must not burn retry budget");
+        }
+    }
+
     /// Ignem binding is uniform over live replicas (chi-square-ish check).
     #[test]
     fn ignem_binding_uniformity(seed in 1u64..500) {

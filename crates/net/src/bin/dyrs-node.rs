@@ -1,11 +1,14 @@
 //! `dyrs-node` — run a DYRS master or slave daemon over real TCP.
 //!
 //! ```text
-//! dyrs-node master --listen 127.0.0.1:7430 --slaves 3 --duration-secs 10
+//! dyrs-node master --listen 127.0.0.1:7430 --slaves 3 --duration-secs 10 [--restore PATH]
 //! dyrs-node slave  --connect 127.0.0.1:7430 --node 0
 //! dyrs-node client --connect 127.0.0.1:7430 --blocks 8
 //! dyrs-node stat   --connect 127.0.0.1:7430 --slaves 3 [--json] [--flight]
 //! dyrs-node watch  --connect 127.0.0.1:7430 --slaves 3 --interval-ms 500
+//! dyrs-node drain  --connect 127.0.0.1:7430 --node 0 [--wait]
+//! dyrs-node join   --connect 127.0.0.1:7430 --node 0
+//! dyrs-node checkpoint --connect 127.0.0.1:7430 [--out PATH]
 //! ```
 //!
 //! The master waits for `--slaves` handshakes, serves the protocol for
@@ -19,7 +22,14 @@
 //! exposition or `--json`; `--flight` additionally dumps the master's
 //! flight recorder. `watch` repeats the scrape every `--interval-ms`
 //! and renders a backlog/health table until `--count` refreshes (0 =
-//! forever) have been printed.
+//! forever) have been printed; transient scrape failures are retried
+//! with bounded backoff rather than killing the watch.
+//!
+//! `drain`/`join`/`checkpoint` ride the same admin plane: `drain` asks
+//! the master to empty a node's bind queues (with `--wait`, polls until
+//! the node is safely removed), `join` (re-)admits a node under the
+//! warm-up ramp, and `checkpoint` saves the master's soft state to a
+//! file that a restarted master reloads via `--restore`.
 
 use dyrs::{BlockRequest, JobHint};
 use dyrs_cluster::NodeId;
@@ -40,16 +50,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage:
-  dyrs-node master --listen ADDR [--slaves N] [--duration-secs S]
+  dyrs-node master --listen ADDR [--slaves N] [--duration-secs S] [--restore PATH]
   dyrs-node slave  --connect ADDR --node N
   dyrs-node client --connect ADDR [--blocks N] [--slaves N]
   dyrs-node stat   --connect ADDR [--slaves N] [--json] [--flight]
-  dyrs-node watch  --connect ADDR [--slaves N] [--interval-ms M] [--count K]";
+  dyrs-node watch  --connect ADDR [--slaves N] [--interval-ms M] [--count K]
+  dyrs-node drain  --connect ADDR --node N [--wait] [--timeout-secs S]
+  dyrs-node join   --connect ADDR --node N
+  dyrs-node checkpoint --connect ADDR [--out PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = match args.first().map(String::as_str) {
-        Some(m @ ("master" | "slave" | "client" | "stat" | "watch")) => m.to_owned(),
+        Some(
+            m
+            @ ("master" | "slave" | "client" | "stat" | "watch" | "drain" | "join" | "checkpoint"),
+        ) => m.to_owned(),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -74,7 +90,7 @@ fn main() -> ExitCode {
             let secs: u64 = flag("--duration-secs")
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(10);
-            run_master_mode(&listen, slaves, secs)
+            run_master_mode(&listen, slaves, secs, flag("--restore"))
         }
         "slave" => {
             let connect = match (flag("--connect"), flag("--node")) {
@@ -110,6 +126,37 @@ fn main() -> ExitCode {
                 run_watch_mode(&addr, slaves, interval, count)
             }
         }
+        "drain" | "join" => {
+            let connect = match (flag("--connect"), flag("--node")) {
+                (Some(a), Some(n)) => n.parse::<u32>().ok().map(|n| (a, n)),
+                _ => None,
+            };
+            match connect {
+                Some((addr, node)) if mode == "drain" => {
+                    let wait = args.iter().any(|a| a == "--wait");
+                    let timeout: u64 = flag("--timeout-secs")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(30);
+                    run_drain_mode(&addr, node, wait, timeout)
+                }
+                Some((addr, node)) => run_join_mode(&addr, node),
+                None => {
+                    eprintln!("{mode} mode requires --connect ADDR --node N\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "checkpoint" => {
+            let addr = match flag("--connect") {
+                Some(a) => a,
+                None => {
+                    eprintln!("checkpoint mode requires --connect ADDR\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let out = flag("--out").unwrap_or_else(|| "master.ckpt".to_owned());
+            run_checkpoint_mode(&addr, &out)
+        }
         _ => {
             let addr = match flag("--connect") {
                 Some(a) => a,
@@ -132,7 +179,19 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_master_mode(listen: &str, slaves: usize, secs: u64) -> Result<(), String> {
+fn run_master_mode(
+    listen: &str,
+    slaves: usize,
+    secs: u64,
+    restore: Option<String>,
+) -> Result<(), String> {
+    let restore = match restore {
+        Some(path) => Some(
+            dyrs_net::load_checkpoint(std::path::Path::new(&path))
+                .map_err(|e| format!("restore {path}: {e}"))?,
+        ),
+        None => None,
+    };
     let acceptor =
         TcpAcceptor::bind(listen, TcpConfig::default()).map_err(|e| format!("bind: {e}"))?;
     println!(
@@ -156,7 +215,12 @@ fn run_master_mode(listen: &str, slaves: usize, secs: u64) -> Result<(), String>
     });
 
     let progress = MasterProgress::default();
-    let report = run_master(&acceptor, &MasterConfig::new(slaves), &stop, &progress);
+    let mut cfg = MasterConfig::new(slaves);
+    if restore.is_some() {
+        println!("master: restoring from checkpoint");
+        cfg.restore = restore;
+    }
+    let report = run_master(&acceptor, &cfg, &stop, &progress);
     let _ = timer.join();
     acceptor.shutdown();
 
@@ -314,16 +378,35 @@ fn run_stat_mode(addr: &str, slaves: u32, json: bool, flight: bool) -> Result<()
     Ok(())
 }
 
+/// Consecutive empty scrapes after which `watch` gives up for good.
+const WATCH_MAX_FAILURES: u32 = 5;
+
 fn run_watch_mode(addr: &str, slaves: u32, interval_ms: u64, count: u64) -> Result<(), String> {
     let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
         .map_err(|e| format!("connect: {e}"))?;
     let mut printed = 0u64;
+    let mut failures = 0u32;
     loop {
         let scrapes = collect_scrapes(&conn, slaves);
         if scrapes.is_empty() {
-            conn.shutdown();
-            return Err("no daemon answered the scrape".into());
+            // Transient: the master may be restarting or momentarily
+            // saturated. Retry with bounded exponential backoff instead
+            // of dying on the first decode/connect hiccup.
+            failures += 1;
+            if failures >= WATCH_MAX_FAILURES {
+                conn.shutdown();
+                return Err(format!("no daemon answered {failures} consecutive scrapes"));
+            }
+            let backoff =
+                Duration::from_millis(interval_ms.max(100).saturating_mul(1 << failures.min(4)));
+            eprintln!(
+                "watch: scrape failed ({failures}/{WATCH_MAX_FAILURES}), retrying in {:?}",
+                backoff
+            );
+            std::thread::sleep(backoff);
+            continue;
         }
+        failures = 0;
         print!("{}", render_watch_table(&scrapes));
         println!();
         printed += 1;
@@ -333,5 +416,109 @@ fn run_watch_mode(addr: &str, slaves: u32, interval_ms: u64, count: u64) -> Resu
         std::thread::sleep(Duration::from_millis(interval_ms));
     }
     conn.shutdown();
+    Ok(())
+}
+
+/// Send an admin request and wait for the matching reply kind, skipping
+/// unrelated frames (bounded, like the scrape helpers).
+fn admin_roundtrip<T: Transport>(
+    conn: &T,
+    msg: &Message,
+    deadline: Duration,
+    mut matches: impl FnMut(&Message) -> bool,
+) -> Result<Message, String> {
+    conn.send(Peer::Master, msg)
+        .map_err(|e| format!("send: {e}"))?;
+    let start = std::time::Instant::now();
+    let mut skipped = 0u32;
+    while start.elapsed() < deadline {
+        match conn.recv_timeout(SCRAPE_TIMEOUT) {
+            Ok((_, reply)) if matches(&reply) => return Ok(reply),
+            Ok(_) => {
+                skipped += 1;
+                if skipped > 256 {
+                    return Err("too many unrelated frames while waiting for reply".into());
+                }
+            }
+            Err(e) => return Err(format!("recv: {e}")),
+        }
+    }
+    Err("timed out waiting for reply".into())
+}
+
+fn membership_name(code: u8) -> &'static str {
+    dyrs::master::Membership::from_code(code).map_or("unknown", dyrs::master::Membership::name)
+}
+
+fn run_drain_mode(addr: &str, node: u32, wait: bool, timeout_secs: u64) -> Result<(), String> {
+    let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let deadline = Duration::from_secs(timeout_secs);
+    let start = std::time::Instant::now();
+    loop {
+        let reply = admin_roundtrip(
+            &conn,
+            &Message::DrainNode { node },
+            deadline,
+            |m| matches!(m, Message::DecommissionAck { node: n, .. } if *n == node),
+        )?;
+        let Message::DecommissionAck { membership, .. } = reply else {
+            unreachable!("matcher admitted only DecommissionAck");
+        };
+        println!("drain: node {node} is {}", membership_name(membership));
+        if !wait || membership_name(membership) == "removed" {
+            conn.shutdown();
+            return Ok(());
+        }
+        if start.elapsed() >= deadline {
+            conn.shutdown();
+            return Err(format!(
+                "node {node} still {} after {timeout_secs}s",
+                membership_name(membership)
+            ));
+        }
+        // Poll: each DrainNode re-checks drain completion at the master.
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+fn run_join_mode(addr: &str, node: u32) -> Result<(), String> {
+    let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let reply = admin_roundtrip(
+        &conn,
+        &Message::JoinRequest { node },
+        SCRAPE_TIMEOUT,
+        |m| matches!(m, Message::DecommissionAck { node: n, .. } if *n == node),
+    )?;
+    conn.shutdown();
+    let Message::DecommissionAck { membership, .. } = reply else {
+        unreachable!("matcher admitted only DecommissionAck");
+    };
+    println!("join: node {node} is {}", membership_name(membership));
+    Ok(())
+}
+
+fn run_checkpoint_mode(addr: &str, out: &str) -> Result<(), String> {
+    let conn = TcpConnector::connect(addr, Role::Client, ADMIN_CLIENT_ID, TcpConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let reply = admin_roundtrip(&conn, &Message::CheckpointRequest, SCRAPE_TIMEOUT, |m| {
+        matches!(m, Message::Checkpoint { .. })
+    })?;
+    conn.shutdown();
+    let Message::Checkpoint { data } = reply else {
+        unreachable!("matcher admitted only Checkpoint");
+    };
+    // Decode before writing so a truncated reply never lands on disk.
+    let cp =
+        dyrs_net::checkpoint_from_bytes(&data).map_err(|e| format!("checkpoint decode: {e:?}"))?;
+    dyrs_net::save_checkpoint(std::path::Path::new(out), &cp)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "checkpoint: {} bytes ({} pending, {} bound) -> {out}",
+        data.len(),
+        cp.pending.len(),
+        cp.bound.len()
+    );
     Ok(())
 }

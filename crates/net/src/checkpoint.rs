@@ -1,0 +1,331 @@
+//! Wire encoding of the master checkpoint (`dyrs::master::MasterCheckpoint`)
+//! plus file save/load helpers for `dyrs-node master --restore`.
+//!
+//! The snapshot travels inside [`Message::Checkpoint`](crate::Message) as
+//! an opaque byte vector: the *transport* schema (tag 22) never changes
+//! when the *snapshot* schema evolves — the snapshot carries its own
+//! [`CHECKPOINT_VERSION`](dyrs::CHECKPOINT_VERSION) stamp and
+//! [`Master::restore_from`](dyrs::Master::restore_from) refuses
+//! mismatches. Everything here uses the same byte-stable `Wire`
+//! primitives as the protocol, so two masters in the same state write
+//! identical checkpoint bytes.
+
+use crate::wire::{from_bytes, to_bytes, DecodeError, Reader, Wire};
+use dyrs::master::{
+    BoundCheckpoint, MasterCheckpoint, MasterStats, NodeCheckpoint, PendingCheckpoint,
+};
+use dyrs::{MigrationOrder, MigrationPolicy, NodeHealth};
+use std::io;
+use std::path::Path;
+
+impl Wire for MigrationPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MigrationPolicy::Disabled => 0,
+            MigrationPolicy::InstantRam => 1,
+            MigrationPolicy::Ignem => 2,
+            MigrationPolicy::Naive => 3,
+            MigrationPolicy::Dyrs => 4,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(MigrationPolicy::Disabled),
+            1 => Ok(MigrationPolicy::InstantRam),
+            2 => Ok(MigrationPolicy::Ignem),
+            3 => Ok(MigrationPolicy::Naive),
+            4 => Ok(MigrationPolicy::Dyrs),
+            tag => Err(DecodeError::BadTag {
+                what: "MigrationPolicy",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for MigrationOrder {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MigrationOrder::Fifo => 0,
+            MigrationOrder::SmallestJobFirst => 1,
+            MigrationOrder::EarliestDeadlineFirst => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(MigrationOrder::Fifo),
+            1 => Ok(MigrationOrder::SmallestJobFirst),
+            2 => Ok(MigrationOrder::EarliestDeadlineFirst),
+            tag => Err(DecodeError::BadTag {
+                what: "MigrationOrder",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for NodeHealth {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            NodeHealth::Healthy => 0,
+            NodeHealth::Suspect => 1,
+            NodeHealth::Quarantined => 2,
+            NodeHealth::Probation => 3,
+            NodeHealth::Joining => 4,
+            NodeHealth::Draining => 5,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(NodeHealth::Healthy),
+            1 => Ok(NodeHealth::Suspect),
+            2 => Ok(NodeHealth::Quarantined),
+            3 => Ok(NodeHealth::Probation),
+            4 => Ok(NodeHealth::Joining),
+            5 => Ok(NodeHealth::Draining),
+            tag => Err(DecodeError::BadTag {
+                what: "NodeHealth",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Wire for MasterStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.requested_blocks.encode(out);
+        self.requested_bytes.encode(out);
+        self.bound.encode(out);
+        self.completed.encode(out);
+        self.missed_reads.encode(out);
+        self.retarget_passes.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MasterStats {
+            requested_blocks: u64::decode(r)?,
+            requested_bytes: u64::decode(r)?,
+            bound: u64::decode(r)?,
+            completed: u64::decode(r)?,
+            missed_reads: u64::decode(r)?,
+            retarget_passes: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for NodeCheckpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.spb.encode(out);
+        self.queued_bytes.encode(out);
+        self.up.encode(out);
+        self.health.encode(out);
+        self.strikes.encode(out);
+        self.quarantined_until.encode(out);
+        self.probation_block.encode(out);
+        self.removed.encode(out);
+        self.join_completed.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeCheckpoint {
+            spb: f64::decode(r)?,
+            queued_bytes: f64::decode(r)?,
+            up: bool::decode(r)?,
+            health: NodeHealth::decode(r)?,
+            strikes: Vec::decode(r)?,
+            quarantined_until: Wire::decode(r)?,
+            probation_block: Option::decode(r)?,
+            removed: bool::decode(r)?,
+            join_completed: u32::decode(r)?,
+        })
+    }
+}
+
+impl Wire for PendingCheckpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.migration.encode(out);
+        self.seq.encode(out);
+        self.hint.encode(out);
+        self.not_before.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PendingCheckpoint {
+            migration: Wire::decode(r)?,
+            seq: u64::decode(r)?,
+            hint: Wire::decode(r)?,
+            not_before: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for BoundCheckpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.bound_at.encode(out);
+        self.est_secs_at_bind.encode(out);
+        self.hint.encode(out);
+        self.seq.encode(out);
+        self.migration.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BoundCheckpoint {
+            node: Wire::decode(r)?,
+            bound_at: Wire::decode(r)?,
+            est_secs_at_bind: f64::decode(r)?,
+            hint: Wire::decode(r)?,
+            seq: u64::decode(r)?,
+            migration: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for MasterCheckpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.policy.encode(out);
+        self.order.encode(out);
+        self.next_id.encode(out);
+        self.clock.encode(out);
+        self.stats.encode(out);
+        self.nodes.encode(out);
+        self.pending.encode(out);
+        self.migrated.encode(out);
+        self.ignem_bindings.encode(out);
+        self.job_blocks.encode(out);
+        self.bound.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(MasterCheckpoint {
+            version: u16::decode(r)?,
+            policy: Wire::decode(r)?,
+            order: Wire::decode(r)?,
+            next_id: u64::decode(r)?,
+            clock: Wire::decode(r)?,
+            stats: Wire::decode(r)?,
+            nodes: Vec::decode(r)?,
+            pending: Vec::decode(r)?,
+            migrated: Vec::decode(r)?,
+            ignem_bindings: Vec::decode(r)?,
+            job_blocks: Vec::decode(r)?,
+            bound: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Encode a checkpoint to its canonical bytes (the `Checkpoint` payload).
+pub fn checkpoint_to_bytes(cp: &MasterCheckpoint) -> Vec<u8> {
+    to_bytes(cp)
+}
+
+/// Decode a checkpoint from its canonical bytes.
+pub fn checkpoint_from_bytes(buf: &[u8]) -> Result<MasterCheckpoint, DecodeError> {
+    from_bytes(buf)
+}
+
+/// Write a checkpoint to `path` atomically (write-then-rename, so a crash
+/// mid-write never leaves a torn snapshot where a restore would find it).
+pub fn save_checkpoint(path: &Path, cp: &MasterCheckpoint) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_bytes(cp))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a checkpoint back from `path`.
+pub fn load_checkpoint(path: &Path) -> io::Result<MasterCheckpoint> {
+    let bytes = std::fs::read(path)?;
+    from_bytes(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyrs::master::{BlockRequest, Master};
+    use dyrs::types::EvictionMode;
+    use dyrs::FailureDetectorConfig;
+    use dyrs_cluster::NodeId;
+    use dyrs_dfs::{BlockId, JobId};
+    use simkit::Rng;
+
+    const MB: f64 = (1u64 << 20) as f64;
+
+    fn populated_master() -> Master {
+        let mut m = Master::new(MigrationPolicy::Dyrs, 3, 140.0 * MB, Rng::new(5));
+        m.configure_detector(FailureDetectorConfig::default());
+        for n in 0..3 {
+            m.on_heartbeat(NodeId(n), 1.0 / (140.0 * MB), 0);
+        }
+        let _ = m.request_migration(
+            JobId(1),
+            vec![
+                BlockRequest {
+                    block: BlockId(10),
+                    bytes: 256 << 20,
+                    replicas: vec![NodeId(0), NodeId(1)],
+                },
+                BlockRequest {
+                    block: BlockId(11),
+                    bytes: 128 << 20,
+                    replicas: vec![NodeId(1), NodeId(2)],
+                },
+            ],
+            EvictionMode::Implicit,
+        );
+        m.retarget();
+        // Bind at least one so the checkpoint carries an outstanding
+        // binding alongside the still-pending remainder.
+        let target = m.target_of(BlockId(10)).expect("targeted");
+        assert!(!m.on_slave_pull(target, 1).is_empty());
+        m
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_is_deterministic() {
+        let m = populated_master();
+        let cp = m.checkpoint();
+        let bytes = checkpoint_to_bytes(&cp);
+        let back = checkpoint_from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, cp);
+        assert_eq!(checkpoint_to_bytes(&back), bytes, "encode is canonical");
+    }
+
+    #[test]
+    fn restore_rebuilds_equivalent_state() {
+        let m = populated_master();
+        let cp = m.checkpoint();
+        let mut fresh = Master::new(MigrationPolicy::Dyrs, 3, 140.0 * MB, Rng::new(99));
+        fresh.configure_detector(FailureDetectorConfig::default());
+        fresh.restore_from(&cp).expect("restore");
+        // The restored master's own checkpoint matches byte for byte.
+        assert_eq!(
+            checkpoint_to_bytes(&fresh.checkpoint()),
+            checkpoint_to_bytes(&cp)
+        );
+    }
+
+    #[test]
+    fn restore_refuses_mismatches() {
+        let m = populated_master();
+        let mut cp = m.checkpoint();
+        let mut wrong_nodes = Master::new(MigrationPolicy::Dyrs, 5, 140.0 * MB, Rng::new(1));
+        assert!(
+            wrong_nodes.restore_from(&cp).is_err(),
+            "node-count mismatch"
+        );
+        let mut wrong_policy = Master::new(MigrationPolicy::Naive, 3, 140.0 * MB, Rng::new(1));
+        assert!(wrong_policy.restore_from(&cp).is_err(), "policy mismatch");
+        cp.version += 1;
+        let mut fresh = Master::new(MigrationPolicy::Dyrs, 3, 140.0 * MB, Rng::new(1));
+        assert!(fresh.restore_from(&cp).is_err(), "version mismatch");
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let m = populated_master();
+        let cp = m.checkpoint();
+        let dir = std::env::temp_dir().join("dyrs-checkpoint-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("master.ckpt");
+        save_checkpoint(&path, &cp).expect("save");
+        let back = load_checkpoint(&path).expect("load");
+        assert_eq!(back, cp);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod frame;
 pub mod loopback;
 pub mod node;
@@ -43,6 +44,9 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use checkpoint::{
+    checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
+};
 pub use frame::{FrameError, MAX_FRAME};
 pub use loopback::{LoopbackEndpoint, LoopbackHub};
 pub use node::{

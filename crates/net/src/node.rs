@@ -74,6 +74,10 @@ pub struct MasterConfig {
     /// than simulated silence — only enable this with deadlines sized
     /// for that. Quarantines fire the flight recorder automatically.
     pub detector: Option<FailureDetectorConfig>,
+    /// A checkpoint to reload before serving (master restart). Restored
+    /// heartbeat deadlines come back unarmed, so the fleet re-registers
+    /// through its ordinary heartbeats without being mass-suspected.
+    pub restore: Option<dyrs::master::MasterCheckpoint>,
 }
 
 impl MasterConfig {
@@ -88,6 +92,7 @@ impl MasterConfig {
             tick: DEFAULT_TICK,
             poll: DEFAULT_POLL,
             detector: None,
+            restore: None,
         }
     }
 }
@@ -167,6 +172,15 @@ pub fn run_master<T: Transport>(
     let mut byes: BTreeMap<u32, u64> = BTreeMap::new();
     let mut completed: Vec<(u32, u64)> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
+    // Checkpoint restart: rebuild bindings and the pending list before
+    // serving. Slaves re-register through their ordinary heartbeats (the
+    // restored deadlines are unarmed), so no extra handshake frame exists
+    // to lose.
+    if let Some(cp) = &cfg.restore {
+        if let Err(e) = master.restore_from(cp) {
+            errors.push(format!("checkpoint restore: {e}"));
+        }
+    }
     // Relay bookkeeping for Node-scoped scrapes: per-slave FIFO of
     // requesters awaiting that slave's reply. The transport is ordered
     // per connection, so replies pair with requests front-to-back.
@@ -235,12 +249,23 @@ pub fn run_master<T: Transport>(
                                 master.node_health(node).as_gauge(),
                             );
                         }
+                        obs.gauge(
+                            "node.membership",
+                            node.0 as u64,
+                            master.membership(node).as_gauge(),
+                        );
                         // Scheduler gauges sampled on every heartbeat
                         // batch, so a mid-run scrape sees the live
                         // backlog.
                         obs.gauge("sched.pending_depth", 0, master.pending_len() as f64);
                     }
                     (Peer::Slave(_), Message::MigrationComplete { node, block }) => {
+                        // The daemon owns its span's terminal event; in
+                        // the simulator the slave model shares the obs
+                        // handle and emits it instead.
+                        if let Some((mig, bound_at)) = master.bound_migration(node, block) {
+                            obs.migration_finished(mig, node, now.saturating_since(bound_at));
+                        }
                         master.on_migration_complete(node, block);
                         completed.push((node.0, block.0));
                         progress.completed.fetch_add(1, Ordering::SeqCst);
@@ -312,6 +337,15 @@ pub fn run_master<T: Transport>(
                                     );
                                 }
                             }
+                            // Membership is tracked with or without the
+                            // detector.
+                            for &n in &known {
+                                obs.gauge(
+                                    "node.membership",
+                                    u64::from(n),
+                                    master.membership(NodeId(n)).as_gauge(),
+                                );
+                            }
                             let reply = Message::StatsReply {
                                 scope: StatsScope::Local,
                                 snapshot: obs.snapshot(),
@@ -350,6 +384,65 @@ pub fn run_master<T: Transport>(
                             pending_scrapes.entry(n).or_default().push_back(requester);
                         }
                     },
+                    (requester, Message::DrainNode { node }) => {
+                        if (node as usize) < cfg.num_nodes {
+                            // Revoke the not-yet-started bindings over the
+                            // wire (a slave ignores blocks it no longer
+                            // holds / already streams) and re-pend each as
+                            // a drain successor at its original position.
+                            for block in master.drain_node(NodeId(node)) {
+                                send(transport, &mut sent, node, Message::Revoke { block });
+                                master.on_drain_unbound(NodeId(node), block);
+                            }
+                            // Safe-removal poll: each DrainNode re-checks;
+                            // the ack carries the current phase so the
+                            // admin client can poll to `removed`.
+                            if master.drain_complete(NodeId(node)) {
+                                master.decommission(NodeId(node));
+                            }
+                            let membership = master.membership(NodeId(node));
+                            obs.gauge("node.membership", u64::from(node), membership.as_gauge());
+                            reply_to(
+                                transport,
+                                &mut sent,
+                                requester,
+                                Message::DecommissionAck {
+                                    node,
+                                    membership: membership.code(),
+                                },
+                            );
+                        } else {
+                            errors.push(format!("drain for out-of-range node {node}"));
+                        }
+                    }
+                    (requester, Message::JoinRequest { node }) => {
+                        if (node as usize) < cfg.num_nodes {
+                            master.join_node(NodeId(node));
+                            let membership = master.membership(NodeId(node));
+                            obs.gauge("node.membership", u64::from(node), membership.as_gauge());
+                            reply_to(
+                                transport,
+                                &mut sent,
+                                requester,
+                                Message::DecommissionAck {
+                                    node,
+                                    membership: membership.code(),
+                                },
+                            );
+                        } else {
+                            errors.push(format!("join for out-of-range node {node}"));
+                        }
+                    }
+                    (requester, Message::CheckpointRequest) => {
+                        obs.counter_add("membership.checkpoints", 1);
+                        let data = crate::checkpoint::checkpoint_to_bytes(&master.checkpoint());
+                        reply_to(
+                            transport,
+                            &mut sent,
+                            requester,
+                            Message::Checkpoint { data },
+                        );
+                    }
                     (Peer::Slave(n), Message::StatsReply { snapshot, .. }) => {
                         if let Some(req) = pending_scrapes.get_mut(&n).and_then(VecDeque::pop_front)
                         {
@@ -423,6 +516,9 @@ pub fn run_master<T: Transport>(
                 // still counts toward the frame accounting.
                 *received.entry(n).or_insert(0) += 1;
                 if let Message::MigrationComplete { node, block } = other {
+                    if let Some((mig, bound_at)) = master.bound_migration(node, block) {
+                        obs.migration_finished(mig, node, now.saturating_since(bound_at));
+                    }
                     master.on_migration_complete(node, block);
                     completed.push((node.0, block.0));
                     progress.completed.fetch_add(1, Ordering::SeqCst);

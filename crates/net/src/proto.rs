@@ -207,6 +207,43 @@ pub enum Message {
         /// The dump itself.
         record: FlightRecord,
     },
+
+    // -- membership & recovery plane (admin peer → master) -----------------
+    /// (Re-)admit `node` to the cluster in the `Joining` state (admission
+    /// ramp). The master answers with [`Message::DecommissionAck`]
+    /// carrying the node's post-transition membership code.
+    JoinRequest {
+        /// The node to admit.
+        node: u32,
+    },
+    /// Begin draining `node`: no new binds, bound-but-unstarted work is
+    /// re-targeted, and the master decommissions the node once its bind
+    /// queues empty. Idempotent — poll with repeated sends; each gets a
+    /// [`Message::DecommissionAck`] with the current membership code.
+    DrainNode {
+        /// The node to drain.
+        node: u32,
+    },
+    /// Master → admin peer: reply to [`Message::JoinRequest`] /
+    /// [`Message::DrainNode`] with the node's current membership phase
+    /// (`dyrs::master::Membership::code`: 0 joining, 1 active, 2
+    /// draining, 3 removed).
+    DecommissionAck {
+        /// The node the verdict is about.
+        node: u32,
+        /// Its membership code after applying the request.
+        membership: u8,
+    },
+    /// Ask the master to serialize its soft state. Answered with
+    /// [`Message::Checkpoint`].
+    CheckpointRequest,
+    /// A versioned master checkpoint (the `Wire` encoding of
+    /// `dyrs::master::MasterCheckpoint`), opaque at this layer so the
+    /// snapshot schema can evolve behind its own version stamp.
+    Checkpoint {
+        /// The encoded snapshot.
+        data: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -231,6 +268,11 @@ impl Message {
             Message::StatsRequest { .. } => 15,
             Message::StatsReply { .. } => 16,
             Message::FlightDump { .. } => 17,
+            Message::JoinRequest { .. } => 18,
+            Message::DrainNode { .. } => 19,
+            Message::DecommissionAck { .. } => 20,
+            Message::CheckpointRequest => 21,
+            Message::Checkpoint { .. } => 22,
         }
     }
 
@@ -255,6 +297,11 @@ impl Message {
             Message::StatsRequest { .. } => "stats_request",
             Message::StatsReply { .. } => "stats_reply",
             Message::FlightDump { .. } => "flight_dump",
+            Message::JoinRequest { .. } => "join_request",
+            Message::DrainNode { .. } => "drain_node",
+            Message::DecommissionAck { .. } => "decommission_ack",
+            Message::CheckpointRequest => "checkpoint_request",
+            Message::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -362,6 +409,13 @@ impl Wire for Message {
                 scope.encode(out);
                 record.encode(out);
             }
+            Message::JoinRequest { node } | Message::DrainNode { node } => node.encode(out),
+            Message::DecommissionAck { node, membership } => {
+                node.encode(out);
+                membership.encode(out);
+            }
+            Message::CheckpointRequest => {}
+            Message::Checkpoint { data } => data.encode(out),
         }
     }
 
@@ -435,6 +489,20 @@ impl Wire for Message {
             17 => Message::FlightDump {
                 scope: StatsScope::decode(r)?,
                 record: FlightRecord::decode(r)?,
+            },
+            18 => Message::JoinRequest {
+                node: u32::decode(r)?,
+            },
+            19 => Message::DrainNode {
+                node: u32::decode(r)?,
+            },
+            20 => Message::DecommissionAck {
+                node: u32::decode(r)?,
+                membership: u8::decode(r)?,
+            },
+            21 => Message::CheckpointRequest,
+            22 => Message::Checkpoint {
+                data: Vec::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {

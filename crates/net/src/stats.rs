@@ -237,7 +237,9 @@ pub fn render_watch_table(scrapes: &[Scrape]) -> String {
                         0 => "healthy",
                         1 => "suspect",
                         2 => "probation",
-                        _ => "quarantined",
+                        3 => "quarantined",
+                        4 => "joining",
+                        _ => "draining",
                     };
                     if v == 0.0 {
                         "all-healthy".to_owned()

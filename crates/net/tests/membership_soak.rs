@@ -1,0 +1,283 @@
+//! TCP membership soak: a real localhost cluster (one master, four
+//! slave daemons) churned by live admin commands while a workload
+//! migrates — drain → decommission ack → re-join → checkpoint scrape,
+//! repeated — then the counting shutdown barrier proves zero lost
+//! frames on every connection and every migration span terminal.
+//!
+//! The loopback half of the soak (a seeded membership storm through
+//! the simulator's wire seam) lives in `tests/membership_soak.rs` at
+//! the workspace root.
+
+use dyrs::master::{BlockRequest, JobHint};
+use dyrs::{EvictionMode, Membership};
+use dyrs_cluster::NodeId;
+use dyrs_dfs::{BlockId, JobId};
+use dyrs_net::node::{run_master, run_slave, MasterConfig, MasterProgress, SlaveConfig};
+use dyrs_net::tcp::{TcpAcceptor, TcpConfig, TcpConnector};
+use dyrs_net::{checkpoint_from_bytes, Message, Peer, Role, Transport};
+use simkit::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SLAVES: u32 = 4;
+const BLOCKS_PER_JOB: u64 = 8;
+const BLOCK_BYTES: u64 = 16 << 20;
+const CHURN_NODE: u32 = 3;
+
+fn wait_until(deadline: Instant, mut cond: impl FnMut() -> bool) -> bool {
+    while !cond() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}
+
+fn reached(counter: &Arc<AtomicU64>, n: u64, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let counter = Arc::clone(counter);
+    assert!(
+        wait_until(deadline, || counter.load(Ordering::SeqCst) >= n),
+        "timed out waiting for {n} {what} (got {})",
+        counter.load(Ordering::SeqCst)
+    );
+}
+
+/// Send an admin message and wait for its reply, skipping unrelated
+/// frames, until `accept` returns `Some`.
+fn admin_await<T: Transport, R>(
+    conn: &T,
+    msg: &Message,
+    accept: impl Fn(&Message) -> Option<R>,
+) -> R {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        conn.send(Peer::Master, msg).expect("admin send");
+        let attempt_deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < attempt_deadline {
+            match conn.recv_timeout(Duration::from_millis(200)) {
+                Ok((_, reply)) => {
+                    if let Some(r) = accept(&reply) {
+                        return r;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "admin request {msg:?} never answered"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn submit_job(client: &impl Transport, job: u64, first_block: u64) {
+    let requests: Vec<BlockRequest> = (0..BLOCKS_PER_JOB)
+        .map(|i| BlockRequest {
+            block: BlockId(first_block + i),
+            bytes: BLOCK_BYTES,
+            replicas: (0..3)
+                .map(|r| NodeId(((first_block + i) as u32 + r) % SLAVES))
+                .collect(),
+        })
+        .collect();
+    client
+        .send(
+            Peer::Master,
+            &Message::RequestMigration {
+                job: JobId(job),
+                blocks: requests,
+                eviction: EvictionMode::Explicit,
+                hint: JobHint {
+                    expected_launch: SimTime::from_micros(0),
+                    total_bytes: BLOCKS_PER_JOB * BLOCK_BYTES,
+                },
+            },
+        )
+        .expect("submit job");
+}
+
+#[test]
+fn tcp_cluster_survives_membership_churn_with_zero_loss() {
+    let acceptor =
+        TcpAcceptor::bind("127.0.0.1:0", TcpConfig::default()).expect("bind 127.0.0.1:0");
+    let addr = acceptor.local_addr().to_string();
+
+    let slave_stop = Arc::new(AtomicBool::new(false));
+    let slaves: Vec<_> = (0..SLAVES)
+        .map(|n| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&slave_stop);
+            std::thread::spawn(move || {
+                let conn = TcpConnector::connect(&addr, Role::Slave, n, TcpConfig::default())
+                    .unwrap_or_else(|e| panic!("slave {n} connect: {e:?}"));
+                let report = run_slave(&conn, &SlaveConfig::new(NodeId(n)), &stop);
+                conn.shutdown();
+                report
+            })
+        })
+        .collect();
+    assert!(
+        acceptor.wait_for_peers(SLAVES as usize, Duration::from_secs(20)),
+        "slaves did not all connect: {:?}",
+        acceptor.connected_peers()
+    );
+    let master_stop = Arc::new(AtomicBool::new(false));
+    let progress = MasterProgress::default();
+    let master = {
+        let stop = Arc::clone(&master_stop);
+        let progress = progress.clone();
+        let acceptor = acceptor;
+        std::thread::spawn(move || {
+            let report = run_master(
+                &acceptor,
+                &MasterConfig::new(SLAVES as usize),
+                &stop,
+                &progress,
+            );
+            acceptor.shutdown();
+            report
+        })
+    };
+
+    let client = TcpConnector::connect(&addr, Role::Client, 0, TcpConfig::default())
+        .expect("client connect");
+    let admin = TcpConnector::connect(&addr, Role::Client, 99, TcpConfig::default())
+        .expect("admin connect");
+
+    let drain_to_removal = || {
+        let code = Membership::Removed.code();
+        admin_await(
+            &admin,
+            &Message::DrainNode { node: CHURN_NODE },
+            |reply| match reply {
+                Message::DecommissionAck { node, membership }
+                    if *node == CHURN_NODE && *membership == code =>
+                {
+                    Some(())
+                }
+                _ => None,
+            },
+        );
+    };
+    let rejoin = || {
+        let code = Membership::Joining.code();
+        admin_await(
+            &admin,
+            &Message::JoinRequest { node: CHURN_NODE },
+            |reply| match reply {
+                Message::DecommissionAck { node, membership }
+                    if *node == CHURN_NODE && *membership == code =>
+                {
+                    Some(())
+                }
+                _ => None,
+            },
+        );
+    };
+    let checkpoint = || {
+        let data = admin_await(&admin, &Message::CheckpointRequest, |reply| match reply {
+            Message::Checkpoint { data } => Some(data.clone()),
+            _ => None,
+        });
+        let cp = checkpoint_from_bytes(&data).expect("checkpoint bytes decode");
+        assert_eq!(cp.version, dyrs::CHECKPOINT_VERSION);
+        assert_eq!(cp.nodes.len(), SLAVES as usize);
+        cp
+    };
+
+    // Two full churn cycles: drain an (idle) node to removal, run a job
+    // without it, snapshot the master, bring the node back through the
+    // admission ramp, run another job that can use it again. Each job is
+    // evicted before the next drain — a decommissioned machine leaves
+    // the cluster with whatever it buffers, so buffers must be released
+    // while their host is still a member.
+    let mut submitted = 0u64;
+    let run_job = |job: u64, first_block: u64, what: &str| {
+        submit_job(&client, job, first_block);
+        reached(&progress.completed, first_block + BLOCKS_PER_JOB, what);
+        client
+            .send(Peer::Master, &Message::EvictJobRequest { job: JobId(job) })
+            .expect("evict job");
+        reached(&progress.evicted, first_block + BLOCKS_PER_JOB, "evictions");
+    };
+    for cycle in 0..2u64 {
+        drain_to_removal();
+        run_job(
+            2 * cycle + 1,
+            submitted * BLOCKS_PER_JOB,
+            "migration completions with the churn node removed",
+        );
+        submitted += 1;
+        let cp = checkpoint();
+        assert!(
+            cp.nodes[CHURN_NODE as usize].removed,
+            "checkpoint must capture the decommissioned node"
+        );
+        rejoin();
+        run_job(
+            2 * cycle + 2,
+            submitted * BLOCKS_PER_JOB,
+            "migration completions after the re-join",
+        );
+        submitted += 1;
+    }
+    let total = submitted * BLOCKS_PER_JOB;
+    admin.shutdown();
+    client.shutdown();
+
+    // Orderly shutdown: the counting barrier proves zero loss.
+    master_stop.store(true, Ordering::SeqCst);
+    let master_report = master.join().expect("master thread");
+    slave_stop.store(true, Ordering::SeqCst);
+    let slave_reports: Vec<_> = slaves
+        .into_iter()
+        .map(|h| h.join().expect("slave thread"))
+        .collect();
+
+    assert!(
+        master_report.errors.is_empty(),
+        "master errors: {:?}",
+        master_report.errors
+    );
+    for (n, r) in slave_reports.iter().enumerate() {
+        assert!(r.errors.is_empty(), "slave {n} errors: {:?}", r.errors);
+    }
+    assert_eq!(master_report.completed.len() as u64, total);
+    assert!(
+        master_report.zero_loss(),
+        "master accounting mismatch: sent {:?} received {:?} byes {:?}",
+        master_report.sent,
+        master_report.received,
+        master_report.byes
+    );
+    for (n, r) in slave_reports.iter().enumerate() {
+        assert!(
+            r.zero_loss(),
+            "slave {n} accounting mismatch: advertised {:?}, received {}",
+            r.advertised,
+            r.received
+        );
+    }
+
+    // Zero stranded migrations: every master-side span is terminal and
+    // none needed the run-end sweep.
+    let spans = master_report.obs.spans();
+    assert_eq!(spans.len() as u64, total, "one span per block");
+    for (mig, events) in spans {
+        let last = events.last().expect("span has events");
+        assert!(
+            last.state.is_terminal(),
+            "migration {mig} ended in non-terminal state {:?}",
+            last.state
+        );
+        assert_ne!(
+            last.cause,
+            dyrs_obs::cause::RUN_END,
+            "migration {mig} was stranded (closed only by run-end)"
+        );
+    }
+}

@@ -107,6 +107,13 @@ pub mod cause {
     /// Terminal: the bounded-retry budget ran out; the master gives up on
     /// this block rather than retrying forever.
     pub const RETRIES_EXHAUSTED: &str = "retries-exhausted";
+    /// The bound node started draining; the not-yet-started migration was
+    /// revoked so a surviving replica can cover it (no strike — drains
+    /// are intentional).
+    pub const NODE_DRAINED: &str = "node-drained";
+    /// A successor migration re-queued at its original admission position
+    /// after its predecessor was revoked from a draining node.
+    pub const DRAIN_RETARGET: &str = "drain-retarget";
     /// Terminal: the run ended with the span still open (work cut short by
     /// the last job completing or the horizon).
     pub const RUN_END: &str = "run-end";

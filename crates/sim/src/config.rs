@@ -79,6 +79,33 @@ pub enum FailureEvent {
         /// Which node recovers.
         node: NodeId,
     },
+    /// Operator-initiated drain: the node stops receiving new binds, its
+    /// bound-but-unstarted work is re-targeted through the successor
+    /// path, and once its queues empty it is decommissioned. In-flight
+    /// streams finish naturally — a drain is planned, not a failure.
+    DrainNode {
+        /// When the drain is requested.
+        at: SimTime,
+        /// Which node drains.
+        node: NodeId,
+    },
+    /// Operator-initiated (re)join: the node enters the `Joining`
+    /// admission ramp and warms back up to full bind candidacy.
+    JoinNode {
+        /// When the join is requested.
+        at: SimTime,
+        /// Which node joins.
+        node: NodeId,
+    },
+    /// Master checkpoint immediately followed by a restart that restores
+    /// from that checkpoint: scheduler, reference-list, and detector
+    /// state survive, so the restarted master rebuilds bindings without
+    /// mass-suspecting the fleet (contrast [`FailureEvent::MasterRestart`],
+    /// which loses all soft state).
+    CheckpointRestart {
+        /// When the checkpoint+restart happens.
+        at: SimTime,
+    },
 }
 
 /// Gray-fault injections: the node stays "up" the whole time — nothing

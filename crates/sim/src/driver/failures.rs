@@ -23,6 +23,9 @@ impl Simulation {
             FailureEvent::KillJob { job, .. } => self.fail_job(job),
             FailureEvent::NodeDown { node, .. } => self.node_down(node),
             FailureEvent::NodeUp { node, .. } => self.node_up(node),
+            FailureEvent::DrainNode { node, .. } => self.drain_node(node),
+            FailureEvent::JoinNode { node, .. } => self.join_node(node),
+            FailureEvent::CheckpointRestart { .. } => self.checkpoint_restart(),
         }
     }
 
@@ -130,6 +133,81 @@ impl Simulation {
         self.master.set_node_up(node, true);
         self.start_calibration(node);
         self.kick_schedule();
+    }
+
+    /// Operator drain: the master stops binding to the node and its
+    /// bound-but-unstarted work is revoked and re-targeted through the
+    /// successor path. Active migration streams are left to finish —
+    /// a drain is planned, not a failure, so nothing is lost.
+    fn drain_node(&mut self, node: NodeId) {
+        let bound = self.master.drain_node(node);
+        let queued: std::collections::BTreeSet<dyrs_dfs::BlockId> =
+            self.slaves[node.index()].queued_blocks().collect();
+        for block in bound {
+            if !queued.contains(&block) {
+                continue; // in-flight stream: completes naturally
+            }
+            let block = self.wire.revoke(node, block);
+            self.slaves[node.index()].revoke(block);
+            self.master.on_drain_unbound(node, block);
+        }
+        self.emit_membership(node);
+        self.maybe_decommission(node);
+    }
+
+    /// Operator (re)join: the node enters the `Joining` admission ramp and
+    /// re-probes its disk before pulling any work.
+    fn join_node(&mut self, node: NodeId) {
+        self.master.join_node(node);
+        self.emit_membership(node);
+        if self.cluster.node(node).up {
+            self.start_calibration(node);
+        }
+    }
+
+    /// If `node` is draining and its queues have emptied, complete the
+    /// removal: the master forgets it as a reference target and the
+    /// slave's memory buffers are released (the operator is taking the
+    /// machine away). Called after drains, completions and heartbeats.
+    pub(crate) fn maybe_decommission(&mut self, node: NodeId) {
+        if !self.master.drain_complete(node) || !self.master.decommission(node) {
+            return;
+        }
+        let dropped = self.slaves[node.index()].restart();
+        for block in dropped {
+            self.datanodes[node.index()].drop_memory_replica(block);
+            self.namenode.unregister_memory_replica(block, node);
+        }
+        self.emit_membership(node);
+    }
+
+    pub(crate) fn emit_membership(&mut self, node: NodeId) {
+        if self.obs.is_enabled() {
+            self.obs.gauge(
+                "node.membership",
+                node.0 as u64,
+                self.master.membership(node).as_gauge(),
+            );
+        }
+    }
+
+    /// Master checkpoint immediately followed by a restart restored from
+    /// it: the snapshot makes the full encode→decode roundtrip through
+    /// the versioned checkpoint codec, so the sim exercises exactly the
+    /// bytes `dyrs-node checkpoint` would put on disk. Soft state
+    /// survives — no `soft_state_reset`, no memory-registry clear, and
+    /// heartbeat timers re-arm so the fleet is not mass-suspected.
+    fn checkpoint_restart(&mut self) {
+        self.obs.counter_add("membership.checkpoints", 1);
+        let bytes = dyrs_net::checkpoint_to_bytes(&self.master.checkpoint());
+        let cp = dyrs_net::checkpoint_from_bytes(&bytes)
+            .expect("checkpoint roundtrip cannot fail on bytes we just encoded");
+        self.master
+            .restore_from(&cp)
+            .expect("restoring a same-config checkpoint cannot fail");
+        // The restarted master re-runs Algorithm 1 over the restored
+        // pending set before the next scheduled pass.
+        self.master.retarget();
     }
 
     /// Re-plan an interrupted read on its (still-running) task's node.

@@ -70,6 +70,12 @@ impl Simulation {
                 self.master.node_health(node).as_gauge(),
             );
         }
+        // Membership lifecycle: a draining node whose queues have emptied
+        // is decommissioned on the next heartbeat that observes it; the
+        // gauge is emitted regardless of detector state (membership is an
+        // operator concern, not a failure-detector one).
+        self.maybe_decommission(node);
+        self.emit_membership(node);
 
         // Figure series: per-block migration-time estimate (Fig. 9) and
         // buffer footprint (Fig. 7). The estimate is only meaningful once

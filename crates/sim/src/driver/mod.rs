@@ -331,7 +331,10 @@ impl Simulation {
                 | crate::config::FailureEvent::SlaveRestart { at, .. }
                 | crate::config::FailureEvent::KillJob { at, .. }
                 | crate::config::FailureEvent::NodeDown { at, .. }
-                | crate::config::FailureEvent::NodeUp { at, .. } => *at,
+                | crate::config::FailureEvent::NodeUp { at, .. }
+                | crate::config::FailureEvent::DrainNode { at, .. }
+                | crate::config::FailureEvent::JoinNode { at, .. }
+                | crate::config::FailureEvent::CheckpointRestart { at } => *at,
             };
             self.queue.schedule(at, Ev::Failure(f));
         }

@@ -1,0 +1,29 @@
+//! Schema-pass fixture: the membership slice of the protocol in
+//! miniature — join/drain/ack/checkpoint riding on fresh tags after the
+//! handshake pair. `schema_membership.lock` is its blessed snapshot;
+//! `proto_membership_renumber.rs` renumbers two of the tags and must
+//! fail the drift check as a wire break.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+    JoinRequest { node: u32 },
+    DrainNode { node: u32 },
+    DecommissionAck { node: u32, membership: u8 },
+    Checkpoint { data: Vec<u8> },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+            Message::JoinRequest { .. } => 2,
+            Message::DrainNode { .. } => 3,
+            Message::DecommissionAck { .. } => 4,
+            Message::Checkpoint { .. } => 5,
+        }
+    }
+}

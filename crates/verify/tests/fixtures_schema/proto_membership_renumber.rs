@@ -1,0 +1,29 @@
+//! Mutation of `proto_membership.rs`: `DrainNode` and `DecommissionAck`
+//! swap wire tags — the exact drift a careless "clean up the message
+//! order" refactor produces. An old peer would decode a drain command
+//! as an ack (and vice versa), so this must fail the drift check as
+//! breaking, and `--bless` must refuse it at the same protocol version.
+
+pub const PROTOCOL_VERSION: u16 = 1;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+    JoinRequest { node: u32 },
+    DrainNode { node: u32 },
+    DecommissionAck { node: u32, membership: u8 },
+    Checkpoint { data: Vec<u8> },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+            Message::JoinRequest { .. } => 2,
+            Message::DrainNode { .. } => 4,
+            Message::DecommissionAck { .. } => 3,
+            Message::Checkpoint { .. } => 5,
+        }
+    }
+}

@@ -216,6 +216,48 @@ fn schema_bless_accepts_append_only_and_refuses_breaking() {
 }
 
 #[test]
+fn renumbered_membership_tag_is_a_wire_break() {
+    let wire = schema_fixture("wire_ok.rs");
+    let lock = schema_fixture("schema_membership.lock");
+
+    assert_eq!(
+        schema_exit(&schema_fixture("proto_membership.rs"), &wire, &lock, false),
+        0,
+        "the membership protocol slice matches its blessed lock"
+    );
+    // Negative control for the membership additions: swapping the
+    // DrainNode/DecommissionAck tags is the refactor most likely to slip
+    // through review, and an old peer would decode a drain command as an
+    // ack. The drift check must flag it as breaking...
+    assert_eq!(
+        schema_exit(
+            &schema_fixture("proto_membership_renumber.rs"),
+            &wire,
+            &lock,
+            false,
+        ),
+        1,
+        "renumbering membership tags must fail the drift check"
+    );
+
+    // ...and --bless must refuse to launder it at the same version.
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("schema_membership");
+    std::fs::create_dir_all(&tmp).expect("mk tmpdir");
+    let scratch = tmp.join("schema.lock").to_string_lossy().into_owned();
+    std::fs::copy(schema_fixture("schema_membership.lock"), &scratch).expect("copy blessed lock");
+    assert_eq!(
+        schema_exit(
+            &schema_fixture("proto_membership_renumber.rs"),
+            &wire,
+            &scratch,
+            true,
+        ),
+        1,
+        "--bless must refuse renumbered membership tags without a version bump"
+    );
+}
+
+#[test]
 fn schema_cli_is_clean_on_the_real_protocol() {
     let root = workspace_root().to_string_lossy().into_owned();
     let code = cli::run(&args(&["schema", "--root", &root]));

@@ -308,6 +308,77 @@ fn scraping_is_invisible_to_determinism() {
 }
 
 #[test]
+fn membership_churn_preserves_placement_and_loses_nothing() {
+    // Acceptance pin for the membership plane: a same-seed run with an
+    // interleaved master checkpoint+restart and one drain/join cycle
+    // must (1) replay bit-identically against itself — including the
+    // terminal placement of every block — and (2) lose nothing versus
+    // the quiet run: the same set of blocks reaches memory and not a
+    // single migration dies to `retries-exhausted`, because a drain
+    // re-targets work without burning retry budget.
+    use dyrs_obs::SpanState;
+    use std::collections::{BTreeMap, BTreeSet};
+    let run = |churn: bool| {
+        let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
+        if churn {
+            cfg.failures = vec![
+                FailureEvent::CheckpointRestart {
+                    at: SimTime::from_secs(5),
+                },
+                FailureEvent::DrainNode {
+                    at: SimTime::from_secs(8),
+                    node: NodeId(3),
+                },
+                FailureEvent::JoinNode {
+                    at: SimTime::from_secs(30),
+                    node: NodeId(3),
+                },
+            ];
+        }
+        let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        dyrs_sim::Simulation::new(cfg, jobs).run()
+    };
+    let placement = |r: &dyrs_sim::SimResult| -> BTreeMap<u64, u32> {
+        r.obs
+            .events
+            .iter()
+            .filter(|e| e.state == SpanState::Finished)
+            .map(|e| (e.block, e.node.expect("finished span names its node")))
+            .collect()
+    };
+    let quiet = run(false);
+    let churned = run(true);
+    let churned2 = run(true);
+
+    // (1) The churned scenario is itself deterministic, down to where
+    // every block landed.
+    assert_eq!(churned.trace_digest, churned2.trace_digest);
+    assert_eq!(placement(&churned), placement(&churned2));
+
+    // (2) Nothing is lost to the churn: same blocks land in memory, and
+    // the drain never exhausts a retry budget.
+    let blocks = |p: &BTreeMap<u64, u32>| -> BTreeSet<u64> { p.keys().copied().collect() };
+    assert_eq!(
+        blocks(&placement(&quiet)),
+        blocks(&placement(&churned)),
+        "membership churn lost (or invented) migrated blocks"
+    );
+    assert_eq!(
+        churned.obs.counter("detector.retries_exhausted"),
+        0,
+        "a quiet drain/join cycle must not burn retry budget"
+    );
+
+    // The churn actually happened: one checkpoint, one drain (with its
+    // decommission once the queues emptied), one join.
+    assert_eq!(churned.obs.counter("membership.checkpoints"), 1);
+    assert_eq!(churned.obs.counter("membership.drains"), 1);
+    assert_eq!(churned.obs.counter("membership.decommissions"), 1);
+    assert_eq!(churned.obs.counter("membership.joins"), 1);
+}
+
+#[test]
 fn workload_generation_is_stable() {
     let p = swim::SwimParams::default();
     let a = swim::generate(&p, SEED);
@@ -463,9 +534,19 @@ fn wire_frames_are_byte_pinned() {
                 }],
             },
         },
+        Message::JoinRequest { node: 2 },
+        Message::DrainNode { node: 2 },
+        Message::DecommissionAck {
+            node: 2,
+            membership: 3,
+        },
+        Message::CheckpointRequest,
+        Message::Checkpoint {
+            data: vec![1, 2, 3],
+        },
     ];
     let tags: Vec<u8> = canonical.iter().map(Message::tag).collect();
-    assert_eq!(tags, (0..18).collect::<Vec<u8>>(), "one message per tag");
+    assert_eq!(tags, (0..23).collect::<Vec<u8>>(), "one message per tag");
 
     // Two frames pinned byte-for-byte (header: magic "DYRS", version
     // u16 BE, payload length u32 BE; payload: tag byte + fields BE).
@@ -479,7 +560,7 @@ fn wire_frames_are_byte_pinned() {
     );
 
     // And the whole catalog pinned through one digest: FNV-1a over the
-    // concatenation of all eighteen canonical frames.
+    // concatenation of all twenty-three canonical frames.
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     let mut total_len = 0usize;
     for msg in &canonical {
@@ -496,7 +577,7 @@ fn wire_frames_are_byte_pinned() {
     // must bump PROTOCOL_VERSION.
     assert_eq!(
         (total_len, h),
-        (694, 0x3089_8970_4B35_8C2F),
+        (769, 0xC78A_AD53_9500_21CB),
         "pinned wire bytes changed: this is a protocol break, bump \
          PROTOCOL_VERSION and re-pin"
     );

@@ -1,0 +1,100 @@
+//! Loopback membership soak: a drain/join storm interleaved with master
+//! checkpoint+restarts and gray faults, driven through the
+//! encode→frame→decode wire seam, must replay bit-identically under a
+//! seed and strand no migration — every span reaches a terminal state
+//! through the protocol, none are mopped up by the run-end sweep.
+//!
+//! The TCP half of the soak (a real localhost cluster churned by live
+//! admin commands) lives in `crates/net/tests/membership_soak.rs`.
+
+use dyrs::MigrationPolicy;
+use dyrs_cluster::NodeId;
+use dyrs_experiments::scenarios::{hetero_config, with_workload};
+use dyrs_sim::config::WireMode;
+use dyrs_sim::{FailureEvent, GrayFault};
+use dyrs_workloads::sort;
+use simkit::{SimDuration, SimTime};
+
+#[test]
+fn loopback_membership_storm_replays_identically() {
+    let run = || {
+        let mut cfg = hetero_config(MigrationPolicy::Dyrs, 4242);
+        cfg.wire = WireMode::Loopback;
+        cfg.failures = vec![
+            FailureEvent::CheckpointRestart {
+                at: SimTime::from_secs(4),
+            },
+            FailureEvent::DrainNode {
+                at: SimTime::from_secs(6),
+                node: NodeId(2),
+            },
+            FailureEvent::JoinNode {
+                at: SimTime::from_secs(20),
+                node: NodeId(2),
+            },
+            FailureEvent::DrainNode {
+                at: SimTime::from_secs(26),
+                node: NodeId(5),
+            },
+            FailureEvent::CheckpointRestart {
+                at: SimTime::from_secs(28),
+            },
+            FailureEvent::JoinNode {
+                at: SimTime::from_secs(40),
+                node: NodeId(5),
+            },
+        ];
+        cfg.gray_faults = vec![
+            GrayFault::HeartbeatLoss {
+                at: SimTime::from_secs(3),
+                node: NodeId(1),
+                until: SimTime::from_secs(10),
+            },
+            GrayFault::DiskDegrade {
+                at: SimTime::from_secs(5),
+                node: NodeId(4),
+                factor_milli: 200,
+            },
+            GrayFault::DiskRestore {
+                at: SimTime::from_secs(25),
+                node: NodeId(4),
+            },
+        ];
+        let w = sort::sort_workload(2 << 30, SimDuration::from_secs(10), 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        dyrs_sim::Simulation::new(cfg, jobs).run()
+    };
+    let a = run();
+    let b = run();
+
+    // Bit-identical replay, through the wire seam, under the storm.
+    assert_ne!(a.trace_digest, 0);
+    assert_eq!(
+        a.trace_digest, b.trace_digest,
+        "membership storm broke seeded determinism"
+    );
+    assert_eq!(a.wire_frames, b.wire_frames, "frame accounting diverged");
+    assert_eq!(a.obs.spans_jsonl(), b.obs.spans_jsonl());
+
+    // The storm actually happened.
+    assert_eq!(a.obs.counter("membership.drains"), 2);
+    assert_eq!(a.obs.counter("membership.joins"), 2);
+    assert_eq!(a.obs.counter("membership.checkpoints"), 2);
+    assert_eq!(a.obs.counter("membership.decommissions"), 2);
+
+    // Zero stranded migrations: every span reached its terminal state
+    // through the protocol — none were swept up by the run-end pass.
+    for (mig, events) in a.obs.spans() {
+        let last = events.last().expect("span has events");
+        assert!(
+            last.state.is_terminal(),
+            "migration {mig} left open: {:?}",
+            last.state
+        );
+        assert_ne!(
+            last.cause,
+            dyrs_obs::cause::RUN_END,
+            "migration {mig} was stranded (closed only by run-end)"
+        );
+    }
+}
