@@ -197,6 +197,7 @@ fn bench_codec() -> Snapshot {
                 }],
                 replicas: vec![NodeId(i as u32 % 7), NodeId((i as u32 + 1) % 7)],
                 attempt: 0,
+                dest_tier: 0,
             })
             .collect(),
     };

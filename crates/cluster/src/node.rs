@@ -1,6 +1,7 @@
 //! Nodes and clusters.
 
 use crate::memory::MemoryStore;
+use dyrs_tiers::TierStackSpec;
 use serde::{Deserialize, Serialize};
 use simkit::FluidResource;
 use std::fmt;
@@ -41,6 +42,11 @@ pub struct NodeSpec {
     /// is a single rack, so the default is rack 0 everywhere).
     #[serde(default)]
     pub rack: u32,
+    /// Explicit storage hierarchy, fastest tier first. `None` (the
+    /// default, and every pre-tier config) means the legacy 2-tier
+    /// memory-over-disk stack derived from the fields above.
+    #[serde(default)]
+    pub tiers: Option<TierStackSpec>,
 }
 
 impl NodeSpec {
@@ -54,6 +60,23 @@ impl NodeSpec {
             membus_bw: 8.0 * 1024.0 * 1024.0 * 1024.0,
             nic_bw: 1.25 * 1024.0 * 1024.0 * 1024.0, // 10 Gbps
             rack: 0,
+            tiers: None,
+        }
+    }
+
+    /// The node's storage hierarchy: the explicit stack when configured,
+    /// otherwise the legacy 2-tier memory-over-disk stack synthesized
+    /// from the scalar fields (so every pre-tier config keeps its exact
+    /// hardware model).
+    pub fn tier_stack(&self) -> TierStackSpec {
+        match &self.tiers {
+            Some(s) => s.clone(),
+            None => TierStackSpec::legacy(
+                self.mem_capacity,
+                self.membus_bw,
+                self.disk_bw,
+                self.disk_degradation,
+            ),
         }
     }
 }
@@ -77,6 +100,11 @@ pub struct Node {
     pub membus: FluidResource,
     /// NIC (serving remote in-memory reads).
     pub nic: FluidResource,
+    /// Middle buffer tiers (NVMe/SSD between memory and the backing
+    /// disk): one device resource per tier index `1..`, stored at
+    /// `mid_tiers[t - 1]`. Empty on the legacy 2-tier stack, where
+    /// memory (tier 0) is the only buffer and is served by `membus`.
+    pub mid_tiers: Vec<FluidResource>,
     /// Migration buffer accounting.
     pub memory: MemoryStore,
     /// Whether the node (server) is up. A failed server serves nothing.
@@ -85,15 +113,31 @@ pub struct Node {
 
 impl Node {
     fn new(id: NodeId, spec: NodeSpec) -> Self {
+        let stack = spec.tier_stack();
+        let mid_tiers = stack.buffer_tiers()[1..]
+            .iter()
+            .map(|t| FluidResource::new(t.read_bw, t.degradation))
+            .collect();
         Node {
             disk: FluidResource::new(spec.disk_bw, spec.disk_degradation),
             membus: FluidResource::new(spec.membus_bw, 0.0),
             nic: FluidResource::new(spec.nic_bw, 0.0),
+            mid_tiers,
             memory: MemoryStore::new(spec.mem_capacity),
             spec,
             id,
             up: true,
         }
+    }
+
+    /// The device resource behind middle buffer tier `t` (`1..`).
+    pub fn mid_tier(&self, t: u8) -> &FluidResource {
+        &self.mid_tiers[t as usize - 1]
+    }
+
+    /// Mutably borrow the device resource behind middle buffer tier `t`.
+    pub fn mid_tier_mut(&mut self, t: u8) -> &mut FluidResource {
+        &mut self.mid_tiers[t as usize - 1]
     }
 }
 
@@ -253,6 +297,34 @@ mod tests {
         let spec = ClusterSpec::uniform_racked(7, 3);
         assert_eq!(spec.racks(), vec![0, 1, 2, 0, 1, 2, 0]);
         assert_eq!(ClusterSpec::uniform(3).racks(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn default_tier_stack_is_legacy_two_tier() {
+        let spec = NodeSpec::paper_default();
+        let stack = spec.tier_stack();
+        assert_eq!(stack.len(), 2);
+        assert_eq!(stack.tiers[0].capacity, spec.mem_capacity);
+        assert_eq!(stack.tiers[0].read_bw, spec.membus_bw);
+        assert_eq!(stack.disk().read_bw, spec.disk_bw);
+        assert_eq!(stack.disk().degradation, spec.disk_degradation);
+        let node = ClusterSpec::uniform(1).build();
+        assert!(node.node(NodeId(0)).mid_tiers.is_empty());
+    }
+
+    #[test]
+    fn explicit_stack_builds_middle_tier_resources() {
+        let mut spec = ClusterSpec::uniform(1);
+        spec.nodes[0].tiers = Some(dyrs_tiers::TierStackSpec::four_tier(
+            spec.nodes[0].mem_capacity,
+            spec.nodes[0].membus_bw,
+            spec.nodes[0].disk_bw,
+            spec.nodes[0].disk_degradation,
+        ));
+        let c = spec.build();
+        let n = c.node(NodeId(0));
+        assert_eq!(n.mid_tiers.len(), 2, "nvme + ssd");
+        assert!(n.mid_tier(1).base_capacity() > n.mid_tier(2).base_capacity());
     }
 
     #[test]

@@ -513,6 +513,22 @@ impl Master {
         self.sched.set_config(cfg);
     }
 
+    /// Declare `node`'s candidate destination tiers for tier-aware
+    /// Algorithm 1: ascending `(tier, write_factor)` pairs, where the
+    /// factor scales the candidate's own stream cost by the destination
+    /// tier's write bandwidth (1.0 = memory-speed). Hardware shape, not
+    /// soft state — it survives master checkpoint-restart like the node
+    /// table itself. The default everywhere is `[(0, 1.0)]`, which keeps
+    /// legacy 2-tier scoring bit-identical.
+    pub fn set_node_tiers(&mut self, node: NodeId, tiers: Vec<(u8, f64)>) {
+        self.sched.set_node_tiers(node.index(), tiers);
+    }
+
+    /// The node's eligible destination tiers as Algorithm 1 sees them.
+    pub fn node_tiers(&self, node: NodeId) -> &[(u8, f64)] {
+        self.sched.node_tiers(node.index())
+    }
+
     /// Push the master's live view of `node` — cost estimate, queued
     /// backlog, and candidacy (liveness ∧ detector health) — into the
     /// scheduler's scoring snapshot. Every mutation site calls this, so
@@ -697,6 +713,7 @@ impl Master {
                 jobs: vec![jref],
                 replicas: req.replicas,
                 attempt: 0,
+                dest_tier: 0,
             };
             self.next_id += 1;
             self.obs
@@ -715,7 +732,7 @@ impl Master {
                     self.stats.bound += 1;
                     self.ignem_bindings.insert(migration.block, node);
                     self.obs
-                        .migration_bound(migration.id.0, node, cause::IGNEM_IMMEDIATE);
+                        .migration_bound(migration.id.0, node, 0, cause::IGNEM_IMMEDIATE);
                     out.immediate.push(BoundMigration { migration, node });
                     self.sync_node(node);
                 } else {
@@ -1019,6 +1036,7 @@ impl Master {
             jobs: old.jobs,
             replicas: old.replicas,
             attempt,
+            dest_tier: 0,
         };
         self.obs
             .migration_pending_why(id.0, old.block, old.bytes, None, cause::RETRY);
@@ -1118,11 +1136,19 @@ impl Master {
         // popping past the `space.min(allow)` budget.
         let picked = self.sched.pull(node, targeted, now, space.min(allow));
         let mut taken = Vec::with_capacity(picked.len());
-        for entry in picked {
+        for mut entry in picked {
+            // Stamp the destination tier Algorithm 1 chose alongside the
+            // node, so the slave admits the stream against the right tier
+            // (always 0 = memory on the legacy 2-tier stack).
+            entry.migration.dest_tier = entry.target_tier;
             self.nodes[node.index()].queued_bytes += entry.migration.bytes as f64;
             self.stats.bound += 1;
-            self.obs
-                .migration_bound(entry.migration.id.0, node, cause::HEARTBEAT_PULL);
+            self.obs.migration_bound(
+                entry.migration.id.0,
+                node,
+                entry.target_tier,
+                cause::HEARTBEAT_PULL,
+            );
             if self.det[node.index()].health == NodeHealth::Probation {
                 self.det[node.index()].probation_block = Some(entry.migration.block);
             }
@@ -1334,6 +1360,7 @@ impl Master {
             jobs: old.jobs,
             replicas: old.replicas,
             attempt: old.attempt,
+            dest_tier: 0,
         };
         self.obs
             .migration_pending_why(id.0, block, migration.bytes, None, cause::DRAIN_RETARGET);

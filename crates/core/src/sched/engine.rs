@@ -43,8 +43,34 @@ use std::collections::BTreeSet;
 /// The winner rule shared by both engines: strictly better score, or an
 /// exact score tie broken by placement rank.
 #[inline]
-fn better(candidate: f64, rank: usize, best: Option<(f64, usize, NodeId)>) -> bool {
-    best.is_none_or(|(bf, br, _)| candidate < bf || (candidate == bf && rank < br))
+fn better(candidate: f64, rank: usize, best: Option<(f64, usize, NodeId, u8)>) -> bool {
+    best.is_none_or(|(bf, br, _, _)| candidate < bf || (candidate == bf && rank < br))
+}
+
+/// One node's tier × replica scoring: the minimum candidate score over
+/// the node's eligible destination tiers, with exact ties kept on the
+/// lower (faster) tier because enumeration ascends and the comparison is
+/// strict. The write factor is exactly 1.0 for memory, and that branch
+/// adds the bare `base + work` term — bit-identical to the pre-tier
+/// arithmetic on every legacy (memory-only) snapshot.
+#[inline]
+fn tier_min(tiers: &[(u8, f64)], base: f64, work: f64) -> (f64, u8) {
+    let mut best = f64::INFINITY;
+    let mut best_tier = 0u8;
+    let mut first = true;
+    for &(tier, factor) in tiers {
+        let candidate = if factor == 1.0 {
+            base + work
+        } else {
+            base + work * factor
+        };
+        if first || candidate < best {
+            best = candidate;
+            best_tier = tier;
+            first = false;
+        }
+    }
+    (best, best_tier)
 }
 
 impl Scheduler {
@@ -113,30 +139,27 @@ impl Scheduler {
             );
             candidates.sort_unstable();
             let bytes = entry.migration.bytes as f64;
-            let mut best: Option<(f64, usize, NodeId)> = None;
-            let mut scores: Vec<CandidateScore> = Vec::new();
+            let mut best: Option<(f64, usize, NodeId, u8)> = None;
             let mut cache = vec![f64::INFINITY; entry.migration.replicas.len()];
+            let mut tier_cache = vec![0u8; entry.migration.replicas.len()];
             for &(loc, rank) in &candidates {
-                let candidate = finish[loc.index()] + self.snap_spb[loc.index()] * bytes;
+                let i = loc.index();
+                let (candidate, tier) =
+                    tier_min(&self.snap_tiers[i], finish[i], self.snap_spb[i] * bytes);
                 cache[rank] = candidate;
-                if recording {
-                    scores.push(CandidateScore {
-                        node: loc.0,
-                        rank: rank as u32,
-                        est_finish_secs: candidate,
-                    });
-                }
+                tier_cache[rank] = tier;
                 if better(candidate, rank, best) {
-                    best = Some((candidate, rank, loc));
+                    best = Some((candidate, rank, loc, tier));
                 }
             }
             self.apply_winner(&mut entry, key, idx, best, obs);
             // Charge the winner to its node's trajectory: later entries
             // queue behind it.
-            if let Some((f, _, w)) = best {
+            if let Some((f, _, w, _)) = best {
                 finish[w.index()] = f;
             }
             entry.scores = cache;
+            entry.tier_of = tier_cache;
             entry.cache_valid = true;
             if recording {
                 provenance.push(provenance_record(&entry));
@@ -190,34 +213,42 @@ impl Scheduler {
             let bytes = entry.migration.bytes as f64;
             let had_cache = entry.cache_valid;
             let mut cache = vec![f64::INFINITY; entry.migration.replicas.len()];
-            let mut best: Option<(f64, usize, NodeId)> = None;
+            let mut tier_cache = vec![0u8; entry.migration.replicas.len()];
+            let mut best: Option<(f64, usize, NodeId, u8)> = None;
             for (rank, &loc) in entry.migration.replicas.iter().enumerate() {
                 let i = loc.index();
                 if !self.snap_candidate[i] {
                     continue;
                 }
-                let score = match finish[i] {
+                let (score, tier) = match finish[i] {
                     // Node in motion: live trajectory, like the reference.
-                    Some(f) => f + self.snap_spb[i] * bytes,
+                    Some(f) => tier_min(&self.snap_tiers[i], f, self.snap_spb[i] * bytes),
                     None => {
                         if had_cache && entry.scores[rank].is_finite() {
-                            // Clean node: the cached score is exact.
-                            entry.scores[rank]
+                            // Clean node: the cached tier minimum is exact
+                            // (a tier-set change dirties the node, so a
+                            // clean node's eligible tiers are unchanged).
+                            (entry.scores[rank], entry.tier_of[rank])
                         } else {
                             // Never scored here (new admission, or a
                             // candidacy flip that dirtied the node in any
                             // case): materialize from the targeted index.
-                            self.finish_before(i, (key, idx)) + self.snap_spb[i] * bytes
+                            tier_min(
+                                &self.snap_tiers[i],
+                                self.finish_before(i, (key, idx)),
+                                self.snap_spb[i] * bytes,
+                            )
                         }
                     }
                 };
                 cache[rank] = score;
+                tier_cache[rank] = tier;
                 if better(score, rank, best) {
-                    best = Some((score, rank, loc));
+                    best = Some((score, rank, loc, tier));
                 }
             }
             let old_target = entry.target;
-            let new_target = best.map(|(_, _, n)| n);
+            let new_target = best.map(|(_, _, n, _)| n);
             // A winner moving on or off a *clean* node changes that node's
             // trajectory for every later queue position: switch the node to
             // live accounting (seeded from the exact cached state just
@@ -243,12 +274,13 @@ impl Scheduler {
             // Charge the winner to its node's live trajectory (the clean
             // same-winner case needs no update: the cached chain already
             // carries this exact score forward).
-            if let Some((f, _, w)) = best {
+            if let Some((f, _, w, _)) = best {
                 if finish[w.index()].is_some() {
                     finish[w.index()] = Some(f);
                 }
             }
             entry.scores = cache;
+            entry.tier_of = tier_cache;
             entry.cache_valid = true;
             if recording {
                 provenance.push(provenance_record(&entry));
@@ -272,13 +304,14 @@ impl Scheduler {
         entry: &mut Entry,
         key: OrderKey,
         idx: usize,
-        best: Option<(f64, usize, NodeId)>,
+        best: Option<(f64, usize, NodeId, u8)>,
         obs: &ObsHandle,
     ) {
         let old_target = entry.target;
         match best {
-            Some((f, _, node)) => {
+            Some((f, _, node, tier)) => {
                 entry.target = Some(node);
+                entry.target_tier = tier;
                 entry.winner_score = f;
                 if old_target != Some(node) {
                     obs.migration_targeted(entry.migration.id.0, node);
@@ -286,6 +319,7 @@ impl Scheduler {
             }
             None => {
                 entry.target = None; // all replicas down right now
+                entry.target_tier = 0;
                 entry.winner_score = f64::INFINITY;
             }
         }
@@ -325,6 +359,7 @@ fn provenance_record(entry: &Entry) -> ProvenanceRecord {
                 node,
                 rank: rank as u32,
                 est_finish_secs: entry.scores[rank],
+                tier: entry.tier_of[rank],
             })
             .collect(),
         winner: entry.target.map(|n| n.0),

@@ -16,9 +16,10 @@ use crate::config::DyrsConfig;
 use crate::estimator::MigrationEstimator;
 use crate::refs::ReferenceLists;
 use crate::types::{EvictionMode, JobRef, Migration};
-use dyrs_cluster::{MemoryStore, NodeId};
+use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
 use dyrs_obs::{cause, ObsHandle};
+use dyrs_tiers::{TierId, TierPolicy, TierPolicyKind, TierResident, TierStore};
 use serde::{Deserialize, Serialize};
 use simkit::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -42,8 +43,13 @@ pub struct CompletedMigration {
     /// How long the copy took (the simulated `mlock` duration).
     pub duration: SimDuration,
     /// True if the block was evicted immediately on completion because
-    /// every interested job already read it from disk mid-migration.
+    /// every interested job already read it from disk mid-migration (or,
+    /// for a middle-tier destination, the tier filled up mid-flight).
     pub evicted_immediately: bool,
+    /// Buffer tier the block landed in (0 = memory; Algorithm 1's chosen
+    /// `dest_tier`, possibly first-fitted further down the stack).
+    /// Meaningless when `evicted_immediately`.
+    pub tier: u8,
 }
 
 /// A block evicted from the buffer, with its size for unpinning.
@@ -53,6 +59,10 @@ pub struct Eviction {
     pub block: BlockId,
     /// Bytes released.
     pub bytes: u64,
+    /// Where the copy went: `Some(tier)` when a lower buffer tier had
+    /// room and kept it (demotion), `None` when it was dropped back to
+    /// disk-only — always `None` on the legacy 2-tier stack.
+    pub demoted_to: Option<u8>,
 }
 
 /// What the slave tells the master each heartbeat (§III-D).
@@ -134,6 +144,7 @@ pub enum Revoked {
 ///     jobs: vec![JobRef { job: JobId(1), eviction: EvictionMode::Implicit }],
 ///     replicas: vec![NodeId(0)],
 ///     attempt: 0,
+///     dest_tier: 0,
 /// }]);
 /// let started = slave.try_start(SimTime::ZERO).unwrap();
 /// assert_eq!(started.block, BlockId(9));
@@ -159,7 +170,9 @@ pub struct Slave {
     /// exactly one under the paper's serialized default, §III-B).
     active: Vec<Active>,
     estimator: MigrationEstimator,
-    memory: MemoryStore,
+    memory: TierStore,
+    /// Up/down-tier decision seam (demote-on-pressure, promote-on-read).
+    policy: TierPolicy,
     refs: ReferenceLists,
     /// block → bytes pinned for it.
     buffered: BTreeMap<BlockId, u64>,
@@ -186,6 +199,27 @@ impl Slave {
         mem_capacity: u64,
         reference_block: u64,
     ) -> Self {
+        Self::new_tiered(
+            node,
+            config,
+            disk_bw,
+            &[mem_capacity],
+            reference_block,
+            TierPolicy::new(TierPolicyKind::Baseline, simkit::Rng::new(0)),
+        )
+    }
+
+    /// A slave over an explicit buffer-tier stack (`buffer_capacities[0]`
+    /// = memory, then NVMe/SSD/... fastest first) with an up/down-tier
+    /// policy. [`Slave::new`] is the memory-only special case.
+    pub fn new_tiered(
+        node: NodeId,
+        config: DyrsConfig,
+        disk_bw: f64,
+        buffer_capacities: &[u64],
+        reference_block: u64,
+        policy: TierPolicy,
+    ) -> Self {
         let estimator = MigrationEstimator::new(disk_bw, config.ewma_alpha);
         Slave {
             node,
@@ -195,7 +229,8 @@ impl Slave {
             queue: VecDeque::new(),
             active: Vec::new(),
             estimator,
-            memory: MemoryStore::new(mem_capacity),
+            memory: TierStore::new(buffer_capacities),
+            policy,
             refs: ReferenceLists::new(),
             buffered: BTreeMap::new(),
             implicit_jobs: BTreeSet::new(),
@@ -223,8 +258,34 @@ impl Slave {
     }
 
     /// Buffer accounting (exposed for Fig. 7's memory-usage series).
-    pub fn memory(&self) -> &MemoryStore {
+    /// Tier 0 of the store carries the legacy memory-pool counters.
+    pub fn memory(&self) -> &TierStore {
         &self.memory
+    }
+
+    /// Whether reads served from a middle tier should promote the block
+    /// back into memory (the policy's call; always `false` for Baseline).
+    pub fn promote_on_read(&mut self) -> bool {
+        self.policy.promote_on_read()
+    }
+
+    /// The middle tier (if any) holding a demoted copy of `block`.
+    pub fn tier_resident(&self, block: BlockId) -> Option<TierResident> {
+        self.memory.resident(block.0)
+    }
+
+    /// Promote a demoted middle-tier copy of `block` back into memory on
+    /// behalf of `r`'s job. Returns the promoted byte count, or `None`
+    /// (state unchanged) if the block is not resident or memory is full.
+    pub fn promote(&mut self, block: BlockId, r: JobRef) -> Option<u64> {
+        if self.buffered.contains_key(&block) {
+            return None;
+        }
+        let bytes = self.memory.promote(block.0)?;
+        self.buffered.insert(block, bytes);
+        self.note_job_ref(r, block);
+        self.obs.tier_promoted(block, self.node);
+        Some(bytes)
     }
 
     /// Bytes currently buffered.
@@ -366,7 +427,20 @@ impl Slave {
                 self.queue.pop_front();
                 continue;
             }
-            if !self.memory.fits(head.bytes) {
+            // Destination-tier admission check. Tier 0 (memory) pins the
+            // bytes for the flight; middle tiers are not reserved — under
+            // the serialized default at most one migration is in flight,
+            // and completion first-fits further down if the tier filled.
+            let dest = (head.dest_tier as usize).min(self.memory.num_tiers() - 1);
+            let fits = if dest == 0 {
+                self.memory.fits(head.bytes)
+            } else {
+                (dest..self.memory.num_tiers()).any(|t| {
+                    let t = TierId(t as u8);
+                    self.memory.tier_capacity(t) - self.memory.tier_used(t) >= head.bytes
+                })
+            };
+            if !fits {
                 // §IV-A1: migrations queue until buffer space is available.
                 self.stats.memory_stalls += 1;
                 return None;
@@ -375,7 +449,9 @@ impl Slave {
                 .queue
                 .pop_front()
                 .expect("queue non-empty: front was just peeked");
-            assert!(self.memory.pin(m.bytes), "fits() checked above");
+            if dest == 0 {
+                assert!(self.memory.pin(m.bytes), "fits() checked above");
+            }
             let start = StartedMigration {
                 block: m.block,
                 bytes: m.bytes,
@@ -431,10 +507,13 @@ impl Slave {
         self.estimator.on_complete(m.bytes, duration);
         self.stats.completed += 1;
         self.stats.bytes_migrated += m.bytes;
+        let dest = (m.dest_tier as usize).min(self.memory.num_tiers() - 1) as u8;
         // If every interested job already read the block from disk while it
         // was migrating, buffering it would be a pure memory leak.
         if self.refs.is_unreferenced(m.block) {
-            self.memory.unpin(m.bytes);
+            if dest == 0 {
+                self.memory.unpin(m.bytes);
+            }
             self.stats.evictions += 1;
             self.obs
                 .migration_evicted(m.id.0, self.node, cause::UNREFERENCED);
@@ -443,6 +522,36 @@ impl Slave {
                 bytes: m.bytes,
                 duration,
                 evicted_immediately: true,
+                tier: dest,
+            };
+        }
+        // A stale demoted copy is superseded by the fresh copy — releasing
+        // it here is what makes re-migration a natural promotion path and
+        // keeps residency single-tier.
+        self.memory.release(m.block.0);
+        if dest >= 1 {
+            // Middle-tier destination: admit at `dest` or first-fit
+            // further down. Nothing was pinned at start, so a tier that
+            // filled mid-flight (demotions) costs only the wasted read.
+            let Some(landed) = self.memory.demote(m.block.0, m.bytes, TierId(dest - 1)) else {
+                self.stats.evictions += 1;
+                self.obs
+                    .migration_evicted(m.id.0, self.node, cause::TIER_FULL);
+                return CompletedMigration {
+                    block: m.block,
+                    bytes: m.bytes,
+                    duration,
+                    evicted_immediately: true,
+                    tier: dest,
+                };
+            };
+            self.obs.migration_finished(m.id.0, self.node, duration);
+            return CompletedMigration {
+                block: m.block,
+                bytes: m.bytes,
+                duration,
+                evicted_immediately: false,
+                tier: landed.0,
             };
         }
         self.buffered.insert(m.block, m.bytes);
@@ -452,6 +561,7 @@ impl Slave {
             bytes: m.bytes,
             duration,
             evicted_immediately: false,
+            tier: 0,
         }
     }
 
@@ -528,9 +638,9 @@ impl Slave {
                     self.stats.missed_reads += 1;
                 }
                 if let Some(bytes) = self.buffered.remove(&block) {
-                    self.memory.unpin(bytes);
-                    self.stats.evictions += 1;
-                    evictions.push(Eviction { block, bytes });
+                    evictions.push(self.evict_buffered(block, bytes));
+                } else if let Some(ev) = self.evict_tier_resident(block) {
+                    evictions.push(ev);
                 }
             }
         }
@@ -558,13 +668,50 @@ impl Slave {
         self.memory.used() as f64 >= self.config.scavenge_threshold * self.memory.capacity() as f64
     }
 
+    /// Release a buffered block's memory and decide its fate: demoted
+    /// one tier down when the policy allows and a lower tier has room,
+    /// dropped back to disk-only otherwise. Every eviction path routes
+    /// through here so none silently discards bytes — the outcome is
+    /// cause-stamped (`evict-demote` vs `evict-drop`) on the recorder.
+    fn evict_buffered(&mut self, block: BlockId, bytes: u64) -> Eviction {
+        self.memory.unpin(bytes);
+        self.stats.evictions += 1;
+        let demoted_to = if self.memory.num_tiers() > 1 && self.policy.demote_on_pressure() {
+            self.memory.demote(block.0, bytes, TierId::MEM).map(|t| t.0)
+        } else {
+            None
+        };
+        self.obs.tier_evicted(block, self.node, demoted_to);
+        Eviction {
+            block,
+            bytes,
+            demoted_to,
+        }
+    }
+
+    /// Drop an unreferenced middle-tier copy of `block` (the job(s) that
+    /// wanted it are done; a demoted or tier-targeted copy with no
+    /// remaining interest is reclaimed like any buffered block). `None`
+    /// when the block is not tier-resident — always on the legacy stack.
+    fn evict_tier_resident(&mut self, block: BlockId) -> Option<Eviction> {
+        let r = self.memory.release(block.0)?;
+        self.stats.evictions += 1;
+        self.obs.tier_evicted(block, self.node, None);
+        Some(Eviction {
+            block,
+            bytes: r.bytes,
+            demoted_to: None,
+        })
+    }
+
     fn apply_evictions(&mut self, freed: Vec<BlockId>, why: &'static str) -> Vec<Eviction> {
         let mut out = Vec::new();
         for block in freed {
             if let Some(bytes) = self.buffered.remove(&block) {
-                self.memory.unpin(bytes);
-                self.stats.evictions += 1;
-                out.push(Eviction { block, bytes });
+                let ev = self.evict_buffered(block, bytes);
+                out.push(ev);
+            } else if let Some(ev) = self.evict_tier_resident(block) {
+                out.push(ev);
             }
             // Unstarted queue entries for freed blocks are discarded lazily
             // by try_start; drop them eagerly so backlog reporting is honest.
@@ -601,7 +748,9 @@ impl Slave {
         }
         if let Some(idx) = self.active.iter().position(|a| a.migration.block == block) {
             let a = self.active.remove(idx);
-            self.memory.unpin(a.migration.bytes);
+            if (a.migration.dest_tier as usize).min(self.memory.num_tiers() - 1) == 0 {
+                self.memory.unpin(a.migration.bytes);
+            }
             for r in &a.migration.jobs {
                 self.refs.remove(r.job, block);
             }
@@ -654,7 +803,10 @@ impl simkit::audit::Audit for Slave {
     /// * the advertised migration-cost estimate is finite and positive
     ///   (§IV-A) — Algorithm 1 divides the cluster's work by it.
     ///
-    /// Delegates to the [`MemoryStore`] and [`ReferenceLists`] audits.
+    /// * a block never lives in memory and a middle tier at once (single
+    ///   residency across the tier stack).
+    ///
+    /// Delegates to the [`TierStore`] and [`ReferenceLists`] audits.
     fn audit(&self, report: &mut simkit::audit::AuditReport) {
         let name = format!("slave[{}]", self.node.index());
         let c = name.as_str();
@@ -673,7 +825,12 @@ impl simkit::audit::Audit for Slave {
             },
         );
         let owned: u64 = self.buffered.values().sum::<u64>()
-            + self.active.iter().map(|a| a.migration.bytes).sum::<u64>();
+            + self
+                .active
+                .iter()
+                .filter(|a| (a.migration.dest_tier as usize).min(self.memory.num_tiers() - 1) == 0)
+                .map(|a| a.migration.bytes)
+                .sum::<u64>();
         report.check(
             self.memory.used() == owned,
             c,
@@ -686,6 +843,12 @@ impl simkit::audit::Audit for Slave {
                 c,
                 "§III-C3: every buffered block has a non-empty reference list",
                 || format!("{block} is buffered but unreferenced"),
+            );
+            report.check(
+                self.memory.resident(block.0).is_none(),
+                c,
+                "a block is never both in memory and demoted to a middle tier",
+                || format!("{block} is buffered and middle-tier resident"),
             );
         }
         let mut seen = std::collections::BTreeSet::new();
@@ -750,6 +913,7 @@ mod tests {
                 .collect(),
             replicas: vec![NodeId(0)],
             attempt: 0,
+            dest_tier: 0,
         }
     }
 
@@ -896,7 +1060,8 @@ mod tests {
             ev,
             vec![Eviction {
                 block: b(1),
-                bytes: BLOCK
+                bytes: BLOCK,
+                demoted_to: None,
             }]
         );
         assert!(!s.has_buffered(b(1)));
@@ -1075,6 +1240,86 @@ mod tests {
         // the queue is free to start other work immediately
         s.on_bind(vec![mig(2, BLOCK, &[(1, EvictionMode::Explicit)])]);
         assert!(s.try_start(t(1)).is_some());
+    }
+
+    fn tiered_slave(buffer_capacities: &[u64], kind: TierPolicyKind) -> Slave {
+        let mut s = Slave::new_tiered(
+            NodeId(0),
+            DyrsConfig::default(),
+            BW,
+            buffer_capacities,
+            BLOCK,
+            TierPolicy::new(kind, simkit::Rng::new(7)),
+        );
+        s.calibrate(32 * MB, SimDuration::from_secs_f64(32.0 * MB as f64 / BW));
+        s
+    }
+
+    #[test]
+    fn eviction_demotes_when_a_lower_tier_has_room() {
+        let mut s = tiered_slave(&[4 * BLOCK, 2 * BLOCK], TierPolicyKind::Baseline);
+        s.on_bind(vec![mig(1, BLOCK, &[(1, EvictionMode::Implicit)])]);
+        s.try_start(t(0)).unwrap();
+        s.on_migration_complete(t(2));
+        let ev = s.on_read(b(1), j(1));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].demoted_to, Some(1), "copy retained one tier down");
+        assert!(!s.has_buffered(b(1)));
+        assert_eq!(s.tier_resident(b(1)).map(|r| r.tier), Some(TierId(1)));
+        assert_eq!(s.memory().tier_used(TierId(1)), BLOCK);
+        assert_eq!(s.buffered_bytes(), 0);
+        // a later job promotes the demoted copy back into memory
+        let bytes = s
+            .promote(
+                b(1),
+                JobRef {
+                    job: j(2),
+                    eviction: EvictionMode::Explicit,
+                },
+            )
+            .expect("resident and memory has room");
+        assert_eq!(bytes, BLOCK);
+        assert!(s.has_buffered(b(1)));
+        assert_eq!(s.tier_resident(b(1)), None, "single residency restored");
+    }
+
+    #[test]
+    fn eviction_drops_when_every_lower_tier_is_full() {
+        let mut s = tiered_slave(&[4 * BLOCK, BLOCK], TierPolicyKind::Baseline);
+        for i in 1..=2 {
+            s.on_bind(vec![mig(i, BLOCK, &[(i, EvictionMode::Implicit)])]);
+            s.try_start(t(i)).unwrap();
+            s.on_migration_complete(t(i + 10));
+        }
+        // first eviction fills tier 1; the second has nowhere to go
+        assert_eq!(s.on_read(b(1), j(1))[0].demoted_to, Some(1));
+        assert_eq!(s.on_read(b(2), j(2))[0].demoted_to, None);
+        assert_eq!(s.tier_resident(b(2)), None);
+    }
+
+    #[test]
+    fn remigration_supersedes_the_demoted_copy() {
+        let mut s = tiered_slave(&[4 * BLOCK, 2 * BLOCK], TierPolicyKind::Baseline);
+        s.on_bind(vec![mig(1, BLOCK, &[(1, EvictionMode::Implicit)])]);
+        s.try_start(t(0)).unwrap();
+        s.on_migration_complete(t(2));
+        s.on_read(b(1), j(1));
+        assert!(s.tier_resident(b(1)).is_some());
+        // a fresh migration of the same block lands back in memory
+        s.on_bind(vec![mig(1, BLOCK, &[(2, EvictionMode::Explicit)])]);
+        s.try_start(t(3)).unwrap();
+        s.on_migration_complete(t(5));
+        assert!(s.has_buffered(b(1)));
+        assert_eq!(s.tier_resident(b(1)), None, "stale resident released");
+        assert_eq!(s.memory().tier_used(TierId(1)), 0);
+    }
+
+    #[test]
+    fn promote_on_read_follows_the_policy() {
+        let mut base = tiered_slave(&[4 * BLOCK, 2 * BLOCK], TierPolicyKind::Baseline);
+        assert!(!base.promote_on_read());
+        let mut hot = tiered_slave(&[4 * BLOCK, 2 * BLOCK], TierPolicyKind::Hotness);
+        assert!(hot.promote_on_read());
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub struct Migration {
     /// bounded-retry budget spans the whole chain.
     #[serde(default)]
     pub attempt: u32,
+    /// Destination buffer tier chosen by tier-aware Algorithm 1, stamped
+    /// when the migration is bound. 0 (memory) everywhere on the legacy
+    /// 2-tier stack, and for pending work that has not been bound yet.
+    #[serde(default)]
+    pub dest_tier: u8,
 }
 
 /// A migration bound to a slave, as delivered by a pull response or by
@@ -102,6 +107,7 @@ mod tests {
             ],
             replicas: vec![NodeId(0)],
             attempt: 0,
+            dest_tier: 0,
         };
         assert_eq!(m.jobs.len(), 2);
     }

@@ -37,6 +37,7 @@ fn mig(i: u64, jobs: &[u64]) -> Migration {
             .collect(),
         replicas: vec![NodeId(0)],
         attempt: 0,
+        dest_tier: 0,
     }
 }
 

@@ -102,6 +102,7 @@ proptest! {
                 jobs: vec![JobRef { job: JobId(i as u64 % 3), eviction: EvictionMode::Explicit }],
                 replicas: vec![NodeId(0)],
                 attempt: 0,
+                dest_tier: 0,
             })
             .collect();
         s.on_bind(migs);

@@ -15,7 +15,7 @@
 
 use dyrs_experiments::{
     ablations, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
-    iterative, policies, render, replay, report, sensitivity, table1, table2, DEFAULT_SEED,
+    iterative, policies, render, replay, report, sensitivity, table1, table2, tiers, DEFAULT_SEED,
 };
 use std::collections::BTreeSet;
 
@@ -28,7 +28,7 @@ struct Opts {
     targets: BTreeSet<String>,
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig1",
     "fig2",
     "fig3",
@@ -47,6 +47,7 @@ const ALL: [&str; 18] = [
     "iterative",
     "replay",
     "sensitivity",
+    "tiers",
 ];
 
 fn parse_args() -> Opts {
@@ -208,6 +209,10 @@ fn main() {
             "iterative" => {
                 let f = iterative::run(opts.seed);
                 (iterative::render(&f), render::to_json(&f))
+            }
+            "tiers" => {
+                let f = tiers::run(opts.seed, opts.scale);
+                (tiers::render(&f), render::to_json(&f))
             }
             "sensitivity" => {
                 let f = sensitivity::run(opts.seed, opts.scale);

@@ -21,6 +21,7 @@
 //! | [`table2`] | Table II | equal total interference ⇒ equal sort runtime |
 //! | [`fig10`] | Fig. 10 | DYRS keeps tail migrations off the slow node |
 //! | [`fig11`] | Fig. 11 | speedup vs input size and lead-time trade-off |
+//! | [`tiers`] | extension | 2-tier vs 3/4-tier stacks: speedup & wasted-migration rate |
 //!
 //! The [`runner`] module runs independent simulations in parallel across
 //! a thread pool (`crossbeam::scope`), which is how the multi-config
@@ -51,6 +52,7 @@ pub mod scenarios;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;
+pub mod tiers;
 
 /// Default seed used by the `repro` binary (any seed reproduces the
 /// shapes; this one is pinned so published output is bit-stable).

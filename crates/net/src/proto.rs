@@ -22,9 +22,10 @@ use dyrs_obs::{FlightRecord, StatsSnapshot};
 use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 
-/// Protocol version this build speaks (both minimum and maximum — there
-/// is exactly one version so far).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version this build speaks (both minimum and maximum — each
+/// breaking payload change bumps it; v2 added `Migration.dest_tier` for
+/// the multi-tier buffer stacks).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// What kind of endpoint is introducing itself in a [`Message::Hello`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

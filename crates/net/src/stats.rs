@@ -210,19 +210,33 @@ pub fn render_prometheus(scrapes: &[Scrape]) -> String {
 
 /// Render the `dyrs-node watch` backlog/health table: one row per
 /// daemon with the scheduler backlog, open-span census, terminal
-/// counters, and the worst node-health gauge the daemon reports.
+/// counters, the bytes parked in middle buffer tiers (demoted copies,
+/// from the `tier.occupancy_bytes` gauges), and the worst node-health
+/// gauge the daemon reports.
 pub fn render_watch_table(scrapes: &[Scrape]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8}  health",
-        "daemon", "pending", "open", "started", "finished", "aborted", "evicted"
+        "{:<10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9}  health",
+        "daemon", "pending", "open", "started", "finished", "aborted", "evicted", "tiered-mb"
     );
     for s in scrapes {
         let snap = &s.snapshot;
         let pending = snap
             .gauge("sched.pending_depth", 0)
             .map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"));
+        // Middle-tier occupancy: gauge keys encode (node << 8) | tier, so
+        // tier 0 (memory, already covered by buffer gauges) is excluded.
+        let mut tiered: Option<f64> = None;
+        for g in &snap.gauges {
+            if g.name == "tier.occupancy_bytes" && (g.key & 0xff) >= 1 {
+                *tiered.get_or_insert(0.0) += g.value;
+            }
+        }
+        let tiered = tiered.map_or_else(
+            || "-".to_owned(),
+            |b| format!("{:.0}", b / (1u64 << 20) as f64),
+        );
         let health = {
             let mut worst: Option<(u64, f64)> = None;
             for g in &snap.gauges {
@@ -251,7 +265,7 @@ pub fn render_watch_table(scrapes: &[Scrape]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8}  {}",
+            "{:<10} {:>8} {:>6} {:>9} {:>9} {:>8} {:>8} {:>9}  {}",
             s.label,
             pending,
             snap.open_total(),
@@ -259,6 +273,7 @@ pub fn render_watch_table(scrapes: &[Scrape]) -> String {
             snap.counter("span.finished"),
             snap.counter("span.aborted"),
             snap.counter("span.evicted"),
+            tiered,
             health
         );
     }
@@ -320,6 +335,12 @@ mod tests {
                         value: 3.0,
                         at: SimTime::from_secs(2),
                     },
+                    GaugeSample {
+                        name: "tier.occupancy_bytes".into(),
+                        key: (1 << 8) | 1, // node 1, tier 1
+                        value: 3.0 * (1u64 << 20) as f64,
+                        at: SimTime::from_secs(2),
+                    },
                 ],
                 open_spans: vec![("pending".into(), 6)],
                 top_winners: vec![(1, 4)],
@@ -358,6 +379,18 @@ mod tests {
         assert!(table.contains("master"));
         assert!(table.contains('6'), "pending depth rendered");
         assert!(table.contains("node 1: quarantined"));
+        assert!(table.contains("tiered-mb"), "tier column present");
+        assert!(table.contains(" 3  "), "3 MB demoted rendered");
+    }
+
+    #[test]
+    fn watch_table_dashes_tier_column_without_tier_gauges() {
+        let mut s = sample();
+        s.snapshot
+            .gauges
+            .retain(|g| g.name != "tier.occupancy_bytes");
+        let table = render_watch_table(&[s]);
+        assert!(table.contains(" -  "), "legacy snapshots show a dash");
     }
 
     #[test]

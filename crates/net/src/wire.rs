@@ -303,6 +303,7 @@ impl Wire for Migration {
         self.jobs.encode(out);
         self.replicas.encode(out);
         self.attempt.encode(out);
+        self.dest_tier.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(Migration {
@@ -312,6 +313,7 @@ impl Wire for Migration {
             jobs: Vec::decode(r)?,
             replicas: Vec::decode(r)?,
             attempt: u32::decode(r)?,
+            dest_tier: u8::decode(r)?,
         })
     }
 }

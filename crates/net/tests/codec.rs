@@ -59,6 +59,7 @@ fn arb_migration(rng: &mut TestRng) -> Migration {
             .map(|_| NodeId(rng.below(64) as u32))
             .collect(),
         attempt: rng.below(5) as u32,
+        dest_tier: rng.below(4) as u8,
     }
 }
 

@@ -21,6 +21,8 @@ use std::rc::Rc;
 struct Meta {
     block: u64,
     bytes: u64,
+    /// Destination buffer tier, known once the migration is bound.
+    tier: Option<u8>,
 }
 
 /// One flight-recorder ring entry. Borrowed statics only, so feeding the
@@ -137,11 +139,11 @@ impl ObsHandle {
     ) {
         if let Some(inner) = &self.0 {
             let mut inner = inner.borrow_mut();
-            let Meta { block, bytes } = inner
-                .meta
-                .get(&migration)
-                .copied()
-                .unwrap_or(Meta { block: 0, bytes: 0 });
+            let Meta { block, bytes, tier } = inner.meta.get(&migration).copied().unwrap_or(Meta {
+                block: 0,
+                bytes: 0,
+                tier: None,
+            });
             let at = inner.now;
             inner.report.events.push(SpanEvent {
                 at,
@@ -152,6 +154,7 @@ impl ObsHandle {
                 node: node.map(|n| n.0),
                 cause: why,
                 job,
+                tier,
             });
             let counter = match state {
                 SpanState::Pending => "span.pending",
@@ -207,6 +210,7 @@ impl ObsHandle {
                 Meta {
                     block: block.0,
                     bytes,
+                    tier: None,
                 },
             );
         }
@@ -225,8 +229,15 @@ impl ObsHandle {
     }
 
     /// The migration was handed to a slave (`cause` distinguishes delayed
-    /// binding on heartbeat pull from Ignem's immediate binding).
-    pub fn migration_bound(&self, migration: u64, node: NodeId, why: &'static str) {
+    /// binding on heartbeat pull from Ignem's immediate binding). `tier`
+    /// is the destination buffer tier Algorithm 1 picked; it sticks to
+    /// the span, so every later event of this migration carries it.
+    pub fn migration_bound(&self, migration: u64, node: NodeId, tier: u8, why: &'static str) {
+        if let Some(inner) = &self.0 {
+            if let Some(meta) = inner.borrow_mut().meta.get_mut(&migration) {
+                meta.tier = Some(tier);
+            }
+        }
         self.record(migration, SpanState::Bound, Some(node), why, None);
     }
 
@@ -263,6 +274,52 @@ impl ObsHandle {
     /// Terminal: the migration was cancelled before completion.
     pub fn migration_aborted(&self, migration: u64, node: Option<NodeId>, why: &'static str) {
         self.record(migration, SpanState::Aborted, node, why, None);
+    }
+
+    /// A pressure eviction tried to push a buffered block down the tier
+    /// stack: `to` names the receiving tier (`cause::EVICT_DEMOTE`) or is
+    /// `None` when every lower tier was full and the copy was dropped
+    /// (`cause::EVICT_DROP`). Feeds the `tier.*` counters and the flight
+    /// recorder, so silent byte drops are now attributable.
+    pub fn tier_evicted(&self, block: BlockId, node: NodeId, to: Option<u8>) {
+        let (state, why, counter) = match to {
+            Some(_) => ("demote", cause::EVICT_DEMOTE, "tier.evict_demote"),
+            None => ("drop", cause::EVICT_DROP, "tier.evict_drop"),
+        };
+        self.counter_add(counter, 1);
+        if to.is_some() {
+            self.counter_add("tier.demotions", 1);
+        }
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let at = inner.now;
+            inner.flight_push(FlightNote {
+                at,
+                migration: 0,
+                block: block.0,
+                state,
+                node: Some(node.0),
+                cause: why,
+            });
+        }
+    }
+
+    /// A read served out of a middle tier promoted the block back into
+    /// memory (hotness policy).
+    pub fn tier_promoted(&self, block: BlockId, node: NodeId) {
+        self.counter_add("tier.promotions", 1);
+        if let Some(inner) = &self.0 {
+            let mut inner = inner.borrow_mut();
+            let at = inner.now;
+            inner.flight_push(FlightNote {
+                at,
+                migration: 0,
+                block: block.0,
+                state: "promote",
+                node: Some(node.0),
+                cause: cause::PROMOTED,
+            });
+        }
     }
 
     /// Record one Algorithm 1 retarget pass. The recorder assigns the
@@ -496,13 +553,17 @@ mod tests {
         h.set_now(SimTime::from_secs(1));
         h.migration_pending(5, BlockId(42), 1024, Some(JobId(3)));
         h.set_now(SimTime::from_secs(2));
-        h.migration_bound(5, NodeId(1), cause::HEARTBEAT_PULL);
+        h.migration_bound(5, NodeId(1), 1, cause::HEARTBEAT_PULL);
         h.migration_finished(5, NodeId(1), SimDuration::from_secs(4));
         let r = h.take_report();
         assert!(r.enabled);
         assert_eq!(r.events.len(), 3);
         // Later events inherit block/bytes from the pending record.
         assert!(r.events.iter().all(|e| e.block == 42 && e.bytes == 1024));
+        // The destination tier sticks from the bound event onward.
+        assert_eq!(r.events[0].tier, None);
+        assert_eq!(r.events[1].tier, Some(1));
+        assert_eq!(r.events[2].tier, Some(1));
         assert_eq!(r.events[1].at, SimTime::from_secs(2));
         assert_eq!(r.events[1].node, Some(1));
         assert_eq!(r.counter("span.pending"), 1);
@@ -564,7 +625,7 @@ mod tests {
         h.set_now(SimTime::from_secs(1));
         h.migration_pending(1, BlockId(10), 64, Some(JobId(7)));
         h.migration_pending(2, BlockId(11), 64, None);
-        h.migration_bound(1, NodeId(3), cause::HEARTBEAT_PULL);
+        h.migration_bound(1, NodeId(3), 0, cause::HEARTBEAT_PULL);
         h.gauge("sched.pending_depth", 0, 2.0);
         h.set_now(SimTime::from_secs(2));
         h.gauge("sched.pending_depth", 0, 1.0);
@@ -663,6 +724,25 @@ mod tests {
         );
         h.flight_auto_dump("node-quarantined", None);
         assert!(h.auto_flight_dumps().is_empty());
+    }
+
+    #[test]
+    fn tier_events_feed_counters_and_flight() {
+        let h = ObsHandle::new();
+        h.set_now(SimTime::from_secs(1));
+        h.tier_evicted(BlockId(5), NodeId(2), Some(1));
+        h.tier_evicted(BlockId(6), NodeId(2), None);
+        h.tier_promoted(BlockId(5), NodeId(2));
+        let dump = h.flight_dump("check", None);
+        let states: Vec<&str> = dump.entries.iter().map(|e| e.state.as_str()).collect();
+        assert_eq!(states, vec!["demote", "drop", "promote"]);
+        assert_eq!(dump.entries[0].cause, cause::EVICT_DEMOTE);
+        assert_eq!(dump.entries[1].cause, cause::EVICT_DROP);
+        let r = h.take_report();
+        assert_eq!(r.counter("tier.demotions"), 1);
+        assert_eq!(r.counter("tier.evict_demote"), 1);
+        assert_eq!(r.counter("tier.evict_drop"), 1);
+        assert_eq!(r.counter("tier.promotions"), 1);
     }
 
     #[test]

@@ -86,6 +86,7 @@ mod tests {
             node: None,
             cause: cause::REQUESTED,
             job: None,
+            tier: None,
         }
     }
 

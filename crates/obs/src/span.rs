@@ -117,6 +117,19 @@ pub mod cause {
     /// Terminal: the run ended with the span still open (work cut short by
     /// the last job completing or the horizon).
     pub const RUN_END: &str = "run-end";
+    /// A pressure eviction demoted the block copy one tier down the
+    /// storage stack instead of dropping it (a lower tier had room).
+    pub const EVICT_DEMOTE: &str = "evict-demote";
+    /// A pressure eviction dropped the block copy outright: no tier below
+    /// had room (or none exists — the legacy 2-tier stack).
+    pub const EVICT_DROP: &str = "evict-drop";
+    /// A read served from a middle tier promoted the block back into
+    /// memory (hotness policy).
+    pub const PROMOTED: &str = "promoted";
+    /// A migration bound to a middle tier completed its read but found
+    /// the destination (and every tier below) full — the copy is dropped
+    /// and only the wasted read was paid.
+    pub const TIER_FULL: &str = "tier-full";
 }
 
 /// One lifecycle transition of one migration.
@@ -138,6 +151,11 @@ pub struct SpanEvent {
     pub cause: &'static str,
     /// Requesting job, when known (set on the `Pending` transition).
     pub job: Option<u64>,
+    /// Destination buffer tier, known from the `Bound` transition onward
+    /// (tier-aware Algorithm 1 picks a tier × replica pair at bind).
+    /// `None` before binding, and in every pre-tier export.
+    #[serde(default)]
+    pub tier: Option<u8>,
 }
 
 /// Estimated finish time for one candidate replica node considered by
@@ -150,6 +168,10 @@ pub struct CandidateScore {
     pub rank: u32,
     /// Estimated finish time in seconds if this node is chosen.
     pub est_finish_secs: f64,
+    /// Destination buffer tier behind this score (the winning half of
+    /// the tier × replica pair; 0 = memory on every legacy stack).
+    #[serde(default)]
+    pub tier: u8,
 }
 
 /// One migration's scoring inside one Algorithm 1 retarget pass.

@@ -5,7 +5,7 @@ use super::Simulation;
 use crate::events::{Ev, ResourceKind, StreamMeta};
 use crate::result::BlockReadRecord;
 use dyrs::master::BlockRequest;
-use dyrs::types::EvictionMode;
+use dyrs::types::{EvictionMode, JobRef};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{JobId, Medium};
 use dyrs_engine::scheduler::SlotKind;
@@ -303,6 +303,34 @@ impl Simulation {
                 };
             }
         }
+        // A demoted (or tier-targeted) copy on a live replica holder beats
+        // a disk read: serve off the fastest middle tier instead. Lowest
+        // tier wins, then lowest node id — deterministic. Never fires on
+        // the legacy stack (no middle tiers → no residents). Accounting
+        // keeps the disk medium: a tier read is not a memory read.
+        let mut tier_source: Option<(u8, NodeId)> = None;
+        if !plan.medium.is_memory() && self.cfg.policy != dyrs::MigrationPolicy::Ignem {
+            for n in self
+                .namenode
+                .blocks
+                .live_replicas(block, |n| self.node_alive(n))
+            {
+                if let Some(r) = self.slaves[n.index()].tier_resident(block) {
+                    let cand = (r.tier.0, n);
+                    if tier_source.map(|b| cand < b).unwrap_or(true) {
+                        tier_source = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, n)) = tier_source {
+                plan.source = n;
+                plan.medium = if n == node {
+                    Medium::LocalDisk
+                } else {
+                    Medium::RemoteDisk
+                };
+            }
+        }
         {
             let t = &mut self.tasks[tid.0 as usize];
             t.read_medium = Some(plan.medium);
@@ -310,11 +338,21 @@ impl Simulation {
         let (res_node, res_kind, cap) = match plan.medium {
             Medium::LocalMemory => (node, ResourceKind::Membus, self.cfg.engine.mem_read_cap),
             Medium::RemoteMemory => (plan.source, ResourceKind::Nic, self.cfg.engine.mem_read_cap),
-            Medium::LocalDisk | Medium::RemoteDisk => (
-                plan.source,
-                ResourceKind::Disk,
-                self.cfg.engine.disk_read_cap,
-            ),
+            Medium::LocalDisk | Medium::RemoteDisk => match tier_source {
+                // A middle-tier device is fast like memory from the
+                // client's perspective, so the memory-side read cap
+                // applies, not the disk one.
+                Some((t, _)) => (
+                    plan.source,
+                    ResourceKind::Tier(t),
+                    self.cfg.engine.mem_read_cap,
+                ),
+                None => (
+                    plan.source,
+                    ResourceKind::Disk,
+                    self.cfg.engine.disk_read_cap,
+                ),
+            },
         };
         let attempt = self.attempts[tid.0 as usize];
         let sid = self.start_stream_capped(
@@ -347,7 +385,7 @@ impl Simulation {
         tid: TaskId,
         attempt: u32,
         served_by: NodeId,
-        _kind: ResourceKind,
+        kind: ResourceKind,
     ) {
         if self.attempts[tid.0 as usize] != attempt
             || self.tasks[tid.0 as usize].phase != TaskPhase::Reading
@@ -394,6 +432,35 @@ impl Simulation {
         let (block, job_id) = self.wire.read_notify_to_master(block, job_id);
         self.master.on_block_read(block);
         self.notify_read(block, job_id, served_by);
+
+        // Hotness promotion: a read served off a middle tier pulls the
+        // block back into memory when the serving slave's policy says so
+        // and the copy survived the read notification (a copy whose last
+        // interested job just read it is dropped instead — promoting it
+        // would pin memory nobody wants).
+        if matches!(kind, ResourceKind::Tier(_)) && self.slaves[served_by.index()].promote_on_read()
+        {
+            let eviction = if self
+                .jobs
+                .get(&job_id)
+                .map(|j| j.spec.implicit_eviction)
+                .unwrap_or(false)
+            {
+                EvictionMode::Implicit
+            } else {
+                EvictionMode::Explicit
+            };
+            let r = JobRef {
+                job: job_id,
+                eviction,
+            };
+            if self.slaves[served_by.index()].promote(block, r).is_some() {
+                self.datanodes[served_by.index()].add_memory_replica(block);
+                self.namenode.register_memory_replica(block, served_by);
+                self.buffer_series[served_by.index()]
+                    .record(now, self.slaves[served_by.index()].buffered_bytes() as f64);
+            }
+        }
 
         // Compute phase: map function + (folded-in) shuffle-output write.
         let job = self.jobs.get(&job_id).expect("job exists");

@@ -109,6 +109,35 @@ impl Simulation {
                 self.slaves[node.index()].buffered_bytes() as f64,
             );
             self.obs.gauge("node.disk_utilization", key, util.min(1.0));
+            // Per-tier occupancy and device-utilization gauges, keyed
+            // `(node << 8) | tier` (tier 0 = memory over the membus).
+            // Busy time is read lazily — no resource is advanced, so the
+            // sample can never perturb the event stream.
+            let iv = self.hb_interval().as_secs_f64().max(1e-9);
+            for t in 0..self.slaves[node.index()].memory().num_tiers() {
+                let gkey = (key << 8) | t as u64;
+                let used = self.slaves[node.index()]
+                    .memory()
+                    .tier_used(dyrs::TierId(t as u8));
+                self.obs.gauge("tier.occupancy_bytes", gkey, used as f64);
+                let busy = self
+                    .resource(
+                        node,
+                        if t == 0 {
+                            ResourceKind::Membus
+                        } else {
+                            ResourceKind::Tier(t as u8)
+                        },
+                    )
+                    .busy_time();
+                let delta = busy.saturating_sub(self.last_tier_busy[node.index()][t]);
+                self.last_tier_busy[node.index()][t] = busy;
+                self.obs.gauge(
+                    "tier.utilization",
+                    gkey,
+                    (delta.as_secs_f64() / iv).min(1.0),
+                );
+            }
         }
 
         // Idle estimate freshness: if nothing has exercised this disk's
@@ -263,8 +292,21 @@ impl Simulation {
         self.last_estimate_signal[node.index()] = now;
         debug_assert_eq!(done.block, block);
         if !done.evicted_immediately {
-            self.datanodes[node.index()].add_memory_replica(block);
-            self.namenode.register_memory_replica(block, node);
+            if done.tier == 0 {
+                self.datanodes[node.index()].add_memory_replica(block);
+                self.namenode.register_memory_replica(block, node);
+            } else {
+                // Middle-tier landing: not a DFS memory replica (reads
+                // find it via the slave's tier store), but the device
+                // write it cost is real — model it as an overlapped
+                // stream on the tier's resource.
+                self.start_stream(
+                    node,
+                    ResourceKind::Tier(done.tier),
+                    done.bytes,
+                    StreamMeta::TierWrite,
+                );
+            }
             let (node, block) = self.wire.migration_complete(node, block);
             self.master.on_migration_complete(node, block);
         }
@@ -318,6 +360,12 @@ impl Simulation {
         for ev in evictions {
             self.datanodes[node.index()].drop_memory_replica(ev.block);
             self.namenode.unregister_memory_replica(ev.block, node);
+            if let Some(t) = ev.demoted_to {
+                // The demoted copy's write lands on the receiving tier's
+                // device — overlapped, like a spill (the tier store has
+                // already accounted the occupancy).
+                self.start_stream(node, ResourceKind::Tier(t), ev.bytes, StreamMeta::TierWrite);
+            }
             let block = self.wire.evicted(node, ev.block);
             self.master.on_evicted(block);
         }

@@ -120,6 +120,11 @@ pub struct Simulation {
     pub(crate) utilization_series: Vec<TimeSeries>,
     /// Disk busy-time at the previous utilization sample.
     pub(crate) last_disk_busy: Vec<simkit::SimDuration>,
+    /// Per-node, per-buffer-tier device busy-time at the previous
+    /// heartbeat sample (tier 0 = membus, then `mid_tiers`). Feeds the
+    /// `tier.utilization` gauges; read lazily — never advances a
+    /// resource, so sampling stays invisible to the event stream.
+    pub(crate) last_tier_busy: Vec<Vec<simkit::SimDuration>>,
     pub(crate) jobs_remaining: usize,
     pub(crate) speculations: u64,
     /// Per-node calibration probe start time.
@@ -197,17 +202,35 @@ impl Simulation {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let mut sl = Slave::new(
+                let stack = s.tier_stack();
+                let mut caps = stack.buffer_capacities();
+                caps[0] = mem_limit(caps[0]);
+                let policy = dyrs::TierPolicy::new(cfg.dyrs.tier_policy, rng.derive(4 + i as u64));
+                let mut sl = Slave::new_tiered(
                     NodeId(i as u32),
                     cfg.dyrs.clone(),
                     s.disk_bw,
-                    mem_limit(s.mem_capacity),
+                    &caps,
                     cfg.block_size,
+                    policy,
                 );
                 sl.attach_obs(obs.clone());
                 sl
             })
             .collect();
+        // Tell Algorithm 1 which destination tiers each node offers. The
+        // Baseline policy only ever targets memory at factor 1.0 —
+        // identical to the scheduler's default, so legacy runs see no
+        // state change at all.
+        let dest_policy = dyrs::TierPolicy::new(cfg.dyrs.tier_policy, rng.derive(4));
+        for (i, s) in cfg.cluster.nodes.iter().enumerate() {
+            let dests: Vec<(u8, f64)> = dest_policy
+                .dest_tiers(&s.tier_stack())
+                .into_iter()
+                .map(|(t, f)| (t.0, f))
+                .collect();
+            master.set_node_tiers(NodeId(i as u32), dests);
+        }
         let slots = SlotPool::new(
             n,
             cfg.engine.map_slots_per_node,
@@ -258,6 +281,12 @@ impl Simulation {
             buffer_series: vec![TimeSeries::new(); n],
             utilization_series: vec![TimeSeries::new(); n],
             last_disk_busy: vec![simkit::SimDuration::ZERO; n],
+            last_tier_busy: cfg
+                .cluster
+                .nodes
+                .iter()
+                .map(|s| vec![simkit::SimDuration::ZERO; s.tier_stack().num_buffer_tiers()])
+                .collect(),
             jobs_remaining: workload.len(),
             speculations: 0,
             calib_start: vec![SimTime::ZERO; n],

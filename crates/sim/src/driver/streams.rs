@@ -20,6 +20,7 @@ impl Simulation {
             ResourceKind::Disk => &mut n.disk,
             ResourceKind::Membus => &mut n.membus,
             ResourceKind::Nic => &mut n.nic,
+            ResourceKind::Tier(t) => n.mid_tier_mut(t),
         }
     }
 
@@ -29,6 +30,7 @@ impl Simulation {
             ResourceKind::Disk => &n.disk,
             ResourceKind::Membus => &n.membus,
             ResourceKind::Nic => &n.nic,
+            ResourceKind::Tier(t) => n.mid_tier(t),
         }
     }
 
@@ -137,6 +139,7 @@ impl Simulation {
             }
             StreamMeta::Calibration { node } => self.on_calibration_done(node),
             StreamMeta::SpillWrite => {} // overlapped spill: nothing to do
+            StreamMeta::TierWrite => {}  // overlapped demotion write: ditto
             StreamMeta::Repair {
                 block,
                 source,

@@ -14,6 +14,10 @@ pub enum ResourceKind {
     Membus,
     /// NIC (remote in-memory reads).
     Nic,
+    /// A middle buffer tier's device (NVMe/SSD between memory and the
+    /// backing disk), tier index `1..`. Never constructed on the legacy
+    /// 2-tier stack, so legacy trace digests are unaffected.
+    Tier(u8),
 }
 
 /// What a fluid stream means. Streams carry a `u64` tag that indexes the
@@ -55,6 +59,10 @@ pub enum StreamMeta {
     /// A map task's shuffle-spill write (fire-and-forget disk load; does
     /// not gate task completion, mirroring overlapped spills).
     SpillWrite,
+    /// A demotion's write landing on a middle buffer tier's device
+    /// (fire-and-forget: the copy is already accounted in the tier store;
+    /// the stream only models the device occupancy it costs).
+    TierWrite,
     /// Slot already reclaimed (stream was cancelled).
     Dead,
 }

@@ -1,0 +1,24 @@
+//! Schema-pass fixture: the tier slice of the protocol in miniature —
+//! protocol v2's `Migration` payload with `dest_tier` appended as the
+//! last field (the tier-aware Algorithm 1 addition). `schema_tier.lock`
+//! is its blessed snapshot; `wire_tier_renumber.rs` moves `dest_tier`
+//! into the middle of the encode order and must fail the drift check as
+//! a wire break.
+
+pub const PROTOCOL_VERSION: u16 = 2;
+
+pub enum Message {
+    Hello { role: Role, node: u32 },
+    Welcome { version: u16 },
+    Bind { migrations: Vec<Migration> },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 1,
+            Message::Bind { .. } => 2,
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Schema-pass fixture codec for the tier slice: `Migration` encodes
+//! `dest_tier` last, exactly how the real protocol appended it at the
+//! v1 → v2 bump (old decoders read every pre-tier field at its old
+//! offset and only the trailing byte is new).
+
+wire_newtype!(NodeId => u32, BlockId => u64);
+
+impl Wire for Role {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Role::Slave => 0,
+            Role::Client => 1,
+        });
+    }
+}
+
+impl Wire for Migration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.block.encode(out);
+        self.bytes.encode(out);
+        self.dest_tier.encode(out);
+    }
+}

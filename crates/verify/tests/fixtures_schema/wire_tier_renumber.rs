@@ -1,0 +1,25 @@
+//! Mutation of `wire_tier.rs`: `dest_tier` encodes in the middle of the
+//! `Migration` payload instead of last — the drift a "group the small
+//! fields together" refactor produces. An old peer would read the tier
+//! byte as the high byte of `bytes`, so this must fail the drift check
+//! as breaking, and `--bless` must refuse it at the same version.
+
+wire_newtype!(NodeId => u32, BlockId => u64);
+
+impl Wire for Role {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Role::Slave => 0,
+            Role::Client => 1,
+        });
+    }
+}
+
+impl Wire for Migration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.block.encode(out);
+        self.dest_tier.encode(out);
+        self.bytes.encode(out);
+    }
+}

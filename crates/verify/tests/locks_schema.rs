@@ -258,6 +258,57 @@ fn renumbered_membership_tag_is_a_wire_break() {
 }
 
 #[test]
+fn reordered_tier_field_is_a_wire_break() {
+    let lock = schema_fixture("schema_tier.lock");
+
+    assert_eq!(
+        schema_exit(
+            &schema_fixture("proto_tier.rs"),
+            &schema_fixture("wire_tier.rs"),
+            &lock,
+            false,
+        ),
+        0,
+        "the tier protocol slice (dest_tier appended last at v2) matches \
+         its blessed lock"
+    );
+    // Negative control for the tier additions: `dest_tier` was appended
+    // as the LAST field of the Migration payload at the v2 bump, so old
+    // decoders still find every pre-tier field at its old offset. Moving
+    // it into the middle — the "group the small fields together" refactor
+    // — makes an old peer read the tier byte as part of `bytes`. The
+    // drift check must flag the renumbered field order as breaking...
+    assert_eq!(
+        schema_exit(
+            &schema_fixture("proto_tier.rs"),
+            &schema_fixture("wire_tier_renumber.rs"),
+            &lock,
+            false,
+        ),
+        1,
+        "renumbering the Migration payload's field order must fail the \
+         drift check"
+    );
+
+    // ...and --bless must refuse to launder it at the same version.
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("schema_tier");
+    std::fs::create_dir_all(&tmp).expect("mk tmpdir");
+    let scratch = tmp.join("schema.lock").to_string_lossy().into_owned();
+    std::fs::copy(schema_fixture("schema_tier.lock"), &scratch).expect("copy blessed lock");
+    assert_eq!(
+        schema_exit(
+            &schema_fixture("proto_tier.rs"),
+            &schema_fixture("wire_tier_renumber.rs"),
+            &scratch,
+            true,
+        ),
+        1,
+        "--bless must refuse a reordered Migration payload without a \
+         version bump"
+    );
+}
+
+#[test]
 fn schema_cli_is_clean_on_the_real_protocol() {
     let root = workspace_root().to_string_lossy().into_owned();
     let code = cli::run(&args(&["schema", "--root", &root]));
