@@ -22,7 +22,7 @@ fn loaded_master(blocks: u64) -> Master {
     // so warm iterations of a retarget loop would measure nothing.
     m.set_sched_config(SchedulerConfig {
         engine: SchedEngine::Reference,
-        spb_epsilon: 0.0,
+        ..SchedulerConfig::default()
     });
     let mut rng = Rng::new(2);
     for n in 0..7 {

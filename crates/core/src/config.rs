@@ -60,10 +60,10 @@ pub struct DyrsConfig {
     pub tier_policy: dyrs_tiers::TierPolicyKind,
 }
 
-/// Which Algorithm 1 implementation the master's scheduler runs. Both are
-/// decision-identical (asserted by the `sched_equivalence` proptests);
-/// the reference pass exists for differential testing and as the
-/// executable form of the paper's pseudocode.
+/// Which Algorithm 1 implementation the master's scheduler runs. All
+/// three are decision-identical (asserted by the `sched_equivalence`
+/// proptests); the reference pass exists for differential testing and as
+/// the executable form of the paper's pseudocode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SchedEngine {
     /// Dirty-set incremental pass: only entries whose candidate set or
@@ -72,6 +72,11 @@ pub enum SchedEngine {
     Incremental,
     /// The paper's full rescan: every pending entry rescored every pass.
     Reference,
+    /// The shard-local incremental pass: per-shard sorted visit lists
+    /// walked through a K-way merge, allocation-free rescoring, and the
+    /// optional cascade cost ceiling (`cascade_ceiling`). Decisions are
+    /// bit-identical to `Incremental` at every shard count.
+    Sharded,
 }
 
 /// Scheduler engine selection and dirty-set thresholds.
@@ -88,6 +93,25 @@ pub struct SchedulerConfig {
     /// EWMA jitter. Queued-bytes and candidacy changes always apply.
     #[serde(default)]
     pub spb_epsilon: f64,
+    /// Number of range shards the pending store partitions into. `1`
+    /// (the default) reproduces the monolithic layout exactly; larger
+    /// counts spread `by_block`/`replica_idx`/bind-queue state over
+    /// shards keyed by block-id range. Drain order is unchanged at any
+    /// value (cross-shard K-way merge over the `OrderKey` total order).
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+    /// Cascade cost ceiling for the `Sharded` engine: when a pass's
+    /// visit set in any one shard exceeds this fraction of the shard's
+    /// queue, the pass abandons incremental accounting and finishes with
+    /// the reference walk (identical decisions by construction; the
+    /// switch is recorded via the `sched.cascade_ceiling` counter).
+    /// `0.0` — the default — disables the ceiling.
+    #[serde(default)]
+    pub cascade_ceiling: f64,
+}
+
+fn default_shards() -> usize {
+    1
 }
 
 impl Default for SchedulerConfig {
@@ -95,6 +119,8 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             engine: SchedEngine::default(),
             spb_epsilon: 0.0,
+            shards: default_shards(),
+            cascade_ceiling: 0.0,
         }
     }
 }
@@ -284,6 +310,8 @@ mod tests {
         let s = DyrsConfig::default().scheduler;
         assert_eq!(s.engine, SchedEngine::Incremental);
         assert_eq!(s.spb_epsilon, 0.0, "default snapshot is an exact mirror");
+        assert_eq!(s.shards, 1, "default layout is monolithic");
+        assert_eq!(s.cascade_ceiling, 0.0, "ceiling is off by default");
     }
 
     #[test]

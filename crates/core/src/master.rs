@@ -629,6 +629,23 @@ impl Master {
         self.sched.block_ids()
     }
 
+    /// Number of range shards the pending store is partitioned into.
+    pub fn sched_shard_count(&self) -> usize {
+        self.sched.shard_count()
+    }
+
+    /// Per-shard pending depth, in shard order (feeds the per-shard
+    /// `sched.pending_depth` gauge).
+    pub fn sched_shard_depths(&self) -> Vec<usize> {
+        self.sched.shard_depths()
+    }
+
+    /// Per-shard rescored counts from the most recent retarget pass, in
+    /// shard order (feeds the per-shard `sched.dirty_entries` gauge).
+    pub fn sched_shard_rescored(&self) -> &[u64] {
+        self.sched.shard_rescored()
+    }
+
     /// Every (block, hosting node) buffering record, in ascending block
     /// order (exposed for auditing).
     pub fn buffered_locations(&self) -> impl Iterator<Item = (BlockId, NodeId)> + '_ {
@@ -784,6 +801,20 @@ impl Master {
             }
         }
         self.sync_node(node);
+    }
+
+    /// Record a batch of slave heartbeats at simulated time `now` in one
+    /// call. Semantically identical to [`Master::on_heartbeat_at`] per
+    /// report (same snapshot updates, same detector re-arms, in slice
+    /// order); the point is the call shape — the driver's batched mode
+    /// and the daemon's epoll loop hand the master a whole arrival window
+    /// at once, paying the wire/dispatch overhead once instead of per
+    /// node, and running the failure-detector sweep once afterwards
+    /// rather than per arrival.
+    pub fn on_heartbeat_batch(&mut self, reports: &[(NodeId, f64, u64)], now: SimTime) {
+        for &(node, spb, queued) in reports {
+            self.on_heartbeat_at(node, spb, queued, now);
+        }
     }
 
     /// Mark a slave up or down (mirrors the file system's liveness view).

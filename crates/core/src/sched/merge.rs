@@ -1,0 +1,100 @@
+//! K-way merge over per-shard index heads.
+//!
+//! Every shard keeps its slice of an index (`queue`, `targeted[n]`,
+//! `replica_idx[n]`) as a `BTreeSet<(OrderKey, idx)>`. Draining the
+//! global admission order is then a merge over the S per-shard heads:
+//! each step takes the minimum `(OrderKey, shard, idx)` across shards.
+//! With one shard this degenerates to plain in-order iteration of the
+//! single set — bit-identical to the monolithic layout.
+//!
+//! S is small (the config default is 1; benches use ≤ 32), so a linear
+//! scan over the heads beats a loser tree: the scan is branch-predictable
+//! and allocation-free, and the candidates fit in a cache line or two.
+//!
+//! Ties on the full `(OrderKey, shard, idx)` triple cannot occur — a
+//! `(key, idx)` pair appears in at most one shard, and within a shard the
+//! set dedups — so the merge is a strict total order. `OrderKey` ties
+//! *across* shards (possible only with caller-supplied duplicate seqs;
+//! the master mints unique seqs) break toward the lower shard, matching
+//! the slot-index tiebreak the monolithic layout used.
+
+use super::shard::Shard;
+use super::{OrderKey, Slot};
+use std::collections::btree_set;
+use std::iter::Peekable;
+
+/// Merged in-order iteration over one index across all shards.
+pub(super) struct MergeCursor<'a> {
+    heads: Vec<Peekable<btree_set::Iter<'a, (OrderKey, usize)>>>,
+}
+
+impl<'a> MergeCursor<'a> {
+    /// Merge the given per-shard sets (one per shard, in shard order).
+    pub(super) fn new(
+        sets: impl Iterator<Item = &'a std::collections::BTreeSet<(OrderKey, usize)>>,
+    ) -> Self {
+        MergeCursor {
+            heads: sets.map(|s| s.iter().peekable()).collect(),
+        }
+    }
+}
+
+impl Iterator for MergeCursor<'_> {
+    type Item = (OrderKey, Slot);
+
+    fn next(&mut self) -> Option<(OrderKey, Slot)> {
+        let mut best: Option<(OrderKey, Slot)> = None;
+        for (shard, head) in self.heads.iter_mut().enumerate() {
+            if let Some(&&(key, idx)) = head.peek() {
+                let cand = (key, (shard, idx));
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (key, slot) = best?;
+        self.heads[slot.0].next();
+        Some((key, slot))
+    }
+}
+
+/// The global admission order: merge of every shard's `queue`.
+pub(super) fn merged_queue<'a>(shards: &'a [Shard]) -> MergeCursor<'a> {
+    MergeCursor::new(shards.iter().map(|s| &s.queue))
+}
+
+/// Merged ascending iteration over every shard's `by_block` keys. Shards
+/// stripe the block-id space, so concatenation is not sorted — this
+/// merges the per-shard sorted key streams instead.
+pub(super) struct BlockMerge<'a> {
+    block_heads: Vec<Peekable<std::collections::btree_map::Keys<'a, dyrs_dfs::BlockId, usize>>>,
+}
+
+impl<'a> BlockMerge<'a> {
+    pub(super) fn new(shards: &'a [Shard]) -> Self {
+        BlockMerge {
+            block_heads: shards
+                .iter()
+                .map(|s| s.by_block.keys().peekable())
+                .collect(),
+        }
+    }
+}
+
+impl Iterator for BlockMerge<'_> {
+    type Item = dyrs_dfs::BlockId;
+
+    fn next(&mut self) -> Option<dyrs_dfs::BlockId> {
+        let mut best: Option<(dyrs_dfs::BlockId, usize)> = None;
+        for (shard, head) in self.block_heads.iter_mut().enumerate() {
+            if let Some(&&b) = head.peek() {
+                if best.is_none_or(|(bb, _)| b < bb) {
+                    best = Some((b, shard));
+                }
+            }
+        }
+        let (block, shard) = best?;
+        self.block_heads[shard].next();
+        Some(block)
+    }
+}

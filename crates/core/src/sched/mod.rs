@@ -1,32 +1,42 @@
-//! Indexed pending-migration scheduler (paper §III-D, scaled up).
+//! Indexed, range-sharded pending-migration scheduler (paper §III-D,
+//! scaled up).
 //!
 //! The paper's master keeps "a list of pending migrations" and rescans it
 //! wholesale: every Algorithm 1 pass rescores every entry, and every
 //! slave pull walks the whole list. That is fine for the paper's 50 GB
 //! bar but it is the hottest path in the system, so this module replaces
-//! the flat list with an indexed store:
+//! the flat list with an indexed store partitioned into range shards:
 //!
-//! * a **slab** of entries plus a block → slot [`BTreeMap`], making
-//!   cancel-on-read, evict-job and duplicate-request lookups O(log n);
-//! * a global **admission queue** ordered by the configured
-//!   [`MigrationOrder`] (encoded as an [`OrderKey`] so the BTree *is* the
-//!   sort — no re-sorting on insert);
-//! * per-node **bind queues** (`targeted`, and `replica_idx` for the
-//!   untargeted Naive policy) so a pull pops exactly the eligible entries
-//!   for that node;
-//! * an **incremental Algorithm 1** engine (see [`engine`]) driven by
-//!   per-node scoring snapshots and dirty sets, with the full-rescan pass
-//!   kept as a reference implementation behind [`SchedEngine::Reference`].
+//! * each [`shard::Shard`] owns a **slab** of entries, a block → slot
+//!   [`BTreeMap`], its slice of the global **admission queue** (ordered
+//!   by the configured [`MigrationOrder`] encoded as an [`OrderKey`], so
+//!   the BTree *is* the sort), per-node **bind queues** (`targeted`, and
+//!   `replica_idx` for the untargeted Naive policy), and its own
+//!   dirty-entry set;
+//! * blocks map to shards by id range
+//!   (`(block >> SHARD_RANGE_BITS) % S`), and every cross-shard walk —
+//!   pulls, checkpoints, the reference rescan — goes through a small
+//!   **K-way merge** over per-shard heads ([`merge`]), so drain order is
+//!   identical at every shard count;
+//! * the Algorithm 1 engines (see [`engine`]) score from per-node
+//!   snapshots and dirty sets; the full-rescan pass is kept as a
+//!   reference implementation behind [`SchedEngine::Reference`], and the
+//!   shard-local pass ([`SchedEngine::Sharded`]) adds the cascade cost
+//!   ceiling.
 //!
-//! Everything is deterministic: slots are reused LIFO, all indexes are
-//! BTree-ordered, and the incremental engine is bit-identical to the
-//! reference pass (asserted by `crates/core/tests/sched_equivalence.rs`).
+//! Everything is deterministic: slots are reused LIFO within each shard,
+//! all indexes are BTree-ordered, and the incremental engines are
+//! bit-identical to the reference pass at every shard count (asserted by
+//! `crates/core/tests/sched_equivalence.rs`).
 //!
-//! The raw store (`raw_pending`) must not be iterated outside this
-//! module — `dyrs-verify`'s `pending-fence` lint enforces that the rest
-//! of the workspace goes through the index API.
+//! The raw shard state (`raw_shards`, and each shard's `raw_pending`)
+//! must not be touched outside this module — `dyrs-verify`'s
+//! `pending-fence` lint enforces that the rest of the workspace goes
+//! through the Scheduler API.
 
 mod engine;
+mod merge;
+mod shard;
 
 use crate::config::{SchedEngine, SchedulerConfig};
 use crate::master::JobHint;
@@ -34,8 +44,22 @@ use crate::policy::MigrationOrder;
 use crate::types::{JobRef, Migration, MigrationId};
 use dyrs_cluster::NodeId;
 use dyrs_dfs::{BlockId, JobId};
+use shard::Shard;
 use simkit::SimTime;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+
+/// Global address of a live entry: `(shard, slot-within-shard)`.
+///
+/// Everywhere an index pairs an [`OrderKey`] with a slot, the pair orders
+/// by `(key, shard, idx)` — with unique keys (the master mints unique
+/// seqs) the slot half never decides, and with one shard it degenerates
+/// to the monolithic `(key, idx)` order.
+pub(crate) type Slot = (usize, usize);
+
+/// Blocks map to shards in contiguous runs of 64 ids striped round-robin
+/// (`(block >> 6) % S`): sequential blocks of one file stay shard-local,
+/// while any large id range still balances across all shards.
+const SHARD_RANGE_BITS: u32 = 6;
 
 /// Position of an entry in the admission order, independent of the
 /// discipline: the BTree indexes sort by `(OrderKey, slot)` and binding /
@@ -105,33 +129,24 @@ pub struct RetargetStats {
     pub rescored: u64,
     /// Entries left untouched (their decision provably cannot change).
     pub skipped: u64,
+    /// 1 if the pass hit the cascade cost ceiling and finished with the
+    /// reference walk (Sharded engine only; decisions are unaffected).
+    pub ceiling_hits: u64,
 }
 
 /// The indexed pending store. Owned by the master; every read or write of
 /// pending-migration state goes through this API.
 pub(crate) struct Scheduler {
-    /// Entry slab; `None` slots are free (LIFO reuse via `free`). The only
-    /// raw iteration over this lives in this module (`pending-fence`).
-    raw_pending: Vec<Option<Entry>>,
-    /// Free slots in `raw_pending`.
-    free: Vec<usize>,
-    /// block → slot (dedup and O(log n) cancel/evict/merge lookups).
-    by_block: BTreeMap<BlockId, usize>,
-    /// Global admission order.
-    queue: BTreeSet<(OrderKey, usize)>,
-    /// Per-node bind queues: entries currently targeted at the node.
-    targeted: Vec<BTreeSet<(OrderKey, usize)>>,
-    /// Per-node replica membership: entries with a replica on the node
-    /// (Naive-policy bind queue, and the incremental engine's dirty-node
-    /// walk set).
-    replica_idx: Vec<BTreeSet<(OrderKey, usize)>>,
-    /// Running total of pending bytes.
-    pending_bytes: u64,
+    /// The range shards. All raw iteration over shard internals lives in
+    /// this module (`pending-fence`).
+    raw_shards: Vec<Shard>,
+    /// Cluster width (shards carry per-node index vectors of this size).
+    num_nodes: usize,
     /// Active admission discipline.
     order: MigrationOrder,
-    /// Engine selection and dirty-set thresholds.
+    /// Engine selection, shard count, and dirty-set thresholds.
     cfg: SchedulerConfig,
-    /// Per-node scoring snapshot: seconds-per-byte estimate. Both engines
+    /// Per-node scoring snapshot: seconds-per-byte estimate. All engines
     /// score exclusively from the snapshot, so reference and incremental
     /// passes see identical inputs at any `spb_epsilon`.
     snap_spb: Vec<f64>,
@@ -144,10 +159,12 @@ pub(crate) struct Scheduler {
     /// default is `[(0, 1.0)]` — memory only, factor exactly 1.0, which
     /// keeps every score bit-identical to the pre-tier arithmetic.
     snap_tiers: Vec<Vec<(u8, f64)>>,
-    /// Nodes whose snapshot changed since the last pass.
+    /// Nodes whose snapshot changed since the last pass (global: a node's
+    /// replica holders can live in any shard).
     dirty_nodes: BTreeSet<usize>,
-    /// Entries admitted (or re-admitted) since the last pass.
-    dirty_entries: BTreeSet<(OrderKey, usize)>,
+    /// Entries each shard rescored in the last pass (per-shard
+    /// `sched.dirty_entries` gauge feed).
+    last_shard_rescored: Vec<u64>,
 }
 
 impl Scheduler {
@@ -155,13 +172,8 @@ impl Scheduler {
     /// seconds-per-byte prior of `default_spb`.
     pub(crate) fn new(num_nodes: usize, default_spb: f64) -> Self {
         Scheduler {
-            raw_pending: Vec::new(),
-            free: Vec::new(),
-            by_block: BTreeMap::new(),
-            queue: BTreeSet::new(),
-            targeted: vec![BTreeSet::new(); num_nodes],
-            replica_idx: vec![BTreeSet::new(); num_nodes],
-            pending_bytes: 0,
+            raw_shards: vec![Shard::new(num_nodes)],
+            num_nodes,
             order: MigrationOrder::Fifo,
             cfg: SchedulerConfig::default(),
             snap_spb: vec![default_spb; num_nodes],
@@ -169,17 +181,47 @@ impl Scheduler {
             snap_candidate: vec![true; num_nodes],
             snap_tiers: vec![vec![(0, 1.0)]; num_nodes],
             dirty_nodes: BTreeSet::new(),
-            dirty_entries: BTreeSet::new(),
+            last_shard_rescored: vec![0],
         }
+    }
+
+    /// The shard a block's pending entry lives in.
+    #[inline]
+    fn shard_of(&self, block: BlockId) -> usize {
+        ((block.0 >> SHARD_RANGE_BITS) % self.raw_shards.len() as u64) as usize
     }
 
     // ------------------------------------------------------------------
     // configuration
     // ------------------------------------------------------------------
 
-    /// Select the retarget engine and dirty thresholds.
+    /// Select the retarget engine, shard count, and dirty thresholds.
+    ///
+    /// A shard-count change with entries present re-shards in place:
+    /// every entry (with its target, caches, and dirtiness) migrates to
+    /// its new shard in admission order, so the store's observable state
+    /// — drain order, targets, pending depth — is untouched.
     pub(crate) fn set_config(&mut self, cfg: SchedulerConfig) {
         self.cfg = cfg;
+        self.cfg.shards = cfg.shards.max(1);
+        let want = self.cfg.shards;
+        if want == self.raw_shards.len() {
+            return;
+        }
+        let order: Vec<(OrderKey, Slot)> = merge::merged_queue(&self.raw_shards).collect();
+        let mut moved: Vec<(Entry, bool)> = Vec::with_capacity(order.len());
+        for &(key, (s, idx)) in &order {
+            let dirty = self.raw_shards[s].dirty_entries.contains(&(key, idx));
+            let entry = self.raw_shards[s].raw_pending[idx]
+                .take()
+                .expect("queued slots are live");
+            moved.push((entry, dirty));
+        }
+        self.raw_shards = vec![Shard::new(self.num_nodes); want];
+        self.last_shard_rescored = vec![0; want];
+        for (entry, dirty) in moved {
+            self.insert_entry(entry, dirty);
+        }
     }
 
     /// The active scheduler configuration.
@@ -192,7 +234,7 @@ impl Scheduler {
     /// `sort_pending` path assumed stable input).
     pub(crate) fn set_order(&mut self, order: MigrationOrder) {
         debug_assert!(
-            self.queue.is_empty(),
+            self.len() == 0,
             "order change with entries enqueued would not re-key them"
         );
         self.order = order;
@@ -276,8 +318,7 @@ impl Scheduler {
         hint: JobHint,
         not_before: SimTime,
     ) {
-        debug_assert!(!self.by_block.contains_key(&migration.block));
-        let key = OrderKey::new(self.order, &hint, seq);
+        debug_assert!(!self.contains_block(migration.block));
         let scores = vec![f64::INFINITY; migration.replicas.len()];
         let tier_of = vec![0; migration.replicas.len()];
         let entry = Entry {
@@ -292,36 +333,46 @@ impl Scheduler {
             winner_score: f64::INFINITY,
             cache_valid: false,
         };
-        let idx = match self.free.pop() {
-            Some(i) => {
-                self.raw_pending[i] = Some(entry);
-                i
-            }
-            None => {
-                self.raw_pending.push(Some(entry));
-                self.raw_pending.len() - 1
-            }
-        };
-        let e = self.raw_pending[idx].as_ref().expect("just inserted");
-        self.pending_bytes += e.migration.bytes;
-        self.by_block.insert(e.migration.block, idx);
+        self.insert_entry(entry, true);
+    }
+
+    /// Link a fully-formed entry into its shard's slab and indexes
+    /// (including the bind queue if it carries a target), marking it
+    /// dirty when asked. Admission and re-sharding both land here.
+    fn insert_entry(&mut self, entry: Entry, dirty: bool) {
+        let key = OrderKey::new(self.order, &entry.hint, entry.seq);
+        let s = self.shard_of(entry.migration.block);
+        let shard = &mut self.raw_shards[s];
+        let idx = shard.alloc(entry);
+        let e = shard.raw_pending[idx].as_ref().expect("just inserted");
+        shard.pending_bytes += e.migration.bytes;
+        shard.by_block.insert(e.migration.block, idx);
+        shard.queue.insert((key, idx));
         for &r in &e.migration.replicas {
-            self.replica_idx[r.index()].insert((key, idx));
+            shard.replica_idx[r.index()].insert((key, idx));
         }
-        self.queue.insert((key, idx));
-        self.dirty_entries.insert((key, idx));
+        if let Some(t) = e.target {
+            shard.targeted[t.index()].insert((key, idx));
+        }
+        if dirty {
+            shard.dirty_entries.insert((key, idx));
+        }
     }
 
     /// Whether `block` is pending.
     pub(crate) fn contains_block(&self, block: BlockId) -> bool {
-        self.by_block.contains_key(&block)
+        self.raw_shards[self.shard_of(block)]
+            .by_block
+            .contains_key(&block)
     }
 
     /// Add a job reference to the pending entry for `block` (no-op if the
     /// job is already referenced). Job references do not affect scoring.
     pub(crate) fn add_job_ref(&mut self, block: BlockId, jref: JobRef) {
-        if let Some(&idx) = self.by_block.get(&block) {
-            let e = self.raw_pending[idx].as_mut().expect("indexed slot live");
+        let s = self.shard_of(block);
+        let shard = &mut self.raw_shards[s];
+        if let Some(&idx) = shard.by_block.get(&block) {
+            let e = shard.raw_pending[idx].as_mut().expect("indexed slot live");
             if !e.migration.jobs.iter().any(|r| r.job == jref.job) {
                 e.migration.jobs.push(jref);
             }
@@ -332,11 +383,14 @@ impl Scheduler {
     /// leaves the entry with no interested job it is removed; the removed
     /// migration's id is returned so the caller can close its span.
     pub(crate) fn drop_job_ref(&mut self, block: BlockId, job: JobId) -> Option<MigrationId> {
-        let &idx = self.by_block.get(&block)?;
-        let e = self.raw_pending[idx].as_mut().expect("indexed slot live");
+        let s = self.shard_of(block);
+        let &idx = self.raw_shards[s].by_block.get(&block)?;
+        let e = self.raw_shards[s].raw_pending[idx]
+            .as_mut()
+            .expect("indexed slot live");
         e.migration.jobs.retain(|r| r.job != job);
         if e.migration.jobs.is_empty() {
-            let entry = self.remove_idx(idx);
+            let entry = self.remove_slot((s, idx));
             Some(entry.migration.id)
         } else {
             None
@@ -346,45 +400,42 @@ impl Scheduler {
     /// Cancel the pending migration for `block` (missed read), returning
     /// the removed entry if one was pending.
     pub(crate) fn remove_block(&mut self, block: BlockId) -> Option<Entry> {
-        let idx = self.by_block.get(&block).copied()?;
-        Some(self.remove_idx(idx))
+        let s = self.shard_of(block);
+        let idx = self.raw_shards[s].by_block.get(&block).copied()?;
+        Some(self.remove_slot((s, idx)))
     }
 
-    /// Unlink slot `idx` from every index and free it.
-    fn remove_idx(&mut self, idx: usize) -> Entry {
-        let entry = self.raw_pending[idx].take().expect("removing a live entry");
+    /// Unlink `slot` from every index in its shard and free it.
+    fn remove_slot(&mut self, slot: Slot) -> Entry {
+        let (s, idx) = slot;
+        let shard = &mut self.raw_shards[s];
+        let entry = shard.raw_pending[idx]
+            .take()
+            .expect("removing a live entry");
         let key = OrderKey::new(self.order, &entry.hint, entry.seq);
-        self.queue.remove(&(key, idx));
-        self.dirty_entries.remove(&(key, idx));
-        self.by_block.remove(&entry.migration.block);
+        shard.queue.remove(&(key, idx));
+        shard.dirty_entries.remove(&(key, idx));
+        shard.by_block.remove(&entry.migration.block);
         for &r in &entry.migration.replicas {
-            self.replica_idx[r.index()].remove(&(key, idx));
+            shard.replica_idx[r.index()].remove(&(key, idx));
         }
         if let Some(t) = entry.target {
-            self.targeted[t.index()].remove(&(key, idx));
+            shard.targeted[t.index()].remove(&(key, idx));
             // The node's downstream finish-time trajectory shrinks; every
             // entry scored after this position must be revisited.
             self.dirty_nodes.insert(t.index());
         }
-        self.pending_bytes -= entry.migration.bytes;
-        self.free.push(idx);
+        shard.pending_bytes -= entry.migration.bytes;
+        shard.free.push(idx);
         entry
     }
 
     /// Drop all pending state (master restart). Snapshots return to the
     /// prior; nothing is left to rescore.
     pub(crate) fn reset(&mut self, default_spb: f64) {
-        self.raw_pending.clear();
-        self.free.clear();
-        self.by_block.clear();
-        self.queue.clear();
-        for t in &mut self.targeted {
-            t.clear();
+        for shard in &mut self.raw_shards {
+            shard.clear();
         }
-        for r in &mut self.replica_idx {
-            r.clear();
-        }
-        self.pending_bytes = 0;
         for s in &mut self.snap_spb {
             *s = default_spb;
         }
@@ -399,7 +450,9 @@ impl Scheduler {
             *c = true;
         }
         self.dirty_nodes.clear();
-        self.dirty_entries.clear();
+        for r in &mut self.last_shard_rescored {
+            *r = 0;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -410,7 +463,8 @@ impl Scheduler {
     /// admission order: entries targeted at the node (`targeted = true`,
     /// Dyrs) or entries with any replica on it (Naive), skipping entries
     /// still inside their retry backoff. Skipped and unpicked entries stay
-    /// queued in their original positions.
+    /// queued in their original positions. Cross-shard order comes from
+    /// the K-way merge over the per-shard bind queues.
     pub(crate) fn pull(
         &mut self,
         node: NodeId,
@@ -421,23 +475,31 @@ impl Scheduler {
         if limit == 0 {
             return Vec::new();
         }
-        let index = if targeted {
-            &self.targeted[node.index()]
-        } else {
-            &self.replica_idx[node.index()]
-        };
-        let mut picked: Vec<usize> = Vec::new();
-        for &(_, idx) in index.iter() {
+        let n = node.index();
+        let mut picked: Vec<Slot> = Vec::new();
+        let cursor = merge::MergeCursor::new(self.raw_shards.iter().map(|sh| {
+            if targeted {
+                &sh.targeted[n]
+            } else {
+                &sh.replica_idx[n]
+            }
+        }));
+        for (_, slot) in cursor {
             if picked.len() == limit {
                 break;
             }
-            let e = self.raw_pending[idx].as_ref().expect("indexed slot live");
+            let e = self.raw_shards[slot.0].raw_pending[slot.1]
+                .as_ref()
+                .expect("indexed slot live");
             // retry-backoff entries (`not_before`) are not yet eligible
             if e.not_before <= now {
-                picked.push(idx);
+                picked.push(slot);
             }
         }
-        picked.into_iter().map(|idx| self.remove_idx(idx)).collect()
+        picked
+            .into_iter()
+            .map(|slot| self.remove_slot(slot))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -446,148 +508,185 @@ impl Scheduler {
 
     /// Number of pending entries.
     pub(crate) fn len(&self) -> usize {
-        self.queue.len()
+        self.raw_shards.iter().map(Shard::len).sum()
     }
 
     /// Total pending bytes.
     pub(crate) fn bytes(&self) -> u64 {
-        self.pending_bytes
+        self.raw_shards.iter().map(|s| s.pending_bytes).sum()
+    }
+
+    /// Number of shards the pending store is partitioned into.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.raw_shards.len()
+    }
+
+    /// Per-shard pending depth, in shard order (`sched.pending_depth`
+    /// gauge feed).
+    pub(crate) fn shard_depths(&self) -> Vec<usize> {
+        self.raw_shards.iter().map(Shard::len).collect()
+    }
+
+    /// Per-shard rescored counts from the most recent retarget pass, in
+    /// shard order (`sched.dirty_entries` gauge feed).
+    pub(crate) fn shard_rescored(&self) -> &[u64] {
+        &self.last_shard_rescored
     }
 
     /// Number of pending entries currently targeted at `node` — the depth
     /// of its bind queue. A draining node may only be decommissioned once
     /// this reaches zero (its pending work has been re-targeted away).
     pub(crate) fn targeted_len(&self, node: NodeId) -> usize {
-        self.targeted[node.index()].len()
+        self.raw_shards
+            .iter()
+            .map(|s| s.targeted[node.index()].len())
+            .sum()
     }
 
     /// The node `block` is currently targeted at, if pending and targeted.
     pub(crate) fn target_of(&self, block: BlockId) -> Option<NodeId> {
-        let &idx = self.by_block.get(&block)?;
-        self.raw_pending[idx]
+        let s = self.shard_of(block);
+        let &idx = self.raw_shards[s].by_block.get(&block)?;
+        self.raw_shards[s].raw_pending[idx]
             .as_ref()
             .expect("indexed slot live")
             .target
     }
 
-    /// Pending block ids in ascending order.
+    /// Pending block ids in ascending order (merged across shards).
     pub(crate) fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
-        self.by_block.keys().copied()
+        merge::BlockMerge::new(&self.raw_shards)
     }
 
-    /// Pending entries in admission order.
+    /// Pending entries in admission order (merged across shards).
     pub(crate) fn entries(&self) -> impl Iterator<Item = &Entry> + '_ {
-        self.queue
-            .iter()
-            .map(|&(_, idx)| self.raw_pending[idx].as_ref().expect("queued slot live"))
+        merge::merged_queue(&self.raw_shards).map(|(_, (s, idx))| {
+            self.raw_shards[s].raw_pending[idx]
+                .as_ref()
+                .expect("queued slot live")
+        })
     }
 
     // ------------------------------------------------------------------
     // audit
     // ------------------------------------------------------------------
 
-    /// Index invariants: every index agrees with the slab, bytes and free
-    /// slots balance, and dirty entries reference live slots.
+    /// Index invariants: every index agrees with its shard's slab, the
+    /// range map holds, bytes and free slots balance, and dirty entries
+    /// reference live slots.
     pub(crate) fn audit(&self, report: &mut simkit::audit::AuditReport) {
         let c = "sched";
-        let live = self.raw_pending.iter().flatten().count();
-        report.check(
-            self.queue.len() == live && self.by_block.len() == live,
-            c,
-            "queue and block index cover exactly the live slots",
-            || {
-                format!(
-                    "live {live}, queue {}, by_block {}",
-                    self.queue.len(),
-                    self.by_block.len()
-                )
-            },
-        );
-        report.check(
-            self.free.len() + live == self.raw_pending.len(),
-            c,
-            "free list and live slots partition the slab",
-            || {
-                format!(
-                    "free {} + live {live} != slab {}",
-                    self.free.len(),
-                    self.raw_pending.len()
-                )
-            },
-        );
-        let mut bytes = 0u64;
-        for &(key, idx) in &self.queue {
-            let Some(e) = self.raw_pending.get(idx).and_then(|s| s.as_ref()) else {
-                report.check(false, c, "queued slots are live", || {
-                    format!("queue references freed slot {idx}")
-                });
-                continue;
-            };
-            bytes += e.migration.bytes;
+        for (sno, shard) in self.raw_shards.iter().enumerate() {
+            let live = shard.raw_pending.iter().flatten().count();
             report.check(
-                OrderKey::new(self.order, &e.hint, e.seq) == key,
+                shard.queue.len() == live && shard.by_block.len() == live,
                 c,
-                "queue keys match their entries",
-                || format!("{} queued under a stale key", e.migration.block),
+                "queue and block index cover exactly the live slots",
+                || {
+                    format!(
+                        "shard {sno}: live {live}, queue {}, by_block {}",
+                        shard.queue.len(),
+                        shard.by_block.len()
+                    )
+                },
             );
             report.check(
-                self.by_block.get(&e.migration.block) == Some(&idx),
+                shard.free.len() + live == shard.raw_pending.len(),
                 c,
-                "block index points back at the slot",
-                || format!("{} not indexed at slot {idx}", e.migration.block),
+                "free list and live slots partition the slab",
+                || {
+                    format!(
+                        "shard {sno}: free {} + live {live} != slab {}",
+                        shard.free.len(),
+                        shard.raw_pending.len()
+                    )
+                },
             );
-            for &r in &e.migration.replicas {
+            let mut bytes = 0u64;
+            for &(key, idx) in &shard.queue {
+                let Some(e) = shard.raw_pending.get(idx).and_then(|s| s.as_ref()) else {
+                    report.check(false, c, "queued slots are live", || {
+                        format!("shard {sno}: queue references freed slot {idx}")
+                    });
+                    continue;
+                };
+                bytes += e.migration.bytes;
                 report.check(
-                    self.replica_idx[r.index()].contains(&(key, idx)),
+                    self.shard_of(e.migration.block) == sno,
                     c,
-                    "replica index covers every replica holder",
-                    || format!("{} missing from replica index of {r}", e.migration.block),
+                    "entries live in their range shard",
+                    || format!("{} stored in shard {sno}", e.migration.block),
+                );
+                report.check(
+                    OrderKey::new(self.order, &e.hint, e.seq) == key,
+                    c,
+                    "queue keys match their entries",
+                    || format!("{} queued under a stale key", e.migration.block),
+                );
+                report.check(
+                    shard.by_block.get(&e.migration.block) == Some(&idx),
+                    c,
+                    "block index points back at the slot",
+                    || format!("{} not indexed at slot {idx}", e.migration.block),
+                );
+                for &r in &e.migration.replicas {
+                    report.check(
+                        shard.replica_idx[r.index()].contains(&(key, idx)),
+                        c,
+                        "replica index covers every replica holder",
+                        || format!("{} missing from replica index of {r}", e.migration.block),
+                    );
+                }
+                match e.target {
+                    Some(t) => report.check(
+                        shard.targeted[t.index()].contains(&(key, idx)),
+                        c,
+                        "targeted entries sit in their node's bind queue",
+                        || format!("{} targeted at {t} but not in its queue", e.migration.block),
+                    ),
+                    None => report.check(
+                        !e.cache_valid || e.winner_score.is_infinite(),
+                        c,
+                        "untargeted entries carry no finite winner score",
+                        || format!("{} untargeted with a winner score", e.migration.block),
+                    ),
+                }
+            }
+            report.check(
+                bytes == shard.pending_bytes,
+                c,
+                "pending byte total matches the entries",
+                || {
+                    format!(
+                        "shard {sno}: counted {bytes}, cached {}",
+                        shard.pending_bytes
+                    )
+                },
+            );
+            let targeted_total: usize = shard.targeted.iter().map(BTreeSet::len).sum();
+            report.check(
+                targeted_total
+                    == shard
+                        .queue
+                        .iter()
+                        .filter(|&&(_, i)| {
+                            shard.raw_pending[i]
+                                .as_ref()
+                                .is_some_and(|e| e.target.is_some())
+                        })
+                        .count(),
+                c,
+                "bind queues hold exactly the targeted entries",
+                || format!("shard {sno}: {targeted_total} bind-queue entries"),
+            );
+            for d in &shard.dirty_entries {
+                report.check(
+                    shard.queue.contains(d),
+                    c,
+                    "dirty entries reference queued work",
+                    || format!("shard {sno}: stale dirty entry at slot {}", d.1),
                 );
             }
-            match e.target {
-                Some(t) => report.check(
-                    self.targeted[t.index()].contains(&(key, idx)),
-                    c,
-                    "targeted entries sit in their node's bind queue",
-                    || format!("{} targeted at {t} but not in its queue", e.migration.block),
-                ),
-                None => report.check(
-                    !e.cache_valid || e.winner_score.is_infinite(),
-                    c,
-                    "untargeted entries carry no finite winner score",
-                    || format!("{} untargeted with a winner score", e.migration.block),
-                ),
-            }
-        }
-        report.check(
-            bytes == self.pending_bytes,
-            c,
-            "pending byte total matches the entries",
-            || format!("counted {bytes}, cached {}", self.pending_bytes),
-        );
-        let targeted_total: usize = self.targeted.iter().map(BTreeSet::len).sum();
-        report.check(
-            targeted_total
-                == self
-                    .queue
-                    .iter()
-                    .filter(|&&(_, i)| {
-                        self.raw_pending[i]
-                            .as_ref()
-                            .is_some_and(|e| e.target.is_some())
-                    })
-                    .count(),
-            c,
-            "bind queues hold exactly the targeted entries",
-            || format!("{targeted_total} bind-queue entries"),
-        );
-        for d in &self.dirty_entries {
-            report.check(
-                self.queue.contains(d),
-                c,
-                "dirty entries reference queued work",
-                || format!("stale dirty entry at slot {}", d.1),
-            );
         }
     }
 }
@@ -617,6 +716,15 @@ mod tests {
         Scheduler::new(4, 1.0 / (140.0 * (1u64 << 20) as f64))
     }
 
+    fn slot_of(s: &Scheduler, b: u64) -> (usize, usize) {
+        let sno = s.shard_of(BlockId(b));
+        let idx = *s.raw_shards[sno]
+            .by_block
+            .get(&BlockId(b))
+            .expect("pending");
+        (sno, idx)
+    }
+
     #[test]
     fn insert_remove_roundtrip_keeps_indexes_clean() {
         let mut s = sched();
@@ -641,8 +749,9 @@ mod tests {
         s.insert(mig(1, 2, &[0]), 2, JobHint::default(), SimTime::ZERO);
         s.remove_block(BlockId(1));
         s.insert(mig(2, 3, &[0]), 3, JobHint::default(), SimTime::ZERO);
-        // the freed slot 0 is reused, and the slab did not grow
-        assert_eq!(s.raw_pending.len(), 2);
+        // the freed slot 0 is reused, and the (single) shard's slab did
+        // not grow
+        assert_eq!(s.raw_shards[0].raw_pending.len(), 2);
         let mut report = AuditReport::new();
         s.audit(&mut report);
         assert!(report.is_clean(), "{report:?}");
@@ -683,6 +792,77 @@ mod tests {
     }
 
     #[test]
+    fn sharded_store_spreads_ranges_and_merges_in_order() {
+        let mut s = sched();
+        s.set_config(SchedulerConfig {
+            shards: 4,
+            ..SchedulerConfig::default()
+        });
+        // Blocks 64 ids apart land in distinct shards; admission order
+        // (seq) still rules the merged queue and the pull order.
+        for i in 0..8u64 {
+            let block = (7 - i) << SHARD_RANGE_BITS; // descending block ids
+            s.insert(
+                mig(i, block, &[0]),
+                i + 1,
+                JobHint::default(),
+                SimTime::ZERO,
+            );
+        }
+        assert!(
+            s.raw_shards.iter().all(|sh| sh.len() == 2),
+            "64-id ranges stripe evenly over 4 shards"
+        );
+        let seqs: Vec<u64> = s.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, (1..=8).collect::<Vec<u64>>(), "merged queue is FIFO");
+        let blocks: Vec<u64> = s.block_ids().map(|b| b.0).collect();
+        assert!(blocks.windows(2).all(|w| w[0] < w[1]), "block ids ascend");
+        let picked = s.pull(NodeId(0), false, SimTime::ZERO, 3);
+        let pulled: Vec<u64> = picked.iter().map(|e| e.seq).collect();
+        assert_eq!(pulled, vec![1, 2, 3], "pull drains in admission order");
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn resharding_preserves_entries_targets_and_dirtiness() {
+        let mut s = sched();
+        for i in 0..6u64 {
+            s.insert(
+                mig(i, i << SHARD_RANGE_BITS, &[0, 1]),
+                i + 1,
+                JobHint::default(),
+                SimTime::ZERO,
+            );
+        }
+        s.retarget(&dyrs_obs::ObsHandle::default());
+        let targets: Vec<Option<NodeId>> =
+            (0..6u64).map(|i| s.target_of(BlockId(i << 6))).collect();
+        // one more admission stays dirty across the re-shard
+        s.insert(mig(9, 9 << 6, &[1]), 9, JobHint::default(), SimTime::ZERO);
+        s.set_config(SchedulerConfig {
+            shards: 8,
+            ..SchedulerConfig::default()
+        });
+        assert_eq!(s.len(), 7);
+        let after: Vec<Option<NodeId>> = (0..6u64).map(|i| s.target_of(BlockId(i << 6))).collect();
+        assert_eq!(targets, after, "targets survive the re-shard");
+        let dirty: usize = s.raw_shards.iter().map(|sh| sh.dirty_entries.len()).sum();
+        assert_eq!(dirty, 1, "only the new admission is dirty");
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+        // and back down to one shard
+        s.set_config(SchedulerConfig::default());
+        assert_eq!(s.shard_count(), 1);
+        assert_eq!(s.len(), 7);
+        let mut report = AuditReport::new();
+        s.audit(&mut report);
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
     fn tier_aware_scoring_carries_the_destination_tier() {
         let mut s = sched();
         // Node 0's policy offers only NVMe (tier 1, writes 2× slower than
@@ -693,13 +873,16 @@ mod tests {
         s.insert(mig(0, 1, &[0]), 1, JobHint::default(), SimTime::ZERO);
         s.insert(mig(1, 2, &[1]), 2, JobHint::default(), SimTime::ZERO);
         s.retarget(&dyrs_obs::ObsHandle::default());
-        let slot = |s: &Scheduler, b: u64| *s.by_block.get(&BlockId(b)).expect("pending");
-        let i0 = slot(&s, 1);
-        let i1 = slot(&s, 2);
-        let e0 = s.raw_pending[i0].as_ref().expect("live slot");
+        let (s0, i0) = slot_of(&s, 1);
+        let (s1, i1) = slot_of(&s, 2);
+        let e0 = s.raw_shards[s0].raw_pending[i0]
+            .as_ref()
+            .expect("live slot");
         assert_eq!(e0.target, Some(NodeId(0)));
         assert_eq!(e0.target_tier, 1, "chosen tier rides with the entry");
-        let e1 = s.raw_pending[i1].as_ref().expect("live slot");
+        let e1 = s.raw_shards[s1].raw_pending[i1]
+            .as_ref()
+            .expect("live slot");
         assert_eq!(e1.target_tier, 0);
         // same bytes, same spb: the tier-1 stream costs exactly 2×
         assert_eq!(e0.winner_score, 2.0 * e1.winner_score);
@@ -711,8 +894,10 @@ mod tests {
         s.set_node_tiers(0, vec![(0, 1.0), (1, 1.0), (2, 1.0)]);
         s.insert(mig(0, 1, &[0]), 1, JobHint::default(), SimTime::ZERO);
         s.retarget(&dyrs_obs::ObsHandle::default());
-        let idx = *s.by_block.get(&BlockId(1)).expect("pending");
-        let e = s.raw_pending[idx].as_ref().expect("live slot");
+        let (sno, idx) = slot_of(&s, 1);
+        let e = s.raw_shards[sno].raw_pending[idx]
+            .as_ref()
+            .expect("live slot");
         assert_eq!(e.target_tier, 0, "strict-min keeps the fastest tier");
     }
 

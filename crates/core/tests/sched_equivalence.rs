@@ -1,14 +1,16 @@
-//! Differential tests: the incremental Algorithm 1 engine against the
-//! reference full rescan.
+//! Differential tests: the incremental and sharded Algorithm 1 engines
+//! against the reference full rescan.
 //!
-//! Two masters — identical except for [`SchedEngine`] — are driven
+//! Masters — identical except for [`SchedulerConfig`] — are driven
 //! through the same randomized event sequences (admissions, retargets,
 //! pulls, completions, read-cancels, job evictions, spb drift, health
-//! flaps, master restarts). After every step the pair must agree on
-//! every observable: per-block targets, pull results (bind order
-//! included), pending depth and bytes, and both must pass the full
-//! invariant audit. This is the executable form of the equivalence
-//! argument in `crates/core/src/sched/engine.rs`.
+//! flaps, master restarts). After every step they must agree on every
+//! observable: per-block targets, pull results (bind order included),
+//! pending depth and bytes, and all must pass the full invariant audit.
+//! A second generator sweeps shard counts (1 / 2 / 8, with and without
+//! the cascade ceiling) so the K-way merge and the cross-shard
+//! trajectory lookups face the same scrutiny. This is the executable
+//! form of the equivalence argument in `crates/core/src/sched/engine.rs`.
 
 use dyrs::master::{BlockRequest, JobHint, Master};
 use dyrs::types::EvictionMode;
@@ -23,13 +25,19 @@ const MB: u64 = 1 << 20;
 const BW: f64 = 140.0 * MB as f64;
 const NODES: u32 = 6;
 
-fn master_with(engine: SchedEngine, order: MigrationOrder, detector: bool) -> Master {
+fn sched_cfg(engine: SchedEngine, shards: usize, ceiling: f64) -> SchedulerConfig {
+    SchedulerConfig {
+        engine,
+        shards,
+        cascade_ceiling: ceiling,
+        ..SchedulerConfig::default()
+    }
+}
+
+fn master_with(cfg: SchedulerConfig, order: MigrationOrder, detector: bool) -> Master {
     let mut m = Master::new(MigrationPolicy::Dyrs, NODES as usize, BW, Rng::new(7));
     m.set_order(order);
-    m.set_sched_config(SchedulerConfig {
-        engine,
-        spb_epsilon: 0.0,
-    });
+    m.set_sched_config(cfg);
     if detector {
         m.configure_detector(dyrs::FailureDetectorConfig::default());
     }
@@ -89,8 +97,8 @@ proptest! {
         ),
     ) {
         let order = order_of(order_sel);
-        let mut inc = master_with(SchedEngine::Incremental, order, detector);
-        let mut refr = master_with(SchedEngine::Reference, order, detector);
+        let mut inc = master_with(sched_cfg(SchedEngine::Incremental, 1, 0.0), order, detector);
+        let mut refr = master_with(sched_cfg(SchedEngine::Reference, 1, 0.0), order, detector);
         let mut clock = SimTime::ZERO;
         let mut next_block = 0u64;
         let mut next_job = 0u64;
@@ -234,8 +242,10 @@ proptest! {
         spbs in proptest::collection::vec(1.0f64..20.0, NODES as usize),
         blocks in 1usize..40,
     ) {
-        let mut inc = master_with(SchedEngine::Incremental, MigrationOrder::Fifo, false);
-        let mut refr = master_with(SchedEngine::Reference, MigrationOrder::Fifo, false);
+        let mut inc = master_with(
+            sched_cfg(SchedEngine::Incremental, 1, 0.0), MigrationOrder::Fifo, false);
+        let mut refr = master_with(
+            sched_cfg(SchedEngine::Reference, 1, 0.0), MigrationOrder::Fifo, false);
         for (n, s) in spbs.iter().enumerate() {
             inc.on_heartbeat_at(NodeId(n as u32), s / BW, 0, SimTime::ZERO);
             refr.on_heartbeat_at(NodeId(n as u32), s / BW, 0, SimTime::ZERO);
@@ -268,4 +278,202 @@ proptest! {
         prop_assert!(drift.rescored >= 1 || blocks == 0);
         assert_agree(&inc, &refr, 2);
     }
+}
+
+/// An FNV-1a digest of a drain: every (node, block, target-tier) triple
+/// pulled, in bind order. Two stores with identical pending state and
+/// identical decisions must replay identical digests.
+fn drain_digest(m: &mut Master) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_be_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for _ in 0..64 {
+        m.retarget();
+        let mut any = false;
+        for n in 0..NODES {
+            for mig in m.on_slave_pull(NodeId(n), 8) {
+                fold(n as u64);
+                fold(mig.block.0);
+                fold(mig.dest_tier as u64);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shard-count sweep: the sharded engine at 1, 2, and 8 shards (the
+    /// last with a tight cascade ceiling, so the fallback rescan also
+    /// runs) against the incremental monolith, through random
+    /// admit / retarget / pull / complete / drift / evict sequences.
+    /// Identical targets and pulls at every step, identical drain
+    /// digests at the end.
+    #[test]
+    fn shard_counts_are_decision_identical(
+        order_sel in 0u8..3,
+        ops in proptest::collection::vec(
+            (0u8..6, 0u32..NODES, 0u64..64, 1u64..40),
+            1..80,
+        ),
+    ) {
+        let order = order_of(order_sel);
+        let mut fleet = [
+            master_with(sched_cfg(SchedEngine::Incremental, 1, 0.0), order, false),
+            master_with(sched_cfg(SchedEngine::Sharded, 1, 0.0), order, false),
+            master_with(sched_cfg(SchedEngine::Sharded, 2, 0.0), order, false),
+            master_with(sched_cfg(SchedEngine::Sharded, 8, 0.1), order, false),
+        ];
+        let mut clock = SimTime::ZERO;
+        let mut next_block = 0u64;
+        let mut next_job = 0u64;
+        let mut bound: Vec<(NodeId, BlockId)> = Vec::new();
+        for (step, &(op, node_sel, pick, dt)) in ops.iter().enumerate() {
+            clock += SimDuration::from_secs(dt);
+            let node = NodeId(node_sel);
+            match op {
+                0 => {
+                    let job = JobId(next_job);
+                    next_job += 1;
+                    // Block ids jump in 64-id strides so admissions truly
+                    // spread across range shards.
+                    let reqs: Vec<BlockRequest> = (0..(pick % 3) + 1)
+                        .map(|k| {
+                            let b = next_block * 64 + k;
+                            next_block += 1;
+                            let r0 = (node_sel + k as u32) % NODES;
+                            BlockRequest {
+                                block: BlockId(b),
+                                bytes: (1 + (pick + k) % 8) * 64 * MB,
+                                replicas: vec![
+                                    NodeId(r0),
+                                    NodeId((r0 + 1 + (pick as u32 % 2)) % NODES),
+                                ],
+                            }
+                        })
+                        .collect();
+                    let hint = JobHint {
+                        expected_launch: clock + SimDuration::from_secs(pick % 30),
+                        total_bytes: (1 + pick % 10) * 256 * MB,
+                    };
+                    let first = fleet[0].request_migration_hinted(
+                        job, reqs.clone(), EvictionMode::Implicit, hint);
+                    for m in &mut fleet[1..] {
+                        let got = m.request_migration_hinted(
+                            job, reqs.clone(), EvictionMode::Implicit, hint);
+                        prop_assert_eq!(&first, &got, "step {}: admit outcome", step);
+                    }
+                }
+                1 => {
+                    for m in &mut fleet {
+                        m.retarget();
+                    }
+                }
+                2 => {
+                    let space = (pick as usize % 4) + 1;
+                    let first = fleet[0].on_slave_pull(node, space);
+                    for m in &mut fleet[1..] {
+                        let got = m.on_slave_pull(node, space);
+                        prop_assert_eq!(&first, &got, "step {}: pull diverged", step);
+                    }
+                    for mig in first {
+                        bound.push((node, mig.block));
+                    }
+                }
+                3 => {
+                    if !bound.is_empty() {
+                        let (n, b) = bound.swap_remove(pick as usize % bound.len());
+                        for m in &mut fleet {
+                            m.on_migration_complete(n, b);
+                        }
+                    }
+                }
+                4 => {
+                    let spb = (1.0 + (pick % 16) as f64) / BW;
+                    let queued = (pick % 5) * 128 * MB;
+                    for m in &mut fleet {
+                        m.on_heartbeat_at(node, spb, queued, clock);
+                    }
+                }
+                _ => {
+                    let j = JobId(pick % next_job.max(1));
+                    let first = fleet[0].evict_job(j);
+                    for m in &mut fleet[1..] {
+                        let got = m.evict_job(j);
+                        prop_assert_eq!(&first, &got, "step {}: evict nodes", step);
+                    }
+                }
+            }
+            let (oracle, rest) = fleet.split_first().expect("fleet non-empty");
+            for m in rest {
+                assert_agree(m, oracle, step);
+            }
+        }
+        // Per-shard depths must always re-add to the global depth.
+        for m in &fleet {
+            prop_assert_eq!(
+                m.sched_shard_depths().iter().sum::<usize>(),
+                m.pending_len()
+            );
+        }
+        // Drain everything: the complete bind order, digested, must be
+        // identical across every shard count.
+        let digests: Vec<u64> = fleet.iter_mut().map(drain_digest).collect();
+        for d in &digests[1..] {
+            prop_assert_eq!(digests[0], *d, "drain digests diverged");
+        }
+    }
+}
+
+#[test]
+fn cascade_ceiling_falls_back_without_changing_decisions() {
+    // Arm an absurdly low ceiling and dirty every node: the sharded pass
+    // must bail to the reference rescan (ceiling_hits = 1) and still
+    // produce exactly the reference decisions; un-armed (0.0) it must
+    // never bail.
+    let run = |ceiling: f64| -> (Master, u64) {
+        let mut m = master_with(
+            sched_cfg(SchedEngine::Sharded, 4, ceiling),
+            MigrationOrder::Fifo,
+            false,
+        );
+        for i in 0..200u64 {
+            let reqs = vec![BlockRequest {
+                block: BlockId(i * 64),
+                bytes: 256 * MB,
+                replicas: vec![NodeId(i as u32 % NODES), NodeId((i as u32 + 1) % NODES)],
+            }];
+            m.request_migration(JobId(i), reqs, EvictionMode::Implicit);
+        }
+        m.retarget();
+        // every node drifts → the visit plan covers the whole queue
+        for n in 0..NODES {
+            m.on_heartbeat_at(
+                NodeId(n),
+                (2.0 + n as f64) / BW,
+                128 * MB,
+                SimTime::from_secs(1),
+            );
+        }
+        let stats = m.retarget();
+        (m, stats.ceiling_hits)
+    };
+    let (mut armed, hits_armed) = run(0.05);
+    let (mut unarmed, hits_unarmed) = run(0.0);
+    assert_eq!(hits_armed, 1, "the tight ceiling must trigger the rescan");
+    assert_eq!(hits_unarmed, 0, "ceiling 0.0 means the check is off");
+    let blocks: Vec<BlockId> = armed.pending_block_ids().collect();
+    for b in blocks {
+        assert_eq!(armed.target_of(b), unarmed.target_of(b), "{b:?}");
+    }
+    assert_eq!(drain_digest(&mut armed), drain_digest(&mut unarmed));
 }

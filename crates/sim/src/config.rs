@@ -261,6 +261,16 @@ pub struct SimConfig {
     /// this). `None` disables scraping.
     #[serde(default)]
     pub scrape_interval: Option<simkit::SimDuration>,
+    /// Batch failure-detector processing instead of running a full
+    /// detector sweep on every heartbeat arrival. With `n` nodes the
+    /// per-heartbeat sweep costs O(n) per arrival — O(n²) per heartbeat
+    /// round — which dominates large-cluster runs; batched mode defers
+    /// the sweep to the periodic retarget pass, processing all arrivals
+    /// since the last pass in one O(n) scan. Off by default: the event
+    /// stream (and thus every replay digest) is unchanged unless a run
+    /// opts in.
+    #[serde(default)]
+    pub batch_heartbeats: bool,
 }
 
 fn default_re_replication() -> bool {
@@ -293,6 +303,7 @@ impl SimConfig {
             re_replication_delay: default_re_replication_delay(),
             wire: WireMode::default(),
             scrape_interval: None,
+            batch_heartbeats: false,
         }
     }
 }

@@ -48,8 +48,10 @@ impl Simulation {
 
             // Failure-detector pass: this heartbeat's arrival is also the
             // master's chance to notice *other* nodes going quiet or
-            // sitting on stuck migrations.
-            if self.master.detector_enabled() {
+            // sitting on stuck migrations. Batched mode defers the sweep
+            // to the retarget tick — at 1k nodes the per-arrival sweep is
+            // an O(n²)-per-round hot spot.
+            if self.master.detector_enabled() && !self.cfg.batch_heartbeats {
                 let health = self.master.check_health(now);
                 self.apply_health_report(health);
             }
@@ -239,13 +241,27 @@ impl Simulation {
 
     /// Periodic Algorithm 1 pass.
     pub(crate) fn on_retarget(&mut self) {
-        let stats = self.master.retarget();
-        // Scheduler health gauges: how much of the pass the incremental
-        // engine actually rescored, and the depth it was working against.
-        self.obs
-            .gauge("sched.dirty_entries", 0, stats.rescored as f64);
-        self.obs
-            .gauge("sched.pending_depth", 0, self.master.pending_len() as f64);
+        // Batched heartbeat mode: the arrivals since the last pass were
+        // recorded without detector sweeps; run the deferred sweep once
+        // here, before retargeting, so Algorithm 1 still sees the same
+        // liveness view a per-arrival sweep would have converged to.
+        if self.cfg.batch_heartbeats && self.master.detector_enabled() {
+            let health = self.master.check_health(self.now);
+            self.apply_health_report(health);
+        }
+        self.master.retarget();
+        // Scheduler health gauges, one series key per range shard: how
+        // much of the pass each shard rescored, and the depth it was
+        // working against. A one-shard store emits exactly the legacy
+        // key-0 series.
+        if self.obs.is_enabled() {
+            let rescored = self.master.sched_shard_rescored().to_vec();
+            let depths = self.master.sched_shard_depths();
+            for (s, (r, d)) in rescored.iter().zip(&depths).enumerate() {
+                self.obs.gauge("sched.dirty_entries", s as u64, *r as f64);
+                self.obs.gauge("sched.pending_depth", s as u64, *d as f64);
+            }
+        }
         self.queue
             .schedule(self.now + self.cfg.dyrs.retarget_interval, Ev::Retarget);
     }

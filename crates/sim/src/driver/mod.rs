@@ -64,8 +64,10 @@ pub struct Simulation {
     pub(crate) ready_maps: VecDeque<TaskId>,
     pub(crate) ready_reduces: VecDeque<TaskId>,
     pub(crate) schedule_pending: bool,
-    /// Stream payloads; fluid tags index this slab.
-    pub(crate) stream_meta: Vec<StreamMeta>,
+    /// Stream payloads in a generational slab; fluid tags are slab keys.
+    /// Completion and cancellation both free the slot, so the footprint
+    /// tracks concurrent streams, not total streams ever started.
+    pub(crate) stream_meta: simkit::Slab<StreamMeta>,
     /// Per-node in-flight migration streams, keyed by block (at most one
     /// entry under the paper's serialized default). BTreeMap: slave
     /// restarts drain this map, and the cancellation order must not
@@ -257,7 +259,7 @@ impl Simulation {
             ready_maps: VecDeque::new(),
             ready_reduces: VecDeque::new(),
             schedule_pending: false,
-            stream_meta: Vec::new(),
+            stream_meta: simkit::Slab::new(),
             active_migration_stream: vec![BTreeMap::new(); n],
             interference_streams: vec![Vec::new(); n],
             background_stream: vec![None; n],

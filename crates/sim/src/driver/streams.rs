@@ -40,8 +40,9 @@ impl Simulation {
         let now = self.now;
         let completions = self.resource_mut(node, kind).advance(now);
         for c in completions {
-            let meta = self.stream_meta[c.tag as usize];
-            self.stream_meta[c.tag as usize] = StreamMeta::Dead;
+            // Completion frees the metadata slot; a tag that somehow
+            // outlived its record resolves to the inert Dead variant.
+            let meta = self.stream_meta.take(c.tag).unwrap_or(StreamMeta::Dead);
             self.on_stream_complete(node, kind, meta);
         }
         self.reschedule(node, kind);
@@ -89,8 +90,7 @@ impl Simulation {
         meta: StreamMeta,
     ) -> StreamId {
         self.touch(node, kind);
-        let tag = self.stream_meta.len() as u64;
-        self.stream_meta.push(meta);
+        let tag = self.stream_meta.insert(meta);
         let now = self.now;
         let id = self
             .resource_mut(node, kind)
@@ -103,8 +103,7 @@ impl Simulation {
     /// the configured per-reader weight.
     pub(crate) fn start_interference_stream(&mut self, node: NodeId, weight: f64) -> StreamId {
         self.touch(node, ResourceKind::Disk);
-        let tag = self.stream_meta.len() as u64;
-        self.stream_meta.push(StreamMeta::Interference);
+        let tag = self.stream_meta.insert(StreamMeta::Interference);
         let now = self.now;
         let id = self
             .cluster
@@ -120,7 +119,13 @@ impl Simulation {
     pub(crate) fn cancel_stream(&mut self, node: NodeId, kind: ResourceKind, id: StreamId) {
         self.touch(node, kind);
         let now = self.now;
+        let tag = self.resource(node, kind).stream_tag(id);
         self.resource_mut(node, kind).remove_stream(now, id);
+        if let Some(tag) = tag {
+            // Cancelled streams used to leak their metadata slot for the
+            // life of the run; the slab reclaims it.
+            self.stream_meta.take(tag);
+        }
         self.reschedule(node, kind);
     }
 
@@ -164,8 +169,7 @@ impl Simulation {
         }
         let cap = self.cluster.node(node).spec.disk_bw * frac.min(0.99);
         self.touch(node, ResourceKind::Disk);
-        let tag = self.stream_meta.len() as u64;
-        self.stream_meta.push(StreamMeta::Interference);
+        let tag = self.stream_meta.insert(StreamMeta::Interference);
         let now = self.now;
         let id =
             self.cluster

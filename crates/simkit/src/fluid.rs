@@ -190,6 +190,13 @@ impl FluidResource {
         self.get(id).map(|s| s.remaining)
     }
 
+    /// The caller-defined tag a stream carries, or `None` if absent.
+    /// Lets a caller that allocated the tag from a slab free the slot
+    /// when it cancels the stream instead of waiting for completion.
+    pub fn stream_tag(&self, id: StreamId) -> Option<u64> {
+        self.get(id).map(|s| s.tag)
+    }
+
     /// Monotone counter bumped on every membership change; used to detect
     /// stale completion events.
     pub fn generation(&self) -> u64 {

@@ -25,6 +25,7 @@
 //! | [`rng`] | xoshiro256++ RNG + uniform/exponential/normal/lognormal/pareto/zipf sampling |
 //! | [`stats`] | EWMA, online moments, histograms, quantiles, time-series recorder |
 //! | [`fluid`] | fluid-flow shared resource (processor sharing with concurrency degradation) |
+//! | [`slab`] | generational slab allocator for hot-path records |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +34,12 @@ pub mod audit;
 pub mod fluid;
 pub mod queue;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
 pub use fluid::{FluidResource, StreamId};
 pub use queue::EventQueue;
 pub use rng::Rng;
+pub use slab::Slab;
 pub use time::{SimDuration, SimTime};

@@ -1,35 +1,42 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper over `BinaryHeap` that orders events by `(time, seq)`,
-//! where `seq` is a monotonically increasing insertion counter. Two events
-//! scheduled for the same instant therefore pop in insertion order, which
-//! makes whole-simulation replays bit-identical across runs and platforms.
+//! Events are ordered by `(time, seq)`, where `seq` is a monotonically
+//! increasing insertion counter. Two events scheduled for the same
+//! instant therefore pop in insertion order, which makes
+//! whole-simulation replays bit-identical across runs and platforms.
+//!
+//! The heap itself holds only POD `(time, seq, key)` entries; event
+//! payloads live in a generational [`Slab`] beside it. Sift operations
+//! on the heap then move 24-byte records instead of whole event enums,
+//! and payload slots are reused instead of churning the allocator — the
+//! event loop is the simulator's innermost hot path.
 
+use crate::slab::Slab;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A scheduled entry: fires at `time`, carrying `event`.
-struct Entry<E> {
+/// A scheduled entry: fires at `time`, payload behind `key` in the slab.
+struct Entry {
     time: SimTime,
     seq: u64,
-    event: E,
+    key: u64,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-first.
         other
@@ -54,7 +61,8 @@ impl<E> Ord for Entry<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    events: Slab<E>,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -70,6 +78,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            events: Slab::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -79,6 +88,7 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
+            events: Slab::with_capacity(cap),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -99,14 +109,16 @@ impl<E> EventQueue<E> {
         let time = time.max(self.last_popped);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let key = self.events.insert(event);
+        self.heap.push(Entry { time, seq, key });
     }
 
     /// Remove and return the earliest event, with its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let e = self.heap.pop()?;
         self.last_popped = e.time;
-        Some((e.time, e.event))
+        let event = self.events.take(e.key).expect("heap keys are live");
+        Some((e.time, event))
     }
 
     /// The firing time of the earliest pending event, if any.
@@ -132,6 +144,7 @@ impl<E> EventQueue<E> {
     /// Drop all pending events, keeping the clock where it is.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.events.clear();
     }
 }
 
@@ -214,5 +227,22 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(SimTime::ZERO, ());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn payload_slots_are_reused_across_pops() {
+        // Steady-state churn (schedule one, pop one) must not grow the
+        // payload slab: the whole point of the arena hot path.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0u64);
+        for i in 1..1000u64 {
+            let (t, _) = q.pop().unwrap();
+            q.schedule(t + SimDuration::from_secs(1), i);
+        }
+        assert!(
+            q.events.capacity() <= 2,
+            "slab grew to {} under steady churn",
+            q.events.capacity()
+        );
     }
 }

@@ -1,0 +1,188 @@
+//! Generational slab allocator for hot-path records.
+//!
+//! The simulator's event and stream hot paths used to grow `Vec`s of
+//! records forever (a cancelled stream left its metadata slot allocated
+//! for the life of the run). This slab reuses slots deterministically
+//! (LIFO free list, like the scheduler's entry slab) and tags every key
+//! with the slot's generation, so a stale key held across a free/reuse
+//! cycle misses instead of aliasing the new occupant.
+//!
+//! Keys are plain `u64`s — `generation << 32 | slot` — so they ride in
+//! POD event payloads (the fluid-resource stream `tag`, the event-queue
+//! heap entries) without borrowing the slab.
+
+/// A generational slot map: `insert` returns a `u64` key that stays
+/// valid exactly until the value is removed.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<(u32, Option<T>)>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty slab with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Store `value`, returning its key. Freed slots are reused LIFO, so
+    /// allocation order is deterministic.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.1.is_none(), "free list pointed at a live slot");
+                slot.1 = Some(value);
+                key(slot.0, idx)
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push((0, Some(value)));
+                key(0, idx)
+            }
+        }
+    }
+
+    /// The value behind `key`, if it is still live (same generation).
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (gen, idx) = split(key);
+        match self.slots.get(idx as usize) {
+            Some((g, v)) if *g == gen => v.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value behind `key`, if still live.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (gen, idx) = split(key);
+        match self.slots.get_mut(idx as usize) {
+            Some((g, v)) if *g == gen => v.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Remove and return the value behind `key`. The slot's generation is
+    /// bumped, so the key (and any copy of it) is dead from here on.
+    pub fn take(&mut self, key: u64) -> Option<T> {
+        let (gen, idx) = split(key);
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.0 != gen {
+            return None;
+        }
+        let value = slot.1.take()?;
+        slot.0 = slot.0.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+        Some(value)
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free) — the slab's footprint.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drop every value and forget all keys. Generations reset; only safe
+    /// when no old keys survive the clear (e.g. a simulation teardown).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+}
+
+#[inline]
+fn key(gen: u32, idx: u32) -> u64 {
+    (gen as u64) << 32 | idx as u64
+}
+
+#[inline]
+fn split(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_take_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.take(b), Some("b"));
+        assert_eq!(s.get(b), None, "taken key is dead");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_reused_lifo_with_fresh_generations() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        s.take(a);
+        let c = s.insert(3);
+        assert_eq!(s.capacity(), 2, "freed slot reused, no growth");
+        assert_ne!(a, c, "reused slot carries a new generation");
+        assert_eq!(s.get(a), None, "stale key misses the new occupant");
+        assert_eq!(s.get(c), Some(&3));
+    }
+
+    #[test]
+    fn double_take_is_none() {
+        let mut s = Slab::new();
+        let k = s.insert(7);
+        assert_eq!(s.take(k), Some(7));
+        assert_eq!(s.take(k), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = Slab::new();
+        let k = s.insert(1);
+        *s.get_mut(k).unwrap() = 9;
+        assert_eq!(s.get(k), Some(&9));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = Slab::new();
+        let k = s.insert(1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.get(k), None);
+    }
+}

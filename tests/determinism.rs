@@ -158,17 +158,16 @@ fn event_traces_are_bit_stable_across_reruns() {
 
 #[test]
 fn scheduler_engines_replay_identical_event_streams() {
-    // The incremental Algorithm 1 engine must be decision-identical to
-    // the reference full rescan — same winners, same bind order, same
-    // event stream — not merely similar outcomes. The failure drill is
-    // the hard case: restarts reset the dirty-set bookkeeping and
-    // fail-stop cycles flip candidacy mid-queue.
+    // Every Algorithm 1 engine must be decision-identical to the
+    // reference full rescan — same winners, same bind order, same event
+    // stream — not merely similar outcomes. The failure drill is the
+    // hard case: restarts reset the dirty-set bookkeeping and fail-stop
+    // cycles flip candidacy mid-queue. The sharded engine runs with
+    // eight range shards and a tight cascade ceiling, so the K-way
+    // merge, the cross-shard trajectory lookups, and the
+    // ceiling-triggered fallback rescan are all in play.
     use dyrs::{SchedEngine, SchedulerConfig};
-    let mk = |engine: SchedEngine| -> Vec<SimTask> {
-        let sched = SchedulerConfig {
-            engine,
-            spb_epsilon: 0.0,
-        };
+    let mk = |sched: SchedulerConfig| -> Vec<SimTask> {
         let plain = {
             let mut cfg = hetero_config(MigrationPolicy::Dyrs, SEED);
             cfg.dyrs.scheduler = sched;
@@ -198,17 +197,88 @@ fn scheduler_engines_replay_identical_event_streams() {
         };
         vec![plain, drill]
     };
-    let inc = run_all(mk(SchedEngine::Incremental), 1);
-    let refr = run_all(mk(SchedEngine::Reference), 1);
-    for ((la, a), (lb, b)) in inc.iter().zip(&refr) {
-        assert_eq!(la, lb);
-        assert_eq!(
-            a.trace_digest, b.trace_digest,
-            "{la}: the incremental engine diverged from the reference pass"
-        );
-        assert_eq!(a.end_time, b.end_time, "{la}: end time");
-        assert_eq!(a.master, b.master, "{la}: master stats");
+    let refr = run_all(
+        mk(SchedulerConfig {
+            engine: SchedEngine::Reference,
+            ..SchedulerConfig::default()
+        }),
+        1,
+    );
+    let others = [
+        SchedulerConfig {
+            engine: SchedEngine::Incremental,
+            ..SchedulerConfig::default()
+        },
+        SchedulerConfig {
+            engine: SchedEngine::Sharded,
+            ..SchedulerConfig::default()
+        },
+        SchedulerConfig {
+            engine: SchedEngine::Sharded,
+            shards: 8,
+            cascade_ceiling: 0.05,
+            ..SchedulerConfig::default()
+        },
+    ];
+    for sched in others {
+        let got = run_all(mk(sched), 1);
+        for ((la, a), (lb, b)) in got.iter().zip(&refr) {
+            assert_eq!(la, lb);
+            assert_eq!(
+                a.trace_digest, b.trace_digest,
+                "{la}: engine {:?} (shards {}, ceiling {}) diverged from \
+                 the reference pass",
+                sched.engine, sched.shards, sched.cascade_ceiling
+            );
+            assert_eq!(a.end_time, b.end_time, "{la}: end time");
+            assert_eq!(a.master, b.master, "{la}: master stats");
+        }
     }
+}
+
+#[test]
+fn batched_heartbeats_preserve_the_quiet_event_stream() {
+    // Batched detector processing moves the failure-detector sweep from
+    // every heartbeat arrival to the retarget tick. On a healthy cluster
+    // the sweep never finds anything, so batching must be invisible: the
+    // same events, the same end time, the same master stats. And under
+    // gray faults — where batching legitimately shifts *detection*
+    // timing — a batched run must still replay itself bit-for-bit.
+    let run = |batch: bool, gray: bool, seed: u64| {
+        let mut cfg = hetero_config(MigrationPolicy::Dyrs, seed);
+        cfg.batch_heartbeats = batch;
+        if gray {
+            cfg.gray_faults = vec![
+                GrayFault::HeartbeatLoss {
+                    at: SimTime::from_secs(4),
+                    node: NodeId(1),
+                    until: SimTime::from_secs(12),
+                },
+                GrayFault::StuckStreams {
+                    at: SimTime::from_secs(5),
+                    node: NodeId(4),
+                    until: SimTime::from_secs(40),
+                },
+            ];
+        }
+        let w = sort::sort_workload(2 << 30, SimDuration::ZERO, 0);
+        let (cfg, jobs) = with_workload(cfg, w);
+        dyrs_sim::Simulation::new(cfg, jobs).run()
+    };
+    let quiet = run(false, false, SEED);
+    let batched = run(true, false, SEED);
+    assert_eq!(
+        quiet.trace_digest, batched.trace_digest,
+        "batched heartbeats changed a healthy run's event stream"
+    );
+    assert_eq!(quiet.end_time, batched.end_time);
+    assert_eq!(quiet.master, batched.master);
+    let gray_a = run(true, true, SEED);
+    let gray_b = run(true, true, SEED);
+    assert_eq!(
+        gray_a.trace_digest, gray_b.trace_digest,
+        "a batched gray-fault run must replay bit-identically"
+    );
 }
 
 #[test]
